@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: the L_eff trade-off the paper motivates with Figure 1 ("Setting
+ * L_eff too low would require many low-latency bootstraps, while setting it
+ * too high would result in fewer but higher-latency bootstraps. We set
+ * L_eff = 10.").
+ *
+ * This bench sweeps L_eff for ResNet-20 (composite ReLU) and reports the
+ * modeled end-to-end latency and bootstrap count at each setting, plus two
+ * further ablations of DESIGN.md's design choices: BSGS on/off and
+ * multiplexed vs raster packing.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace orion;
+
+int
+main()
+{
+    bench::print_header(
+        "Ablation: L_eff sweep + packing/BSGS ablations on ResNet-20");
+
+    const nn::Network net = nn::make_resnet_cifar(20, nn::Act::kRelu);
+
+    std::printf("%6s %10s %14s %16s\n", "L_eff", "#boots", "latency (s)",
+                "boot cost (s)");
+    double best = 1e300;
+    int best_leff = 0;
+    // The composite [15,15,27] sign stages need >= 6 levels per stage
+    // under our evaluator, so the sweep starts at 6.
+    for (int l_eff = 6; l_eff <= 18; l_eff += 2) {
+        core::CompileOptions opt;
+        opt.slots = u64(1) << 15;
+        opt.l_eff = l_eff;
+        opt.structural_only = true;
+        opt.calibration_samples = 1;
+        const core::CompiledNetwork cn = core::compile(net, opt);
+        std::printf("%6d %10llu %14.1f %16.2f\n", l_eff,
+                    static_cast<unsigned long long>(cn.num_bootstraps),
+                    cn.modeled_latency, opt.cost.bootstrap(l_eff));
+        if (cn.modeled_latency < best) {
+            best = cn.modeled_latency;
+            best_leff = l_eff;
+        }
+        std::fflush(stdout);
+    }
+    std::printf("\nminimum modeled latency at L_eff = %d "
+                "(paper selects L_eff = 10)\n",
+                best_leff);
+
+    // Design-choice ablations at L_eff = 10.
+    std::printf("\n%-34s %10s %10s %14s\n", "configuration", "#rots",
+                "#boots", "latency (s)");
+    struct Config {
+        const char* name;
+        bool bsgs;
+        core::CompileOptions::Packing packing;
+        bool lazy;
+    };
+    const Config configs[] = {
+        {"Orion (BSGS + multiplexed)", true,
+         core::CompileOptions::Packing::kMultiplexed, false},
+        {"- BSGS (diagonal method)", false,
+         core::CompileOptions::Packing::kMultiplexed, false},
+        {"- multiplexing (raster packing)", true,
+         core::CompileOptions::Packing::kRaster, false},
+        {"- optimal placement (lazy)", true,
+         core::CompileOptions::Packing::kMultiplexed, true},
+    };
+    for (const Config& c : configs) {
+        core::CompileOptions opt;
+        opt.slots = u64(1) << 15;
+        opt.l_eff = 10;
+        opt.structural_only = true;
+        opt.calibration_samples = 1;
+        opt.use_bsgs = c.bsgs;
+        opt.packing = c.packing;
+        opt.lazy_placement = c.lazy;
+        const core::CompiledNetwork cn = core::compile(net, opt);
+        std::printf("%-34s %10llu %10llu %14.1f\n", c.name,
+                    static_cast<unsigned long long>(cn.total_rotations),
+                    static_cast<unsigned long long>(cn.num_bootstraps),
+                    cn.modeled_latency);
+        std::fflush(stdout);
+    }
+    std::printf("\n(each removed optimization increases modeled latency; "
+                "together they are the\n paper's three contribution axes: "
+                "packing, placement, execution strategy)\n");
+    return 0;
+}

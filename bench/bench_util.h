@@ -1,0 +1,103 @@
+#ifndef ORION_BENCH_BENCH_UTIL_H_
+#define ORION_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the per-table/figure benchmark binaries. Each binary
+ * regenerates one table or figure of the paper (see DESIGN.md's
+ * per-experiment index) and prints it in a comparable layout.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/orion.h"
+
+namespace orion::bench {
+
+inline std::vector<double>
+random_vector(std::size_t n, double range = 1.0, u64 seed = 42)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-range, range);
+    std::vector<double> out(n);
+    for (double& x : out) x = dist(rng);
+    return out;
+}
+
+/** Wall-clock seconds of one call. */
+template <typename F>
+double
+time_once(F&& f)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Median wall-clock seconds over `reps` calls. */
+template <typename F>
+double
+time_median(int reps, F&& f)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) times.push_back(time_once(f));
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/** Max |a - b| over the common prefix. */
+inline double
+max_abs_diff(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double m = 0.0;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+/** Table 2's precision metric: -log2(mean absolute difference). */
+inline double
+precision_bits(const std::vector<double>& got,
+               const std::vector<double>& want)
+{
+    double sum = 0.0;
+    const std::size_t n = std::min(got.size(), want.size());
+    for (std::size_t i = 0; i < n; ++i) sum += std::abs(got[i] - want[i]);
+    const double mean = sum / static_cast<double>(std::max<std::size_t>(n, 1));
+    return -std::log2(std::max(mean, 1e-300));
+}
+
+/** Fraction of runs where both vectors share the argmax (top-1 agreement). */
+inline bool
+same_argmax(const std::vector<double>& a, const std::vector<double>& b)
+{
+    std::size_t ia = 0, ib = 0;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        if (a[i] > a[ia]) ia = i;
+    }
+    for (std::size_t i = 1; i < b.size(); ++i) {
+        if (b[i] > b[ib]) ib = i;
+    }
+    return ia == ib;
+}
+
+inline void
+print_header(const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+}  // namespace orion::bench
+
+#endif  // ORION_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table 3: ciphertext rotation counts, Lee et al. vs Orion, on the CIFAR
+ * networks (ResNet-20, ResNet-110, VGG-16, AlexNet).
+ *
+ * Paper values: 1382/836 = 1.65x (ResNet-20), 7622/4676 = 1.64x
+ * (ResNet-110), 9214/1771 = 5.20x (VGG-16), 9422/1470 = 6.41x (AlexNet).
+ * The reproduction target is the *shape*: Orion wins everywhere and the
+ * improvement grows with model width (VGG/AlexNet >> ResNets).
+ */
+
+#include "bench/bench_util.h"
+#include "src/baselines/lee_packing.h"
+
+using namespace orion;
+
+int
+main()
+{
+    bench::print_header("Table 3: rotation counts, Lee et al. vs Orion");
+
+    const u64 slots = 1u << 15;  // paper: N = 2^16, n = 2^15 slots
+    struct Row {
+        const char* name;
+        const char* paper;
+    };
+    const std::vector<std::pair<std::string, std::string>> rows = {
+        {"resnet20-relu", "1382 -> 836 (1.65x)"},
+        {"resnet110-relu", "7622 -> 4676 (1.64x)"},
+        {"vgg16-relu", "9214 -> 1771 (5.20x)"},
+        {"alexnet-relu", "9422 -> 1470 (6.41x)"},
+    };
+
+    std::printf("%-16s %12s %12s %10s   %s\n", "network", "no-BSGS",
+                "Orion", "improve", "(paper: Lee et al. -> Orion)");
+    for (const auto& [name, paper] : rows) {
+        const nn::Network net = nn::make_model(name);
+        const auto lee = baselines::lee_network_counts(net, slots);
+
+        core::CompileOptions opt;
+        opt.slots = slots;
+        opt.l_eff = 10;
+        opt.structural_only = true;
+        opt.calibration_samples = 1;
+        const core::CompiledNetwork cn = core::compile(net, opt);
+
+        std::printf("%-16s %12llu %12llu %9.2fx   %s\n", name.c_str(),
+                    static_cast<unsigned long long>(lee.rotations),
+                    static_cast<unsigned long long>(cn.total_rotations),
+                    static_cast<double>(lee.rotations) /
+                        static_cast<double>(cn.total_rotations),
+                    paper.c_str());
+        std::fflush(stdout);
+    }
+    std::printf(
+        "\nNotes: the baseline column counts the packed-SISO lineage "
+        "(diagonal method, no BSGS)\nthat Lee et al. build on; their "
+        "optimized parallel packing shares rotations across\nchannels, so "
+        "the paper's measured improvement (1.6x-6.4x) sits between Orion's "
+        "counts\nand this upper bound. Orion's absolute counts are "
+        "directly comparable to the paper's.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 5: scalability of automatic bootstrap placement with ResNet depth.
+ * Columns: compile time, bootstrap placement time, bootstrap count, for
+ * ResNet-20/32/44/56/110 with the composite ReLU.
+ *
+ * Paper: compile 437..2132 s (dominated by diagonal generation/encoding on
+ * their N = 2^16 testbed), placement 1.94..11.0 s growing linearly,
+ * bootstraps 37..217 growing linearly. The linear growth of placement
+ * time and bootstrap count with depth is the reproduction target.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace orion;
+
+int
+main()
+{
+    bench::print_header(
+        "Table 5: bootstrap placement scalability on CIFAR ResNets");
+
+    std::printf("%-12s %12s %16s %10s %10s %8s\n", "network",
+                "compile (s)", "placement (s)", "#boots", "#sites",
+                "units");
+    double first_place = 0.0;
+    u64 first_boots = 0;
+    int first_depth = 0;
+    for (int depth : {20, 32, 44, 56, 110}) {
+        const nn::Network net = nn::make_resnet_cifar(depth, nn::Act::kRelu);
+        core::CompileOptions opt;
+        opt.slots = u64(1) << 15;
+        opt.l_eff = 10;
+        opt.structural_only = true;
+        opt.calibration_samples = 1;
+        const core::CompiledNetwork cn = core::compile(net, opt);
+        std::printf("%-12s %12.2f %16.4f %10llu %10llu %8zu\n",
+                    net.network_name().c_str(), cn.compile_seconds,
+                    cn.placement_seconds,
+                    static_cast<unsigned long long>(cn.num_bootstraps),
+                    static_cast<unsigned long long>(
+                        cn.placement.num_bootstrap_sites),
+                    cn.program.size());
+        std::fflush(stdout);
+        if (depth == 20) {
+            first_place = cn.placement_seconds;
+            first_boots = cn.num_bootstraps;
+            first_depth = depth;
+        }
+        if (depth == 110 && first_place > 0) {
+            std::printf(
+                "\nscaling 20 -> 110: placement time x%.1f, bootstraps "
+                "x%.1f (depth x%.1f; paper: ~5.7x and ~5.9x)\n",
+                cn.placement_seconds / std::max(first_place, 1e-6),
+                static_cast<double>(cn.num_bootstraps) /
+                    static_cast<double>(std::max<u64>(first_boots, 1)),
+                static_cast<double>(depth) / first_depth);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+#ifndef ORION_SRC_APPROX_APPROX_H_
+#define ORION_SRC_APPROX_APPROX_H_
+
+/**
+ * @file
+ * Umbrella header for polynomial approximation machinery.
+ */
+
+#include "src/approx/chebyshev.h"
+#include "src/approx/polyeval.h"
+#include "src/approx/remez.h"
+#include "src/approx/sign.h"
+
+#endif  // ORION_SRC_APPROX_APPROX_H_

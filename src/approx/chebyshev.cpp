@@ -1,0 +1,72 @@
+#include "src/approx/chebyshev.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace orion::approx {
+
+double
+ChebyshevPoly::eval(double x) const
+{
+    // Map to [-1, 1] and run Clenshaw.
+    const double u = (2.0 * x - (a_ + b_)) / (b_ - a_);
+    double b1 = 0.0;
+    double b2 = 0.0;
+    for (int k = degree(); k >= 1; --k) {
+        const double t = 2.0 * u * b1 - b2 + coeffs_[static_cast<std::size_t>(k)];
+        b2 = b1;
+        b1 = t;
+    }
+    return u * b1 - b2 + coeffs_[0];
+}
+
+double
+ChebyshevPoly::max_error(const std::function<double(double)>& f,
+                         int samples) const
+{
+    double worst = 0.0;
+    for (int i = 0; i <= samples; ++i) {
+        const double x =
+            a_ + (b_ - a_) * static_cast<double>(i) / samples;
+        worst = std::max(worst, std::abs(eval(x) - f(x)));
+    }
+    return worst;
+}
+
+ChebyshevPoly
+ChebyshevPoly::fit(const std::function<double(double)>& f, double a, double b,
+                   int degree)
+{
+    ORION_CHECK(degree >= 0, "negative degree");
+    const int n = degree + 1;
+    // Chebyshev nodes of the first kind mapped to [a, b].
+    std::vector<double> fx(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        const double theta =
+            std::numbers::pi * (static_cast<double>(j) + 0.5) / n;
+        const double u = std::cos(theta);
+        fx[static_cast<std::size_t>(j)] =
+            f(0.5 * (a + b) + 0.5 * (b - a) * u);
+    }
+    std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
+    for (int k = 0; k < n; ++k) {
+        double acc = 0.0;
+        for (int j = 0; j < n; ++j) {
+            acc += fx[static_cast<std::size_t>(j)] *
+                   std::cos(std::numbers::pi * k *
+                            (static_cast<double>(j) + 0.5) / n);
+        }
+        coeffs[static_cast<std::size_t>(k)] = (k == 0 ? 1.0 : 2.0) * acc / n;
+    }
+    return ChebyshevPoly(std::move(coeffs), a, b);
+}
+
+void
+ChebyshevPoly::truncate(double tol)
+{
+    while (coeffs_.size() > 2 && std::abs(coeffs_.back()) <= tol) {
+        coeffs_.pop_back();
+    }
+}
+
+}  // namespace orion::approx

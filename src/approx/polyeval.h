@@ -1,0 +1,98 @@
+#ifndef ORION_SRC_APPROX_POLYEVAL_H_
+#define ORION_SRC_APPROX_POLYEVAL_H_
+
+/**
+ * @file
+ * Homomorphic polynomial evaluation in the Chebyshev basis with exact
+ * ("errorless") scale management.
+ *
+ * Evaluation uses the baby-step giant-step Paterson-Stockmeyer recursion:
+ * Chebyshev powers T_1..T_{bs-1} plus giants T_{bs*2^j} are generated with
+ * the double-angle identities, and the polynomial is recursively split as
+ * p = q * T_m + r. Every recursion node receives a (target level, target
+ * scale) pair; the free plaintext constants at the leaves are encoded at
+ * whatever scale makes each rescale land *exactly* on its target (the
+ * extension of Bossuat et al.'s errorless polynomial evaluation that
+ * Section 6 of the paper builds its scale management on). The public
+ * contract: the result sits at exactly `target_scale`, consuming exactly
+ * depth() levels.
+ */
+
+#include <map>
+#include <optional>
+
+#include "src/approx/chebyshev.h"
+#include "src/ckks/evaluator.h"
+
+namespace orion::approx {
+
+/** Evaluates Chebyshev polynomials and compositions on ciphertexts. */
+class HePolyEvaluator {
+  public:
+    explicit HePolyEvaluator(const ckks::Evaluator& eval)
+        : eval_(&eval), ctx_(&eval.context())
+    {
+    }
+
+    /**
+     * Evaluates p on ct. The input scale may be arbitrary; the output is at
+     * exactly target_scale (default: the context scale Delta) and consumes
+     * exactly poly_depth(p) levels.
+     */
+    ckks::Ciphertext evaluate(const ChebyshevPoly& p,
+                              const ckks::Ciphertext& ct,
+                              double target_scale = 0.0) const;
+
+    /** Chained composition: stages applied left to right. */
+    ckks::Ciphertext evaluate_composite(const std::vector<ChebyshevPoly>& stages,
+                                        const ckks::Ciphertext& ct,
+                                        double target_scale = 0.0) const;
+
+    /**
+     * ReLU-style evaluation x * g(x) where g is the composite from
+     * make_relu_stages; one level deeper than the composite itself.
+     */
+    ckks::Ciphertext evaluate_times_input(
+        const std::vector<ChebyshevPoly>& stages, const ckks::Ciphertext& ct,
+        double target_scale = 0.0) const;
+
+    /** Multiplicative depth of evaluate() for this polynomial. */
+    static int poly_depth(const ChebyshevPoly& p);
+    static int composite_depth(const std::vector<ChebyshevPoly>& stages);
+    /** composite_depth + 1 (the final multiplication by x). */
+    static int relu_depth(const std::vector<ChebyshevPoly>& stages);
+
+  private:
+    /** A generated Chebyshev power with its exact scale. */
+    struct Power {
+        ckks::Ciphertext ct;
+    };
+    using PowerBasis = std::map<int, ckks::Ciphertext>;
+
+    /** Result of a recursion node: a ciphertext or an exact scalar. */
+    struct NodeResult {
+        std::optional<ckks::Ciphertext> ct;
+        double constant = 0.0;
+    };
+
+    /** Lazily generates T_k with minimal depth (memoized). */
+    const ckks::Ciphertext& power(PowerBasis& basis, int k) const;
+
+    NodeResult eval_node(const std::vector<double>& coeffs, int bs,
+                         PowerBasis& basis, int target_level,
+                         double target_scale) const;
+
+    /** Drops a copy of ct to the given level. */
+    ckks::Ciphertext at_level(const ckks::Ciphertext& ct, int level) const;
+
+    static int baby_step_count(int degree);
+    static int depth_node(const std::vector<double>& coeffs, int bs);
+    static bool is_zero_coeffs(const std::vector<double>& coeffs);
+
+    const ckks::Evaluator* eval_;
+    const ckks::Context* ctx_;
+};
+
+}  // namespace orion::approx
+
+#endif  // ORION_SRC_APPROX_POLYEVAL_H_

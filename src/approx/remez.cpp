@@ -1,0 +1,183 @@
+#include "src/approx/remez.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace orion::approx {
+
+namespace {
+
+/** Chebyshev basis value T_k(u) for u in [-1, 1]. */
+double
+cheb_t(int k, double u)
+{
+    // Clamp for acos stability at the boundary.
+    const double c = std::max(-1.0, std::min(1.0, u));
+    return std::cos(k * std::acos(c));
+}
+
+/** Solves the (d+2)x(d+2) dense system by Gaussian elimination. */
+std::vector<double>
+solve_dense(std::vector<std::vector<double>> m, std::vector<double> rhs)
+{
+    const int n = static_cast<int>(rhs.size());
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::abs(m[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(col)]) >
+                std::abs(m[static_cast<std::size_t>(pivot)]
+                          [static_cast<std::size_t>(col)])) {
+                pivot = r;
+            }
+        }
+        std::swap(m[static_cast<std::size_t>(col)],
+                  m[static_cast<std::size_t>(pivot)]);
+        std::swap(rhs[static_cast<std::size_t>(col)],
+                  rhs[static_cast<std::size_t>(pivot)]);
+        const double diag =
+            m[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+        ORION_CHECK(std::abs(diag) > 1e-300, "singular Remez system");
+        for (int r = col + 1; r < n; ++r) {
+            const double factor = m[static_cast<std::size_t>(r)]
+                                   [static_cast<std::size_t>(col)] /
+                                  diag;
+            if (factor == 0.0) continue;
+            for (int c = col; c < n; ++c) {
+                m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -=
+                    factor * m[static_cast<std::size_t>(col)]
+                              [static_cast<std::size_t>(c)];
+            }
+            rhs[static_cast<std::size_t>(r)] -=
+                factor * rhs[static_cast<std::size_t>(col)];
+        }
+    }
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int r = n - 1; r >= 0; --r) {
+        double acc = rhs[static_cast<std::size_t>(r)];
+        for (int c = r + 1; c < n; ++c) {
+            acc -= m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] *
+                   x[static_cast<std::size_t>(c)];
+        }
+        x[static_cast<std::size_t>(r)] =
+            acc / m[static_cast<std::size_t>(r)][static_cast<std::size_t>(r)];
+    }
+    return x;
+}
+
+}  // namespace
+
+RemezResult
+remez_fit(const std::function<double(double)>& f, double a, double b,
+          int degree, int max_iterations)
+{
+    ORION_CHECK(degree >= 1, "Remez needs degree >= 1");
+    const int n = degree + 2;  // reference size
+    // Initial reference: Chebyshev extrema mapped to [a, b].
+    std::vector<double> ref(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const double u = std::cos(std::numbers::pi * i / (n - 1));
+        ref[static_cast<std::size_t>(i)] = 0.5 * (a + b) - 0.5 * (b - a) * u;
+    }
+
+    ChebyshevPoly best = ChebyshevPoly::fit(f, a, b, degree);
+    double best_err = best.max_error(f);
+    RemezResult result{best, best_err, 0, false};
+
+    const int grid = std::max(4096, 64 * degree);
+    std::vector<double> coeffs(static_cast<std::size_t>(degree + 1));
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        // Solve p(x_i) + (-1)^i E = f(x_i) in the Chebyshev basis.
+        std::vector<std::vector<double>> m(
+            static_cast<std::size_t>(n),
+            std::vector<double>(static_cast<std::size_t>(n)));
+        std::vector<double> rhs(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const double x = ref[static_cast<std::size_t>(i)];
+            const double u = (2.0 * x - (a + b)) / (b - a);
+            for (int k = 0; k <= degree; ++k) {
+                m[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+                    cheb_t(k, u);
+            }
+            m[static_cast<std::size_t>(i)][static_cast<std::size_t>(n - 1)] =
+                (i % 2 == 0) ? 1.0 : -1.0;
+            rhs[static_cast<std::size_t>(i)] = f(x);
+        }
+        const std::vector<double> sol = solve_dense(std::move(m), rhs);
+        std::copy(sol.begin(), sol.end() - 1, coeffs.begin());
+        const ChebyshevPoly p(coeffs, a, b);
+
+        // Exchange step: pick the extremum of the error in each
+        // sign-consistent segment of a dense grid.
+        std::vector<double> new_ref;
+        new_ref.reserve(static_cast<std::size_t>(n));
+        double prev_sign = 0.0;
+        double seg_best_x = a;
+        double seg_best_v = 0.0;
+        double overall_max = 0.0;
+        for (int g = 0; g <= grid; ++g) {
+            const double x = a + (b - a) * static_cast<double>(g) / grid;
+            const double e = p.eval(x) - f(x);
+            overall_max = std::max(overall_max, std::abs(e));
+            const double sign = e >= 0 ? 1.0 : -1.0;
+            if (g == 0 || sign != prev_sign) {
+                if (g != 0) new_ref.push_back(seg_best_x);
+                prev_sign = sign;
+                seg_best_x = x;
+                seg_best_v = std::abs(e);
+            } else if (std::abs(e) > seg_best_v) {
+                seg_best_v = std::abs(e);
+                seg_best_x = x;
+            }
+        }
+        new_ref.push_back(seg_best_x);
+
+        if (overall_max < best_err) {
+            best = p;
+            best_err = overall_max;
+            result.poly = best;
+            result.minimax_error = best_err;
+        }
+        result.iterations = iter + 1;
+
+        if (static_cast<int>(new_ref.size()) < n) {
+            // Fewer alternations than needed: already effectively minimax
+            // (or f is a polynomial of lower degree).
+            result.converged = true;
+            break;
+        }
+        // Keep exactly n alternation points (largest-error ones first if
+        // there are extras; simplest robust choice: evenly thin the list).
+        while (static_cast<int>(new_ref.size()) > n) {
+            // Drop the point with the smallest error.
+            std::size_t drop = 0;
+            double drop_err = 1e300;
+            for (std::size_t i = 0; i < new_ref.size(); ++i) {
+                const double e = std::abs(p.eval(new_ref[i]) - f(new_ref[i]));
+                if (e < drop_err) {
+                    drop_err = e;
+                    drop = i;
+                }
+            }
+            new_ref.erase(new_ref.begin() +
+                          static_cast<std::ptrdiff_t>(drop));
+        }
+        const double move = [&] {
+            double m2 = 0.0;
+            for (int i = 0; i < n; ++i) {
+                m2 = std::max(m2, std::abs(new_ref[static_cast<std::size_t>(
+                                               i)] -
+                                           ref[static_cast<std::size_t>(i)]));
+            }
+            return m2;
+        }();
+        ref = new_ref;
+        if (move < (b - a) * 1e-9) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace orion::approx

@@ -1,0 +1,34 @@
+#ifndef ORION_SRC_APPROX_REMEZ_H_
+#define ORION_SRC_APPROX_REMEZ_H_
+
+/**
+ * @file
+ * Remez exchange algorithm for minimax polynomial approximation on a single
+ * interval (Section 7: activation polynomials are "obtained using a similar
+ * minimax approach"). The solver works in the Chebyshev basis for
+ * conditioning and alternates solve / exchange steps until the equioscillation
+ * error stabilizes.
+ */
+
+#include "src/approx/chebyshev.h"
+
+namespace orion::approx {
+
+/** Result of a Remez fit. */
+struct RemezResult {
+    ChebyshevPoly poly;
+    double minimax_error = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimax fit of f on [a, b] at the given degree. Requires f continuous.
+ * Falls back to (and never does worse than) Chebyshev interpolation.
+ */
+RemezResult remez_fit(const std::function<double(double)>& f, double a,
+                      double b, int degree, int max_iterations = 30);
+
+}  // namespace orion::approx
+
+#endif  // ORION_SRC_APPROX_REMEZ_H_

@@ -1,0 +1,93 @@
+#include "src/approx/sign.h"
+
+#include <cmath>
+
+#include "src/approx/polyeval.h"
+
+namespace orion::approx {
+
+int
+sign_stage_n(int degree)
+{
+    ORION_CHECK(degree >= 3 && degree % 2 == 1,
+                "sign stage degree must be odd and >= 3, got " << degree);
+    return (degree - 1) / 2;
+}
+
+ChebyshevPoly
+sign_stage_poly(int n)
+{
+    ORION_CHECK(n >= 1 && n <= 30, "sign stage n out of range: " << n);
+    // f_n(x) = sum_i 4^{-i} C(2i,i) x (1-x^2)^i, evaluated pointwise and
+    // re-fit in the Chebyshev basis (interpolation at degree+1 nodes is
+    // exact for a polynomial of that degree).
+    std::vector<double> binom(static_cast<std::size_t>(n) + 1);
+    binom[0] = 1.0;
+    for (int i = 1; i <= n; ++i) {
+        // C(2i, i) = C(2(i-1), i-1) * (2i)(2i-1) / i^2.
+        binom[static_cast<std::size_t>(i)] =
+            binom[static_cast<std::size_t>(i - 1)] *
+            (2.0 * i) * (2.0 * i - 1.0) / (static_cast<double>(i) * i);
+    }
+    auto f = [n, &binom](double x) {
+        double acc = 0.0;
+        double pow_term = x;  // x * (1-x^2)^i accumulated
+        double scale = 1.0;   // 4^{-i}
+        for (int i = 0; i <= n; ++i) {
+            acc += scale * binom[static_cast<std::size_t>(i)] * pow_term;
+            pow_term *= (1.0 - x * x);
+            scale *= 0.25;
+        }
+        return acc;
+    };
+    ChebyshevPoly p = ChebyshevPoly::fit(f, -1.0, 1.0, 2 * n + 1);
+    return p;
+}
+
+CompositeSign::CompositeSign(const std::vector<int>& degrees)
+{
+    ORION_CHECK(!degrees.empty(), "composite sign needs at least one stage");
+    stages_.reserve(degrees.size());
+    for (int d : degrees) {
+        stages_.push_back(sign_stage_poly(sign_stage_n(d)));
+    }
+}
+
+double
+CompositeSign::eval(double x) const
+{
+    double v = x;
+    for (const ChebyshevPoly& s : stages_) v = s.eval(v);
+    return v;
+}
+
+int
+CompositeSign::depth() const
+{
+    return HePolyEvaluator::composite_depth(stages_);
+}
+
+std::vector<ChebyshevPoly>
+make_relu_stages(const std::vector<int>& degrees)
+{
+    CompositeSign sign(degrees);
+    std::vector<ChebyshevPoly> stages = sign.stages();
+    // Last stage p -> (p + 1) / 2 so the composition is ~ (1 + sign(x)) / 2.
+    ChebyshevPoly& last = stages.back();
+    std::vector<double> coeffs = last.coefficients();
+    for (double& c : coeffs) c *= 0.5;
+    coeffs[0] += 0.5;
+    last = ChebyshevPoly(std::move(coeffs), last.domain_min(),
+                         last.domain_max());
+    return stages;
+}
+
+double
+composite_relu_reference(const std::vector<ChebyshevPoly>& stages, double x)
+{
+    double v = x;
+    for (const ChebyshevPoly& s : stages) v = s.eval(v);
+    return x * v;
+}
+
+}  // namespace orion::approx

@@ -1,0 +1,167 @@
+#include "src/baselines/lee_packing.h"
+
+#include <set>
+
+namespace orion::baselines {
+
+namespace {
+
+using lin::BlockedStructure;
+using lin::Conv2dSpec;
+using lin::TensorLayout;
+
+/** Rotation count of a structure under the plain diagonal method: one
+ * rotation per nontrivial nonzero diagonal, with baby steps shared within
+ * each block-column (inputs are rotated once per distinct diagonal). */
+u64
+diagonal_method_rotations(const BlockedStructure& s)
+{
+    u64 rotations = 0;
+    // Distinct nonzero diagonal indices per block-column (rotations of the
+    // same input ciphertext are shared across the column's blocks).
+    for (u64 bc = 0; bc < s.col_blocks(); ++bc) {
+        std::set<u64> indices;
+        for (u64 br = 0; br < s.row_blocks(); ++br) {
+            const auto it = s.blocks.find({br, bc});
+            if (it == s.blocks.end()) continue;
+            for (u64 k : it->second) {
+                if (k != 0) indices.insert(k);
+            }
+        }
+        rotations += indices.size();
+    }
+    return rotations;
+}
+
+}  // namespace
+
+LeeLayerCounts
+lee_conv_counts(const Conv2dSpec& spec, const TensorLayout& in, u64 slots)
+{
+    LeeLayerCounts counts;
+    // Step 1: non-strided convolution at the input gap (their parallel
+    // multiplexed convolution), evaluated with the diagonal method.
+    Conv2dSpec unstrided = spec;
+    unstrided.stride = 1;
+    const TensorLayout mid = lin::conv_output_layout(unstrided, in);
+    const BlockedStructure conv =
+        lin::build_conv_structure(unstrided, in, mid, slots);
+    counts.rotations += diagonal_method_rotations(conv);
+    counts.pmults += conv.num_diagonals();
+    counts.depth = 1;
+
+    if (spec.stride > 1) {
+        // Step 2: mask-and-collect - a permutation gathering the strided
+        // positions of the dense output into the gap * stride multiplexed
+        // layout, costing one more level and its own rotations.
+        const TensorLayout out(spec.out_channels, spec.out_h(in.height),
+                               spec.out_w(in.width), in.gap * spec.stride);
+        BlockedStructure collect;
+        collect.rows = out.total_slots();
+        collect.cols = mid.total_slots();
+        collect.block_dim = slots;
+        std::map<std::pair<u64, u64>, std::set<u64>> sets;
+        for (int c = 0; c < out.channels; ++c) {
+            for (int y = 0; y < out.height; ++y) {
+                for (int x = 0; x < out.width; ++x) {
+                    const u64 row = out.slot_of(c, y, x);
+                    const u64 col =
+                        mid.slot_of(c, y * spec.stride, x * spec.stride);
+                    sets[{row / slots, col / slots}].insert(
+                        ((col % slots) + slots - (row % slots)) % slots);
+                }
+            }
+        }
+        for (auto& [key, set] : sets) {
+            collect.blocks[key] = {set.begin(), set.end()};
+        }
+        counts.rotations += diagonal_method_rotations(collect);
+        counts.pmults += collect.num_diagonals();
+        counts.depth = 2;
+    }
+    return counts;
+}
+
+LeeLayerCounts
+lee_linear_counts(int out_features, const TensorLayout& in, u64 slots)
+{
+    LeeLayerCounts counts;
+    const BlockedStructure s =
+        lin::build_linear_structure(out_features, in, slots);
+    counts.rotations = diagonal_method_rotations(s);
+    counts.pmults = s.num_diagonals();
+    counts.depth = 1;
+    return counts;
+}
+
+LeeNetworkCounts
+lee_network_counts(const nn::Network& net, u64 slots)
+{
+    LeeNetworkCounts total;
+    // Walk the graph propagating Lee-style multiplexed layouts (gap grows
+    // with stride, exactly as in Orion; the difference is in how each
+    // layer is evaluated, not in the layouts).
+    std::vector<int> gap(static_cast<std::size_t>(net.num_layers()), 1);
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const nn::Layer& l = net.layer(id);
+        const int in_gap =
+            l.inputs.empty() ? 1
+                             : gap[static_cast<std::size_t>(l.inputs[0])];
+        gap[static_cast<std::size_t>(id)] = in_gap;
+        const nn::Shape in_shape =
+            l.inputs.empty() ? l.out_shape : net.shape_of(l.inputs[0]);
+
+        switch (l.kind) {
+        case nn::LayerKind::kConv2d: {
+            const TensorLayout in(in_shape.c, in_shape.h, in_shape.w,
+                                  in_gap);
+            const LeeLayerCounts c = lee_conv_counts(l.conv, in, slots);
+            total.rotations += c.rotations;
+            total.pmults += c.pmults;
+            total.mult_depth_linear += c.depth;
+            gap[static_cast<std::size_t>(id)] = in_gap * l.conv.stride;
+            break;
+        }
+        case nn::LayerKind::kAvgPool2d: {
+            lin::Conv2dSpec spec;
+            spec.in_channels = spec.out_channels = in_shape.c;
+            spec.kernel_h = spec.kernel_w = l.pool_kernel;
+            spec.stride = l.pool_stride;
+            spec.pad = l.pool_pad;
+            spec.groups = in_shape.c;
+            const TensorLayout in(in_shape.c, in_shape.h, in_shape.w,
+                                  in_gap);
+            const LeeLayerCounts c = lee_conv_counts(spec, in, slots);
+            total.rotations += c.rotations;
+            total.pmults += c.pmults;
+            total.mult_depth_linear += c.depth;
+            gap[static_cast<std::size_t>(id)] = in_gap * l.pool_stride;
+            break;
+        }
+        case nn::LayerKind::kLinear: {
+            // The layout feeding the FC layer: nearest non-flat producer.
+            int src = l.inputs[0];
+            while (net.layer(src).kind == nn::LayerKind::kFlatten) {
+                src = net.layer(src).inputs[0];
+            }
+            const nn::Shape s = net.shape_of(src);
+            const TensorLayout in =
+                s.flat ? TensorLayout(1, 1, s.features, 1)
+                       : TensorLayout(s.c, s.h, s.w,
+                                      gap[static_cast<std::size_t>(src)]);
+            const LeeLayerCounts c =
+                lee_linear_counts(l.out_features, in, slots);
+            total.rotations += c.rotations;
+            total.pmults += c.pmults;
+            total.mult_depth_linear += c.depth;
+            gap[static_cast<std::size_t>(id)] = 1;
+            break;
+        }
+        default:
+            break;
+        }
+    }
+    return total;
+}
+
+}  // namespace orion::baselines

@@ -1,0 +1,52 @@
+#ifndef ORION_SRC_BASELINES_LEE_PACKING_H_
+#define ORION_SRC_BASELINES_LEE_PACKING_H_
+
+/**
+ * @file
+ * Baseline: the multiplexed parallel convolutions of Lee et al. (ICML'22),
+ * the state-of-the-art packing Orion's single-shot multiplexing improves
+ * on (Section 4.3, Table 3).
+ *
+ * Differences from Orion, reproduced here structurally so rotation counts
+ * and depths are *counted*, not assumed:
+ *   1. No BSGS over the convolution's diagonals: the packed-SISO lineage
+ *      performs one ciphertext rotation per filter tap interaction (the
+ *      plain diagonal method, O(f) instead of O(sqrt(f))).
+ *   2. Strided convolutions take two multiplicative levels: a non-strided
+ *      convolution at the input gap, then a mask-and-collect step that
+ *      gathers the strided outputs into the multiplexed layout (Figure 5
+ *      of Lee et al.; Orion fuses this into the preprocessed matrix).
+ */
+
+#include "src/linalg/toeplitz.h"
+#include "src/nn/network.h"
+
+namespace orion::baselines {
+
+/** Counted costs of one linear layer under Lee et al.'s scheme. */
+struct LeeLayerCounts {
+    u64 rotations = 0;
+    u64 pmults = 0;
+    int depth = 1;  ///< 2 for strided convolutions (mask + collect)
+};
+
+/** Costs of a convolution (or pooling) layer under Lee et al. packing. */
+LeeLayerCounts lee_conv_counts(const lin::Conv2dSpec& spec,
+                               const lin::TensorLayout& in, u64 slots);
+
+/** Costs of a fully-connected layer (diagonal method, no BSGS). */
+LeeLayerCounts lee_linear_counts(int out_features,
+                                 const lin::TensorLayout& in, u64 slots);
+
+/** Aggregate counts over a whole network. */
+struct LeeNetworkCounts {
+    u64 rotations = 0;
+    u64 pmults = 0;
+    int mult_depth_linear = 0;  ///< levels consumed by linear layers only
+};
+
+LeeNetworkCounts lee_network_counts(const nn::Network& net, u64 slots);
+
+}  // namespace orion::baselines
+
+#endif  // ORION_SRC_BASELINES_LEE_PACKING_H_

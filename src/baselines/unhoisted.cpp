@@ -1,0 +1,51 @@
+#include "src/baselines/unhoisted.h"
+
+#include <optional>
+
+namespace orion::baselines {
+
+ckks::Ciphertext
+apply_unhoisted(const ckks::Evaluator& eval, const ckks::Encoder& encoder,
+                const lin::DiagonalMatrix& m, const lin::BsgsPlan& plan,
+                int level, double scale, const ckks::Ciphertext& ct)
+{
+    ORION_CHECK(ct.level() == level, "input level mismatch");
+    const u64 dim = m.dim();
+
+    // Baby steps: every rotation pays the full (un-hoisted) key switch.
+    std::map<u64, ckks::Ciphertext> babies;
+    for (u64 b : plan.baby_steps) {
+        babies.emplace(b, eval.rotate(ct, static_cast<int>(b)));
+    }
+
+    std::optional<ckks::Ciphertext> total;
+    std::vector<double> rotated(dim);
+    for (const auto& [g, terms] : plan.groups) {
+        std::optional<ckks::Ciphertext> inner;
+        for (const lin::BsgsPlan::Term& term : terms) {
+            // Fhelipe-style: encode the diagonal now, on the critical path.
+            const std::vector<double>* diag = m.diagonal(term.diag);
+            ORION_ASSERT(diag != nullptr);
+            for (u64 t = 0; t < dim; ++t) {
+                rotated[t] = (*diag)[(t + dim - g) % dim];
+            }
+            const ckks::Plaintext pt = encoder.encode(rotated, level, scale);
+            ckks::Ciphertext part = eval.mul_plain(babies.at(term.baby), pt);
+            if (inner.has_value()) {
+                eval.add_inplace(*inner, part);
+            } else {
+                inner = std::move(part);
+            }
+        }
+        ckks::Ciphertext shifted = eval.rotate(*inner, static_cast<int>(g));
+        if (total.has_value()) {
+            eval.add_inplace(*total, shifted);
+        } else {
+            total = std::move(shifted);
+        }
+    }
+    eval.rescale_inplace(*total);
+    return *total;
+}
+
+}  // namespace orion::baselines

@@ -1,0 +1,44 @@
+#include "src/ckks/bootstrap.h"
+
+namespace orion::ckks {
+
+Bootstrapper::Bootstrapper(const Context& ctx, const Encoder& encoder,
+                           const SecretKey& sk, const BootstrapConfig& config)
+    : ctx_(&ctx), encoder_(&encoder), config_(config), decryptor_(ctx, sk),
+      encryptor_(ctx, sk, /*seed=*/0x626f6f74ULL),
+      noise_(/*seed=*/0x6e6f6973ULL)
+{
+    ORION_CHECK(config.l_boot >= 1 && config.l_boot < ctx.max_level(),
+                "l_boot out of range: " << config.l_boot);
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext& ct)
+{
+    // Accept inputs whose scale drifted (e.g. after a square activation);
+    // like a real bootstrapper, the output is always at the canonical
+    // scale Delta.
+    ORION_CHECK(ct.scale > 0.25 * ctx_->scale() &&
+                    ct.scale < 4.0 * ctx_->scale(),
+                "bootstrap input scale implausible: " << ct.scale);
+    const Plaintext pt = decryptor_.decrypt(ct);
+    std::vector<std::complex<double>> slots = encoder_->decode_complex(pt);
+
+    // A real EvalMod only approximates the modular reduction well inside
+    // [-input_range, input_range]; emulate the same contract.
+    for (std::complex<double>& v : slots) {
+        ORION_CHECK(std::abs(v.real()) <= config_.input_range * 1.05,
+                    "bootstrap input out of range: " << v.real()
+                        << " (range estimation should have prevented this)");
+        v += std::complex<double>(noise_.sample_normal(config_.noise_std),
+                                  noise_.sample_normal(config_.noise_std));
+    }
+
+    const Plaintext fresh = encoder_->encode_complex(
+        slots, l_eff(), ctx_->scale());
+    Ciphertext out = encryptor_.encrypt(fresh);
+    ctx_->counters().bootstrap += 1;
+    return out;
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,70 @@
+#ifndef ORION_SRC_CKKS_BOOTSTRAP_H_
+#define ORION_SRC_CKKS_BOOTSTRAP_H_
+
+/**
+ * @file
+ * Bootstrapping (Section 2.5.4): raises a level-exhausted ciphertext back
+ * to the effective level L_eff = L - L_boot.
+ *
+ * The paper relies on Lattigo's full CKKS bootstrap (CoeffToSlot, EvalMod,
+ * SlotToCoeff). Those subroutines are not the paper's contribution, and the
+ * Orion compiler observes only their *semantics* (level reset, a fixed
+ * L_boot, bounded added noise, inputs in [-1, 1]) and their *latency*.
+ * This module therefore implements a functional re-encryption bootstrap:
+ * a trusted oracle holding the secret key decrypts, injects noise matching
+ * a configurable bootstrap precision, and re-encrypts at L_eff. The
+ * latency of a real bootstrap is modeled analytically in core/cost_model
+ * from the op counts of CtS + EvalMod + StC (reproducing the superlinear
+ * shape of Figure 1c). See DESIGN.md, "Substitutions".
+ */
+
+#include "src/ckks/encoder.h"
+#include "src/ckks/encryptor.h"
+
+namespace orion::ckks {
+
+/** Bootstrap behaviour knobs. */
+struct BootstrapConfig {
+    /** Levels consumed by the bootstrap circuit itself (paper: 13-15). */
+    int l_boot = 3;
+    /**
+     * Standard deviation of the noise the bootstrap adds to each slot,
+     * relative to a unit-scaled message (about 20 bits of precision, in
+     * line with production CKKS bootstrappers).
+     */
+    double noise_std = 1e-6;
+    /** Inputs must lie in [-range, range] (Section 6, range estimation). */
+    double input_range = 1.0;
+};
+
+/**
+ * Functional bootstrap oracle. Holds the secret key; see file comment for
+ * why this substitution preserves the compiler-visible behaviour.
+ */
+class Bootstrapper {
+  public:
+    Bootstrapper(const Context& ctx, const Encoder& encoder,
+                 const SecretKey& sk, const BootstrapConfig& config = {});
+
+    /** Maximum achievable level after bootstrapping (Table 1's L_eff). */
+    int l_eff() const { return ctx_->max_level() - config_.l_boot; }
+    const BootstrapConfig& config() const { return config_; }
+
+    /**
+     * Bootstraps ct to level l_eff at the canonical scale Delta. The input
+     * may be at any level; its scale must be (approximately) Delta.
+     */
+    Ciphertext bootstrap(const Ciphertext& ct);
+
+  private:
+    const Context* ctx_;
+    const Encoder* encoder_;
+    BootstrapConfig config_;
+    Decryptor decryptor_;
+    Encryptor encryptor_;
+    Sampler noise_;
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_BOOTSTRAP_H_

@@ -1,0 +1,47 @@
+#ifndef ORION_SRC_CKKS_CIPHERTEXT_H_
+#define ORION_SRC_CKKS_CIPHERTEXT_H_
+
+/**
+ * @file
+ * The three CKKS datatypes of Section 2.1: cleartexts are plain
+ * std::vector<double> (or complex), plaintexts wrap one ring element, and
+ * ciphertexts wrap two.
+ */
+
+#include <cmath>
+
+#include "src/ckks/poly.h"
+
+namespace orion::ckks {
+
+/** Relative tolerance for matching operand scales. */
+inline constexpr double kScaleRelTol = 1e-9;
+
+/** True when two scales agree to within kScaleRelTol. */
+inline bool
+scales_match(double a, double b)
+{
+    return std::abs(a - b) <= kScaleRelTol * std::max(std::abs(a), std::abs(b));
+}
+
+/** An encoded (but unencrypted) message [m] with its scaling factor. */
+struct Plaintext {
+    RnsPoly poly;
+    double scale = 0.0;
+
+    int level() const { return poly.level(); }
+};
+
+/** An encrypted message [[m]]: the pair (c0, c1) with c0 + c1*s = m + e. */
+struct Ciphertext {
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 0.0;
+
+    int level() const { return c0.level(); }
+    bool valid() const { return c0.valid(); }
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_CIPHERTEXT_H_

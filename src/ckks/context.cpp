@@ -1,0 +1,91 @@
+#include "src/ckks/context.h"
+
+#include <cmath>
+
+#include "src/ckks/primes.h"
+
+namespace orion::ckks {
+
+Context::Context(const CkksParams& params) : params_(params)
+{
+    ORION_CHECK(is_power_of_two(params.poly_degree),
+                "poly_degree must be a power of two");
+    ORION_CHECK(params.poly_degree >= 8, "poly_degree too small");
+    ORION_CHECK(params.num_scale_primes >= 1, "need at least one scale prime");
+    ORION_CHECK(params.digit_size >= 1, "digit_size must be positive");
+    // Each key-switch digit multiplies up to alpha scale primes; P must
+    // dominate the digit product for the key-switch noise P^{-1}*sum(d_i e_i)
+    // to stay small, hence alpha special primes of >= scale-prime size.
+    ORION_CHECK(params.special_prime_bits >= params.log_scale,
+                "special primes must be at least as large as scale primes");
+    n_ = params.poly_degree;
+    log_n_ = log2_exact(n_);
+    scale_ = std::ldexp(1.0, params.log_scale);
+    num_q_ = params.num_scale_primes + 1;
+    num_special_ = params.digit_size;
+
+    // Moduli chain: q_0 (first prime), then L scale primes near Delta,
+    // then the special primes. All distinct, all = 1 (mod 2N).
+    std::vector<u64> taken;
+    auto take = [&taken](const std::vector<u64>& v) {
+        for (u64 x : v) taken.push_back(x);
+    };
+    const std::vector<u64> first =
+        generate_ntt_primes(params.first_prime_bits, 1, n_, taken);
+    take(first);
+    const std::vector<u64> scales = generate_ntt_primes(
+        params.log_scale, params.num_scale_primes, n_, taken);
+    take(scales);
+    const std::vector<u64> specials = generate_ntt_primes(
+        params.special_prime_bits, num_special_, n_, taken);
+
+    moduli_.emplace_back(first[0]);
+    for (u64 v : scales) moduli_.emplace_back(v);
+    for (u64 v : specials) moduli_.emplace_back(v);
+
+    tables_.reserve(moduli_.size());
+    for (const Modulus& m : moduli_) tables_.emplace_back(n_, m);
+
+    // Cross-modulus inverses used by rescale, mod-down, and base conversion.
+    const std::size_t k = moduli_.size();
+    inv_table_.assign(k * k, 0);
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) {
+            if (a == b) continue;
+            inv_table_[a * k + b] = inv_mod(moduli_[a].value(), moduli_[b]);
+        }
+    }
+    p_prod_mod_q_.resize(static_cast<std::size_t>(num_q_));
+    for (int j = 0; j < num_q_; ++j) {
+        u64 prod = 1;
+        for (int i = 0; i < num_special_; ++i) {
+            prod = mul_mod(prod, special(i).value(), q(j));
+        }
+        p_prod_mod_q_[static_cast<std::size_t>(j)] = prod;
+    }
+}
+
+u64
+Context::galois_elt(int step) const
+{
+    const u64 m = 2 * n_;          // order of the cyclotomic group
+    const u64 slots = n_ / 2;
+    // Rotation by `step` slots toward lower indices corresponds to the
+    // automorphism X -> X^{5^step mod 2N} under the rot-group slot
+    // ordering used by the encoder (validated by EncoderTest.Rotation).
+    i64 s = step % static_cast<i64>(slots);
+    if (s < 0) s += static_cast<i64>(slots);
+    u64 elt = 1;
+    for (i64 i = 0; i < s; ++i) elt = (elt * 5) % m;
+    return elt;
+}
+
+int
+Context::log_q(int level) const
+{
+    int bits = 0;
+    for (int i = 0; i <= level; ++i) bits += q(i).bit_count();
+    return bits;
+}
+
+}  // namespace orion::ckks

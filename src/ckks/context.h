@@ -1,0 +1,202 @@
+#ifndef ORION_SRC_CKKS_CONTEXT_H_
+#define ORION_SRC_CKKS_CONTEXT_H_
+
+/**
+ * @file
+ * CKKS parameter sets and the shared Context object.
+ *
+ * A Context owns the moduli chain q_0..q_L plus the special key-switching
+ * primes p_0..p_{k-1} (hybrid key switching with digit size alpha requires
+ * P = prod p_i to dominate every digit product, so k = alpha), the
+ * per-modulus NTT tables, and the cross-modulus constants used by
+ * rescaling, mod-down, and hybrid key switching. Every other CKKS object
+ * (polynomials, keys, evaluators) holds a pointer to its Context.
+ *
+ * Level convention (Table 1 of the paper): a ciphertext at level l has
+ * coefficient limbs q_0..q_l; rescaling drops the last limb; level 0 means
+ * the multiplicative budget is spent and a bootstrap is required.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "src/common.h"
+#include "src/ckks/modarith.h"
+#include "src/ckks/ntt.h"
+
+namespace orion::ckks {
+
+/** Running counters of primitive FHE operations, for benches and tables. */
+struct OpCounters {
+    u64 pmult = 0;        ///< plaintext-ciphertext products
+    u64 hmult = 0;        ///< ciphertext-ciphertext products
+    u64 hadd = 0;         ///< additions (either operand kind)
+    u64 hrot = 0;         ///< un-hoisted rotations
+    u64 hrot_hoisted = 0; ///< rotations served from a hoisted decomposition
+    u64 keyswitch = 0;    ///< key-switch inner products (relin + rotations)
+    u64 rescale = 0;
+    u64 bootstrap = 0;
+    u64 ntt = 0;          ///< individual limb-sized (I)NTT invocations
+
+    void
+    reset()
+    {
+        *this = OpCounters{};
+    }
+    u64 total_rotations() const { return hrot + hrot_hoisted; }
+};
+
+/** User-facing CKKS parameter description. */
+struct CkksParams {
+    u64 poly_degree = u64(1) << 12;  ///< ring degree N (power of two)
+    int log_scale = 35;              ///< log2 of the scaling factor Delta
+    int first_prime_bits = 50;       ///< bits of q_0 (message headroom)
+    int num_scale_primes = 8;        ///< L: number of rescaling primes
+    int special_prime_bits = 51;     ///< bits of each key-switch prime p_i
+    int digit_size = 3;              ///< alpha: limbs per key-switch digit
+                                     ///  (also the special prime count)
+    u64 seed = 1;                    ///< deterministic RNG seed
+
+    /** Tiny parameters for fast unit tests (NOT secure). */
+    static CkksParams
+    toy()
+    {
+        CkksParams p;
+        p.poly_degree = u64(1) << 11;
+        p.log_scale = 30;
+        p.first_prime_bits = 40;
+        p.num_scale_primes = 6;
+        p.special_prime_bits = 41;
+        p.digit_size = 3;
+        return p;
+    }
+
+    /** Mid-size parameters for functional network runs (NOT secure). */
+    static CkksParams
+    network(u64 degree = u64(1) << 13, int levels = 14)
+    {
+        CkksParams p;
+        p.poly_degree = degree;
+        p.log_scale = 35;
+        p.first_prime_bits = 45;
+        p.num_scale_primes = levels;
+        p.special_prime_bits = 46;
+        p.digit_size = 4;
+        return p;
+    }
+};
+
+/** Immutable CKKS context: moduli chain, NTT tables, derived constants. */
+class Context {
+  public:
+    explicit Context(const CkksParams& params);
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    const CkksParams& params() const { return params_; }
+    u64 degree() const { return n_; }
+    int log_degree() const { return log_n_; }
+    u64 slot_count() const { return n_ / 2; }
+    /** Maximum multiplicative level L. */
+    int max_level() const { return num_q_ - 1; }
+    double scale() const { return scale_; }
+
+    /** Coefficient modulus q_i, 0 <= i <= L. */
+    const Modulus&
+    q(int i) const
+    {
+        return moduli_[static_cast<std::size_t>(i)];
+    }
+    /** Special (key-switching) prime p_i, 0 <= i < special_count(). */
+    const Modulus&
+    special(int i) const
+    {
+        return moduli_[static_cast<std::size_t>(num_q_ + i)];
+    }
+    int special_count() const { return num_special_; }
+
+    /**
+     * Global modulus indexing: indices 0..L are q_0..q_L, indices
+     * L+1..L+k are the special primes.
+     */
+    const Modulus&
+    modulus_global(int g) const
+    {
+        return moduli_[static_cast<std::size_t>(g)];
+    }
+    const NttTables&
+    tables_global(int g) const
+    {
+        return tables_[static_cast<std::size_t>(g)];
+    }
+    const NttTables&
+    tables(int i) const
+    {
+        return tables_[static_cast<std::size_t>(i)];
+    }
+    int num_global() const { return num_q_ + num_special_; }
+
+    /** alpha, the number of limbs per key-switching digit. */
+    int digit_size() const { return params_.digit_size; }
+    /** Number of key-switch digits covering limbs q_0..q_level. */
+    int
+    num_digits(int level) const
+    {
+        return static_cast<int>(ceil_div(static_cast<u64>(level) + 1,
+                                         static_cast<u64>(digit_size())));
+    }
+
+    /** modulus_global(a)^{-1} mod modulus_global(b), a != b. */
+    u64
+    inv_mod_global(int a, int b) const
+    {
+        return inv_table_[static_cast<std::size_t>(a) *
+                              static_cast<std::size_t>(num_global()) +
+                          static_cast<std::size_t>(b)];
+    }
+    /** q_a^{-1} mod q_b (a != b). */
+    u64
+    q_inv_mod(int a, int b) const
+    {
+        return inv_mod_global(a, b);
+    }
+    /** P = prod of special primes, reduced mod q_j. */
+    u64
+    p_prod_mod_q(int j) const
+    {
+        return p_prod_mod_q_[static_cast<std::size_t>(j)];
+    }
+
+    /**
+     * Galois element for a cyclic rotation of the message slots by `step`
+     * positions toward lower indices (the paper's "rotate up"), i.e.
+     * slot i of the result holds slot i + step of the input.
+     */
+    u64 galois_elt(int step) const;
+    /** Galois element of complex conjugation. */
+    u64 galois_elt_conj() const { return 2 * n_ - 1; }
+
+    /** Mutable operation counters (shared across all evaluators). */
+    OpCounters& counters() const { return counters_; }
+
+    /** Sum of bit sizes of q_0..q_level (the log Q_l of Table 1). */
+    int log_q(int level) const;
+
+  private:
+    CkksParams params_;
+    u64 n_ = 0;
+    int log_n_ = 0;
+    double scale_ = 0.0;
+    int num_q_ = 0;
+    int num_special_ = 0;
+    std::vector<Modulus> moduli_;  // q_0..q_L, p_0..p_{k-1}
+    std::vector<NttTables> tables_;
+    std::vector<u64> inv_table_;
+    std::vector<u64> p_prod_mod_q_;
+    mutable OpCounters counters_;
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_CONTEXT_H_

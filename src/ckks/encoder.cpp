@@ -1,0 +1,231 @@
+#include "src/ckks/encoder.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace orion::ckks {
+
+namespace {
+
+/** In-place bit-reversal permutation. */
+void
+bit_reverse(std::complex<double>* vals, u64 n)
+{
+    const int log_n = log2_exact(n);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 j = reverse_bits(static_cast<u32>(i), log_n);
+        if (i < j) std::swap(vals[i], vals[j]);
+    }
+}
+
+}  // namespace
+
+Encoder::Encoder(const Context& ctx) : ctx_(&ctx), slots_(ctx.degree() / 2)
+{
+    const u64 m = 2 * ctx.degree();
+    ksi_pows_.resize(m + 1);
+    for (u64 k = 0; k <= m; ++k) {
+        const double angle =
+            2.0 * std::numbers::pi * static_cast<double>(k) /
+            static_cast<double>(m);
+        ksi_pows_[k] = {std::cos(angle), std::sin(angle)};
+    }
+    rot_group_.resize(slots_);
+    u64 power = 1;
+    for (u64 j = 0; j < slots_; ++j) {
+        rot_group_[j] = power;
+        power = (power * 5) % m;
+    }
+}
+
+void
+Encoder::fft_special(std::complex<double>* vals) const
+{
+    const u64 n = slots_;
+    const u64 m = 2 * ctx_->degree();
+    bit_reverse(vals, n);
+    for (u64 len = 2; len <= n; len <<= 1) {
+        const u64 lenh = len >> 1;
+        const u64 lenq = len << 2;
+        for (u64 i = 0; i < n; i += len) {
+            for (u64 j = 0; j < lenh; ++j) {
+                const u64 idx = (rot_group_[j] % lenq) * (m / lenq);
+                const std::complex<double> u = vals[i + j];
+                const std::complex<double> v =
+                    vals[i + j + lenh] * ksi_pows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+Encoder::fft_special_inv(std::complex<double>* vals) const
+{
+    const u64 n = slots_;
+    const u64 m = 2 * ctx_->degree();
+    for (u64 len = n; len >= 2; len >>= 1) {
+        const u64 lenh = len >> 1;
+        const u64 lenq = len << 2;
+        for (u64 i = 0; i < n; i += len) {
+            for (u64 j = 0; j < lenh; ++j) {
+                const u64 idx =
+                    (lenq - (rot_group_[j] % lenq)) * (m / lenq);
+                const std::complex<double> u = vals[i + j] + vals[i + j + lenh];
+                const std::complex<double> v =
+                    (vals[i + j] - vals[i + j + lenh]) * ksi_pows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bit_reverse(vals, n);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (u64 i = 0; i < n; ++i) vals[i] *= inv_n;
+}
+
+Plaintext
+Encoder::from_slots(std::vector<std::complex<double>> slots, int level,
+                    double scale) const
+{
+    ORION_CHECK(scale > 0, "scale must be positive");
+    fft_special_inv(slots.data());
+
+    const u64 n = ctx_->degree();
+    const u64 nh = slots_;
+    Plaintext pt;
+    pt.scale = scale;
+    pt.poly = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
+    // Coefficient j holds the real part, coefficient j + N/2 the imaginary
+    // part of embedding slot j; round to integers at the target scale.
+    std::vector<i128> coeffs(n);
+    for (u64 j = 0; j < nh; ++j) {
+        coeffs[j] = static_cast<i128>(std::llroundl(
+            static_cast<long double>(slots[j].real()) * scale));
+        coeffs[j + nh] = static_cast<i128>(std::llroundl(
+            static_cast<long double>(slots[j].imag()) * scale));
+    }
+    for (int i = 0; i < pt.poly.num_limbs(); ++i) {
+        const Modulus& q = pt.poly.limb_modulus(i);
+        u64* limb = pt.poly.limb(i);
+        for (u64 j = 0; j < n; ++j) {
+            limb[j] = reduce_signed_128(coeffs[j], q);
+        }
+    }
+    pt.poly.to_ntt();
+    return pt;
+}
+
+Plaintext
+Encoder::encode_complex(std::span<const std::complex<double>> values,
+                        int level, double scale) const
+{
+    ORION_CHECK(values.size() <= slots_,
+                "too many values: " << values.size() << " > " << slots_);
+    std::vector<std::complex<double>> slots(slots_, {0.0, 0.0});
+    std::copy(values.begin(), values.end(), slots.begin());
+    return from_slots(std::move(slots), level, scale);
+}
+
+Plaintext
+Encoder::encode(std::span<const double> values, int level, double scale) const
+{
+    ORION_CHECK(values.size() <= slots_,
+                "too many values: " << values.size() << " > " << slots_);
+    std::vector<std::complex<double>> slots(slots_, {0.0, 0.0});
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        slots[i] = {values[i], 0.0};
+    }
+    return from_slots(std::move(slots), level, scale);
+}
+
+Plaintext
+Encoder::encode_constant(double value, int level, double scale) const
+{
+    // A constant across all slots embeds to the constant polynomial, so the
+    // special FFT can be skipped entirely.
+    Plaintext pt;
+    pt.scale = scale;
+    pt.poly = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
+    const i128 c = static_cast<i128>(
+        std::llroundl(static_cast<long double>(value) * scale));
+    const u64 n = ctx_->degree();
+    for (int i = 0; i < pt.poly.num_limbs(); ++i) {
+        const Modulus& q = pt.poly.limb_modulus(i);
+        const u64 r = reduce_signed_128(c, q);
+        u64* limb = pt.poly.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = (j == 0) ? r : 0;
+        // Constant polynomial: only coefficient 0 is set.
+        limb[0] = r;
+    }
+    pt.poly.to_ntt();
+    return pt;
+}
+
+std::vector<double>
+Encoder::to_coefficients(const Plaintext& pt) const
+{
+    // CRT-compose the centered coefficient value from at most two limbs:
+    // one limb covers |c| < q_0/2, two limbs cover |c| < q_0*q_1/2, enough
+    // for any sensibly-scaled message in this library.
+    RnsPoly poly = pt.poly;
+    if (poly.is_ntt()) poly.to_coeff();
+    const u64 n = ctx_->degree();
+    std::vector<double> out(n);
+    if (poly.level() == 0) {
+        const Modulus& q0 = poly.limb_modulus(0);
+        const u64* a = poly.limb(0);
+        for (u64 j = 0; j < n; ++j) {
+            out[j] = static_cast<double>(to_centered(a[j], q0));
+        }
+        return out;
+    }
+    const Modulus& q0 = poly.limb_modulus(0);
+    const Modulus& q1 = poly.limb_modulus(1);
+    const u128 q01 = u128(q0.value()) * q1.value();
+    // Garner: x = x0 + q0 * ((x1 - x0) * q0^{-1} mod q1), centered mod q0*q1.
+    const u64 q0_inv_q1 = ctx_->q_inv_mod(0, 1);
+    const u64* a0 = poly.limb(0);
+    const u64* a1 = poly.limb(1);
+    for (u64 j = 0; j < n; ++j) {
+        const u64 diff = sub_mod(a1[j], q1.reduce(a0[j]), q1);
+        const u64 t = mul_mod(diff, q0_inv_q1, q1);
+        u128 x = u128(a0[j]) + u128(q0.value()) * t;
+        // Center modulo q0*q1.
+        long double v;
+        if (x > q01 / 2) {
+            v = -static_cast<long double>(q01 - x);
+        } else {
+            v = static_cast<long double>(x);
+        }
+        out[j] = static_cast<double>(v);
+    }
+    return out;
+}
+
+std::vector<std::complex<double>>
+Encoder::decode_complex(const Plaintext& pt) const
+{
+    ORION_CHECK(pt.scale > 0, "plaintext has no scale");
+    const std::vector<double> coeffs = to_coefficients(pt);
+    const u64 nh = slots_;
+    std::vector<std::complex<double>> slots(nh);
+    const double inv_scale = 1.0 / pt.scale;
+    for (u64 j = 0; j < nh; ++j) {
+        slots[j] = {coeffs[j] * inv_scale, coeffs[j + nh] * inv_scale};
+    }
+    fft_special(slots.data());
+    return slots;
+}
+
+std::vector<double>
+Encoder::decode(const Plaintext& pt) const
+{
+    const std::vector<std::complex<double>> slots = decode_complex(pt);
+    std::vector<double> out(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) out[i] = slots[i].real();
+    return out;
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,93 @@
+#include "src/ckks/encryptor.h"
+
+#include <algorithm>
+
+namespace orion::ckks {
+
+Encryptor::Encryptor(const Context& ctx, const PublicKey& pk, u64 seed)
+    : ctx_(&ctx), pk_(&pk), sampler_(seed)
+{
+}
+
+Encryptor::Encryptor(const Context& ctx, const SecretKey& sk, u64 seed)
+    : ctx_(&ctx), sk_(&sk), sampler_(seed)
+{
+}
+
+RnsPoly
+Encryptor::sample_error_at(int level)
+{
+    const u64 n = ctx_->degree();
+    const std::vector<i64> coeffs = sampler_.sample_gaussian(n);
+    RnsPoly e(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
+    for (int i = 0; i <= level; ++i) {
+        const Modulus& q = e.limb_modulus(i);
+        u64* limb = e.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(coeffs[j], q);
+    }
+    e.to_ntt();
+    return e;
+}
+
+Ciphertext
+Encryptor::encrypt(const Plaintext& pt)
+{
+    ORION_CHECK(pt.poly.is_ntt(), "plaintext must be in NTT form");
+    const int level = pt.level();
+    const u64 n = ctx_->degree();
+    Ciphertext ct;
+    ct.scale = pt.scale;
+
+    if (sk_ != nullptr) {
+        // Symmetric: c1 = a uniform, c0 = -a*s + e + m.
+        ct.c1 = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/true);
+        for (int i = 0; i <= level; ++i) {
+            const std::vector<u64> vals =
+                sampler_.sample_uniform(n, ct.c1.limb_modulus(i));
+            std::copy(vals.begin(), vals.end(), ct.c1.limb(i));
+        }
+        ct.c0 = ct.c1;
+        ct.c0.mul_pointwise_inplace(sk_->at_level(level));
+        ct.c0.negate_inplace();
+        ct.c0.add_inplace(sample_error_at(level));
+        ct.c0.add_inplace(pt.poly);
+        return ct;
+    }
+
+    // Public-key: (c0, c1) = v*(pk.b, pk.a) + (e0 + m, e1).
+    const std::vector<i64> v_coeffs = sampler_.sample_ternary(n);
+    RnsPoly v(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
+    for (int i = 0; i <= level; ++i) {
+        const Modulus& q = v.limb_modulus(i);
+        u64* limb = v.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(v_coeffs[j], q);
+    }
+    v.to_ntt();
+
+    RnsPoly pkb = pk_->b;
+    RnsPoly pka = pk_->a;
+    pkb.drop_to_level(level);
+    pka.drop_to_level(level);
+
+    ct.c0 = v;
+    ct.c0.mul_pointwise_inplace(pkb);
+    ct.c0.add_inplace(sample_error_at(level));
+    ct.c0.add_inplace(pt.poly);
+    ct.c1 = std::move(v);
+    ct.c1.mul_pointwise_inplace(pka);
+    ct.c1.add_inplace(sample_error_at(level));
+    return ct;
+}
+
+Plaintext
+Decryptor::decrypt(const Ciphertext& ct) const
+{
+    Plaintext pt;
+    pt.scale = ct.scale;
+    pt.poly = ct.c1;
+    pt.poly.mul_pointwise_inplace(sk_->at_level(ct.level()));
+    pt.poly.add_inplace(ct.c0);
+    return pt;
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,306 @@
+#include "src/ckks/evaluator.h"
+
+#include <cmath>
+
+namespace orion::ckks {
+
+void
+Evaluator::check_additive_compat(const Ciphertext& a,
+                                 const Ciphertext& b) const
+{
+    ORION_CHECK(a.level() == b.level(),
+                "level mismatch: " << a.level() << " vs " << b.level());
+    ORION_CHECK(scales_match(a.scale, b.scale),
+                "scale mismatch: " << a.scale << " vs " << b.scale);
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext out = a;
+    add_inplace(out, b);
+    return out;
+}
+
+void
+Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const
+{
+    check_additive_compat(a, b);
+    a.c0.add_inplace(b.c0);
+    a.c1.add_inplace(b.c1);
+    ctx_->counters().hadd += 1;
+}
+
+void
+Evaluator::sub_inplace(Ciphertext& a, const Ciphertext& b) const
+{
+    check_additive_compat(a, b);
+    a.c0.sub_inplace(b.c0);
+    a.c1.sub_inplace(b.c1);
+    ctx_->counters().hadd += 1;
+}
+
+void
+Evaluator::add_plain_inplace(Ciphertext& a, const Plaintext& p) const
+{
+    ORION_CHECK(a.level() == p.level(), "level mismatch in add_plain");
+    ORION_CHECK(scales_match(a.scale, p.scale),
+                "scale mismatch in add_plain: " << a.scale << " vs "
+                                                << p.scale);
+    a.c0.add_inplace(p.poly);
+    ctx_->counters().hadd += 1;
+}
+
+void
+Evaluator::sub_plain_inplace(Ciphertext& a, const Plaintext& p) const
+{
+    ORION_CHECK(a.level() == p.level(), "level mismatch in sub_plain");
+    ORION_CHECK(scales_match(a.scale, p.scale), "scale mismatch in sub_plain");
+    a.c0.sub_inplace(p.poly);
+    ctx_->counters().hadd += 1;
+}
+
+void
+Evaluator::negate_inplace(Ciphertext& a) const
+{
+    a.c0.negate_inplace();
+    a.c1.negate_inplace();
+}
+
+void
+Evaluator::add_constant_inplace(Ciphertext& a, double v) const
+{
+    const Plaintext p = encoder_->encode_constant(v, a.level(), a.scale);
+    add_plain_inplace(a, p);
+}
+
+Ciphertext
+Evaluator::mul_plain(const Ciphertext& a, const Plaintext& p) const
+{
+    Ciphertext out = a;
+    mul_plain_inplace(out, p);
+    return out;
+}
+
+void
+Evaluator::mul_plain_inplace(Ciphertext& a, const Plaintext& p) const
+{
+    ORION_CHECK(a.level() == p.level(), "level mismatch in mul_plain");
+    a.c0.mul_pointwise_inplace(p.poly);
+    a.c1.mul_pointwise_inplace(p.poly);
+    a.scale *= p.scale;
+    ctx_->counters().pmult += 1;
+}
+
+Ciphertext
+Evaluator::mul(const Ciphertext& a, const Ciphertext& b) const
+{
+    ORION_CHECK(relin_ != nullptr, "relinearization key not set");
+    ORION_CHECK(a.level() == b.level(), "level mismatch in mul");
+
+    // Tensor product: (c0, c1) x (c0', c1') = (d0, d1, d2).
+    RnsPoly d0 = a.c0;
+    d0.mul_pointwise_inplace(b.c0);
+    RnsPoly d1 = a.c0;
+    d1.mul_pointwise_inplace(b.c1);
+    d1.add_product_inplace(a.c1, b.c0);
+    RnsPoly d2 = a.c1;
+    d2.mul_pointwise_inplace(b.c1);
+
+    // Relinearize d2 (the s^2 component) back to (r0, r1).
+    RnsPoly r0, r1;
+    switcher_.apply(d2, *relin_, &r0, &r1);
+
+    Ciphertext out;
+    out.scale = a.scale * b.scale;
+    out.c0 = std::move(d0);
+    out.c0.add_inplace(r0);
+    out.c1 = std::move(d1);
+    out.c1.add_inplace(r1);
+    ctx_->counters().hmult += 1;
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext& a) const
+{
+    return mul(a, a);
+}
+
+void
+Evaluator::mul_constant_inplace(Ciphertext& a, double v, double scale) const
+{
+    const Plaintext p = encoder_->encode_constant(v, a.level(), scale);
+    mul_plain_inplace(a, p);
+}
+
+void
+Evaluator::rescale_inplace(Ciphertext& a) const
+{
+    const double q_last =
+        static_cast<double>(ctx_->q(a.level()).value());
+    a.c0.rescale_drop_last();
+    a.c1.rescale_drop_last();
+    a.scale /= q_last;
+    ctx_->counters().rescale += 1;
+}
+
+void
+Evaluator::drop_to_level_inplace(Ciphertext& a, int level) const
+{
+    a.c0.drop_to_level(level);
+    a.c1.drop_to_level(level);
+}
+
+const KswitchKey&
+Evaluator::galois_key_for_step(int step) const
+{
+    ORION_CHECK(galois_ != nullptr, "Galois keys not set");
+    return galois_->at(ctx_->galois_elt(step));
+}
+
+Ciphertext
+Evaluator::rotate_internal(const Ciphertext& a, u64 elt) const
+{
+    ORION_CHECK(galois_ != nullptr, "Galois keys not set");
+    const KswitchKey& key = galois_->at(elt);
+    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+
+    RnsPoly c1r = a.c1.galois_with_permutation(perm);
+    RnsPoly ks0, ks1;
+    switcher_.apply(c1r, key, &ks0, &ks1);
+
+    Ciphertext out;
+    out.scale = a.scale;
+    out.c0 = a.c0.galois_with_permutation(perm);
+    out.c0.add_inplace(ks0);
+    out.c1 = std::move(ks1);
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext& a, int step) const
+{
+    const u64 slots = ctx_->slot_count();
+    if (static_cast<u64>(((step % static_cast<i64>(slots)) + slots)) % slots ==
+        0) {
+        return a;
+    }
+    ctx_->counters().hrot += 1;
+    return rotate_internal(a, ctx_->galois_elt(step));
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext& a) const
+{
+    ctx_->counters().hrot += 1;
+    return rotate_internal(a, ctx_->galois_elt_conj());
+}
+
+Evaluator::Hoisted
+Evaluator::hoist(const Ciphertext& a) const
+{
+    Hoisted h;
+    h.ct = a;
+    h.digits = switcher_.decompose(a.c1);
+    return h;
+}
+
+Ciphertext
+Evaluator::rotate_hoisted(const Hoisted& h, int step) const
+{
+    const u64 slots = ctx_->slot_count();
+    if (static_cast<u64>(((step % static_cast<i64>(slots)) + slots)) % slots ==
+        0) {
+        return h.ct;
+    }
+    ORION_CHECK(galois_ != nullptr, "Galois keys not set");
+    const u64 elt = ctx_->galois_elt(step);
+    const KswitchKey& key = galois_->at(elt);
+    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+
+    // Permute the precomputed digits (decomposition commutes with the
+    // automorphism coefficient-wise), then inner-product and mod-down.
+    std::vector<RnsPoly> rotated;
+    rotated.reserve(h.digits.size());
+    for (const RnsPoly& d : h.digits) {
+        rotated.push_back(d.galois_with_permutation(perm));
+    }
+    const int level = h.ct.level();
+    RnsPoly acc0(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
+    RnsPoly acc1(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
+    switcher_.inner_product(rotated, key, &acc0, &acc1);
+    acc0.mod_down_special();
+    acc1.mod_down_special();
+
+    Ciphertext out;
+    out.scale = h.ct.scale;
+    out.c0 = h.ct.c0.galois_with_permutation(perm);
+    out.c0.add_inplace(acc0);
+    out.c1 = std::move(acc1);
+    ctx_->counters().hrot_hoisted += 1;
+    return out;
+}
+
+Evaluator::RotationAccumulator
+Evaluator::make_accumulator(int level, double scale) const
+{
+    RotationAccumulator acc;
+    acc.level_ = level;
+    acc.scale_ = scale;
+    acc.base0_ = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/true);
+    acc.base1_ = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/true);
+    acc.ext0_ = RnsPoly(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
+    acc.ext1_ = RnsPoly(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
+    return acc;
+}
+
+void
+Evaluator::accumulate_rotation(RotationAccumulator& acc, const Ciphertext& ct,
+                               int step) const
+{
+    ORION_CHECK(ct.level() == acc.level_,
+                "accumulator level mismatch: " << ct.level() << " vs "
+                                               << acc.level_);
+    ORION_CHECK(scales_match(ct.scale, acc.scale_),
+                "accumulator scale mismatch");
+    const u64 slots = ctx_->slot_count();
+    const bool trivial =
+        static_cast<u64>(((step % static_cast<i64>(slots)) + slots)) % slots ==
+        0;
+    if (trivial) {
+        acc.base0_.add_inplace(ct.c0);
+        acc.base1_.add_inplace(ct.c1);
+        ctx_->counters().hadd += 1;
+        return;
+    }
+    ORION_CHECK(galois_ != nullptr, "Galois keys not set");
+    const u64 elt = ctx_->galois_elt(step);
+    const KswitchKey& key = galois_->at(elt);
+    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+
+    std::vector<RnsPoly> digits = switcher_.decompose(ct.c1);
+    for (RnsPoly& d : digits) d = d.galois_with_permutation(perm);
+    switcher_.inner_product(digits, key, &acc.ext0_, &acc.ext1_);
+    acc.base0_.add_inplace(ct.c0.galois_with_permutation(perm));
+    acc.any_ext_ = true;
+    ctx_->counters().hrot_hoisted += 1;
+}
+
+Ciphertext
+Evaluator::finalize_accumulator(RotationAccumulator& acc) const
+{
+    Ciphertext out;
+    out.scale = acc.scale_;
+    out.c0 = std::move(acc.base0_);
+    out.c1 = std::move(acc.base1_);
+    if (acc.any_ext_) {
+        acc.ext0_.mod_down_special();
+        acc.ext1_.mod_down_special();
+        out.c0.add_inplace(acc.ext0_);
+        out.c1.add_inplace(acc.ext1_);
+    }
+    return out;
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,187 @@
+#include "src/ckks/keys.h"
+
+#include <algorithm>
+
+namespace orion::ckks {
+
+RnsPoly
+SecretKey::at_level(int level) const
+{
+    const Context& ctx = s.context();
+    RnsPoly out(ctx, level, /*extended=*/false, /*ntt_form=*/true);
+    const u64 n = ctx.degree();
+    for (int i = 0; i <= level; ++i) {
+        std::copy(s.limb(i), s.limb(i) + n, out.limb(i));
+    }
+    return out;
+}
+
+std::size_t
+GaloisKeys::byte_size() const
+{
+    std::size_t total = 0;
+    for (const auto& [elt, ksk] : keys) {
+        (void)elt;
+        for (const RnsPoly& p : ksk.b) {
+            total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
+        }
+        for (const RnsPoly& p : ksk.a) {
+            total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
+        }
+    }
+    return total;
+}
+
+KeyGenerator::KeyGenerator(const Context& ctx, u64 seed)
+    : ctx_(&ctx), sampler_(seed)
+{
+    // Ternary secret, expressed over the full extended basis.
+    const u64 n = ctx.degree();
+    const std::vector<i64> coeffs = sampler_.sample_ternary(n);
+    sk_.s = RnsPoly(ctx, ctx.max_level(), /*extended=*/true,
+                    /*ntt_form=*/false);
+    for (int i = 0; i < sk_.s.num_limbs(); ++i) {
+        const Modulus& q = sk_.s.limb_modulus(i);
+        u64* limb = sk_.s.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(coeffs[j], q);
+    }
+    sk_.s.to_ntt();
+}
+
+RnsPoly
+KeyGenerator::sample_uniform_extended()
+{
+    RnsPoly a(*ctx_, ctx_->max_level(), /*extended=*/true, /*ntt_form=*/true);
+    const u64 n = ctx_->degree();
+    for (int i = 0; i < a.num_limbs(); ++i) {
+        const std::vector<u64> vals =
+            sampler_.sample_uniform(n, a.limb_modulus(i));
+        std::copy(vals.begin(), vals.end(), a.limb(i));
+    }
+    return a;
+}
+
+RnsPoly
+KeyGenerator::sample_error_extended()
+{
+    const u64 n = ctx_->degree();
+    const std::vector<i64> coeffs = sampler_.sample_gaussian(n);
+    RnsPoly e(*ctx_, ctx_->max_level(), /*extended=*/true,
+              /*ntt_form=*/false);
+    for (int i = 0; i < e.num_limbs(); ++i) {
+        const Modulus& q = e.limb_modulus(i);
+        u64* limb = e.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(coeffs[j], q);
+    }
+    e.to_ntt();
+    return e;
+}
+
+PublicKey
+KeyGenerator::make_public_key()
+{
+    const int level = ctx_->max_level();
+    const u64 n = ctx_->degree();
+    PublicKey pk;
+    pk.a = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/true);
+    for (int i = 0; i <= level; ++i) {
+        const std::vector<u64> vals =
+            sampler_.sample_uniform(n, pk.a.limb_modulus(i));
+        std::copy(vals.begin(), vals.end(), pk.a.limb(i));
+    }
+    const std::vector<i64> e_coeffs = sampler_.sample_gaussian(n);
+    RnsPoly e(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
+    for (int i = 0; i <= level; ++i) {
+        const Modulus& q = e.limb_modulus(i);
+        u64* limb = e.limb(i);
+        for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(e_coeffs[j], q);
+    }
+    e.to_ntt();
+
+    // b = -a*s + e over Q_L.
+    pk.b = pk.a;
+    pk.b.mul_pointwise_inplace(sk_.at_level(level));
+    pk.b.negate_inplace();
+    pk.b.add_inplace(e);
+    return pk;
+}
+
+KswitchKey
+KeyGenerator::make_kswitch_key(const RnsPoly& s_old)
+{
+    ORION_ASSERT(s_old.is_ntt() && s_old.extended());
+    const int max_level = ctx_->max_level();
+    const int digits = ctx_->num_digits(max_level);
+    const int alpha = ctx_->digit_size();
+    const u64 n = ctx_->degree();
+
+    KswitchKey ksk;
+    ksk.b.reserve(static_cast<std::size_t>(digits));
+    ksk.a.reserve(static_cast<std::size_t>(digits));
+    for (int d = 0; d < digits; ++d) {
+        RnsPoly a = sample_uniform_extended();
+        RnsPoly b = sample_error_extended();
+        // b += W_d * s_old on the digit's own limbs: W_d = P mod q_j there.
+        const int lo = d * alpha;
+        const int hi = std::min((d + 1) * alpha - 1, max_level);
+        for (int j = lo; j <= hi; ++j) {
+            const Modulus& q = ctx_->q(j);
+            const u64 w = ctx_->p_prod_mod_q(j);
+            const u64 w_shoup = shoup_precompute(w, q);
+            const u64* s_limb = s_old.limb(j);
+            u64* b_limb = b.limb(j);
+            for (u64 x = 0; x < n; ++x) {
+                b_limb[x] = add_mod(
+                    b_limb[x], mul_mod_shoup(s_limb[x], w, w_shoup, q), q);
+            }
+        }
+        // b -= a * s_new.
+        RnsPoly as = a;
+        as.mul_pointwise_inplace(sk_.s);
+        b.sub_inplace(as);
+        ksk.b.push_back(std::move(b));
+        ksk.a.push_back(std::move(a));
+    }
+    return ksk;
+}
+
+KswitchKey
+KeyGenerator::make_relin_key()
+{
+    RnsPoly s2 = sk_.s;
+    s2.mul_pointwise_inplace(sk_.s);
+    return make_kswitch_key(s2);
+}
+
+KswitchKey
+KeyGenerator::make_galois_key(u64 elt)
+{
+    return make_kswitch_key(sk_.s.galois(elt));
+}
+
+GaloisKeys
+KeyGenerator::make_galois_keys(std::span<const int> steps,
+                               bool include_conjugation)
+{
+    GaloisKeys out;
+    for (int step : steps) {
+        const u64 elt = ctx_->galois_elt(step);
+        if (!out.has(elt)) out.keys.emplace(elt, make_galois_key(elt));
+    }
+    if (include_conjugation) {
+        const u64 elt = ctx_->galois_elt_conj();
+        if (!out.has(elt)) out.keys.emplace(elt, make_galois_key(elt));
+    }
+    return out;
+}
+
+void
+KeyGenerator::add_galois_keys(GaloisKeys& bundle, std::span<const int> steps)
+{
+    for (int step : steps) {
+        const u64 elt = ctx_->galois_elt(step);
+        if (!bundle.has(elt)) bundle.keys.emplace(elt, make_galois_key(elt));
+    }
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,101 @@
+#ifndef ORION_SRC_CKKS_KEYS_H_
+#define ORION_SRC_CKKS_KEYS_H_
+
+/**
+ * @file
+ * CKKS key material: secret, public, relinearization, and Galois keys,
+ * plus the deterministic KeyGenerator.
+ *
+ * Key-switching keys follow the hybrid (digit-decomposition) construction:
+ * for each digit i of the moduli chain, the key holds an encryption of
+ * W_i * s_old under s_new over the extended modulus Q_L * P, where W_i is
+ * the RNS gadget that equals P on the digit's own limbs and 0 elsewhere.
+ */
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/ckks/poly.h"
+#include "src/ckks/sampler.h"
+
+namespace orion::ckks {
+
+/** The RLWE secret s (ternary), stored NTT-form over the full basis Q*P. */
+struct SecretKey {
+    RnsPoly s;  ///< level L, extended, NTT form
+
+    /** The secret restricted to coefficient limbs q_0..q_level. */
+    RnsPoly at_level(int level) const;
+};
+
+/** Encryption key (b, a) with b + a*s = e over Q_L. */
+struct PublicKey {
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/** One key-switching key (digit-decomposed). */
+struct KswitchKey {
+    std::vector<RnsPoly> b;  ///< per digit: -a_i*s_new + e_i + W_i*s_old
+    std::vector<RnsPoly> a;  ///< per digit: uniform
+
+    int num_digits() const { return static_cast<int>(b.size()); }
+    bool valid() const { return !b.empty(); }
+};
+
+/** Rotation (and conjugation) keys indexed by Galois element. */
+struct GaloisKeys {
+    std::map<u64, KswitchKey> keys;
+
+    bool
+    has(u64 elt) const
+    {
+        return keys.count(elt) != 0;
+    }
+    const KswitchKey&
+    at(u64 elt) const
+    {
+        auto it = keys.find(elt);
+        ORION_CHECK(it != keys.end(), "missing Galois key for element " << elt);
+        return it->second;
+    }
+    /** Approximate memory footprint in bytes (for Table-4-style reporting). */
+    std::size_t byte_size() const;
+};
+
+/** Generates all key material from a seeded sampler. */
+class KeyGenerator {
+  public:
+    explicit KeyGenerator(const Context& ctx, u64 seed = 7);
+
+    const SecretKey& secret_key() const { return sk_; }
+
+    PublicKey make_public_key();
+    /** Relinearization key: switches s^2 -> s. */
+    KswitchKey make_relin_key();
+    /** Galois key for the automorphism X -> X^elt. */
+    KswitchKey make_galois_key(u64 elt);
+    /** Galois keys for a set of rotation steps (plus conjugation if asked). */
+    GaloisKeys make_galois_keys(std::span<const int> steps,
+                                bool include_conjugation = false);
+    /** Adds any missing step keys to an existing bundle. */
+    void add_galois_keys(GaloisKeys& bundle, std::span<const int> steps);
+
+  private:
+    /** KSK encrypting W_i * s_old under the main secret, for all digits. */
+    KswitchKey make_kswitch_key(const RnsPoly& s_old);
+
+    /** Uniform polynomial over the full extended basis, NTT form. */
+    RnsPoly sample_uniform_extended();
+    /** Small (Gaussian) polynomial over the full extended basis, NTT form. */
+    RnsPoly sample_error_extended();
+
+    const Context* ctx_;
+    Sampler sampler_;
+    SecretKey sk_;
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_KEYS_H_

@@ -1,0 +1,138 @@
+#include "src/ckks/keyswitch.h"
+
+#include <algorithm>
+
+namespace orion::ckks {
+
+std::vector<RnsPoly>
+KeySwitcher::decompose(const RnsPoly& c) const
+{
+    ORION_CHECK(!c.extended(), "decompose expects coefficient limbs only");
+    const Context& ctx = *ctx_;
+    const int level = c.level();
+    const int alpha = ctx.digit_size();
+    const int digits = ctx.num_digits(level);
+    const u64 n = ctx.degree();
+
+    // Work from the coefficient representation of c.
+    RnsPoly c_coeff = c;
+    if (c_coeff.is_ntt()) c_coeff.to_coeff();
+
+    std::vector<RnsPoly> out;
+    out.reserve(static_cast<std::size_t>(digits));
+    for (int d = 0; d < digits; ++d) {
+        const int lo = d * alpha;
+        const int hi = std::min((d + 1) * alpha - 1, level);
+        const int digit_len = hi - lo + 1;
+
+        RnsPoly ext(ctx, level, /*extended=*/true, /*ntt_form=*/false);
+
+        // lambda_j = c_j * (D/q_j)^{-1} mod q_j for each digit limb j,
+        // where D is the product of the digit's primes.
+        std::vector<std::vector<u64>> lambdas(
+            static_cast<std::size_t>(digit_len));
+        for (int j = lo; j <= hi; ++j) {
+            const Modulus& qj = ctx.q(j);
+            u64 hat_inv = 1;  // (D/q_j)^{-1} mod q_j
+            for (int j2 = lo; j2 <= hi; ++j2) {
+                if (j2 == j) continue;
+                hat_inv = mul_mod(hat_inv, ctx.inv_mod_global(j2, j), qj);
+            }
+            const u64 hat_inv_shoup = shoup_precompute(hat_inv, qj);
+            std::vector<u64>& lam =
+                lambdas[static_cast<std::size_t>(j - lo)];
+            lam.resize(n);
+            const u64* src = c_coeff.limb(j);
+            for (u64 x = 0; x < n; ++x) {
+                lam[x] = mul_mod_shoup(src[x], hat_inv, hat_inv_shoup, qj);
+            }
+        }
+
+        // Fill every target limb: digit limbs copy c directly; other limbs
+        // get the fast base conversion sum_j lambda_j * (D/q_j mod m_t).
+        for (int t = 0; t < ext.num_limbs(); ++t) {
+            const int tg = ext.limb_global_index(t);
+            u64* dst = ext.limb(t);
+            if (tg >= lo && tg <= hi) {
+                std::copy(c_coeff.limb(tg), c_coeff.limb(tg) + n, dst);
+                continue;
+            }
+            const Modulus& mt = ext.limb_modulus(t);
+            // hat_mod_t[j] = (D/q_j) mod m_t.
+            std::vector<u64> hat_mod_t(static_cast<std::size_t>(digit_len));
+            for (int j = lo; j <= hi; ++j) {
+                u64 h = 1;
+                for (int j2 = lo; j2 <= hi; ++j2) {
+                    if (j2 == j) continue;
+                    h = mul_mod(h, mt.reduce(ctx.q(j2).value()), mt);
+                }
+                hat_mod_t[static_cast<std::size_t>(j - lo)] = h;
+            }
+            for (u64 x = 0; x < n; ++x) {
+                u128 acc = 0;
+                for (int j = 0; j < digit_len; ++j) {
+                    acc += u128(lambdas[static_cast<std::size_t>(j)][x]) *
+                           hat_mod_t[static_cast<std::size_t>(j)];
+                }
+                dst[x] = mt.reduce_128(acc);
+            }
+        }
+        ext.to_ntt();
+        out.push_back(std::move(ext));
+    }
+    return out;
+}
+
+void
+KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
+                           const KswitchKey& ksk, RnsPoly* acc0,
+                           RnsPoly* acc1) const
+{
+    ORION_CHECK(static_cast<int>(digits.size()) <= ksk.num_digits(),
+                "key-switching key has too few digits");
+    const Context& ctx = *ctx_;
+    const u64 n = ctx.degree();
+    ORION_ASSERT(acc0->extended() && acc1->extended());
+
+    for (std::size_t d = 0; d < digits.size(); ++d) {
+        const RnsPoly& dig = digits[d];
+        const RnsPoly& kb = ksk.b[d];
+        const RnsPoly& ka = ksk.a[d];
+        ORION_ASSERT(dig.is_ntt() && kb.is_ntt() && ka.is_ntt());
+        // The key lives at max level; pick only the limbs present in the
+        // accumulator (coefficient limbs 0..level plus the special limbs).
+        for (int t = 0; t < acc0->num_limbs(); ++t) {
+            const int tg = acc0->limb_global_index(t);
+            // Global index within the full-level key polynomial: coefficient
+            // limbs match 1:1; special limbs sit after q_0..q_L.
+            const int key_t = tg;
+            const Modulus& q = acc0->limb_modulus(t);
+            const u64* x = dig.limb(t);
+            const u64* b = kb.limb(key_t);
+            const u64* a = ka.limb(key_t);
+            u64* o0 = acc0->limb(t);
+            u64* o1 = acc1->limb(t);
+            for (u64 j = 0; j < n; ++j) {
+                o0[j] = add_mod(o0[j], mul_mod(x[j], b[j], q), q);
+                o1[j] = add_mod(o1[j], mul_mod(x[j], a[j], q), q);
+            }
+        }
+    }
+    ctx.counters().keyswitch += 1;
+}
+
+void
+KeySwitcher::apply(const RnsPoly& c, const KswitchKey& ksk, RnsPoly* out0,
+                   RnsPoly* out1) const
+{
+    const std::vector<RnsPoly> digits = decompose(c);
+    RnsPoly acc0(*ctx_, c.level(), /*extended=*/true, /*ntt_form=*/true);
+    RnsPoly acc1(*ctx_, c.level(), /*extended=*/true, /*ntt_form=*/true);
+    inner_product(digits, ksk, &acc0, &acc1);
+    acc0.mod_down_special();
+    acc1.mod_down_special();
+    *out0 = std::move(acc0);
+    *out1 = std::move(acc1);
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,183 @@
+#ifndef ORION_SRC_CKKS_MODARITH_H_
+#define ORION_SRC_CKKS_MODARITH_H_
+
+/**
+ * @file
+ * 64-bit modular arithmetic for RNS-CKKS.
+ *
+ * All ring operations in the library reduce to arithmetic modulo word-sized
+ * primes q < 2^62. Hot paths (NTT butterflies, pointwise products) use
+ * Barrett reduction with a precomputed 128-bit reciprocal, and Shoup
+ * multiplication when one operand is a known constant (NTT twiddles,
+ * plaintext scalars).
+ */
+
+#include "src/common.h"
+
+namespace orion::ckks {
+
+/**
+ * A word-sized modulus with its precomputed Barrett reciprocal.
+ *
+ * The reciprocal is floor(2^128 / value), stored as two 64-bit words
+ * (ratio[0] low, ratio[1] high). Moduli must be odd primes below 2^62 so
+ * that lazy sums of two residues never overflow.
+ */
+class Modulus {
+  public:
+    Modulus() : value_(0), ratio_{0, 0} {}
+
+    explicit Modulus(u64 value) : value_(value)
+    {
+        ORION_CHECK(value > 1 && value < (u64(1) << 62),
+                    "modulus out of range: " << value);
+        // floor(2^128 / value) via 128-bit long division in two steps.
+        u128 numerator = ~u128(0);  // 2^128 - 1; floor((2^128-1)/v) ==
+                                    // floor(2^128/v) when v does not divide
+                                    // 2^128, true for odd v > 1.
+        u128 quotient = numerator / value;
+        ratio_[0] = static_cast<u64>(quotient);
+        ratio_[1] = static_cast<u64>(quotient >> 64);
+    }
+
+    u64 value() const { return value_; }
+    u64 ratio_lo() const { return ratio_[0]; }
+    u64 ratio_hi() const { return ratio_[1]; }
+    int bit_count() const
+    {
+        int b = 0;
+        for (u64 v = value_; v != 0; v >>= 1) ++b;
+        return b;
+    }
+
+    /** Reduces a 128-bit value modulo this modulus (Barrett). */
+    u64
+    reduce_128(u128 x) const
+    {
+        // q_hat = floor(x * ratio / 2^128), an approximation of
+        // floor(x / value) that is off by at most 1.
+        u64 x0 = static_cast<u64>(x);
+        u64 x1 = static_cast<u64>(x >> 64);
+        u128 t = (u128(x0) * ratio_[0]) >> 64;
+        t += u128(x0) * ratio_[1];
+        t += u128(x1) * ratio_[0];
+        u64 q_hat = static_cast<u64>(t >> 64) + x1 * ratio_[1];
+        u64 r = static_cast<u64>(x - u128(q_hat) * value_);
+        return r >= value_ ? r - value_ : r;
+    }
+
+    /** Reduces a 64-bit value modulo this modulus. */
+    u64
+    reduce(u64 x) const
+    {
+        return reduce_128(u128(x));
+    }
+
+  private:
+    u64 value_;
+    u64 ratio_[2];
+};
+
+/** (a + b) mod q, for a, b already reduced. */
+inline u64
+add_mod(u64 a, u64 b, const Modulus& q)
+{
+    u64 s = a + b;
+    return s >= q.value() ? s - q.value() : s;
+}
+
+/** (a - b) mod q, for a, b already reduced. */
+inline u64
+sub_mod(u64 a, u64 b, const Modulus& q)
+{
+    return a >= b ? a - b : a + q.value() - b;
+}
+
+/** (-a) mod q, for a already reduced. */
+inline u64
+neg_mod(u64 a, const Modulus& q)
+{
+    return a == 0 ? 0 : q.value() - a;
+}
+
+/** (a * b) mod q via Barrett reduction. */
+inline u64
+mul_mod(u64 a, u64 b, const Modulus& q)
+{
+    return q.reduce_128(u128(a) * b);
+}
+
+/**
+ * Precomputes the Shoup representation floor(w * 2^64 / q) of a constant
+ * multiplicand w (already reduced mod q).
+ */
+inline u64
+shoup_precompute(u64 w, const Modulus& q)
+{
+    return static_cast<u64>((u128(w) << 64) / q.value());
+}
+
+/**
+ * (a * w) mod q where w_shoup = shoup_precompute(w, q). Roughly 2x faster
+ * than Barrett for constant w; the workhorse of the NTT.
+ */
+inline u64
+mul_mod_shoup(u64 a, u64 w, u64 w_shoup, const Modulus& q)
+{
+    u64 hi = static_cast<u64>((u128(a) * w_shoup) >> 64);
+    u64 r = a * w - hi * q.value();
+    return r >= q.value() ? r - q.value() : r;
+}
+
+/** a^e mod q by square-and-multiply. */
+inline u64
+pow_mod(u64 a, u64 e, const Modulus& q)
+{
+    u64 result = 1;
+    u64 base = q.reduce(a);
+    while (e > 0) {
+        if (e & 1) result = mul_mod(result, base, q);
+        base = mul_mod(base, base, q);
+        e >>= 1;
+    }
+    return result;
+}
+
+/** a^{-1} mod q for prime q (Fermat). Requires a != 0 mod q. */
+inline u64
+inv_mod(u64 a, const Modulus& q)
+{
+    u64 r = q.reduce(a);
+    ORION_CHECK(r != 0, "inverse of zero mod " << q.value());
+    return pow_mod(r, q.value() - 2, q);
+}
+
+/** Reduces a signed 64-bit value into [0, q). */
+inline u64
+reduce_signed(i64 x, const Modulus& q)
+{
+    if (x >= 0) return q.reduce(static_cast<u64>(x));
+    u64 r = q.reduce(static_cast<u64>(-(x + 1)) + 1);
+    return neg_mod(r, q);
+}
+
+/** Reduces a signed 128-bit value into [0, q). */
+inline u64
+reduce_signed_128(i128 x, const Modulus& q)
+{
+    if (x >= 0) return q.reduce_128(static_cast<u128>(x));
+    u64 r = q.reduce_128(static_cast<u128>(-(x + 1)) + 1);
+    return neg_mod(r, q);
+}
+
+/** Maps a residue in [0, q) to its centered representative in (-q/2, q/2]. */
+inline i64
+to_centered(u64 x, const Modulus& q)
+{
+    return x > q.value() / 2 ? static_cast<i64>(x) - static_cast<i64>(q.value())
+                             : static_cast<i64>(x);
+}
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_MODARITH_H_

@@ -1,0 +1,82 @@
+#include "src/ckks/ntt.h"
+
+#include "src/ckks/primes.h"
+
+namespace orion::ckks {
+
+NttTables::NttTables(u64 n, const Modulus& q) : n_(n), q_(q)
+{
+    ORION_CHECK(is_power_of_two(n), "NTT size must be a power of two");
+    log_n_ = log2_exact(n);
+    const u64 psi = find_primitive_root(n, q);
+    const u64 psi_inv = inv_mod(psi, q);
+
+    roots_.resize(n);
+    roots_shoup_.resize(n);
+    inv_roots_.resize(n);
+    inv_roots_shoup_.resize(n);
+
+    u64 power = 1;
+    u64 inv_power = 1;
+    for (u64 i = 0; i < n; ++i) {
+        const u32 rev = reverse_bits(static_cast<u32>(i), log_n_);
+        roots_[rev] = power;
+        roots_shoup_[rev] = shoup_precompute(power, q);
+        inv_roots_[rev] = inv_power;
+        inv_roots_shoup_[rev] = shoup_precompute(inv_power, q);
+        power = mul_mod(power, psi, q);
+        inv_power = mul_mod(inv_power, psi_inv, q);
+    }
+    n_inv_ = inv_mod(n, q);
+    n_inv_shoup_ = shoup_precompute(n_inv_, q);
+}
+
+void
+NttTables::forward(u64* a) const
+{
+    // Cooley-Tukey, decimation in time, with merged psi twiddles. After the
+    // pass with span t, block b holds the residues mod (X^t - roots_[m+b]).
+    u64 t = n_;
+    for (u64 m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            const u64 w = roots_[m + i];
+            const u64 ws = roots_shoup_[m + i];
+            u64* x = a + 2 * i * t;
+            u64* y = x + t;
+            for (u64 j = 0; j < t; ++j) {
+                const u64 u = x[j];
+                const u64 v = mul_mod_shoup(y[j], w, ws, q_);
+                x[j] = add_mod(u, v, q_);
+                y[j] = sub_mod(u, v, q_);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64* a) const
+{
+    // Gentleman-Sande, decimation in frequency, inverse twiddles.
+    u64 t = 1;
+    for (u64 m = n_ >> 1; m >= 1; m >>= 1) {
+        for (u64 i = 0; i < m; ++i) {
+            const u64 w = inv_roots_[m + i];
+            const u64 ws = inv_roots_shoup_[m + i];
+            u64* x = a + 2 * i * t;
+            u64* y = x + t;
+            for (u64 j = 0; j < t; ++j) {
+                const u64 u = x[j];
+                const u64 v = y[j];
+                x[j] = add_mod(u, v, q_);
+                y[j] = mul_mod_shoup(sub_mod(u, v, q_), w, ws, q_);
+            }
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n_; ++j) {
+        a[j] = mul_mod_shoup(a[j], n_inv_, n_inv_shoup_, q_);
+    }
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,54 @@
+#ifndef ORION_SRC_CKKS_NTT_H_
+#define ORION_SRC_CKKS_NTT_H_
+
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform over Z_q[X]/(X^N + 1).
+ *
+ * The NTT maps a polynomial to its evaluations at the primitive 2N-th roots
+ * of unity, turning ring multiplication into a pointwise product (Section
+ * 2.5 of the paper). We use the standard merged-twiddle formulation with
+ * Shoup multiplication: root powers are stored in bit-reversed order so
+ * both transforms access twiddles sequentially.
+ */
+
+#include <vector>
+
+#include "src/common.h"
+#include "src/ckks/modarith.h"
+
+namespace orion::ckks {
+
+/** Precomputed twiddle tables for one (N, q) pair. */
+class NttTables {
+  public:
+    NttTables() = default;
+
+    /** Builds tables for ring degree n (power of two) and modulus q. */
+    NttTables(u64 n, const Modulus& q);
+
+    /** In-place forward negacyclic NTT (coefficient -> evaluation order). */
+    void forward(u64* a) const;
+
+    /** In-place inverse negacyclic NTT (evaluation -> coefficient order). */
+    void inverse(u64* a) const;
+
+    u64 degree() const { return n_; }
+    const Modulus& modulus() const { return q_; }
+
+  private:
+    u64 n_ = 0;
+    int log_n_ = 0;
+    Modulus q_;
+    // psi powers in bit-reversed order: roots_[reverse_bits(i)] = psi^i.
+    std::vector<u64> roots_;
+    std::vector<u64> roots_shoup_;
+    std::vector<u64> inv_roots_;
+    std::vector<u64> inv_roots_shoup_;
+    u64 n_inv_ = 0;
+    u64 n_inv_shoup_ = 0;
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_NTT_H_

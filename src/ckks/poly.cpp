@@ -1,0 +1,281 @@
+#include "src/ckks/poly.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace orion::ckks {
+
+RnsPoly::RnsPoly(const Context& ctx, int level, bool extended, bool ntt_form)
+    : ctx_(&ctx), level_(level), ntt_(ntt_form),
+      special_limbs_(extended ? ctx.special_count() : 0)
+{
+    ORION_CHECK(level >= 0 && level <= ctx.max_level(),
+                "level out of range: " << level);
+    data_.assign(static_cast<std::size_t>(num_limbs()) * ctx.degree(), 0);
+}
+
+void
+RnsPoly::add_inplace(const RnsPoly& other)
+{
+    ORION_ASSERT(ctx_ == other.ctx_ && level_ == other.level_ &&
+                 special_limbs_ == other.special_limbs_ &&
+                 ntt_ == other.ntt_);
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (u64 j = 0; j < n; ++j) a[j] = add_mod(a[j], b[j], q);
+    }
+}
+
+void
+RnsPoly::sub_inplace(const RnsPoly& other)
+{
+    ORION_ASSERT(ctx_ == other.ctx_ && level_ == other.level_ &&
+                 special_limbs_ == other.special_limbs_ &&
+                 ntt_ == other.ntt_);
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (u64 j = 0; j < n; ++j) a[j] = sub_mod(a[j], b[j], q);
+    }
+}
+
+void
+RnsPoly::negate_inplace()
+{
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        u64* a = limb(i);
+        for (u64 j = 0; j < n; ++j) a[j] = neg_mod(a[j], q);
+    }
+}
+
+void
+RnsPoly::mul_pointwise_inplace(const RnsPoly& other)
+{
+    ORION_ASSERT(ntt_ && other.ntt_);
+    ORION_ASSERT(ctx_ == other.ctx_ && level_ == other.level_ &&
+                 special_limbs_ == other.special_limbs_);
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (u64 j = 0; j < n; ++j) a[j] = mul_mod(a[j], b[j], q);
+    }
+}
+
+void
+RnsPoly::add_product_inplace(const RnsPoly& b, const RnsPoly& c)
+{
+    ORION_ASSERT(ntt_ && b.ntt_ && c.ntt_);
+    ORION_ASSERT(level_ == b.level_ && level_ == c.level_ &&
+                 special_limbs_ == b.special_limbs_ &&
+                 special_limbs_ == c.special_limbs_);
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        u64* a = limb(i);
+        const u64* x = b.limb(i);
+        const u64* y = c.limb(i);
+        for (u64 j = 0; j < n; ++j) {
+            a[j] = add_mod(a[j], mul_mod(x[j], y[j], q), q);
+        }
+    }
+}
+
+void
+RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalar_per_limb)
+{
+    ORION_ASSERT(scalar_per_limb.size() >=
+                 static_cast<std::size_t>(num_limbs()));
+    const u64 n = degree();
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        const u64 s = scalar_per_limb[static_cast<std::size_t>(i)];
+        const u64 s_shoup = shoup_precompute(s, q);
+        u64* a = limb(i);
+        for (u64 j = 0; j < n; ++j) {
+            a[j] = mul_mod_shoup(a[j], s, s_shoup, q);
+        }
+    }
+}
+
+void
+RnsPoly::mul_small_scalar_inplace(u64 scalar)
+{
+    std::vector<u64> per_limb(static_cast<std::size_t>(num_limbs()));
+    for (int i = 0; i < num_limbs(); ++i) {
+        per_limb[static_cast<std::size_t>(i)] =
+            limb_modulus(i).reduce(scalar);
+    }
+    mul_scalar_inplace(per_limb);
+}
+
+void
+RnsPoly::to_ntt()
+{
+    ORION_ASSERT(!ntt_);
+    for (int i = 0; i < num_limbs(); ++i) {
+        limb_tables(i).forward(limb(i));
+    }
+    ctx_->counters().ntt += static_cast<u64>(num_limbs());
+    ntt_ = true;
+}
+
+void
+RnsPoly::to_coeff()
+{
+    ORION_ASSERT(ntt_);
+    for (int i = 0; i < num_limbs(); ++i) {
+        limb_tables(i).inverse(limb(i));
+    }
+    ctx_->counters().ntt += static_cast<u64>(num_limbs());
+    ntt_ = false;
+}
+
+std::vector<u32>
+make_galois_ntt_permutation(const Context& ctx, u64 elt)
+{
+    // In NTT form, slot i stores the evaluation at psi^{2*rev(i)+1}. The
+    // automorphism X -> X^elt maps the evaluation at root r to the
+    // evaluation at r^elt, which is a pure permutation of the N points.
+    const u64 n = ctx.degree();
+    const int log_n = ctx.log_degree();
+    const u64 m_mask = 2 * n - 1;
+    std::vector<u32> perm(n);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 rev = reverse_bits(static_cast<u32>(i), log_n);
+        const u64 index_raw = (elt * (2 * rev + 1)) & m_mask;
+        const u64 index =
+            reverse_bits(static_cast<u32>((index_raw - 1) >> 1), log_n);
+        perm[i] = static_cast<u32>(index);
+    }
+    return perm;
+}
+
+RnsPoly
+RnsPoly::galois_with_permutation(const std::vector<u32>& perm) const
+{
+    ORION_ASSERT(ntt_);
+    const u64 n = degree();
+    RnsPoly out(*ctx_, level_, extended(), /*ntt_form=*/true);
+    for (int i = 0; i < num_limbs(); ++i) {
+        const u64* src = limb(i);
+        u64* dst = out.limb(i);
+        for (u64 j = 0; j < n; ++j) dst[j] = src[perm[j]];
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::galois(u64 elt) const
+{
+    const u64 n = degree();
+    if (ntt_) {
+        return galois_with_permutation(make_galois_ntt_permutation(*ctx_, elt));
+    }
+    RnsPoly out(*ctx_, level_, extended(), /*ntt_form=*/false);
+    const u64 m_mask = 2 * n - 1;
+    for (int i = 0; i < num_limbs(); ++i) {
+        const Modulus& q = limb_modulus(i);
+        const u64* src = limb(i);
+        u64* dst = out.limb(i);
+        for (u64 j = 0; j < n; ++j) {
+            // X^j -> X^{j*elt} = (+/-) X^{j*elt mod N}.
+            const u64 raw = (j * elt) & m_mask;
+            if (raw < n) {
+                dst[raw] = src[j];
+            } else {
+                dst[raw - n] = neg_mod(src[j], q);
+            }
+        }
+    }
+    return out;
+}
+
+void
+RnsPoly::divide_and_drop_last()
+{
+    const u64 n = degree();
+    const int last = num_limbs() - 1;
+    const Modulus& q_last = limb_modulus(last);
+    const int last_global = limb_global_index(last);
+
+    // Bring the last limb to coefficient form for cross-modulus reduction.
+    std::vector<u64> last_coeffs(limb(last), limb(last) + n);
+    if (ntt_) {
+        limb_tables(last).inverse(last_coeffs.data());
+        ctx_->counters().ntt += 1;
+    }
+    // Center so the rounding error is at most q_last/2 per coefficient.
+    std::vector<i64> centered(n);
+    for (u64 j = 0; j < n; ++j) {
+        centered[j] = to_centered(last_coeffs[j], q_last);
+    }
+
+    const int remaining = last;  // limbs 0..last-1 survive
+    std::vector<u64> tmp(n);
+    for (int i = 0; i < remaining; ++i) {
+        const Modulus& q = limb_modulus(i);
+        for (u64 j = 0; j < n; ++j) {
+            tmp[j] = reduce_signed(centered[j], q);
+        }
+        if (ntt_) {
+            limb_tables(i).forward(tmp.data());
+            ctx_->counters().ntt += 1;
+        }
+        const u64 inv = ctx_->inv_mod_global(last_global, limb_global_index(i));
+        const u64 inv_shoup = shoup_precompute(inv, q);
+        u64* a = limb(i);
+        for (u64 j = 0; j < n; ++j) {
+            a[j] = mul_mod_shoup(sub_mod(a[j], tmp[j], q), inv, inv_shoup, q);
+        }
+    }
+
+    data_.resize(static_cast<std::size_t>(remaining) * n);
+    if (special_limbs_ > 0) {
+        --special_limbs_;
+    } else {
+        --level_;
+    }
+}
+
+void
+RnsPoly::rescale_drop_last()
+{
+    ORION_CHECK(!extended(), "cannot rescale an extended polynomial");
+    ORION_CHECK(level_ >= 1, "cannot rescale at level 0");
+    divide_and_drop_last();
+}
+
+void
+RnsPoly::mod_down_special()
+{
+    ORION_CHECK(extended(), "mod_down_special requires special limbs");
+    while (special_limbs_ > 0) divide_and_drop_last();
+}
+
+void
+RnsPoly::drop_to_level(int new_level)
+{
+    ORION_CHECK(!extended(), "cannot drop levels on an extended polynomial");
+    ORION_CHECK(new_level >= 0 && new_level <= level_,
+                "invalid target level " << new_level << " from " << level_);
+    data_.resize(static_cast<std::size_t>(new_level + 1) * degree());
+    level_ = new_level;
+}
+
+bool
+RnsPoly::is_zero() const
+{
+    return std::all_of(data_.begin(), data_.end(),
+                       [](u64 v) { return v == 0; });
+}
+
+}  // namespace orion::ckks

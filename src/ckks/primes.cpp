@@ -1,0 +1,90 @@
+#include "src/ckks/primes.h"
+
+#include <algorithm>
+
+namespace orion::ckks {
+
+namespace {
+
+/** Miller-Rabin witness check: returns true if `a` proves n composite. */
+bool
+witness_composite(u64 a, u64 d, int r, const Modulus& n)
+{
+    u64 x = pow_mod(a, d, n);
+    if (x == 1 || x == n.value() - 1) return false;
+    for (int i = 1; i < r; ++i) {
+        x = mul_mod(x, x, n);
+        if (x == n.value() - 1) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+is_prime(u64 n)
+{
+    if (n < 2) return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                  29ull, 31ull, 37ull}) {
+        if (n == p) return true;
+        if (n % p == 0) return false;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    Modulus m(n);
+    // This witness set is deterministic for all n < 2^64
+    // (Sinclair, 2011: https://miller-rabin.appspot.com).
+    for (u64 a : {2ull, 325ull, 9375ull, 28178ull, 450775ull, 9780504ull,
+                  1795265022ull}) {
+        if (a % n == 0) continue;
+        if (witness_composite(a % n, d, r, m)) return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generate_ntt_primes(int bit_size, int count, u64 poly_degree,
+                    const std::vector<u64>& skip)
+{
+    ORION_CHECK(bit_size >= 20 && bit_size <= 61,
+                "prime bit size out of supported range: " << bit_size);
+    ORION_CHECK(is_power_of_two(poly_degree), "N must be a power of two");
+    const u64 group = 2 * poly_degree;
+    std::vector<u64> primes;
+    // Largest candidate = 1 (mod 2N) strictly below 2^bit_size.
+    u64 candidate = ((u64(1) << bit_size) - 1) / group * group + 1;
+    while (static_cast<int>(primes.size()) < count) {
+        ORION_CHECK(candidate > (u64(1) << (bit_size - 1)),
+                    "ran out of " << bit_size << "-bit NTT primes");
+        if (is_prime(candidate) &&
+            std::find(skip.begin(), skip.end(), candidate) == skip.end()) {
+            primes.push_back(candidate);
+        }
+        candidate -= group;
+    }
+    return primes;
+}
+
+u64
+find_primitive_root(u64 poly_degree, const Modulus& q)
+{
+    const u64 group = 2 * poly_degree;
+    ORION_CHECK((q.value() - 1) % group == 0,
+                "modulus " << q.value() << " is not NTT-friendly for N="
+                           << poly_degree);
+    const u64 exponent = (q.value() - 1) / group;
+    // For x uniform, psi = x^((q-1)/2N) has order dividing 2N; because 2N is
+    // a power of two, psi^N == -1 certifies the order is exactly 2N.
+    for (u64 x = 2;; ++x) {
+        u64 psi = pow_mod(x, exponent, q);
+        if (pow_mod(psi, poly_degree, q) == q.value() - 1) return psi;
+        ORION_CHECK(x < 1000, "failed to find primitive root");
+    }
+}
+
+}  // namespace orion::ckks

@@ -1,0 +1,41 @@
+#ifndef ORION_SRC_CKKS_PRIMES_H_
+#define ORION_SRC_CKKS_PRIMES_H_
+
+/**
+ * @file
+ * NTT-friendly prime generation for RNS-CKKS moduli chains.
+ *
+ * RNS-CKKS needs primes q with q = 1 (mod 2N) so that the 2N-th roots of
+ * unity exist in Z_q (Section 2.1 of the paper). The moduli chain consists
+ * of a larger "first" prime (fresh-encryption headroom), a run of scaling
+ * primes close to the scaling factor Delta, and one special prime for
+ * hybrid key switching.
+ */
+
+#include <vector>
+
+#include "src/common.h"
+#include "src/ckks/modarith.h"
+
+namespace orion::ckks {
+
+/** Deterministic Miller-Rabin primality test, exact for all 64-bit inputs. */
+bool is_prime(u64 n);
+
+/**
+ * Generates `count` distinct primes of exactly `bit_size` bits with
+ * p = 1 (mod 2N), searching downward from 2^bit_size. `skip` lets callers
+ * avoid primes already allocated to another part of the chain.
+ */
+std::vector<u64> generate_ntt_primes(int bit_size, int count, u64 poly_degree,
+                                     const std::vector<u64>& skip = {});
+
+/**
+ * Finds psi, a primitive 2N-th root of unity mod q (so psi^N = -1).
+ * Requires q = 1 (mod 2N).
+ */
+u64 find_primitive_root(u64 poly_degree, const Modulus& q);
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_PRIMES_H_

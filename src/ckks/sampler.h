@@ -1,0 +1,75 @@
+#ifndef ORION_SRC_CKKS_SAMPLER_H_
+#define ORION_SRC_CKKS_SAMPLER_H_
+
+/**
+ * @file
+ * Randomness for key generation and encryption.
+ *
+ * The sampler is deterministic given its seed, which makes every test and
+ * benchmark in the repository reproducible. This is a research artifact;
+ * a production deployment would seed from a CSPRNG.
+ */
+
+#include <random>
+#include <vector>
+
+#include "src/common.h"
+#include "src/ckks/modarith.h"
+
+namespace orion::ckks {
+
+/** Default standard deviation of the RLWE error distribution. */
+inline constexpr double kErrorStdDev = 3.2;
+
+/** Seeded source of the secret / error / uniform distributions of RLWE. */
+class Sampler {
+  public:
+    explicit Sampler(u64 seed = 0x0123456789abcdefULL) : rng_(seed) {}
+
+    /** Uniform ternary secret in {-1, 0, 1}^n, returned centered. */
+    std::vector<i64>
+    sample_ternary(std::size_t n)
+    {
+        std::uniform_int_distribution<int> dist(-1, 1);
+        std::vector<i64> out(n);
+        for (auto& x : out) x = dist(rng_);
+        return out;
+    }
+
+    /** Rounded Gaussian error with standard deviation sigma. */
+    std::vector<i64>
+    sample_gaussian(std::size_t n, double sigma = kErrorStdDev)
+    {
+        std::normal_distribution<double> dist(0.0, sigma);
+        std::vector<i64> out(n);
+        for (auto& x : out) x = static_cast<i64>(std::llround(dist(rng_)));
+        return out;
+    }
+
+    /** Uniform residues modulo q. */
+    std::vector<u64>
+    sample_uniform(std::size_t n, const Modulus& q)
+    {
+        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+        std::vector<u64> out(n);
+        for (auto& x : out) x = dist(rng_);
+        return out;
+    }
+
+    /** A single double drawn from N(0, sigma^2). */
+    double
+    sample_normal(double sigma)
+    {
+        std::normal_distribution<double> dist(0.0, sigma);
+        return dist(rng_);
+    }
+
+    std::mt19937_64& rng() { return rng_; }
+
+  private:
+    std::mt19937_64 rng_;
+};
+
+}  // namespace orion::ckks
+
+#endif  // ORION_SRC_CKKS_SAMPLER_H_

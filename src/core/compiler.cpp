@@ -1,0 +1,1079 @@
+#include "src/core/compiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "src/approx/polyeval.h"
+
+namespace orion::core {
+
+namespace {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Network;
+
+/** Layers that produce no FHE instruction (value aliases). */
+bool
+is_passthrough(LayerKind k)
+{
+    return k == LayerKind::kInput || k == LayerKind::kFlatten;
+}
+
+lin::TensorLayout
+layout_for(const nn::Shape& s, int gap)
+{
+    if (s.flat) return lin::TensorLayout(1, 1, s.features, 1);
+    return lin::TensorLayout(s.c, s.h, s.w, gap);
+}
+
+/** The whole compile state, threaded through the passes. */
+struct CompilerState {
+    const Network* net;
+    const CompileOptions* opt;
+    CompiledNetwork out;
+
+    std::vector<bool> bn_absorbed;       // BN folded into its producer
+    std::vector<int> bn_of;              // conv/linear id -> absorbed BN id
+    std::vector<double> max_abs;         // per-layer calibration maxima
+    double input_max = 1.0;
+    std::vector<double> nu;              // per-layer edge normalization
+    std::vector<int> gap;                // layout gap of each layer output
+    std::vector<u64> edge_cts;           // ciphertexts per layer output
+    std::vector<int> payload_of;         // layer id -> linears/acts index
+    std::map<int, double> scale_insert;  // Add input layer id -> factor
+    std::map<int, int> fork_of;          // Add/ReLU id -> fork layer id
+    std::map<int, std::vector<int>> relu_stages_of;  // ReLU id -> payloads
+    std::map<int, int> stage_operand;    // stage synthetic id -> operand key
+
+    u64
+    cts_of_layout(const lin::TensorLayout& l) const
+    {
+        return std::max<u64>(1, ceil_div(l.total_slots(), opt->slots));
+    }
+};
+
+// ---------------------------------------------------------------------
+// Pass 1: BatchNorm folding.
+// ---------------------------------------------------------------------
+
+void
+fold_batchnorms(CompilerState& st)
+{
+    const Network& net = *st.net;
+    st.bn_absorbed.assign(static_cast<std::size_t>(net.num_layers()), false);
+    st.bn_of.assign(static_cast<std::size_t>(net.num_layers()), -1);
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const Layer& l = net.layer(id);
+        if (l.kind != LayerKind::kBatchNorm2d) continue;
+        const int p = l.inputs[0];
+        const Layer& producer = net.layer(p);
+        const bool foldable =
+            (producer.kind == LayerKind::kConv2d) &&
+            net.consumers(p).size() == 1;
+        if (foldable) {
+            st.bn_absorbed[static_cast<std::size_t>(id)] = true;
+            st.bn_of[static_cast<std::size_t>(p)] = id;
+        }
+        // Non-foldable BN becomes a standalone 1x1 depthwise conv later.
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: range estimation (net.fit()).
+// ---------------------------------------------------------------------
+
+void
+estimate_ranges(CompilerState& st)
+{
+    const Network& net = *st.net;
+    st.max_abs.assign(static_cast<std::size_t>(net.num_layers()), 1e-9);
+    std::mt19937_64 rng(st.opt->calibration_seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const u64 in_size = net.shape_of(net.input_id()).size();
+    st.input_max = 1e-9;
+    const std::vector<std::vector<double>>& user =
+        st.opt->calibration_inputs;
+    const int samples = user.empty() ? st.opt->calibration_samples
+                                     : static_cast<int>(user.size());
+    for (int s = 0; s < samples; ++s) {
+        std::vector<double> x;
+        if (user.empty()) {
+            x.resize(in_size);
+            for (double& v : x) v = dist(rng);
+        } else {
+            x = user[static_cast<std::size_t>(s)];
+            ORION_CHECK(x.size() == in_size,
+                        "calibration input size mismatch");
+        }
+        for (double v : x) st.input_max = std::max(st.input_max, std::abs(v));
+        std::vector<double> maxima;
+        net.forward(x, &maxima);
+        for (int id = 0; id < net.num_layers(); ++id) {
+            st.max_abs[static_cast<std::size_t>(id)] =
+                std::max(st.max_abs[static_cast<std::size_t>(id)],
+                         maxima[static_cast<std::size_t>(id)]);
+        }
+    }
+}
+
+/**
+ * The calibration maximum of a layer's *effective* output (i.e. after any
+ * absorbed BatchNorm).
+ */
+double
+eff_max(const CompilerState& st, int id)
+{
+    const int bn = st.bn_of[static_cast<std::size_t>(id)];
+    return st.max_abs[static_cast<std::size_t>(bn >= 0 ? bn : id)];
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: normalization factor assignment.
+// ---------------------------------------------------------------------
+
+/**
+ * Extra normalization headroom on edges feeding polynomial activations:
+ * fitted polynomials (sign composites, SiLU Chebyshev) are only controlled
+ * on their fit domain, so approximation/calibration drift must never push
+ * activation inputs outside it.
+ */
+constexpr double kActInputSlack = 1.5;
+
+/** True when the layer's value feeds a non-square activation (via any
+ * flatten views). */
+bool
+feeds_poly_activation(const Network& net, int id)
+{
+    for (int consumer : net.consumers(id)) {
+        const Layer& c = net.layer(consumer);
+        if (c.kind == LayerKind::kFlatten) {
+            if (feeds_poly_activation(net, consumer)) return true;
+        } else if (c.kind == LayerKind::kActivation &&
+                   c.act.kind != nn::ActivationSpec::Kind::kSquare) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+assign_normalization(CompilerState& st)
+{
+    const Network& net = *st.net;
+    const double margin = st.opt->margin;
+    st.nu.assign(static_cast<std::size_t>(net.num_layers()), 1.0);
+    auto nu_of = [&st](int id) -> double& {
+        return st.nu[static_cast<std::size_t>(id)];
+    };
+    auto slack_of = [&net](int id) {
+        return feeds_poly_activation(net, id) ? kActInputSlack : 1.0;
+    };
+
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const Layer& l = net.layer(id);
+        switch (l.kind) {
+        case LayerKind::kInput:
+            nu_of(id) = 1.0 / (margin * slack_of(id) * st.input_max);
+            break;
+        case LayerKind::kConv2d:
+        case LayerKind::kLinear:
+        case LayerKind::kAvgPool2d:
+        case LayerKind::kBatchNorm2d:
+            nu_of(id) = 1.0 / (margin * slack_of(id) * eff_max(st, id));
+            break;
+        case LayerKind::kActivation:
+            switch (l.act.kind) {
+            case nn::ActivationSpec::Kind::kSquare: {
+                // With a foldable producer, retrofit nu_in = sqrt(nu_out)
+                // so the square needs no extra constant. Otherwise the
+                // square simply emits nu_in^2 * x^2, which is still in
+                // [-1, 1] (|nu_in * x| <= 1), and the next layer folds
+                // from nu_in^2.
+                const int p = l.inputs[0];
+                const LayerKind pk = net.layer(p).kind;
+                const bool foldable =
+                    (pk == LayerKind::kConv2d || pk == LayerKind::kLinear ||
+                     pk == LayerKind::kBatchNorm2d) &&
+                    net.consumers(p).size() == 1;
+                if (foldable) {
+                    const double out =
+                        1.0 /
+                        (margin * st.max_abs[static_cast<std::size_t>(id)]);
+                    nu_of(p) = std::sqrt(out);
+                    nu_of(id) = out;
+                } else {
+                    nu_of(id) = nu_of(p) * nu_of(p);
+                }
+                break;
+            }
+            case nn::ActivationSpec::Kind::kRelu:
+                nu_of(id) = nu_of(l.inputs[0]);
+                break;
+            default:
+                nu_of(id) =
+                    1.0 / (margin * st.max_abs[static_cast<std::size_t>(id)]);
+                break;
+            }
+            break;
+        case LayerKind::kAdd: {
+            // Both inputs must arrive at a common nu that also bounds the
+            // sum (see compiler.h pipeline notes).
+            const int a = l.inputs[0];
+            const int b = l.inputs[1];
+            const double bound = std::max(
+                {st.max_abs[static_cast<std::size_t>(id)],
+                 st.max_abs[static_cast<std::size_t>(a)],
+                 st.max_abs[static_cast<std::size_t>(b)]});
+            const double target = 1.0 / (margin * slack_of(id) * bound);
+            for (int in : {a, b}) {
+                const Layer& p = net.layer(in);
+                const bool foldable =
+                    (p.kind == LayerKind::kConv2d ||
+                     p.kind == LayerKind::kLinear ||
+                     p.kind == LayerKind::kAvgPool2d ||
+                     p.kind == LayerKind::kBatchNorm2d) &&
+                    net.consumers(in).size() == 1;
+                if (foldable) {
+                    nu_of(in) = target;
+                } else if (!ckks::scales_match(nu_of(in), target)) {
+                    st.scale_insert[in] = target / nu_of(in);
+                }
+            }
+            nu_of(id) = target;
+            break;
+        }
+        case LayerKind::kFlatten:
+            nu_of(id) = nu_of(l.inputs[0]);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: packing (layouts, matrices / structures, BSGS plans).
+// ---------------------------------------------------------------------
+
+/** Effective per-output-channel multiplier and bias of a linear layer. */
+void
+folded_channel_terms(const CompilerState& st, const Layer& l, int channels,
+                     std::vector<double>* mult, std::vector<double>* bias)
+{
+    const double nu_in = st.nu[static_cast<std::size_t>(l.inputs[0])];
+    // The authoritative output edge is the absorbed BatchNorm's when one
+    // exists: downstream consumers reference that layer's nu.
+    const int out_edge = st.bn_of[static_cast<std::size_t>(l.id)] >= 0
+                             ? st.bn_of[static_cast<std::size_t>(l.id)]
+                             : l.id;
+    const double nu_out = st.nu[static_cast<std::size_t>(out_edge)];
+    mult->assign(static_cast<std::size_t>(channels), nu_out / nu_in);
+    bias->assign(static_cast<std::size_t>(channels), 0.0);
+    for (int c = 0; c < channels; ++c) {
+        double base_bias =
+            l.bias.empty() ? 0.0 : l.bias[static_cast<std::size_t>(c)];
+        double g = 1.0;
+        double shift = 0.0;
+        const int bn_id = st.bn_of[static_cast<std::size_t>(l.id)];
+        if (bn_id >= 0) {
+            const Layer& bn = st.net->layer(bn_id);
+            const double inv_std = 1.0 / std::sqrt(
+                bn.bn_var[static_cast<std::size_t>(c)] + bn.bn_eps);
+            g = bn.bn_gamma[static_cast<std::size_t>(c)] * inv_std;
+            shift = bn.bn_beta[static_cast<std::size_t>(c)] -
+                    g * bn.bn_mean[static_cast<std::size_t>(c)];
+        }
+        (*mult)[static_cast<std::size_t>(c)] *= g;
+        (*bias)[static_cast<std::size_t>(c)] =
+            nu_out * (g * base_bias + shift);
+    }
+}
+
+PlanStats
+stats_from_plan(const lin::BlockedPlan& plan, u64 in_cts, u64 out_cts)
+{
+    PlanStats s;
+    for (const auto& [bc, babies] : plan.column_babies) {
+        (void)bc;
+        for (u64 b : babies) {
+            if (b != 0) ++s.baby_rotations;
+        }
+        ++s.hoists;
+    }
+    for (const auto& [key, bp] : plan.block_plans) {
+        (void)key;
+        s.giant_rotations += bp.giant_rotation_count();
+        s.pmults += bp.pmult_count();
+    }
+    s.input_cts = in_cts;
+    s.output_cts = out_cts;
+    return s;
+}
+
+/**
+ * The slot layout actually holding a value: flattens are views, so the
+ * layout (possibly multiplexed, Section 4.3) of the nearest non-flatten
+ * producer is what a consumer sees.
+ */
+lin::TensorLayout
+value_layout(const CompilerState& st, int id)
+{
+    const Layer& l = st.net->layer(id);
+    if (l.kind == LayerKind::kFlatten) {
+        return value_layout(st, l.inputs[0]);
+    }
+    return layout_for(l.out_shape, st.gap[static_cast<std::size_t>(id)]);
+}
+
+/** Builds the LinearLayerData of a conv / pool / linear / standalone BN. */
+int
+build_linear_payload(CompilerState& st, const Layer& l)
+{
+    const Network& net = *st.net;
+    const CompileOptions& opt = *st.opt;
+    LinearLayerData data;
+    const int in_id = l.inputs[0];
+    const lin::TensorLayout in_layout = value_layout(st, in_id);
+    data.in_layout = in_layout;
+
+    lin::BlockedStructure structure;
+    if (l.kind == LayerKind::kConv2d) {
+        data.kind = LayerKind::kConv2d;
+        data.conv = l.conv;
+        const int out_gap = opt.packing == CompileOptions::Packing::kRaster
+                                ? in_layout.gap
+                                : in_layout.gap * l.conv.stride;
+        data.out_layout = lin::TensorLayout(
+            l.conv.out_channels, l.out_shape.h, l.out_shape.w, out_gap);
+        std::vector<double> mult, bias;
+        folded_channel_terms(st, l, l.conv.out_channels, &mult, &bias);
+        data.folded_weights = l.weights;
+        const u64 per_out = data.folded_weights.size() /
+                            static_cast<u64>(l.conv.out_channels);
+        for (int c = 0; c < l.conv.out_channels; ++c) {
+            for (u64 i = 0; i < per_out; ++i) {
+                data.folded_weights[static_cast<std::size_t>(c) * per_out +
+                                    i] *= mult[static_cast<std::size_t>(c)];
+            }
+        }
+        data.folded_bias = std::move(bias);
+        structure = lin::build_conv_structure(l.conv, in_layout,
+                                              data.out_layout, opt.slots);
+        if (!opt.structural_only) {
+            data.matrix = std::make_shared<lin::BlockedMatrix>(
+                lin::build_conv_matrix(l.conv, data.folded_weights, in_layout,
+                                       data.out_layout, opt.slots));
+        }
+    } else if (l.kind == LayerKind::kAvgPool2d) {
+        data.kind = LayerKind::kAvgPool2d;
+        lin::Conv2dSpec spec;
+        const nn::Shape in_shape = net.shape_of(in_id);
+        spec.in_channels = spec.out_channels = in_shape.c;
+        spec.kernel_h = spec.kernel_w = l.pool_kernel;
+        spec.stride = l.pool_stride;
+        spec.pad = l.pool_pad;
+        spec.groups = in_shape.c;
+        data.conv = spec;
+        const int out_gap = opt.packing == CompileOptions::Packing::kRaster
+                                ? in_layout.gap
+                                : in_layout.gap * spec.stride;
+        data.out_layout = lin::TensorLayout(in_shape.c, l.out_shape.h,
+                                            l.out_shape.w, out_gap);
+        const double nu_ratio =
+            st.nu[static_cast<std::size_t>(l.id)] /
+            st.nu[static_cast<std::size_t>(in_id)];
+        data.folded_weights.assign(
+            spec.weight_count(),
+            nu_ratio / (static_cast<double>(l.pool_kernel) * l.pool_kernel));
+        structure = lin::build_avgpool_structure(
+            l.pool_kernel, l.pool_stride, in_layout, data.out_layout,
+            opt.slots, l.pool_pad);
+        if (!opt.structural_only) {
+            data.matrix = std::make_shared<lin::BlockedMatrix>(
+                lin::build_conv_matrix(spec, data.folded_weights, in_layout,
+                                       data.out_layout, opt.slots));
+        }
+    } else if (l.kind == LayerKind::kLinear) {
+        data.kind = LayerKind::kLinear;
+        data.in_features = l.in_features;
+        data.out_features = l.out_features;
+        data.out_layout = lin::TensorLayout(1, 1, l.out_features, 1);
+        std::vector<double> mult, bias;
+        folded_channel_terms(st, l, l.out_features, &mult, &bias);
+        data.folded_weights = l.weights;
+        for (int r = 0; r < l.out_features; ++r) {
+            for (int c = 0; c < l.in_features; ++c) {
+                data.folded_weights[static_cast<std::size_t>(r) *
+                                        l.in_features +
+                                    c] *= mult[static_cast<std::size_t>(r)];
+            }
+        }
+        data.folded_bias = std::move(bias);
+        structure =
+            lin::build_linear_structure(l.out_features, in_layout, opt.slots);
+        if (!opt.structural_only) {
+            data.matrix = std::make_shared<lin::BlockedMatrix>(
+                lin::build_linear_matrix(l.out_features, l.in_features,
+                                         data.folded_weights, in_layout,
+                                         opt.slots));
+        }
+    } else {
+        // Standalone BatchNorm: 1x1 depthwise conv.
+        ORION_ASSERT(l.kind == LayerKind::kBatchNorm2d);
+        data.kind = LayerKind::kConv2d;
+        const nn::Shape in_shape = net.shape_of(in_id);
+        lin::Conv2dSpec spec;
+        spec.in_channels = spec.out_channels = in_shape.c;
+        spec.groups = in_shape.c;
+        data.conv = spec;
+        data.out_layout = in_layout;
+        const double nu_in = st.nu[static_cast<std::size_t>(in_id)];
+        const double nu_out = st.nu[static_cast<std::size_t>(l.id)];
+        data.folded_weights.resize(static_cast<std::size_t>(in_shape.c));
+        data.folded_bias.resize(static_cast<std::size_t>(in_shape.c));
+        for (int c = 0; c < in_shape.c; ++c) {
+            const double inv_std = 1.0 / std::sqrt(
+                l.bn_var[static_cast<std::size_t>(c)] + l.bn_eps);
+            const double g = l.bn_gamma[static_cast<std::size_t>(c)] * inv_std;
+            data.folded_weights[static_cast<std::size_t>(c)] =
+                g * nu_out / nu_in;
+            data.folded_bias[static_cast<std::size_t>(c)] =
+                nu_out * (l.bn_beta[static_cast<std::size_t>(c)] -
+                          g * l.bn_mean[static_cast<std::size_t>(c)]);
+        }
+        structure = lin::build_conv_structure(spec, in_layout,
+                                              data.out_layout, opt.slots);
+        if (!opt.structural_only) {
+            data.matrix = std::make_shared<lin::BlockedMatrix>(
+                lin::build_conv_matrix(spec, data.folded_weights, in_layout,
+                                       data.out_layout, opt.slots));
+        }
+    }
+
+    data.rows = structure.rows;
+    data.cols = structure.cols;
+    data.plan = lin::BlockedPlan::build_from_structure(
+        opt.slots, structure.row_blocks(), structure.col_blocks(),
+        structure.blocks, opt.use_bsgs ? 0 : 1);
+    data.stats = stats_from_plan(
+        data.plan, std::max<u64>(1, structure.col_blocks()),
+        std::max<u64>(1, structure.row_blocks()));
+
+    st.out.linears.push_back(std::move(data));
+    return static_cast<int>(st.out.linears.size()) - 1;
+}
+
+/**
+ * Builds the ActivationData unit(s) of an activation layer. Square and
+ * SiLU/custom are one unit; ReLU becomes one unit per sign stage (its
+ * x * sign(x) multiply is emitted as a kMul join by the chain builder),
+ * so bootstraps can land between the composite's stages (Section 5.2).
+ * Returns the payload index for single-unit kinds, -1 for ReLU (the stage
+ * payloads are recorded in relu_stages_of).
+ */
+int
+build_activation_payload(CompilerState& st, const Layer& l)
+{
+    const double nu_in = st.nu[static_cast<std::size_t>(l.inputs[0])];
+    const double nu_out = st.nu[static_cast<std::size_t>(l.id)];
+    switch (l.act.kind) {
+    case nn::ActivationSpec::Kind::kSquare: {
+        ActivationData data;
+        data.kind = l.act.kind;
+        data.nu_in = nu_in;
+        data.nu_out = nu_out;
+        data.depth = 1;
+        data.stage_degrees = {2};
+        data.approx_f = [](double u) { return u * u; };
+        st.out.activations.push_back(std::move(data));
+        return static_cast<int>(st.out.activations.size()) - 1;
+    }
+    case nn::ActivationSpec::Kind::kRelu: {
+        std::vector<approx::ChebyshevPoly> stages =
+            approx::make_relu_stages(l.act.relu_degrees);
+        // Widen the first stage's effective domain: evaluating p0(x / tau)
+        // leaves sign(x) unchanged but keeps the composite stable when
+        // approximation noise or calibration drift pushes |x| slightly
+        // past 1 (otherwise the sign polynomials amplify the overshoot
+        // and deep ResNets blow up).
+        constexpr double kSignDomainSlack = 1.5;
+        const approx::ChebyshevPoly p0 = stages[0];
+        stages[0] = approx::ChebyshevPoly::fit(
+            [&p0](double x) { return p0.eval(x / kSignDomainSlack); }, -1.0,
+            1.0, p0.degree());
+        std::vector<int>& payloads = st.relu_stages_of[l.id];
+        for (std::size_t i = 0; i < stages.size(); ++i) {
+            ActivationData data;
+            data.kind = l.act.kind;
+            data.nu_in = nu_in;
+            data.nu_out = nu_out;
+            data.stages = {stages[i]};
+            data.depth = approx::HePolyEvaluator::poly_depth(stages[i]);
+            data.stage_degrees = {stages[i].degree()};
+            const approx::ChebyshevPoly s = stages[i];
+            data.approx_f = [s](double u) { return s.eval(u); };
+            st.out.activations.push_back(std::move(data));
+            payloads.push_back(
+                static_cast<int>(st.out.activations.size()) - 1);
+        }
+        return -1;
+    }
+    default: {
+        // SiLU / custom: fit g(u) = nu_out * f(u / nu_in) on [-1, 1].
+        ActivationData data;
+        data.kind = l.act.kind;
+        data.nu_in = nu_in;
+        data.nu_out = nu_out;
+        const std::function<double(double)> f = l.act.f;
+        const approx::ChebyshevPoly g = approx::ChebyshevPoly::fit(
+            [&](double u) { return nu_out * f(u / nu_in); }, -1.0, 1.0,
+            l.act.degree);
+        data.stages = {g};
+        data.depth = approx::HePolyEvaluator::poly_depth(g);
+        data.stage_degrees = {l.act.degree};
+        const approx::ChebyshevPoly g_copy = g;
+        data.approx_f = [g_copy](double u) { return g_copy.eval(u); };
+        st.out.activations.push_back(std::move(data));
+        return static_cast<int>(st.out.activations.size()) - 1;
+    }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 5: chain construction (SESE regions around residual Adds).
+// ---------------------------------------------------------------------
+
+/** Synthetic layer ids for inserted scale units: -100 - add_input_id. */
+int
+scale_unit_id(int branch_producer)
+{
+    return -100 - branch_producer;
+}
+
+PlacementUnit
+make_unit(CompilerState& st, const Layer& l)
+{
+    PlacementUnit u;
+    u.layer_id = l.id;
+    u.name = nn::layer_kind_name(l.kind);
+    const CostModel& cost = st.opt->cost;
+    switch (l.kind) {
+    case LayerKind::kConv2d:
+    case LayerKind::kLinear:
+    case LayerKind::kAvgPool2d:
+    case LayerKind::kBatchNorm2d: {
+        const int payload = st.payload_of[static_cast<std::size_t>(l.id)];
+        const LinearLayerData& data =
+            st.out.linears[static_cast<std::size_t>(payload)];
+        u.depth = 1;
+        const PlanStats stats = data.stats;
+        u.latency = [&cost, stats](int lvl) {
+            return cost.linear_layer(stats, lvl);
+        };
+        u.input_cts = stats.input_cts;
+        u.output_cts = stats.output_cts;
+        break;
+    }
+    case LayerKind::kActivation: {
+        const int payload = st.payload_of[static_cast<std::size_t>(l.id)];
+        ORION_ASSERT(payload >= 0);  // ReLU goes through make_stage_unit
+        const ActivationData& data =
+            st.out.activations[static_cast<std::size_t>(payload)];
+        u.depth = data.depth;
+        const std::vector<int> degrees = data.stage_degrees;
+        const u64 cts = st.edge_cts[static_cast<std::size_t>(l.id)];
+        u.latency = [&cost, degrees, cts](int lvl) {
+            return cost.activation(degrees, lvl, cts, false);
+        };
+        u.input_cts = u.output_cts = cts;
+        break;
+    }
+    case LayerKind::kAdd: {
+        const u64 cts = st.edge_cts[static_cast<std::size_t>(l.id)];
+        u.depth = 0;
+        u.latency = [&cost, cts](int lvl) {
+            return static_cast<double>(cts) * cost.hadd(lvl);
+        };
+        u.input_cts = u.output_cts = cts;
+        break;
+    }
+    default:
+        ORION_ASSERT(false);
+    }
+    return u;
+}
+
+/** Synthetic layer ids for ReLU sign-stage units: -1000 - payload. */
+int
+stage_unit_id(int payload)
+{
+    return -1000 - payload;
+}
+
+PlacementUnit
+make_stage_unit(CompilerState& st, int payload, u64 cts)
+{
+    const CostModel& cost = st.opt->cost;
+    const ActivationData& data =
+        st.out.activations[static_cast<std::size_t>(payload)];
+    PlacementUnit u;
+    u.layer_id = stage_unit_id(payload);
+    u.name = "SignStage";
+    u.depth = data.depth;
+    const std::vector<int> degrees = data.stage_degrees;
+    u.latency = [&cost, degrees, cts](int lvl) {
+        return cost.activation(degrees, lvl, cts, false);
+    };
+    u.input_cts = u.output_cts = cts;
+    return u;
+}
+
+PlacementUnit
+make_mul_unit(CompilerState& st, int relu_layer_id, u64 cts)
+{
+    const CostModel& cost = st.opt->cost;
+    PlacementUnit u;
+    u.layer_id = relu_layer_id;
+    u.name = "ReluMul";
+    u.depth = 1;
+    u.latency = [&cost, cts](int lvl) {
+        return static_cast<double>(cts) *
+               (cost.hmult(lvl) + cost.rescale(lvl));
+    };
+    u.input_cts = u.output_cts = cts;
+    return u;
+}
+
+PlacementUnit
+make_scale_unit(CompilerState& st, int branch_producer)
+{
+    const CostModel& cost = st.opt->cost;
+    const u64 cts = st.edge_cts[static_cast<std::size_t>(branch_producer)];
+    PlacementUnit u;
+    u.layer_id = scale_unit_id(branch_producer);
+    u.name = "Scale";
+    u.depth = 1;
+    u.latency = [&cost, cts](int lvl) {
+        return static_cast<double>(cts) *
+               (cost.pmult(lvl) + cost.rescale(lvl));
+    };
+    u.input_cts = u.output_cts = cts;
+    return u;
+}
+
+Chain build_chain(CompilerState& st, int from_exclusive, int to_inclusive);
+
+/** Appends the chain item(s) of one layer (skipping passthroughs). */
+void
+append_layer(CompilerState& st, Chain* chain, int id)
+{
+    const Layer& l = st.net->layer(id);
+    if (is_passthrough(l.kind)) return;
+    if (l.kind == LayerKind::kBatchNorm2d &&
+        st.bn_absorbed[static_cast<std::size_t>(id)]) {
+        return;
+    }
+    if (l.kind == LayerKind::kActivation &&
+        l.act.kind == nn::ActivationSpec::Kind::kRelu) {
+        // ReLU = x * sign(x): a SESE region whose backbone is the sign
+        // stages and whose other branch is the identity (x itself).
+        const u64 cts = st.edge_cts[static_cast<std::size_t>(id)];
+        st.fork_of[id] = l.inputs[0];
+        ChainItem region;
+        region.kind = ChainItem::Kind::kRegion;
+        region.unit = make_mul_unit(st, id, cts);
+        Chain backbone;
+        int prev_key = l.inputs[0];
+        for (int payload : st.relu_stages_of.at(id)) {
+            ChainItem stage;
+            stage.kind = ChainItem::Kind::kUnit;
+            stage.unit = make_stage_unit(st, payload, cts);
+            st.stage_operand[stage_unit_id(payload)] = prev_key;
+            prev_key = stage_unit_id(payload);
+            backbone.items.push_back(std::move(stage));
+        }
+        region.branches.push_back(std::move(backbone));
+        region.branches.emplace_back();  // identity branch: x
+        chain->items.push_back(std::move(region));
+        return;
+    }
+    if (l.kind == LayerKind::kAdd) {
+        // Region: find the fork (nearest common ancestor of both inputs).
+        const Network& net = *st.net;
+        std::set<int> ancestors;
+        int cur = l.inputs[0];
+        while (true) {
+            ancestors.insert(cur);
+            const Layer& a = net.layer(cur);
+            if (a.inputs.empty()) break;
+            cur = a.inputs[0];
+        }
+        int fork = l.inputs[1];
+        while (ancestors.count(fork) == 0) {
+            const Layer& b = net.layer(fork);
+            ORION_CHECK(!b.inputs.empty(), "no common fork for Add");
+            fork = b.inputs[0];
+        }
+        st.fork_of[id] = fork;
+
+        ChainItem region;
+        region.kind = ChainItem::Kind::kRegion;
+        region.unit = make_unit(st, l);
+        for (int in : {l.inputs[0], l.inputs[1]}) {
+            Chain branch = build_chain(st, fork, in);
+            if (auto it = st.scale_insert.find(in);
+                it != st.scale_insert.end()) {
+                ChainItem scale;
+                scale.kind = ChainItem::Kind::kUnit;
+                scale.unit = make_scale_unit(st, in);
+                branch.items.push_back(std::move(scale));
+            }
+            region.branches.push_back(std::move(branch));
+        }
+        chain->items.push_back(std::move(region));
+        return;
+    }
+    ChainItem item;
+    item.kind = ChainItem::Kind::kUnit;
+    item.unit = make_unit(st, l);
+    chain->items.push_back(std::move(item));
+}
+
+Chain
+build_chain(CompilerState& st, int from_exclusive, int to_inclusive)
+{
+    Chain chain;
+    if (from_exclusive == to_inclusive) return chain;
+    // Collect the backward path, recursing at Adds.
+    std::vector<int> path;
+    int cur = to_inclusive;
+    while (cur != from_exclusive) {
+        path.push_back(cur);
+        const Layer& l = st.net->layer(cur);
+        ORION_CHECK(!l.inputs.empty(), "walked past the chain start");
+        // For Adds, continue upward through the fork.
+        if (l.kind == LayerKind::kAdd) {
+            // The fork is an ancestor of both inputs; find it the same way
+            // append_layer will.
+            std::set<int> ancestors;
+            int a = l.inputs[0];
+            while (true) {
+                ancestors.insert(a);
+                const Layer& al = st.net->layer(a);
+                if (al.inputs.empty()) break;
+                a = al.inputs[0];
+            }
+            int fork = l.inputs[1];
+            while (ancestors.count(fork) == 0) {
+                fork = st.net->layer(fork).inputs[0];
+            }
+            cur = fork;
+        } else {
+            cur = l.inputs[0];
+        }
+    }
+    std::reverse(path.begin(), path.end());
+    for (int id : path) append_layer(st, &chain, id);
+    return chain;
+}
+
+// ---------------------------------------------------------------------
+// Pass 7: instruction emission.
+// ---------------------------------------------------------------------
+
+void
+emit_instructions(CompilerState& st, const PlacementResult& placement)
+{
+    const Network& net = *st.net;
+    CompiledNetwork& out = st.out;
+    std::map<int, int> value_of;  // layer id (or synthetic) -> value id
+    int next_value = 0;
+
+    // Input.
+    {
+        Instruction in;
+        in.op = Instruction::Op::kInput;
+        in.value = next_value++;
+        in.layer_id = net.input_id();
+        in.level = st.opt->l_eff;
+        in.cts = st.edge_cts[static_cast<std::size_t>(net.input_id())];
+        out.program.push_back(in);
+        value_of[net.input_id()] = in.value;
+        // Passthrough aliases resolve through this map lazily below.
+    }
+
+    auto resolve = [&](int id) -> int {
+        // Walk through passthrough layers / absorbed BNs to the value.
+        int cur = id;
+        while (value_of.count(cur) == 0) {
+            const Layer& l = net.layer(cur);
+            ORION_CHECK(!l.inputs.empty(), "unresolved value for layer "
+                                               << cur);
+            cur = l.inputs[0];
+        }
+        return value_of.at(cur);
+    };
+
+    for (const UnitDecision& d : placement.decisions) {
+        const bool is_fork_note = d.name.ends_with(":fork");
+        // Identify the consumed operand.
+        int operand_layer = -1;
+        if (d.layer_id >= 0) {
+            const Layer& l = net.layer(d.layer_id);
+            if (is_fork_note) {
+                operand_layer = st.fork_of.at(d.layer_id);
+            } else {
+                operand_layer = l.inputs[0];
+            }
+        } else if (d.layer_id <= -1000) {
+            operand_layer = st.stage_operand.at(d.layer_id);
+        } else {
+            operand_layer = -(d.layer_id + 100);  // scale unit: producer id
+        }
+
+        if (d.bootstrap_before) {
+            Instruction boot;
+            boot.op = Instruction::Op::kBootstrap;
+            boot.a = resolve(operand_layer);
+            boot.value = next_value++;
+            boot.level = st.opt->l_eff;
+            boot.cts = d.boot_cts;
+            out.program.push_back(boot);
+            // The bootstrapped value replaces the old binding.
+            value_of[operand_layer] = boot.value;
+            out.num_bootstraps += d.boot_cts;
+        }
+        if (is_fork_note) continue;
+
+        if (d.layer_id <= -1000) {
+            // One sign stage of a ReLU composite.
+            const int payload = -(d.layer_id + 1000);
+            Instruction act;
+            act.op = Instruction::Op::kActivation;
+            act.a = resolve(operand_layer);
+            act.value = next_value++;
+            act.layer_id = d.layer_id;
+            act.level = d.exec_level;
+            act.payload = payload;
+            // All stages share the ReLU edge's ciphertext count; walk the
+            // operand chain back to the originating network layer.
+            int key = operand_layer;
+            while (key < 0) key = st.stage_operand.at(key);
+            act.cts = st.edge_cts[static_cast<std::size_t>(key)];
+            out.program.push_back(act);
+            value_of[d.layer_id] = act.value;
+            continue;
+        }
+        if (d.layer_id < 0) {
+            // Synthetic scale unit on a residual branch.
+            const int producer = -(d.layer_id + 100);
+            Instruction sc;
+            sc.op = Instruction::Op::kScale;
+            sc.a = resolve(producer);
+            sc.value = next_value++;
+            sc.layer_id = d.layer_id;
+            sc.level = d.exec_level;
+            sc.scale_factor = st.scale_insert.at(producer);
+            sc.cts = st.edge_cts[static_cast<std::size_t>(producer)];
+            out.program.push_back(sc);
+            value_of[producer] = sc.value;
+            continue;
+        }
+
+        const Layer& l = net.layer(d.layer_id);
+        Instruction ins;
+        ins.layer_id = d.layer_id;
+        ins.level = d.exec_level;
+        ins.cts = st.edge_cts[static_cast<std::size_t>(d.layer_id)];
+        switch (l.kind) {
+        case LayerKind::kConv2d:
+        case LayerKind::kLinear:
+        case LayerKind::kAvgPool2d:
+        case LayerKind::kBatchNorm2d: {
+            ins.op = Instruction::Op::kLinear;
+            ins.a = resolve(l.inputs[0]);
+            ins.payload = st.payload_of[static_cast<std::size_t>(d.layer_id)];
+            const LinearLayerData& data =
+                out.linears[static_cast<std::size_t>(ins.payload)];
+            out.total_rotations += data.stats.total_rotations();
+            out.total_pmults += data.stats.pmults;
+            out.modeled_conv_latency +=
+                st.opt->cost.linear_layer(data.stats, d.exec_level);
+            break;
+        }
+        case LayerKind::kActivation: {
+            if (l.act.kind == nn::ActivationSpec::Kind::kRelu) {
+                // The x * sign(x) join: a = x, b = the last sign stage.
+                ins.op = Instruction::Op::kMul;
+                ins.a = resolve(l.inputs[0]);
+                ins.b = resolve(
+                    stage_unit_id(st.relu_stages_of.at(d.layer_id).back()));
+            } else {
+                ins.op = Instruction::Op::kActivation;
+                ins.a = resolve(l.inputs[0]);
+                ins.payload =
+                    st.payload_of[static_cast<std::size_t>(d.layer_id)];
+            }
+            break;
+        }
+        case LayerKind::kAdd: {
+            ins.op = Instruction::Op::kAdd;
+            ins.a = resolve(l.inputs[0]);
+            ins.b = resolve(l.inputs[1]);
+            break;
+        }
+        default:
+            ORION_ASSERT(false);
+        }
+        ins.value = next_value++;
+        out.program.push_back(ins);
+        value_of[d.layer_id] = ins.value;
+    }
+
+    // Output.
+    Instruction fin;
+    fin.op = Instruction::Op::kOutput;
+    fin.a = resolve(net.output_id());
+    fin.value = next_value++;
+    fin.layer_id = net.output_id();
+    out.program.push_back(fin);
+}
+
+}  // namespace
+
+std::vector<int>
+CompiledNetwork::required_steps() const
+{
+    std::set<int> steps;
+    for (const LinearLayerData& l : linears) {
+        for (int s : l.plan.required_steps()) steps.insert(s);
+    }
+    return {steps.begin(), steps.end()};
+}
+
+CompiledNetwork
+compile(const nn::Network& net, const CompileOptions& options)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ORION_CHECK(net.input_id() >= 0 && net.output_id() >= 0,
+                "network not finalized");
+    CompilerState st;
+    st.net = &net;
+    st.opt = &options;
+    st.out.name = net.network_name();
+    st.out.slots = options.slots;
+    st.out.cost_model = options.cost;
+    st.out.l_eff = options.l_eff;
+
+    fold_batchnorms(st);
+    estimate_ranges(st);
+    assign_normalization(st);
+
+    // Layout gaps and payloads, in topological order.
+    st.gap.assign(static_cast<std::size_t>(net.num_layers()), 1);
+    st.edge_cts.assign(static_cast<std::size_t>(net.num_layers()), 1);
+    st.payload_of.assign(static_cast<std::size_t>(net.num_layers()), -1);
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const Layer& l = net.layer(id);
+        const int in_gap =
+            l.inputs.empty() ? 1
+                             : st.gap[static_cast<std::size_t>(l.inputs[0])];
+        int out_gap = in_gap;
+        if (options.packing == CompileOptions::Packing::kMultiplexed) {
+            if (l.kind == LayerKind::kConv2d) out_gap = in_gap * l.conv.stride;
+            if (l.kind == LayerKind::kAvgPool2d) {
+                out_gap = in_gap * l.pool_stride;
+            }
+        }
+        if (l.kind == LayerKind::kLinear) out_gap = 1;
+        st.gap[static_cast<std::size_t>(id)] = out_gap;
+        if (l.kind == LayerKind::kFlatten) {
+            st.edge_cts[static_cast<std::size_t>(id)] =
+                st.edge_cts[static_cast<std::size_t>(l.inputs[0])];
+        } else {
+            const lin::TensorLayout layout = layout_for(l.out_shape, out_gap);
+            st.edge_cts[static_cast<std::size_t>(id)] =
+                st.cts_of_layout(layout);
+        }
+
+        const bool absorbed =
+            l.kind == LayerKind::kBatchNorm2d &&
+            st.bn_absorbed[static_cast<std::size_t>(id)];
+        if (absorbed) {
+            st.gap[static_cast<std::size_t>(id)] = in_gap;
+            continue;
+        }
+        if (l.kind == LayerKind::kConv2d || l.kind == LayerKind::kLinear ||
+            l.kind == LayerKind::kAvgPool2d ||
+            l.kind == LayerKind::kBatchNorm2d) {
+            st.payload_of[static_cast<std::size_t>(id)] =
+                build_linear_payload(st, l);
+        } else if (l.kind == LayerKind::kActivation) {
+            st.payload_of[static_cast<std::size_t>(id)] =
+                build_activation_payload(st, l);
+            if (l.act.kind == nn::ActivationSpec::Kind::kRelu) {
+                for (int payload : st.relu_stages_of.at(id)) {
+                    st.out.activation_depth +=
+                        st.out
+                            .activations[static_cast<std::size_t>(payload)]
+                            .depth;
+                }
+                st.out.activation_depth += 1;  // the x * sign(x) multiply
+            } else {
+                st.out.activation_depth += st.out.activations.back().depth;
+            }
+        }
+    }
+
+    // Placement.
+    Chain chain = build_chain(st, net.input_id(), net.output_id());
+    PlacementConfig pconfig;
+    pconfig.l_eff = options.l_eff;
+    pconfig.bootstrap_latency = options.cost.bootstrap(options.l_eff);
+    st.out.placement = options.lazy_placement
+                           ? place_bootstraps_lazy(chain, pconfig)
+                           : place_bootstraps(chain, pconfig);
+    st.out.placement_seconds = st.out.placement.solve_seconds;
+    st.out.modeled_latency = st.out.placement.latency;
+
+    emit_instructions(st, st.out.placement);
+
+    // Total multiplicative depth (the Table 2 depth column counts linear
+    // layers and activations together: e.g. MLP = 3 FC + 2 squares = 5).
+    for (const Instruction& ins : st.out.program) {
+        switch (ins.op) {
+        case Instruction::Op::kLinear:
+        case Instruction::Op::kScale:
+        case Instruction::Op::kMul:
+            st.out.total_mult_depth += 1;
+            break;
+        case Instruction::Op::kActivation:
+            st.out.total_mult_depth +=
+                st.out.activations[static_cast<std::size_t>(ins.payload)]
+                    .depth;
+            break;
+        default:
+            break;
+        }
+    }
+
+    // Input/output bookkeeping.
+    st.out.input_shape = net.shape_of(net.input_id());
+    st.out.input_layout = layout_for(
+        st.out.input_shape, st.gap[static_cast<std::size_t>(net.input_id())]);
+    st.out.input_nu = st.nu[static_cast<std::size_t>(net.input_id())];
+    st.out.output_nu = st.nu[static_cast<std::size_t>(net.output_id())];
+    st.out.output_layout = layout_for(
+        net.shape_of(net.output_id()),
+        st.gap[static_cast<std::size_t>(net.output_id())]);
+    st.out.output_size = net.shape_of(net.output_id()).size();
+
+    st.out.compile_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return st.out;
+}
+
+}  // namespace orion::core

@@ -1,0 +1,185 @@
+#include "src/core/disk_store.h"
+
+#include <cstring>
+
+namespace orion::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'R', 'I', 'O', 'N', 'D', 'S', '1'};
+constexpr char kSentinel = 'Z';
+constexpr char kTagDoubles = 'D';
+constexpr char kTagU64 = 'U';
+constexpr char kTagMatrix = 'M';  // composite: stored as sub-records
+
+}  // namespace
+
+DiskStoreWriter::DiskStoreWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    ORION_CHECK(out_.good(), "cannot open store for writing: " << path);
+    out_.write(kMagic, sizeof(kMagic));
+}
+
+DiskStoreWriter::~DiskStoreWriter()
+{
+    if (!closed_) close();
+}
+
+void
+DiskStoreWriter::close()
+{
+    if (closed_) return;
+    const u64 zero = 0;
+    out_.put(kSentinel);
+    out_.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+    out_.flush();
+    ORION_CHECK(out_.good(), "store write failed on close");
+    out_.close();
+    closed_ = true;
+}
+
+void
+DiskStoreWriter::write_record(const std::string& name, char tag,
+                              const void* data, std::size_t bytes)
+{
+    ORION_CHECK(!closed_, "store already closed");
+    ORION_CHECK(name.size() < 65536, "record name too long");
+    out_.put(tag);
+    const u64 name_len = name.size();
+    const u64 byte_count = bytes;
+    out_.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out_.write(name.data(), static_cast<std::streamsize>(name.size()));
+    out_.write(reinterpret_cast<const char*>(&byte_count),
+               sizeof(byte_count));
+    out_.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    ORION_CHECK(out_.good(), "store write failed for record " << name);
+}
+
+void
+DiskStoreWriter::put_doubles(const std::string& name,
+                             const std::vector<double>& v)
+{
+    write_record(name, kTagDoubles, v.data(), v.size() * sizeof(double));
+}
+
+void
+DiskStoreWriter::put_u64s(const std::string& name, const std::vector<u64>& v)
+{
+    write_record(name, kTagU64, v.data(), v.size() * sizeof(u64));
+}
+
+void
+DiskStoreWriter::put_matrix(const std::string& name,
+                            const lin::DiagonalMatrix& m)
+{
+    // Header record: [dim, #diags], then one doubles record per diagonal.
+    const std::vector<u64> indices = m.diagonal_indices();
+    std::vector<u64> header = {m.dim(),
+                               static_cast<u64>(indices.size())};
+    header.insert(header.end(), indices.begin(), indices.end());
+    write_record(name, kTagMatrix, header.data(),
+                 header.size() * sizeof(u64));
+    for (u64 k : indices) {
+        put_doubles(name + "/diag/" + std::to_string(k), *m.diagonal(k));
+    }
+}
+
+DiskStoreReader::DiskStoreReader(const std::string& path)
+    : in_(path, std::ios::binary)
+{
+    ORION_CHECK(in_.good(), "cannot open store for reading: " << path);
+    char magic[sizeof(kMagic)];
+    in_.read(magic, sizeof(magic));
+    ORION_CHECK(in_.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "bad store magic in " << path);
+    // Build the index by walking record headers, skipping payloads.
+    while (true) {
+        const int tag = in_.get();
+        ORION_CHECK(tag != EOF, "truncated store (missing sentinel)");
+        if (tag == kSentinel) break;
+        u64 name_len = 0;
+        in_.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+        std::string name(name_len, '\0');
+        in_.read(name.data(), static_cast<std::streamsize>(name_len));
+        u64 bytes = 0;
+        in_.read(reinterpret_cast<char*>(&bytes), sizeof(bytes));
+        ORION_CHECK(in_.good(), "truncated store record header");
+        index_[name] = Entry{static_cast<char>(tag), in_.tellg(), bytes};
+        in_.seekg(static_cast<std::streamoff>(bytes), std::ios::cur);
+    }
+    in_.clear();
+}
+
+std::vector<std::string>
+DiskStoreReader::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(index_.size());
+    for (const auto& [name, e] : index_) {
+        (void)e;
+        out.push_back(name);
+    }
+    return out;
+}
+
+const DiskStoreReader::Entry&
+DiskStoreReader::entry(const std::string& name, char tag)
+{
+    const auto it = index_.find(name);
+    ORION_CHECK(it != index_.end(), "store record not found: " << name);
+    ORION_CHECK(it->second.tag == tag,
+                "store record " << name << " has wrong type");
+    return it->second;
+}
+
+std::vector<double>
+DiskStoreReader::get_doubles(const std::string& name)
+{
+    const Entry& e = entry(name, kTagDoubles);
+    std::vector<double> out(e.bytes / sizeof(double));
+    in_.seekg(e.offset);
+    in_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(e.bytes));
+    ORION_CHECK(in_.good(), "store read failed: " << name);
+    return out;
+}
+
+std::vector<u64>
+DiskStoreReader::get_u64s(const std::string& name)
+{
+    const Entry& e = entry(name, kTagU64);
+    std::vector<u64> out(e.bytes / sizeof(u64));
+    in_.seekg(e.offset);
+    in_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(e.bytes));
+    ORION_CHECK(in_.good(), "store read failed: " << name);
+    return out;
+}
+
+lin::DiagonalMatrix
+DiskStoreReader::get_matrix(const std::string& name)
+{
+    const Entry& e = entry(name, kTagMatrix);
+    std::vector<u64> header(e.bytes / sizeof(u64));
+    in_.seekg(e.offset);
+    in_.read(reinterpret_cast<char*>(header.data()),
+             static_cast<std::streamsize>(e.bytes));
+    ORION_CHECK(in_.good() && header.size() >= 2, "bad matrix record");
+    const u64 dim = header[0];
+    const u64 count = header[1];
+    ORION_CHECK(header.size() == 2 + count, "bad matrix index");
+    lin::DiagonalMatrix m(dim);
+    for (u64 i = 0; i < count; ++i) {
+        const u64 k = header[2 + i];
+        const std::vector<double> diag =
+            get_doubles(name + "/diag/" + std::to_string(k));
+        ORION_CHECK(diag.size() == dim, "bad diagonal length");
+        std::vector<double>& dst = m.mutable_diagonal(k);
+        dst = diag;
+    }
+    return m;
+}
+
+}  // namespace orion::core

@@ -1,0 +1,82 @@
+#ifndef ORION_SRC_CORE_DISK_STORE_H_
+#define ORION_SRC_CORE_DISK_STORE_H_
+
+/**
+ * @file
+ * On-disk storage for large compile-time artifacts (Section 6, "Handling
+ * large data structures"): the paper stores hundreds of gigabytes of
+ * rotation keys and encoded matrix diagonals in HDF5 and loads them
+ * dynamically during inference. HDF5 is not available offline, so this is
+ * a minimal self-describing binary container with the same role: write
+ * once at compile time, stream records back on demand at inference time.
+ *
+ * Format: a magic header, then length-prefixed named records of raw
+ * little-endian u64/double arrays. Integrity is guarded by per-record
+ * byte counts and a trailing sentinel.
+ */
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common.h"
+#include "src/linalg/diagonal.h"
+
+namespace orion::core {
+
+/** Writes named binary records to a store file. */
+class DiskStoreWriter {
+  public:
+    explicit DiskStoreWriter(const std::string& path);
+    ~DiskStoreWriter();
+
+    DiskStoreWriter(const DiskStoreWriter&) = delete;
+    DiskStoreWriter& operator=(const DiskStoreWriter&) = delete;
+
+    void put_doubles(const std::string& name, const std::vector<double>& v);
+    void put_u64s(const std::string& name, const std::vector<u64>& v);
+    /** Stores a diagonal matrix as (indices, per-diagonal values). */
+    void put_matrix(const std::string& name, const lin::DiagonalMatrix& m);
+
+    /** Finalizes the file (also done by the destructor). */
+    void close();
+
+  private:
+    void write_record(const std::string& name, char tag, const void* data,
+                      std::size_t bytes);
+
+    std::ofstream out_;
+    bool closed_ = false;
+};
+
+/** Random-access reader over a store file (index loaded eagerly, record
+ * payloads streamed on demand - the "load dynamically during inference"
+ * behaviour of Section 6). */
+class DiskStoreReader {
+  public:
+    explicit DiskStoreReader(const std::string& path);
+
+    bool has(const std::string& name) const { return index_.count(name) > 0; }
+    std::vector<std::string> names() const;
+
+    std::vector<double> get_doubles(const std::string& name);
+    std::vector<u64> get_u64s(const std::string& name);
+    lin::DiagonalMatrix get_matrix(const std::string& name);
+
+  private:
+    struct Entry {
+        char tag;
+        std::streamoff offset;  ///< payload position
+        u64 bytes;
+    };
+
+    const Entry& entry(const std::string& name, char tag);
+
+    std::ifstream in_;
+    std::map<std::string, Entry> index_;
+};
+
+}  // namespace orion::core
+
+#endif  // ORION_SRC_CORE_DISK_STORE_H_

@@ -1,0 +1,546 @@
+#include "src/core/executor.h"
+
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "src/approx/polyeval.h"
+
+namespace orion::core {
+
+namespace {
+
+/** Per-value bookkeeping shared by both backends. */
+struct ValueMeta {
+    int level = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// SimExecutor
+// ---------------------------------------------------------------------
+
+SimExecutor::SimExecutor(const CompiledNetwork& cn, double bootstrap_noise_std,
+                         u64 seed)
+    : cn_(&cn), noise_std_(bootstrap_noise_std), noise_(seed)
+{
+}
+
+ExecutionResult
+SimExecutor::run(const std::vector<double>& input)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ORION_CHECK(input.size() == cn_->input_shape.size(),
+                "input size mismatch");
+    const CostModel& cost = cn_->cost_model;
+
+    std::map<int, std::vector<double>> values;
+    std::map<int, ValueMeta> meta;
+    ExecutionResult result;
+
+    for (const Instruction& ins : cn_->program) {
+        switch (ins.op) {
+        case Instruction::Op::kInput: {
+            std::vector<double> v(input.size());
+            for (std::size_t i = 0; i < input.size(); ++i) {
+                v[i] = cn_->input_nu * input[i];
+            }
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {ins.level};
+            break;
+        }
+        case Instruction::Op::kBootstrap: {
+            ORION_CHECK(meta.at(ins.a).level >= 0, "bad bootstrap operand");
+            std::vector<double> v = values.at(ins.a);
+            for (double& x : v) x += noise_.sample_normal(noise_std_);
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {cn_->l_eff};
+            result.bootstraps += ins.cts;
+            result.modeled_latency +=
+                static_cast<double>(ins.cts) * cost.bootstrap(cn_->l_eff);
+            break;
+        }
+        case Instruction::Op::kLinear: {
+            ORION_CHECK(meta.at(ins.a).level >= ins.level,
+                        "operand below linear exec level");
+            const LinearLayerData& data =
+                cn_->linears[static_cast<std::size_t>(ins.payload)];
+            const std::vector<double>& x = values.at(ins.a);
+            std::vector<double> y;
+            if (data.kind == nn::LayerKind::kLinear) {
+                y.assign(static_cast<std::size_t>(data.out_features), 0.0);
+                for (int r = 0; r < data.out_features; ++r) {
+                    double acc = 0.0;
+                    const double* w =
+                        data.folded_weights.data() +
+                        static_cast<std::size_t>(r) * data.in_features;
+                    for (int c = 0; c < data.in_features; ++c) {
+                        acc += w[c] * x[static_cast<std::size_t>(c)];
+                    }
+                    y[static_cast<std::size_t>(r)] = acc;
+                }
+            } else {
+                y = lin::conv2d_reference(data.conv, data.folded_weights, x,
+                                          data.in_layout.height,
+                                          data.in_layout.width);
+            }
+            if (!data.folded_bias.empty()) {
+                const u64 hw = static_cast<u64>(data.out_layout.height) *
+                               data.out_layout.width;
+                if (data.kind == nn::LayerKind::kLinear) {
+                    for (std::size_t i = 0; i < y.size(); ++i) {
+                        y[i] += data.folded_bias[i];
+                    }
+                } else {
+                    for (std::size_t c = 0; c < data.folded_bias.size();
+                         ++c) {
+                        for (u64 i = 0; i < hw; ++i) {
+                            y[c * hw + i] += data.folded_bias[c];
+                        }
+                    }
+                }
+            }
+            values[ins.value] = std::move(y);
+            meta[ins.value] = {ins.level - 1};
+            result.rotations += data.stats.total_rotations();
+            result.pmults += data.stats.pmults;
+            result.modeled_latency += cost.linear_layer(data.stats,
+                                                        ins.level);
+            break;
+        }
+        case Instruction::Op::kActivation: {
+            const ActivationData& data =
+                cn_->activations[static_cast<std::size_t>(ins.payload)];
+            ORION_CHECK(meta.at(ins.a).level >= ins.level,
+                        "operand below activation exec level");
+            ORION_CHECK(ins.level >= data.depth,
+                        "not enough levels for activation");
+            std::vector<double> v = values.at(ins.a);
+            for (double& x : v) x = data.approx_f(x);
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {ins.level - data.depth};
+            result.modeled_latency += cost.activation(
+                data.stage_degrees, ins.level, ins.cts, false);
+            break;
+        }
+        case Instruction::Op::kMul: {
+            const std::vector<double>& a = values.at(ins.a);
+            const std::vector<double>& b = values.at(ins.b);
+            ORION_CHECK(a.size() == b.size(), "Mul operand size mismatch");
+            ORION_CHECK(meta.at(ins.a).level >= ins.level &&
+                            meta.at(ins.b).level >= ins.level,
+                        "Mul operands below exec level");
+            std::vector<double> v(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i] * b[i];
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {ins.level - 1};
+            result.modeled_latency +=
+                static_cast<double>(ins.cts) *
+                (cost.hmult(ins.level) + cost.rescale(ins.level));
+            break;
+        }
+        case Instruction::Op::kScale: {
+            std::vector<double> v = values.at(ins.a);
+            for (double& x : v) x *= ins.scale_factor;
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {ins.level - 1};
+            result.pmults += ins.cts;
+            result.modeled_latency +=
+                static_cast<double>(ins.cts) *
+                (cost.pmult(ins.level) + cost.rescale(ins.level));
+            break;
+        }
+        case Instruction::Op::kAdd: {
+            const std::vector<double>& a = values.at(ins.a);
+            const std::vector<double>& b = values.at(ins.b);
+            ORION_CHECK(a.size() == b.size(), "Add operand size mismatch");
+            ORION_CHECK(meta.at(ins.a).level >= ins.level &&
+                            meta.at(ins.b).level >= ins.level,
+                        "Add operands below exec level");
+            std::vector<double> v(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i) v[i] = a[i] + b[i];
+            values[ins.value] = std::move(v);
+            meta[ins.value] = {ins.level};
+            result.modeled_latency +=
+                static_cast<double>(ins.cts) * cost.hadd(ins.level);
+            break;
+        }
+        case Instruction::Op::kOutput: {
+            std::vector<double> v = values.at(ins.a);
+            for (double& x : v) x /= cn_->output_nu;
+            result.output = std::move(v);
+            break;
+        }
+        }
+        if (inspect && ins.op != Instruction::Op::kOutput) {
+            inspect(ins, values.at(ins.value));
+        }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// CkksExecutor
+// ---------------------------------------------------------------------
+
+CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
+                           const ckks::Context& ctx, u64 seed)
+    : cn_(&cn), ctx_(&ctx), encoder_(ctx), keygen_(ctx, seed),
+      pk_(keygen_.make_public_key()), relin_(keygen_.make_relin_key()),
+      galois_(keygen_.make_galois_keys(cn.required_steps())),
+      encryptor_(ctx, pk_), decryptor_(ctx, keygen_.secret_key()),
+      eval_(ctx, encoder_),
+      boot_(ctx, encoder_, keygen_.secret_key(),
+            ckks::BootstrapConfig{ctx.max_level() - cn.l_eff, 1e-6, 1.0})
+{
+    ORION_CHECK(cn.slots == ctx.slot_count(),
+                "program compiled for " << cn.slots
+                                        << " slots, context has "
+                                        << ctx.slot_count());
+    ORION_CHECK(cn.l_eff < ctx.max_level(),
+                "context needs more levels than l_eff");
+    eval_.set_relin_key(&relin_);
+    eval_.set_galois_keys(&galois_);
+
+    // Symbolic scale propagation mirrors run(); every linear layer encodes
+    // its diagonals at the repair scale Delta * q_level / in_scale
+    // (Figure 7), so scales between layers are exactly Delta.
+    const double delta = ctx.scale();
+    prepared_.resize(cn.program.size());
+    bias_.resize(cn.program.size());
+    in_scale_.assign(cn.program.size(), 0.0);
+    act_target_.assign(cn.program.size(), 0.0);
+
+    // ---- Phase A: symbolic scale resolution ----
+    // Linear layers can repair to any target via their free weight scale
+    // (Figure 7); everything else propagates deterministically. A linear
+    // output stays "pending" until its consumer is known: an Add binds it
+    // to its partner's scale (which may have drifted through a square),
+    // any other consumer binds it to Delta.
+    std::map<int, double> scale_of;
+    std::map<int, std::size_t> producer_of;
+    std::set<int> pending;  // linear outputs with undecided targets
+    auto finalize = [&](int v, double s) {
+        scale_of[v] = s;
+        pending.erase(v);
+    };
+    auto consume = [&](int v) -> double {
+        if (pending.count(v)) finalize(v, delta);
+        return scale_of.at(v);
+    };
+    for (std::size_t idx = 0; idx < cn.program.size(); ++idx) {
+        const Instruction& ins = cn.program[idx];
+        switch (ins.op) {
+        case Instruction::Op::kInput:
+        case Instruction::Op::kBootstrap:
+            scale_of[ins.value] = delta;
+            break;
+        case Instruction::Op::kLinear:
+            (void)consume(ins.a);
+            scale_of[ins.value] = delta;  // provisional
+            pending.insert(ins.value);
+            break;
+        case Instruction::Op::kActivation: {
+            const ActivationData& data =
+                cn.activations[static_cast<std::size_t>(ins.payload)];
+            const double in_scale = consume(ins.a);
+            if (data.kind == nn::ActivationSpec::Kind::kSquare) {
+                scale_of[ins.value] =
+                    in_scale * in_scale /
+                    static_cast<double>(ctx.q(ins.level).value());
+            } else {
+                scale_of[ins.value] = delta;  // retargeted by kMul below
+            }
+            break;
+        }
+        case Instruction::Op::kMul: {
+            const double sa = consume(ins.a);
+            (void)consume(ins.b);
+            // Retarget the producing sign stage so this multiply rescales
+            // exactly onto Delta.
+            const double target =
+                delta * static_cast<double>(ctx.q(ins.level).value()) / sa;
+            scale_of[ins.b] = target;
+            scale_of[ins.value] = delta;
+            break;
+        }
+        case Instruction::Op::kScale:
+            scale_of[ins.value] = consume(ins.a);
+            break;
+        case Instruction::Op::kAdd: {
+            const bool pa = pending.count(ins.a) != 0;
+            const bool pb = pending.count(ins.b) != 0;
+            if (pa && pb) {
+                finalize(ins.a, delta);
+                finalize(ins.b, delta);
+            } else if (pa) {
+                finalize(ins.a, scale_of.at(ins.b));
+            } else if (pb) {
+                finalize(ins.b, scale_of.at(ins.a));
+            }
+            const double sa = scale_of.at(ins.a);
+            const double sb = scale_of.at(ins.b);
+            ORION_CHECK(ckks::scales_match(sa, sb),
+                        "Add operands at mismatched scales: "
+                            << sa << " vs " << sb);
+            scale_of[ins.value] = sa;
+            break;
+        }
+        case Instruction::Op::kOutput:
+            (void)consume(ins.a);
+            break;
+        }
+        producer_of[ins.value] = idx;
+    }
+    for (int v : std::set<int>(pending.begin(), pending.end())) {
+        finalize(v, delta);
+    }
+
+    // ---- Phase B: encode matrices, biases, and activation targets ----
+    for (std::size_t idx = 0; idx < cn.program.size(); ++idx) {
+        const Instruction& ins = cn.program[idx];
+        switch (ins.op) {
+        case Instruction::Op::kLinear: {
+            const LinearLayerData& data =
+                cn.linears[static_cast<std::size_t>(ins.payload)];
+            ORION_CHECK(data.matrix != nullptr,
+                        "structural-only program cannot run on CKKS");
+            const double in_scale = scale_of.at(ins.a);
+            const double target = scale_of.at(ins.value);
+            in_scale_[idx] = in_scale;
+            const double w_scale =
+                target *
+                static_cast<double>(ctx.q(ins.level).value()) / in_scale;
+            prepared_[idx] = std::make_shared<lin::HeBlockedMatrix>(
+                ctx, encoder_, *data.matrix, data.plan, ins.level, w_scale);
+            if (!data.folded_bias.empty()) {
+                const u64 padded =
+                    std::max<u64>(1, ceil_div(data.rows, cn.slots)) *
+                    cn.slots;
+                std::vector<double> slots(padded, 0.0);
+                if (data.kind == nn::LayerKind::kLinear) {
+                    for (std::size_t i = 0; i < data.folded_bias.size();
+                         ++i) {
+                        slots[i] = data.folded_bias[i];
+                    }
+                } else {
+                    for (int c = 0;
+                         c < static_cast<int>(data.folded_bias.size());
+                         ++c) {
+                        for (int y = 0; y < data.out_layout.height; ++y) {
+                            for (int x = 0; x < data.out_layout.width; ++x) {
+                                slots[data.out_layout.slot_of(c, y, x)] =
+                                    data.folded_bias
+                                        [static_cast<std::size_t>(c)];
+                            }
+                        }
+                    }
+                }
+                for (u64 c = 0; c * cn.slots < padded; ++c) {
+                    const std::span<const double> chunk(
+                        slots.data() + c * cn.slots, cn.slots);
+                    bias_[idx].push_back(encoder_.encode(
+                        chunk, ins.level - 1, target));
+                }
+            }
+            break;
+        }
+        case Instruction::Op::kActivation: {
+            in_scale_[idx] = scale_of.at(ins.a);
+            act_target_[idx] = scale_of.at(ins.value);
+            break;
+        }
+        case Instruction::Op::kScale:
+            in_scale_[idx] = scale_of.at(ins.a);
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+std::vector<ckks::Ciphertext>
+CkksExecutor::drop_all(const std::vector<ckks::Ciphertext>& in,
+                       int level) const
+{
+    std::vector<ckks::Ciphertext> out;
+    out.reserve(in.size());
+    for (const ckks::Ciphertext& ct : in) {
+        ORION_CHECK(ct.level() >= level, "value below required level");
+        ckks::Ciphertext c = ct;
+        if (c.level() > level) eval_.drop_to_level_inplace(c, level);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+ExecutionResult
+CkksExecutor::run(const std::vector<double>& input)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ORION_CHECK(input.size() == cn_->input_shape.size(),
+                "input size mismatch");
+    const ckks::OpCounters before = ctx_->counters();
+    const approx::HePolyEvaluator polyeval(eval_);
+    const double delta = ctx_->scale();
+
+    std::map<int, Value> values;
+    ExecutionResult result;
+
+    for (std::size_t idx = 0; idx < cn_->program.size(); ++idx) {
+        const Instruction& ins = cn_->program[idx];
+        switch (ins.op) {
+        case Instruction::Op::kInput: {
+            std::vector<double> normalized(input.size());
+            for (std::size_t i = 0; i < input.size(); ++i) {
+                normalized[i] = cn_->input_nu * input[i];
+            }
+            const u64 padded = ins.cts * cn_->slots;
+            const std::vector<double> packed =
+                cn_->input_layout.pack(normalized, padded);
+            Value v;
+            for (u64 c = 0; c < ins.cts; ++c) {
+                const std::span<const double> chunk(
+                    packed.data() + c * cn_->slots, cn_->slots);
+                v.cts.push_back(encryptor_.encrypt(
+                    encoder_.encode(chunk, ins.level, delta)));
+            }
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kBootstrap: {
+            Value v;
+            for (const ckks::Ciphertext& ct : values.at(ins.a).cts) {
+                v.cts.push_back(boot_.bootstrap(ct));
+            }
+            values[ins.value] = std::move(v);
+            result.bootstraps += ins.cts;
+            break;
+        }
+        case Instruction::Op::kLinear: {
+            const LinearLayerData& data =
+                cn_->linears[static_cast<std::size_t>(ins.payload)];
+            const std::vector<ckks::Ciphertext> in_cts =
+                drop_all(values.at(ins.a).cts, ins.level);
+            Value v;
+            v.cts = prepared_[idx]->apply(eval_, in_cts);
+            if (!bias_[idx].empty()) {
+                for (std::size_t c = 0; c < v.cts.size(); ++c) {
+                    eval_.add_plain_inplace(v.cts[c], bias_[idx][c]);
+                }
+            }
+            (void)data;
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kActivation: {
+            const ActivationData& data =
+                cn_->activations[static_cast<std::size_t>(ins.payload)];
+            const std::vector<ckks::Ciphertext> in_cts =
+                drop_all(values.at(ins.a).cts, ins.level);
+            Value v;
+            for (const ckks::Ciphertext& ct : in_cts) {
+                if (data.kind == nn::ActivationSpec::Kind::kSquare) {
+                    ckks::Ciphertext sq = eval_.square(ct);
+                    eval_.rescale_inplace(sq);
+                    v.cts.push_back(std::move(sq));
+                } else {
+                    v.cts.push_back(polyeval.evaluate(
+                        data.stages[0], ct, act_target_[idx]));
+                }
+            }
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kMul: {
+            const std::vector<ckks::Ciphertext> a =
+                drop_all(values.at(ins.a).cts, ins.level);
+            const std::vector<ckks::Ciphertext> b =
+                drop_all(values.at(ins.b).cts, ins.level);
+            ORION_CHECK(a.size() == b.size(), "Mul ct count mismatch");
+            Value v;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                ckks::Ciphertext prod = eval_.mul(a[i], b[i]);
+                eval_.rescale_inplace(prod);
+                ORION_ASSERT(ckks::scales_match(prod.scale, delta));
+                prod.scale = delta;
+                v.cts.push_back(std::move(prod));
+            }
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kScale: {
+            const std::vector<ckks::Ciphertext> in_cts =
+                drop_all(values.at(ins.a).cts, ins.level);
+            Value v;
+            for (const ckks::Ciphertext& ct : in_cts) {
+                ckks::Ciphertext c = ct;
+                eval_.mul_constant_inplace(
+                    c, ins.scale_factor,
+                    static_cast<double>(ctx_->q(ins.level).value()));
+                eval_.rescale_inplace(c);
+                c.scale = in_scale_[idx];  // exact by construction
+                v.cts.push_back(std::move(c));
+            }
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kAdd: {
+            const std::vector<ckks::Ciphertext> a =
+                drop_all(values.at(ins.a).cts, ins.level);
+            const std::vector<ckks::Ciphertext> b =
+                drop_all(values.at(ins.b).cts, ins.level);
+            ORION_CHECK(a.size() == b.size(), "Add ct count mismatch");
+            Value v;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                v.cts.push_back(eval_.add(a[i], b[i]));
+            }
+            values[ins.value] = std::move(v);
+            break;
+        }
+        case Instruction::Op::kOutput: {
+            const Value& v = values.at(ins.a);
+            std::vector<double> slots;
+            slots.reserve(v.cts.size() * cn_->slots);
+            for (const ckks::Ciphertext& ct : v.cts) {
+                const std::vector<double> part =
+                    encoder_.decode(decryptor_.decrypt(ct));
+                slots.insert(slots.end(), part.begin(), part.end());
+            }
+            slots.resize(
+                std::max<u64>(cn_->output_layout.total_slots(),
+                              slots.size()),
+                0.0);
+            std::vector<double> logical = cn_->output_layout.unpack(slots);
+            logical.resize(cn_->output_size);
+            for (double& x : logical) x /= cn_->output_nu;
+            result.output = std::move(logical);
+            break;
+        }
+        }
+        if (inspect && ins.op != Instruction::Op::kOutput) {
+            std::vector<double> slots;
+            for (const ckks::Ciphertext& ct : values.at(ins.value).cts) {
+                const std::vector<double> part =
+                    encoder_.decode(decryptor_.decrypt(ct));
+                slots.insert(slots.end(), part.begin(), part.end());
+            }
+            inspect(ins, slots);
+        }
+    }
+
+    const ckks::OpCounters after = ctx_->counters();
+    result.rotations = after.total_rotations() - before.total_rotations();
+    result.pmults = after.pmult - before.pmult;
+    result.modeled_latency = cn_->modeled_latency;
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+}  // namespace orion::core

@@ -1,0 +1,106 @@
+#ifndef ORION_SRC_CORE_EXECUTOR_H_
+#define ORION_SRC_CORE_EXECUTOR_H_
+
+/**
+ * @file
+ * Execution backends for compiled networks.
+ *
+ * SimExecutor runs the instruction stream functionally (cleartext values,
+ * polynomial activation approximations, injected bootstrap noise) while
+ * charging the analytic cost model and tracking levels exactly - this is
+ * how ImageNet-scale rows of Table 2 are produced. CkksExecutor runs the
+ * same instruction stream under real RNS-CKKS encryption end to end.
+ */
+
+#include "src/ckks/ckks.h"
+#include "src/core/compiler.h"
+
+namespace orion::core {
+
+/** Outcome of one inference. */
+struct ExecutionResult {
+    std::vector<double> output;    ///< logical network output (de-normalized)
+    double modeled_latency = 0.0;  ///< cost-model seconds
+    double wall_seconds = 0.0;     ///< measured wall-clock seconds
+    u64 bootstraps = 0;
+    u64 rotations = 0;
+    u64 pmults = 0;
+};
+
+/**
+ * Optional per-instruction observer: receives the instruction and the
+ * (logical/decrypted) slot values it produced. Used by integration tests
+ * to localize divergence between backends.
+ */
+using InspectFn =
+    std::function<void(const Instruction&, const std::vector<double>&)>;
+
+/** Functional simulation backend. */
+class SimExecutor {
+  public:
+    explicit SimExecutor(const CompiledNetwork& cn,
+                         double bootstrap_noise_std = 1e-6, u64 seed = 5);
+
+    ExecutionResult run(const std::vector<double>& input);
+
+    InspectFn inspect;  ///< optional per-instruction observer
+
+  private:
+    const CompiledNetwork* cn_;
+    double noise_std_;
+    ckks::Sampler noise_;
+};
+
+/** Real-FHE backend over the from-scratch CKKS substrate. */
+class CkksExecutor {
+  public:
+    /**
+     * Prepares the program for the given context: generates keys for every
+     * required rotation step, encodes all matrix diagonals and biases at
+     * their assigned levels and repair scales. Requires the program to have
+     * been compiled with matrices (structural_only = false) and with
+     * l_eff < the context's max level.
+     */
+    CkksExecutor(const CompiledNetwork& cn, const ckks::Context& ctx,
+                 u64 seed = 7);
+
+    ExecutionResult run(const std::vector<double>& input);
+
+    InspectFn inspect;  ///< optional observer (decrypts intermediates!)
+
+    const ckks::SecretKey& secret_key() const
+    {
+        return keygen_.secret_key();
+    }
+    std::size_t galois_key_bytes() const { return galois_.byte_size(); }
+
+  private:
+    /** One tensor value: its ciphertexts. */
+    struct Value {
+        std::vector<ckks::Ciphertext> cts;
+    };
+
+    std::vector<ckks::Ciphertext> drop_all(
+        const std::vector<ckks::Ciphertext>& in, int level) const;
+
+    const CompiledNetwork* cn_;
+    const ckks::Context* ctx_;
+    ckks::Encoder encoder_;
+    ckks::KeyGenerator keygen_;
+    ckks::PublicKey pk_;
+    ckks::KswitchKey relin_;
+    ckks::GaloisKeys galois_;
+    ckks::Encryptor encryptor_;
+    ckks::Decryptor decryptor_;
+    ckks::Evaluator eval_;
+    ckks::Bootstrapper boot_;
+    // Prepared payloads, indexed like cn_->program.
+    std::vector<std::shared_ptr<lin::HeBlockedMatrix>> prepared_;
+    std::vector<std::vector<ckks::Plaintext>> bias_;
+    std::vector<double> in_scale_;    ///< per-instruction input scale
+    std::vector<double> act_target_;  ///< per-activation target scale
+};
+
+}  // namespace orion::core
+
+#endif  // ORION_SRC_CORE_EXECUTOR_H_

@@ -1,0 +1,27 @@
+#ifndef ORION_SRC_CORE_ORION_H_
+#define ORION_SRC_CORE_ORION_H_
+
+/**
+ * @file
+ * Umbrella header: the public Orion API.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   orion::nn::Network net = orion::nn::make_resnet_cifar(20,
+ *       orion::nn::Act::kRelu);
+ *   orion::core::CompileOptions opt;
+ *   auto compiled = orion::core::compile(net, opt);
+ *   orion::core::SimExecutor sim(compiled);
+ *   auto result = sim.run(image);
+ */
+
+#include "src/ckks/ckks.h"
+#include "src/core/compiler.h"
+#include "src/core/cost_model.h"
+#include "src/core/executor.h"
+#include "src/core/placement.h"
+#include "src/linalg/linalg.h"
+#include "src/nn/models.h"
+#include "src/nn/network.h"
+
+#endif  // ORION_SRC_CORE_ORION_H_

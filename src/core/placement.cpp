@@ -1,0 +1,384 @@
+#include "src/core/placement.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace orion::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Backtrace record for one DP transition. */
+struct Trace {
+    int prev_level = -1;
+    int exec_level = -1;
+    bool boot_before = false;
+    int region_entry = -1;  ///< for region items: chosen branch entry level
+};
+
+/**
+ * Solves one chain for a fixed entry level. Region branches are solved
+ * recursively and cached (every branch is solved once per entry level,
+ * which is what keeps the whole algorithm linear in depth).
+ */
+class ChainSolver {
+  public:
+    ChainSolver(const Chain& chain, const PlacementConfig& config)
+        : chain_(&chain), config_(&config)
+    {
+        for (const ChainItem& item : chain.items) {
+            if (item.kind == ChainItem::Kind::kRegion) {
+                std::vector<std::unique_ptr<ChainSolver>> solvers;
+                for (const Chain& branch : item.branches) {
+                    solvers.push_back(
+                        std::make_unique<ChainSolver>(branch, config));
+                }
+                branch_solvers_.emplace(
+                    static_cast<int>(&item - chain.items.data()),
+                    std::move(solvers));
+            }
+        }
+    }
+
+    /** DP tables for one entry level. */
+    struct Solve {
+        // cost[i][l]: min cost of being before item i at level l (i in
+        // 0..n; i == n means after the last item). boots[i][l]: total
+        // bootstrapped ciphertexts along the optimal path.
+        std::vector<std::vector<double>> cost;
+        std::vector<std::vector<u64>> boots;
+        std::vector<std::vector<Trace>> trace;
+    };
+
+    const Solve&
+    solve(int entry)
+    {
+        auto it = memo_.find(entry);
+        if (it != memo_.end()) return it->second;
+
+        const int levels = config_->l_eff + 1;
+        const int n = static_cast<int>(chain_->items.size());
+        Solve s;
+        s.cost.assign(static_cast<std::size_t>(n + 1),
+                      std::vector<double>(static_cast<std::size_t>(levels),
+                                          kInf));
+        s.boots.assign(static_cast<std::size_t>(n + 1),
+                       std::vector<u64>(static_cast<std::size_t>(levels), 0));
+        s.trace.assign(static_cast<std::size_t>(n + 1),
+                       std::vector<Trace>(static_cast<std::size_t>(levels)));
+        s.cost[0][static_cast<std::size_t>(entry)] = 0.0;
+
+        for (int i = 0; i < n; ++i) {
+            const ChainItem& item =
+                chain_->items[static_cast<std::size_t>(i)];
+            // Augment states with an optional bootstrap before item i.
+            std::vector<double> pre = s.cost[static_cast<std::size_t>(i)];
+            std::vector<u64> pre_boots =
+                s.boots[static_cast<std::size_t>(i)];
+            std::vector<Trace> pre_trace(static_cast<std::size_t>(levels));
+            for (int l = 0; l < levels; ++l) {
+                pre_trace[static_cast<std::size_t>(l)].prev_level = l;
+            }
+            for (int l = 0; l < levels; ++l) {
+                const double base =
+                    s.cost[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(l)];
+                if (base == kInf) continue;
+                const double boosted =
+                    base + config_->bootstrap_latency *
+                               static_cast<double>(item.unit.input_cts);
+                const int top = config_->l_eff;
+                if (boosted < pre[static_cast<std::size_t>(top)]) {
+                    pre[static_cast<std::size_t>(top)] = boosted;
+                    pre_boots[static_cast<std::size_t>(top)] =
+                        s.boots[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(l)] +
+                        item.unit.input_cts;
+                    pre_trace[static_cast<std::size_t>(top)] = Trace{
+                        l, -1, true, -1};
+                }
+            }
+
+            // Transition through the item.
+            for (int l = 0; l < levels; ++l) {
+                const double base = pre[static_cast<std::size_t>(l)];
+                if (base == kInf) continue;
+                const Trace& tr_in = pre_trace[static_cast<std::size_t>(l)];
+                if (item.kind == ChainItem::Kind::kUnit) {
+                    // Execute at any level e <= l (mod-down is free).
+                    for (int e = item.unit.depth; e <= l; ++e) {
+                        const int out = e - item.unit.depth;
+                        const double c = base + item.unit.latency(e);
+                        auto& slot = s.cost[static_cast<std::size_t>(i + 1)]
+                                           [static_cast<std::size_t>(out)];
+                        if (c < slot) {
+                            slot = c;
+                            s.boots[static_cast<std::size_t>(i + 1)]
+                                   [static_cast<std::size_t>(out)] =
+                                pre_boots[static_cast<std::size_t>(l)];
+                            Trace tr = tr_in;
+                            tr.exec_level = e;
+                            s.trace[static_cast<std::size_t>(i + 1)]
+                                   [static_cast<std::size_t>(out)] = tr;
+                        }
+                    }
+                } else {
+                    // Region: branches entered at e <= l, each exiting at
+                    // some level >= b and mod-downed (free) to the common
+                    // join level b; the join unit runs at b.
+                    const auto& solvers = branch_solvers_.at(i);
+                    for (int e = 0; e <= l; ++e) {
+                        // Suffix minima over branch exit levels.
+                        std::vector<std::vector<double>> best_cost(
+                            solvers.size());
+                        std::vector<std::vector<u64>> best_boots(
+                            solvers.size());
+                        for (std::size_t br = 0; br < solvers.size(); ++br) {
+                            const Solve& bs = solvers[br]->solve(e);
+                            auto& bc = best_cost[br];
+                            auto& bb = best_boots[br];
+                            bc.assign(static_cast<std::size_t>(levels), kInf);
+                            bb.assign(static_cast<std::size_t>(levels), 0);
+                            double run = kInf;
+                            u64 run_boots = 0;
+                            for (int b = config_->l_eff; b >= 0; --b) {
+                                const double v =
+                                    bs.cost.back()
+                                        [static_cast<std::size_t>(b)];
+                                if (v < run) {
+                                    run = v;
+                                    run_boots =
+                                        bs.boots.back()
+                                            [static_cast<std::size_t>(b)];
+                                }
+                                bc[static_cast<std::size_t>(b)] = run;
+                                bb[static_cast<std::size_t>(b)] = run_boots;
+                            }
+                        }
+                        for (int b = 0; b <= config_->l_eff; ++b) {
+                            double c = base + item.unit.latency(b);
+                            u64 boots = pre_boots[static_cast<std::size_t>(l)];
+                            bool feasible = true;
+                            for (std::size_t br = 0; br < solvers.size();
+                                 ++br) {
+                                const double bc =
+                                    best_cost[br][static_cast<std::size_t>(b)];
+                                if (bc == kInf) {
+                                    feasible = false;
+                                    break;
+                                }
+                                c += bc;
+                                boots +=
+                                    best_boots[br]
+                                              [static_cast<std::size_t>(b)];
+                            }
+                            if (!feasible) continue;
+                            const int out = b - item.unit.depth;
+                            if (out < 0) continue;
+                            auto& slot =
+                                s.cost[static_cast<std::size_t>(i + 1)]
+                                      [static_cast<std::size_t>(out)];
+                            if (c < slot) {
+                                slot = c;
+                                s.boots[static_cast<std::size_t>(i + 1)]
+                                       [static_cast<std::size_t>(out)] =
+                                    boots;
+                                Trace tr = tr_in;
+                                tr.exec_level = b;
+                                tr.region_entry = e;
+                                s.trace[static_cast<std::size_t>(i + 1)]
+                                       [static_cast<std::size_t>(out)] = tr;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return memo_.emplace(entry, std::move(s)).first->second;
+    }
+
+    /** Reconstructs decisions for the optimal path entry -> exit. */
+    void
+    extract(int entry, int exit, std::vector<UnitDecision>* out)
+    {
+        const Solve& s = solve(entry);
+        const int n = static_cast<int>(chain_->items.size());
+        // Walk backwards collecting (item, trace) pairs.
+        std::vector<std::pair<int, Trace>> steps;
+        int level = exit;
+        for (int i = n; i >= 1; --i) {
+            const Trace tr =
+                s.trace[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(level)];
+            steps.push_back({i - 1, tr});
+            level = tr.prev_level;
+        }
+        std::reverse(steps.begin(), steps.end());
+
+        for (const auto& [idx, tr] : steps) {
+            const ChainItem& item =
+                chain_->items[static_cast<std::size_t>(idx)];
+            UnitDecision d;
+            d.layer_id = item.unit.layer_id;
+            d.name = item.unit.name;
+            d.bootstrap_before = tr.boot_before;
+            d.boot_cts = tr.boot_before ? item.unit.input_cts : 0;
+            d.exec_level = tr.exec_level;
+            if (item.kind == ChainItem::Kind::kRegion) {
+                // Emit the bootstrap-before decision (if any), then the
+                // branches' decisions, then the join itself.
+                UnitDecision fork_note = d;
+                fork_note.exec_level = tr.region_entry;
+                fork_note.name = item.unit.name + ":fork";
+                out->push_back(fork_note);
+                const auto& solvers = branch_solvers_.at(idx);
+                for (const auto& solver : solvers) {
+                    // The branch exits at the cheapest level >= the join
+                    // level (same descending tie-break as the solve step).
+                    const Solve& bs = solver->solve(tr.region_entry);
+                    int exit = tr.exec_level;
+                    double best = kInf;
+                    for (int b = config_->l_eff; b >= tr.exec_level; --b) {
+                        const double v =
+                            bs.cost.back()[static_cast<std::size_t>(b)];
+                        if (v < best) {
+                            best = v;
+                            exit = b;
+                        }
+                    }
+                    solver->extract(tr.region_entry, exit, out);
+                }
+                UnitDecision join = d;
+                join.bootstrap_before = false;
+                join.boot_cts = 0;
+                out->push_back(join);
+            } else {
+                out->push_back(d);
+            }
+        }
+    }
+
+  private:
+    const Chain* chain_;
+    const PlacementConfig* config_;
+    std::map<int, Solve> memo_;
+    std::map<int, std::vector<std::unique_ptr<ChainSolver>>> branch_solvers_;
+};
+
+}  // namespace
+
+u64
+chain_unit_count(const Chain& chain)
+{
+    u64 count = 0;
+    for (const ChainItem& item : chain.items) {
+        ++count;
+        for (const Chain& branch : item.branches) {
+            count += chain_unit_count(branch);
+        }
+    }
+    return count;
+}
+
+PlacementResult
+place_bootstraps(const Chain& chain, const PlacementConfig& config)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ChainSolver solver(chain, config);
+    const auto& s = solver.solve(config.entry_level());
+
+    PlacementResult result;
+    for (int b = 0; b <= config.l_eff; ++b) {
+        const double c = s.cost.back()[static_cast<std::size_t>(b)];
+        if (c < result.latency) {
+            result.latency = c;
+            result.exit_level = b;
+        }
+    }
+    ORION_CHECK(result.latency < kInf, "placement infeasible: a unit needs "
+                                       "more levels than l_eff provides");
+    result.num_bootstraps =
+        s.boots.back()[static_cast<std::size_t>(result.exit_level)];
+    solver.extract(config.entry_level(), result.exit_level,
+                   &result.decisions);
+    for (const UnitDecision& d : result.decisions) {
+        if (d.bootstrap_before) ++result.num_bootstrap_sites;
+    }
+    result.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+namespace {
+
+/** Greedy traversal for the lazy baseline; returns the exit level. */
+int
+lazy_walk(const Chain& chain, const PlacementConfig& config, int level,
+          PlacementResult* result)
+{
+    for (const ChainItem& item : chain.items) {
+        if (item.kind == ChainItem::Kind::kUnit) {
+            UnitDecision d;
+            d.layer_id = item.unit.layer_id;
+            d.name = item.unit.name;
+            if (level < item.unit.depth) {
+                d.bootstrap_before = true;
+                d.boot_cts = item.unit.input_cts;
+                result->latency += config.bootstrap_latency *
+                                   static_cast<double>(item.unit.input_cts);
+                result->num_bootstraps += item.unit.input_cts;
+                ++result->num_bootstrap_sites;
+                level = config.l_eff;
+            }
+            d.exec_level = level;
+            result->latency += item.unit.latency(level);
+            level -= item.unit.depth;
+            result->decisions.push_back(std::move(d));
+        } else {
+            // Run each branch lazily from the current level, then meet at
+            // the minimum exit level (mod-down the higher branch for free).
+            int join_level = config.l_eff;
+            for (const Chain& branch : item.branches) {
+                join_level = std::min(
+                    join_level, lazy_walk(branch, config, level, result));
+            }
+            UnitDecision join;
+            join.layer_id = item.unit.layer_id;
+            join.name = item.unit.name;
+            join.exec_level = join_level;
+            result->latency += item.unit.latency(join_level);
+            level = join_level - item.unit.depth;
+            if (level < 0) {
+                // Join itself cannot run: bootstrap both inputs.
+                result->latency += config.bootstrap_latency * 2.0 *
+                                   static_cast<double>(item.unit.input_cts);
+                result->num_bootstraps += 2 * item.unit.input_cts;
+                ++result->num_bootstrap_sites;
+                join.exec_level = config.l_eff;
+                level = config.l_eff - item.unit.depth;
+            }
+            result->decisions.push_back(std::move(join));
+        }
+    }
+    return level;
+}
+
+}  // namespace
+
+PlacementResult
+place_bootstraps_lazy(const Chain& chain, const PlacementConfig& config)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    PlacementResult result;
+    result.latency = 0.0;
+    result.exit_level = lazy_walk(chain, config, config.entry_level(),
+                                  &result);
+    result.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+}  // namespace orion::core

@@ -1,0 +1,108 @@
+#ifndef ORION_SRC_CORE_PLACEMENT_H_
+#define ORION_SRC_CORE_PLACEMENT_H_
+
+/**
+ * @file
+ * Automatic bootstrap placement (Section 5).
+ *
+ * The network is modeled as a chain of units (linear layers, polynomial
+ * activations, scale fixups, joins); residual connections appear as
+ * single-entry single-exit (SESE) regions holding one sub-chain per branch.
+ * The level digraph of Figure 6 is solved by dynamic programming over
+ * states (position, level): executing a unit at level e costs latency(e)
+ * and drops e by the unit's depth; a bootstrap edge jumps any level to
+ * L_eff at the modeled bootstrap cost times the ciphertext count of the
+ * edge. Regions are "black-boxed" (Section 5.2): every branch is solved
+ * for all (entry, exit) level pairs, the per-pair optima are summed into
+ * an aggregate edge matrix, and the parent chain treats the region as a
+ * single unit with that transition matrix. Complexity is linear in network
+ * depth (Table 5): O(units * L_eff^2).
+ */
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common.h"
+
+namespace orion::core {
+
+/** One schedulable unit of the placement chain. */
+struct PlacementUnit {
+    int layer_id = -1;  ///< originating network layer (-1 for synthetic)
+    std::string name;
+    int depth = 0;  ///< multiplicative levels consumed
+    /** Latency (seconds) when executed with input level l. */
+    std::function<double(int)> latency = [](int) { return 0.0; };
+    u64 input_cts = 1;   ///< ciphertexts on the incoming edge
+    u64 output_cts = 1;  ///< ciphertexts on the outgoing edge
+};
+
+struct ChainItem;
+
+/** A straight-line sequence of units and regions. */
+struct Chain {
+    std::vector<ChainItem> items;
+};
+
+/** Chain element: either a unit or a fork/join region with branches. */
+struct ChainItem {
+    enum class Kind { kUnit, kRegion };
+    Kind kind = Kind::kUnit;
+    PlacementUnit unit;  ///< the unit itself, or the join unit of a region
+    std::vector<Chain> branches;  ///< region branches (fork out -> join in)
+};
+
+/** Placement configuration. */
+struct PlacementConfig {
+    int l_eff = 10;                    ///< level reached by bootstrapping
+    double bootstrap_latency = 10.0;   ///< per-ciphertext bootstrap cost (s)
+    int max_entry_level = -1;          ///< fresh-input level (default l_eff)
+
+    int
+    entry_level() const
+    {
+        return max_entry_level < 0 ? l_eff : max_entry_level;
+    }
+};
+
+/** One scheduling decision, in flattened topological order. */
+struct UnitDecision {
+    int layer_id = -1;
+    std::string name;
+    bool bootstrap_before = false;
+    u64 boot_cts = 0;    ///< ciphertexts bootstrapped (when bootstrap_before)
+    int exec_level = 0;  ///< input level at which the unit executes
+};
+
+/** The level-management policy found by the solver. */
+struct PlacementResult {
+    double latency = std::numeric_limits<double>::infinity();
+    u64 num_bootstraps = 0;  ///< total bootstrapped ciphertexts
+    u64 num_bootstrap_sites = 0;  ///< distinct edges with a bootstrap
+    int exit_level = 0;
+    std::vector<UnitDecision> decisions;
+    double solve_seconds = 0.0;  ///< Table 5's "Boot. Place." column
+};
+
+/** Orion's placement: level-digraph shortest path with SESE aggregation. */
+PlacementResult place_bootstraps(const Chain& chain,
+                                 const PlacementConfig& config);
+
+/**
+ * Baseline: bootstrap only when the next unit cannot execute (the naive
+ * strategy Section 5.1 warns about). Units always execute at the highest
+ * available level.
+ */
+PlacementResult place_bootstraps_lazy(const Chain& chain,
+                                      const PlacementConfig& config);
+
+/** Number of units (recursively) in a chain, for reporting. */
+u64 chain_unit_count(const Chain& chain);
+
+}  // namespace orion::core
+
+#endif  // ORION_SRC_CORE_PLACEMENT_H_

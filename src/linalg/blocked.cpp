@@ -1,0 +1,252 @@
+#include "src/linalg/blocked.h"
+
+#include <algorithm>
+#include <set>
+
+namespace orion::lin {
+
+BlockedMatrix::BlockedMatrix(u64 rows, u64 cols, u64 block_dim)
+    : rows_(rows), cols_(cols), block_dim_(block_dim)
+{
+    ORION_CHECK(rows > 0 && cols > 0 && block_dim > 0,
+                "bad blocked matrix shape");
+}
+
+void
+BlockedMatrix::add(u64 r, u64 c, double v)
+{
+    if (v == 0.0) return;
+    ORION_ASSERT(r < rows_ && c < cols_);
+    const std::pair<u64, u64> key{r / block_dim_, c / block_dim_};
+    auto it = blocks_.find(key);
+    if (it == blocks_.end()) {
+        it = blocks_.emplace(key, DiagonalMatrix(block_dim_)).first;
+    }
+    it->second.add(r % block_dim_, c % block_dim_, v);
+}
+
+const DiagonalMatrix*
+BlockedMatrix::block(u64 br, u64 bc) const
+{
+    const auto it = blocks_.find({br, bc});
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<double>
+BlockedMatrix::apply(const std::vector<double>& x) const
+{
+    ORION_CHECK(x.size() >= cols_, "input too short");
+    std::vector<double> padded(col_blocks() * block_dim_, 0.0);
+    std::copy(x.begin(), x.end(), padded.begin());
+    std::vector<double> y(row_blocks() * block_dim_, 0.0);
+    for (const auto& [key, block] : blocks_) {
+        const auto [br, bc] = key;
+        const std::vector<double> seg(
+            padded.begin() + static_cast<std::ptrdiff_t>(bc * block_dim_),
+            padded.begin() +
+                static_cast<std::ptrdiff_t>((bc + 1) * block_dim_));
+        const std::vector<double> part = block.apply(seg);
+        for (u64 i = 0; i < block_dim_; ++i) {
+            y[br * block_dim_ + i] += part[i];
+        }
+    }
+    return y;
+}
+
+u64
+BlockedMatrix::num_diagonals() const
+{
+    u64 total = 0;
+    for (const auto& [key, block] : blocks_) {
+        (void)key;
+        total += block.num_diagonals();
+    }
+    return total;
+}
+
+BlockedPlan
+BlockedPlan::build_from_structure(
+    u64 block_dim, u64 row_blocks, u64 col_blocks,
+    const std::map<std::pair<u64, u64>, std::vector<u64>>& blocks, u64 n1)
+{
+    BlockedPlan plan;
+    // Pick one group size per block-column from the union of its blocks'
+    // diagonal indices, so baby rotations can be shared.
+    for (u64 bc = 0; bc < col_blocks; ++bc) {
+        std::set<u64> union_indices;
+        for (u64 br = 0; br < row_blocks; ++br) {
+            const auto it = blocks.find({br, bc});
+            if (it == blocks.end()) continue;
+            for (u64 k : it->second) union_indices.insert(k);
+        }
+        if (union_indices.empty()) continue;
+        const std::vector<u64> indices(union_indices.begin(),
+                                       union_indices.end());
+        const BsgsPlan column_plan =
+            BsgsPlan::build_from_indices(block_dim, indices, n1);
+        const u64 column_n1 = column_plan.n1;
+
+        std::set<u64> babies;
+        for (u64 br = 0; br < row_blocks; ++br) {
+            const auto it = blocks.find({br, bc});
+            if (it == blocks.end()) continue;
+            BsgsPlan bp = BsgsPlan::build_from_indices(block_dim, it->second,
+                                                       column_n1);
+            for (u64 b : bp.baby_steps) babies.insert(b);
+            plan.block_plans.emplace(std::make_pair(br, bc), std::move(bp));
+        }
+        plan.column_babies[bc] = {babies.begin(), babies.end()};
+    }
+    return plan;
+}
+
+BlockedPlan
+BlockedPlan::build(const BlockedMatrix& m, u64 n1)
+{
+    std::map<std::pair<u64, u64>, std::vector<u64>> blocks;
+    for (u64 br = 0; br < m.row_blocks(); ++br) {
+        for (u64 bc = 0; bc < m.col_blocks(); ++bc) {
+            const DiagonalMatrix* block = m.block(br, bc);
+            if (block == nullptr) continue;
+            blocks[{br, bc}] = block->diagonal_indices();
+        }
+    }
+    return build_from_structure(m.block_dim(), m.row_blocks(),
+                                m.col_blocks(), blocks, n1);
+}
+
+u64
+BlockedPlan::rotation_count() const
+{
+    u64 count = 0;
+    for (const auto& [bc, babies] : column_babies) {
+        (void)bc;
+        for (u64 b : babies) {
+            if (b != 0) ++count;
+        }
+    }
+    for (const auto& [key, bp] : block_plans) {
+        (void)key;
+        count += bp.giant_rotation_count();
+    }
+    return count;
+}
+
+u64
+BlockedPlan::pmult_count() const
+{
+    u64 count = 0;
+    for (const auto& [key, bp] : block_plans) {
+        (void)key;
+        count += bp.pmult_count();
+    }
+    return count;
+}
+
+std::vector<int>
+BlockedPlan::required_steps() const
+{
+    std::set<int> steps;
+    for (const auto& [key, bp] : block_plans) {
+        (void)key;
+        for (int s : bp.required_steps()) steps.insert(s);
+    }
+    return {steps.begin(), steps.end()};
+}
+
+HeBlockedMatrix::HeBlockedMatrix(const ckks::Context& ctx,
+                                 const ckks::Encoder& encoder,
+                                 const BlockedMatrix& m,
+                                 const BlockedPlan& plan, int level,
+                                 double scale)
+    : ctx_(&ctx), plan_(plan), level_(level), scale_(scale),
+      row_blocks_(m.row_blocks()), col_blocks_(m.col_blocks())
+{
+    ORION_CHECK(m.block_dim() == ctx.slot_count(),
+                "block dimension must equal the slot count");
+    const u64 dim = m.block_dim();
+    std::vector<double> rotated(dim);
+    for (const auto& [key, bp] : plan_.block_plans) {
+        const DiagonalMatrix* block = m.block(key.first, key.second);
+        ORION_ASSERT(block != nullptr);
+        auto& group_map = encoded_[key];
+        for (const auto& [g, terms] : bp.groups) {
+            std::vector<ckks::Plaintext>& row = group_map[g];
+            row.reserve(terms.size());
+            for (const BsgsPlan::Term& term : terms) {
+                const std::vector<double>* diag = block->diagonal(term.diag);
+                ORION_ASSERT(diag != nullptr);
+                for (u64 t = 0; t < dim; ++t) {
+                    rotated[t] = (*diag)[(t + dim - g) % dim];
+                }
+                row.push_back(encoder.encode(rotated, level, scale));
+            }
+        }
+    }
+}
+
+std::vector<ckks::Ciphertext>
+HeBlockedMatrix::apply(const ckks::Evaluator& eval,
+                       const std::vector<ckks::Ciphertext>& in) const
+{
+    ORION_CHECK(in.size() == col_blocks_,
+                "expected " << col_blocks_ << " input ciphertexts, got "
+                            << in.size());
+    for (const ckks::Ciphertext& ct : in) {
+        ORION_CHECK(ct.level() == level_, "input level mismatch");
+    }
+    const double out_scale = in.front().scale * scale_;
+
+    std::vector<ckks::Evaluator::RotationAccumulator> accs;
+    accs.reserve(row_blocks_);
+    for (u64 br = 0; br < row_blocks_; ++br) {
+        accs.push_back(eval.make_accumulator(level_, out_scale));
+    }
+
+    for (u64 bc = 0; bc < col_blocks_; ++bc) {
+        const auto babies_it = plan_.column_babies.find(bc);
+        if (babies_it == plan_.column_babies.end()) continue;
+
+        // Shared hoisted baby rotations for this input ciphertext.
+        const ckks::Evaluator::Hoisted hoisted = eval.hoist(in[bc]);
+        std::map<u64, ckks::Ciphertext> babies;
+        for (u64 b : babies_it->second) {
+            babies.emplace(b, b == 0 ? in[bc]
+                                     : eval.rotate_hoisted(
+                                           hoisted, static_cast<int>(b)));
+        }
+
+        for (u64 br = 0; br < row_blocks_; ++br) {
+            const auto plan_it = plan_.block_plans.find({br, bc});
+            if (plan_it == plan_.block_plans.end()) continue;
+            const auto& group_map = encoded_.at({br, bc});
+            for (const auto& [g, terms] : plan_it->second.groups) {
+                const std::vector<ckks::Plaintext>& encoded =
+                    group_map.at(g);
+                std::optional<ckks::Ciphertext> inner;
+                for (std::size_t t = 0; t < terms.size(); ++t) {
+                    ckks::Ciphertext part = eval.mul_plain(
+                        babies.at(terms[t].baby), encoded[t]);
+                    if (inner.has_value()) {
+                        eval.add_inplace(*inner, part);
+                    } else {
+                        inner = std::move(part);
+                    }
+                }
+                eval.accumulate_rotation(accs[br], *inner,
+                                         static_cast<int>(g));
+            }
+        }
+    }
+
+    std::vector<ckks::Ciphertext> out;
+    out.reserve(row_blocks_);
+    for (u64 br = 0; br < row_blocks_; ++br) {
+        ckks::Ciphertext ct = eval.finalize_accumulator(accs[br]);
+        eval.rescale_inplace(ct);
+        out.push_back(std::move(ct));
+    }
+    return out;
+}
+
+}  // namespace orion::lin

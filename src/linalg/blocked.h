@@ -1,0 +1,104 @@
+#ifndef ORION_SRC_LINALG_BLOCKED_H_
+#define ORION_SRC_LINALG_BLOCKED_H_
+
+/**
+ * @file
+ * Blocked matrix-vector products for tensors larger than one ciphertext
+ * (Section 4.3, "Multi-ciphertext"). The matrix is tiled into slots x slots
+ * blocks; each block is a DiagonalMatrix evaluated with BSGS. Baby-step
+ * rotations are shared across all blocks in one block-column (they rotate
+ * the same input ciphertext), so every block-column uses a common group
+ * size n1.
+ */
+
+#include "src/linalg/bsgs.h"
+
+namespace orion::lin {
+
+/** A rows x cols matrix tiled into block_dim x block_dim diagonal blocks. */
+class BlockedMatrix {
+  public:
+    BlockedMatrix(u64 rows, u64 cols, u64 block_dim);
+
+    u64 rows() const { return rows_; }
+    u64 cols() const { return cols_; }
+    u64 block_dim() const { return block_dim_; }
+    u64 row_blocks() const { return ceil_div(rows_, block_dim_); }
+    u64 col_blocks() const { return ceil_div(cols_, block_dim_); }
+
+    /** Adds v at logical position (r, c). */
+    void add(u64 r, u64 c, double v);
+
+    /** The (br, bc) block, or nullptr when all-zero. */
+    const DiagonalMatrix* block(u64 br, u64 bc) const;
+
+    /** Cleartext matvec (x padded to col_blocks * block_dim). */
+    std::vector<double> apply(const std::vector<double>& x) const;
+
+    /** Sum of materialized diagonals over all blocks. */
+    u64 num_diagonals() const;
+
+  private:
+    u64 rows_, cols_, block_dim_;
+    std::map<std::pair<u64, u64>, DiagonalMatrix> blocks_;
+};
+
+/** Rotation schedule for a blocked matvec (per-block BSGS, shared babies). */
+struct BlockedPlan {
+    /** Plan of each materialized block, keyed by (block_row, block_col). */
+    std::map<std::pair<u64, u64>, BsgsPlan> block_plans;
+    /** Baby steps of each block-column (the union over its blocks). */
+    std::map<u64, std::vector<u64>> column_babies;
+
+    /**
+     * Total ciphertext rotations: per column, its shared nontrivial baby
+     * steps; per block, its nontrivial giant steps.
+     */
+    u64 rotation_count() const;
+    u64 pmult_count() const;
+    std::vector<int> required_steps() const;
+
+    static BlockedPlan build(const BlockedMatrix& m, u64 n1 = 0);
+    /** Builds a plan from diagonal index sets alone (no values needed). */
+    static BlockedPlan build_from_structure(
+        u64 block_dim, u64 row_blocks, u64 col_blocks,
+        const std::map<std::pair<u64, u64>, std::vector<u64>>& blocks,
+        u64 n1 = 0);
+};
+
+/** A blocked matrix encoded for homomorphic evaluation. */
+class HeBlockedMatrix {
+  public:
+    HeBlockedMatrix(const ckks::Context& ctx, const ckks::Encoder& encoder,
+                    const BlockedMatrix& m, const BlockedPlan& plan,
+                    int level, double scale);
+
+    /**
+     * y = M x homomorphically over ciphertext vectors; one level consumed.
+     * in.size() must equal col_blocks(); the result has row_blocks()
+     * entries.
+     */
+    std::vector<ckks::Ciphertext> apply(
+        const ckks::Evaluator& eval,
+        const std::vector<ckks::Ciphertext>& in) const;
+
+    const BlockedPlan& plan() const { return plan_; }
+    u64 row_blocks() const { return row_blocks_; }
+    u64 col_blocks() const { return col_blocks_; }
+    int level() const { return level_; }
+
+  private:
+    const ckks::Context* ctx_;
+    BlockedPlan plan_;
+    int level_;
+    double scale_;
+    u64 row_blocks_, col_blocks_;
+    /** Encoded diagonals per block, aligned with the block plan's groups. */
+    std::map<std::pair<u64, u64>,
+             std::map<u64, std::vector<ckks::Plaintext>>>
+        encoded_;
+};
+
+}  // namespace orion::lin
+
+#endif  // ORION_SRC_LINALG_BLOCKED_H_

@@ -1,0 +1,104 @@
+#ifndef ORION_SRC_LINALG_BSGS_H_
+#define ORION_SRC_LINALG_BSGS_H_
+
+/**
+ * @file
+ * Baby-step giant-step homomorphic matrix-vector products (Sections
+ * 3.1-3.3, Equation 1).
+ *
+ * A BsgsPlan splits the nonzero diagonals of a matrix into giant groups of
+ * n1 consecutive indices. Evaluation rotates the input by each needed baby
+ * step (all served from one hoisted decomposition), multiplies by
+ * pre-rotated plaintext diagonals, and applies one giant rotation per
+ * group, accumulated with a deferred mod-down (double-hoisting).
+ *
+ * Every linear layer in Orion (convolutions, fully-connected layers) is
+ * evaluated through this code path and consumes exactly one level.
+ */
+
+#include <optional>
+
+#include "src/ckks/encoder.h"
+#include "src/ckks/evaluator.h"
+#include "src/linalg/diagonal.h"
+
+namespace orion::lin {
+
+/** The rotation schedule of a BSGS matvec over a fixed diagonal set. */
+struct BsgsPlan {
+    u64 dim = 0;   ///< matrix dimension (must equal the CKKS slot count
+                   ///  for homomorphic evaluation)
+    u64 n1 = 1;    ///< giant group size (baby steps are 0..n1-1)
+
+    /** One (baby rotation, diagonal) pair within a giant group. */
+    struct Term {
+        u64 baby;
+        u64 diag;
+    };
+    /** Giant rotation amount -> terms evaluated under that group. */
+    std::map<u64, std::vector<Term>> groups;
+    /** Distinct baby steps needed across all groups (sorted). */
+    std::vector<u64> baby_steps;
+
+    /** Rotations performed: nontrivial baby steps + nontrivial giants. */
+    u64 rotation_count() const;
+    /** Baby-step rotations only (these are hoisted). */
+    u64 baby_rotation_count() const;
+    /** Giant-step rotations only. */
+    u64 giant_rotation_count() const;
+    /** Number of plaintext multiplications (= number of diagonals). */
+    u64 pmult_count() const;
+    /** All rotation steps the plan needs keys for. */
+    std::vector<int> required_steps() const;
+
+    /**
+     * Builds a plan for the matrix's nonzero diagonals. n1 = 0 picks the
+     * group size minimizing the rotation count (searched over powers of
+     * two and the square-root neighborhood); n1 = 1 degenerates to the
+     * plain diagonal method of Figure 2a.
+     */
+    static BsgsPlan build(const DiagonalMatrix& m, u64 n1 = 0);
+    static BsgsPlan build_from_indices(u64 dim,
+                                       const std::vector<u64>& diag_indices,
+                                       u64 n1 = 0);
+};
+
+/**
+ * A matrix encoded as plaintext diagonals at a fixed level and scale,
+ * ready for repeated homomorphic application.
+ */
+class HeDiagonalMatrix {
+  public:
+    /**
+     * Encodes the (pre-rotated) diagonals of m. `scale` is the plaintext
+     * scale; passing the level's prime q_level (see Context::q) makes the
+     * post-rescale output scale exactly equal to the input scale (the
+     * paper's errorless scale management, Figure 7).
+     */
+    HeDiagonalMatrix(const ckks::Context& ctx, const ckks::Encoder& encoder,
+                     const DiagonalMatrix& m, const BsgsPlan& plan, int level,
+                     double scale);
+
+    /**
+     * y = M x homomorphically. Consumes exactly one level: the result is
+     * rescaled once, at level `level() - 1`.
+     */
+    ckks::Ciphertext apply(const ckks::Evaluator& eval,
+                           const ckks::Ciphertext& ct) const;
+
+    const BsgsPlan& plan() const { return plan_; }
+    int level() const { return level_; }
+    double scale() const { return scale_; }
+
+  private:
+    const ckks::Context* ctx_;
+    BsgsPlan plan_;
+    int level_;
+    double scale_;
+    /** groups_[g][t] aligns with plan_.groups[g][t]. */
+    std::map<u64, std::vector<ckks::Plaintext>> encoded_;
+};
+
+}  // namespace orion::lin
+
+#endif  // ORION_SRC_LINALG_BSGS_H_

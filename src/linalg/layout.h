@@ -1,0 +1,123 @@
+#ifndef ORION_SRC_LINALG_LAYOUT_H_
+#define ORION_SRC_LINALG_LAYOUT_H_
+
+/**
+ * @file
+ * Multiplexed tensor layouts (Section 4.3).
+ *
+ * A (channels, height, width) activation tensor is packed into ciphertext
+ * slots on a (height*gap) x (width*gap) pixel grid: each logical pixel is a
+ * gap x gap block holding gap^2 different channels, and channels beyond
+ * gap^2 occupy further grid planes. gap = 1 is the plain raster-scan
+ * layout of Section 4.1. Strided convolutions multiply the gap by the
+ * stride, which is what keeps their Toeplitz matrices densely diagonal
+ * (Figure 5b) instead of spatially sparse (Figure 5a).
+ */
+
+#include "src/common.h"
+
+namespace orion::lin {
+
+/** Slot layout of a (c, h, w) tensor with a channel-multiplex gap. */
+struct TensorLayout {
+    int channels = 0;
+    int height = 0;
+    int width = 0;
+    int gap = 1;
+
+    TensorLayout() = default;
+    TensorLayout(int c, int h, int w, int g = 1)
+        : channels(c), height(h), width(w), gap(g)
+    {
+        ORION_CHECK(c > 0 && h > 0 && w > 0 && g > 0, "bad layout");
+    }
+
+    /** Channels stored per grid plane. */
+    int channels_per_plane() const { return gap * gap; }
+    /** Number of gap^2-channel planes. */
+    int
+    planes() const
+    {
+        return static_cast<int>(
+            ceil_div(static_cast<u64>(channels),
+                     static_cast<u64>(channels_per_plane())));
+    }
+    int grid_height() const { return height * gap; }
+    int grid_width() const { return width * gap; }
+    /** Slots spanned by the layout (including padding slots). */
+    u64
+    total_slots() const
+    {
+        return static_cast<u64>(planes()) * grid_height() * grid_width();
+    }
+
+    /** Slot index of logical element (c, y, x). */
+    u64
+    slot_of(int c, int y, int x) const
+    {
+        ORION_ASSERT(c >= 0 && c < channels && y >= 0 && y < height &&
+                     x >= 0 && x < width);
+        const int plane = c / channels_per_plane();
+        const int k = c % channels_per_plane();
+        const int grid_y = y * gap + k / gap;
+        const int grid_x = x * gap + k % gap;
+        return static_cast<u64>(plane) * grid_height() * grid_width() +
+               static_cast<u64>(grid_y) * grid_width() +
+               static_cast<u64>(grid_x);
+    }
+
+    /** Flattened logical size c*h*w (no multiplex padding). */
+    u64
+    logical_size() const
+    {
+        return static_cast<u64>(channels) * height * width;
+    }
+
+    /** Packs a logical (c, h, w)-major tensor into layout order. */
+    std::vector<double>
+    pack(const std::vector<double>& chw, u64 padded_size = 0) const
+    {
+        ORION_CHECK(chw.size() == logical_size(),
+                    "tensor size mismatch: " << chw.size() << " vs "
+                                             << logical_size());
+        std::vector<double> out(padded_size == 0 ? total_slots()
+                                                 : padded_size,
+                                0.0);
+        u64 idx = 0;
+        for (int c = 0; c < channels; ++c) {
+            for (int y = 0; y < height; ++y) {
+                for (int x = 0; x < width; ++x) {
+                    out[slot_of(c, y, x)] = chw[idx++];
+                }
+            }
+        }
+        return out;
+    }
+
+    /** Extracts the logical (c, h, w)-major tensor from layout order. */
+    std::vector<double>
+    unpack(const std::vector<double>& slots) const
+    {
+        std::vector<double> out(logical_size());
+        u64 idx = 0;
+        for (int c = 0; c < channels; ++c) {
+            for (int y = 0; y < height; ++y) {
+                for (int x = 0; x < width; ++x) {
+                    out[idx++] = slots[slot_of(c, y, x)];
+                }
+            }
+        }
+        return out;
+    }
+
+    bool
+    operator==(const TensorLayout& o) const
+    {
+        return channels == o.channels && height == o.height &&
+               width == o.width && gap == o.gap;
+    }
+};
+
+}  // namespace orion::lin
+
+#endif  // ORION_SRC_LINALG_LAYOUT_H_

@@ -1,0 +1,15 @@
+#ifndef ORION_SRC_LINALG_LINALG_H_
+#define ORION_SRC_LINALG_LINALG_H_
+
+/**
+ * @file
+ * Umbrella header for Orion's homomorphic linear algebra.
+ */
+
+#include "src/linalg/blocked.h"
+#include "src/linalg/bsgs.h"
+#include "src/linalg/diagonal.h"
+#include "src/linalg/layout.h"
+#include "src/linalg/toeplitz.h"
+
+#endif  // ORION_SRC_LINALG_LINALG_H_

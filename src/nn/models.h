@@ -1,0 +1,64 @@
+#ifndef ORION_SRC_NN_MODELS_H_
+#define ORION_SRC_NN_MODELS_H_
+
+/**
+ * @file
+ * The model zoo: every network evaluated in Table 2 of the paper, plus the
+ * YOLO-v1 detector of Section 8.6 and the deeper CIFAR ResNets of Tables
+ * 3 and 5. Weights are seeded synthetic (He-initialized); the datasets and
+ * pretrained torchvision weights used by the paper are not available
+ * offline, so accuracy columns are replaced by FHE-vs-cleartext agreement
+ * (see DESIGN.md, "Substitutions").
+ */
+
+#include <string>
+
+#include "src/nn/network.h"
+
+namespace orion::nn {
+
+/** Which activation family a model is instantiated with (Section 8.2). */
+enum class Act { kSquare, kRelu, kSilu };
+
+// ---- MNIST (28 x 28 x 1) ----
+
+/** 3-layer MLP (SecureML): 784-128-128-10 with x^2 activations. */
+Network make_mlp(u64 seed = 1);
+/** LoLA CryptoNets: conv5x5/s2 -> x^2 -> FC100 -> x^2 -> FC10. */
+Network make_lola(u64 seed = 2);
+/** The large LeNet-5 of CHET/EVA: 32-64 conv maps, 512-dim FC. */
+Network make_lenet5(u64 seed = 3);
+
+// ---- CIFAR-10 (32 x 32 x 3) ----
+
+Network make_alexnet_cifar(Act act, u64 seed = 4);
+Network make_vgg16_cifar(Act act, u64 seed = 5);
+/** CIFAR ResNet-(6n+2): depth in {20, 32, 44, 56, 110, ...}. */
+Network make_resnet_cifar(int depth, Act act, u64 seed = 6);
+
+// ---- Tiny ImageNet (64 x 64 x 3, 200 classes) ----
+
+Network make_mobilenet_v1(u64 seed = 7);
+Network make_resnet18_tiny(u64 seed = 8);
+
+// ---- ImageNet (224 x 224 x 3, 1000 classes) ----
+
+Network make_resnet34_imagenet(u64 seed = 9);
+Network make_resnet50_imagenet(u64 seed = 10);
+
+// ---- PASCAL-VOC object detection (448 x 448 x 3) ----
+
+/** YOLO-v1 with a ResNet-34 backbone, 7x7x30 output (Section 8.6). */
+Network make_yolo_v1(u64 seed = 11);
+
+/**
+ * Builds a model by name: mlp, lola, lenet5, alexnet, vgg16, resnet20,
+ * resnet32, resnet44, resnet56, resnet110, mobilenet, resnet18, resnet34,
+ * resnet50, yolo. Optional suffix "-relu"/"-silu" selects the activation
+ * for CIFAR nets (default ReLU for CIFAR, SiLU for larger sets).
+ */
+Network make_model(const std::string& name);
+
+}  // namespace orion::nn
+
+#endif  // ORION_SRC_NN_MODELS_H_

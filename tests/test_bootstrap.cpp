@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using ckks::Ciphertext;
+
+TEST(Bootstrap, RaisesLevelToLeff)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 1);
+    Ciphertext ct = encrypt_vector(env, a, 0);
+    EXPECT_EQ(ct.level(), 0);
+    const Ciphertext boosted = env.boot.bootstrap(ct);
+    EXPECT_EQ(boosted.level(), env.boot.l_eff());
+    EXPECT_GT(env.boot.l_eff(), 0);
+    EXPECT_DOUBLE_EQ(boosted.scale, env.ctx.scale());
+}
+
+TEST(Bootstrap, PreservesMessageWithinPrecision)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 2);
+    const Ciphertext ct = encrypt_vector(env, a, 0);
+    ckks::Bootstrapper boot(env.ctx, env.encoder, env.keygen.secret_key());
+    const Ciphertext boosted = boot.bootstrap(ct);
+    const double err = max_abs_diff(decrypt_vector(env, boosted), a);
+    EXPECT_LT(err, 1e-4);
+    // The configured noise floor must actually be present: a bootstrap is
+    // not a perfect identity.
+    EXPECT_GT(err, 0.0);
+}
+
+TEST(Bootstrap, SupportsFurtherComputation)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const u64 n = env.ctx.slot_count();
+    const std::vector<double> a = random_vector(n, 0.9, 3);
+    Ciphertext ct = encrypt_vector(env, a, 0);
+    ct = env.boot.bootstrap(ct);
+    ct = env.eval.square(ct);
+    env.eval.rescale_inplace(ct);
+    const std::vector<double> out = decrypt_vector(env, ct);
+    for (u64 i = 0; i < n; ++i) EXPECT_NEAR(out[i], a[i] * a[i], 1e-3);
+}
+
+TEST(Bootstrap, RejectsOutOfRangeInputs)
+{
+    CkksEnv& env = CkksEnv::shared();
+    std::vector<double> a(env.ctx.slot_count(), 0.0);
+    a[7] = 5.0;  // outside [-1, 1]
+    const Ciphertext ct = encrypt_vector(env, a, 0);
+    ckks::Bootstrapper boot(env.ctx, env.encoder, env.keygen.secret_key());
+    EXPECT_THROW(boot.bootstrap(ct), Error);
+}
+
+TEST(Bootstrap, CountsOperations)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 4);
+    const Ciphertext ct = encrypt_vector(env, a, 0);
+    env.ctx.counters().reset();
+    (void)env.boot.bootstrap(ct);
+    EXPECT_EQ(env.ctx.counters().bootstrap, 1u);
+}
+
+TEST(Bootstrap, ConfigValidation)
+{
+    CkksEnv& env = CkksEnv::shared();
+    ckks::BootstrapConfig bad;
+    bad.l_boot = env.ctx.max_level() + 5;
+    EXPECT_THROW(ckks::Bootstrapper(env.ctx, env.encoder,
+                                    env.keygen.secret_key(), bad),
+                 Error);
+}
+
+}  // namespace
+}  // namespace orion::test

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "src/core/executor.h"
+#include "src/nn/models.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using core::CompileOptions;
+using core::CompiledNetwork;
+using core::Instruction;
+using nn::ActivationSpec;
+using nn::Network;
+
+/** A small conv net with a residual block, used across compiler tests. */
+Network
+tiny_resnet(ActivationSpec::Kind act_kind)
+{
+    std::mt19937_64 rng(17);
+    std::normal_distribution<double> dist(0.0, 0.3);
+    auto weights = [&rng, &dist](u64 n) {
+        std::vector<double> w(n);
+        for (double& x : w) x = dist(rng);
+        return w;
+    };
+    ActivationSpec act;
+    switch (act_kind) {
+    case ActivationSpec::Kind::kSquare:
+        act = ActivationSpec::square();
+        break;
+    case ActivationSpec::Kind::kRelu:
+        act = ActivationSpec::relu({3, 3});  // small composite for toy levels
+        break;
+    default:
+        act = ActivationSpec::silu(15);
+        break;
+    }
+
+    Network net("tiny-resnet");
+    int id = net.add_input(2, 8, 8);
+    lin::Conv2dSpec c1;
+    c1.in_channels = 2;
+    c1.out_channels = 4;
+    c1.kernel_h = c1.kernel_w = 3;
+    c1.pad = 1;
+    id = net.add_conv2d(id, c1, weights(c1.weight_count()), weights(4));
+    id = net.add_activation(id, act);
+    const int fork = id;
+    lin::Conv2dSpec c2;
+    c2.in_channels = 4;
+    c2.out_channels = 4;
+    c2.kernel_h = c2.kernel_w = 3;
+    c2.pad = 1;
+    int bb = net.add_conv2d(fork, c2, weights(c2.weight_count()));
+    std::vector<double> g(4, 1.1), b(4, 0.02), m(4, 0.01), v(4, 0.9);
+    bb = net.add_batchnorm2d(bb, g, b, m, v);
+    id = net.add_add(bb, fork);
+    id = net.add_activation(id, act);
+    id = net.add_avgpool2d(id, 2, 2);
+    id = net.add_flatten(id);
+    id = net.add_linear(id, 5, weights(5 * 4 * 4 * 4), weights(5));
+    net.set_output(id);
+    return net;
+}
+
+CompileOptions
+toy_options(u64 slots, int l_eff)
+{
+    CompileOptions opt;
+    opt.slots = slots;
+    opt.l_eff = l_eff;
+    opt.cost = core::CostModel::for_params(2 * slots * 2, 3, 3, 3);
+    opt.calibration_samples = 3;
+    opt.structural_only = true;
+    return opt;
+}
+
+double
+rel_err(const std::vector<double>& got, const std::vector<double>& want)
+{
+    double num = 0.0, den = 1e-12;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        num = std::max(num, std::abs(got[i] - want[i]));
+        den = std::max(den, std::abs(want[i]));
+    }
+    return num / den;
+}
+
+TEST(Compiler, MlpCompilesAndSimulatesExactly)
+{
+    // x^2 activations are exact polynomials, so simulation must match the
+    // cleartext network almost perfectly.
+    const Network net = nn::make_mlp();
+    const CompiledNetwork cn = core::compile(net, toy_options(4096, 6));
+    EXPECT_EQ(cn.num_bootstraps, 0u);  // depth 5 fits in l_eff 6
+    EXPECT_GT(cn.total_rotations, 0u);
+
+    core::SimExecutor sim(cn, /*bootstrap_noise_std=*/0.0);
+    const std::vector<double> x = random_vector(784, 1.0, 31);
+    const core::ExecutionResult r = sim.run(x);
+    const std::vector<double> expected = net.forward(x);
+    EXPECT_LT(rel_err(r.output, expected), 1e-9);
+    EXPECT_EQ(r.rotations, cn.total_rotations);
+}
+
+TEST(Compiler, ActivationDepthMatchesPaperAccounting)
+{
+    const Network net = nn::make_mlp();
+    const CompiledNetwork cn = core::compile(net, toy_options(4096, 6));
+    // Two x^2 activations, depth 1 each.
+    EXPECT_EQ(cn.activation_depth, 2);
+}
+
+TEST(Compiler, TinyResnetWithSquareActs)
+{
+    const Network net = tiny_resnet(ActivationSpec::Kind::kSquare);
+    const CompiledNetwork cn = core::compile(net, toy_options(1024, 5));
+    core::SimExecutor sim(cn, 0.0);
+    const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 32);
+    const core::ExecutionResult r = sim.run(x);
+    EXPECT_LT(rel_err(r.output, net.forward(x)), 1e-9);
+}
+
+TEST(Compiler, TinyResnetWithComposteReluRegions)
+{
+    const Network net = tiny_resnet(ActivationSpec::Kind::kRelu);
+    const CompiledNetwork cn = core::compile(net, toy_options(1024, 6));
+    core::SimExecutor sim(cn, 0.0);
+    const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 33);
+    const core::ExecutionResult r = sim.run(x);
+    // The [3,3] composite ReLU is a crude sign approximation; compare
+    // against the cleartext net loosely, and require the right argmax.
+    const std::vector<double> expected = net.forward(x);
+    EXPECT_LT(rel_err(r.output, expected), 0.7);
+    // kMul instructions exist (the x * sign(x) joins).
+    int muls = 0;
+    for (const Instruction& ins : cn.program) {
+        if (ins.op == Instruction::Op::kMul) ++muls;
+    }
+    EXPECT_EQ(muls, 2);
+}
+
+TEST(Compiler, SiluActivationAccuracy)
+{
+    const Network net = tiny_resnet(ActivationSpec::Kind::kSilu);
+    const CompiledNetwork cn = core::compile(net, toy_options(1024, 6));
+    core::SimExecutor sim(cn, 0.0);
+    const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 34);
+    const core::ExecutionResult r = sim.run(x);
+    EXPECT_LT(rel_err(r.output, net.forward(x)), 0.05);
+}
+
+TEST(Compiler, DeepNetGetsBootstraps)
+{
+    // Chain enough activations that l_eff forces bootstrapping; the sim
+    // must still match the cleartext model.
+    std::mt19937_64 rng(35);
+    std::normal_distribution<double> dist(0.0, 0.4);
+    Network net("deep");
+    int id = net.add_input(1, 4, 4);
+    id = net.add_flatten(id);
+    for (int i = 0; i < 6; ++i) {
+        std::vector<double> w(16 * 16);
+        for (double& v : w) v = dist(rng);
+        id = net.add_linear(id, 16, w);
+        id = net.add_activation(id, ActivationSpec::square());
+    }
+    std::vector<double> w(4 * 16);
+    for (double& v : w) v = dist(rng);
+    id = net.add_linear(id, 4, w);
+    net.set_output(id);
+
+    const CompiledNetwork cn = core::compile(net, toy_options(1024, 4));
+    EXPECT_GE(cn.num_bootstraps, 2u);
+    core::SimExecutor sim(cn, 0.0);
+    const std::vector<double> x = random_vector(16, 1.0, 36);
+    EXPECT_LT(rel_err(sim.run(x).output, net.forward(x)), 1e-9);
+}
+
+TEST(Compiler, SimLatencyMatchesPlacementModel)
+{
+    const Network net = tiny_resnet(ActivationSpec::Kind::kSquare);
+    const CompiledNetwork cn = core::compile(net, toy_options(1024, 5));
+    core::SimExecutor sim(cn, 0.0);
+    const core::ExecutionResult r =
+        sim.run(random_vector(2 * 8 * 8, 1.0, 37));
+    // The executor charges the same cost model the placement optimized,
+    // so totals agree up to the join bookkeeping.
+    EXPECT_NEAR(r.modeled_latency, cn.modeled_latency,
+                0.05 * cn.modeled_latency + 1e-9);
+}
+
+TEST(Compiler, RasterPackingNeedsMoreRotationsOnStridedNets)
+{
+    // Figure 5: raster packing of strided convs produces more diagonals
+    // and thus more rotations than single-shot multiplexing.
+    std::mt19937_64 rng(38);
+    std::normal_distribution<double> dist(0.0, 0.3);
+    auto weights = [&rng, &dist](u64 n) {
+        std::vector<double> w(n);
+        for (double& x : w) x = dist(rng);
+        return w;
+    };
+    Network net("strided");
+    int id = net.add_input(2, 16, 16);
+    lin::Conv2dSpec c1;
+    c1.in_channels = 2;
+    c1.out_channels = 8;
+    c1.kernel_h = c1.kernel_w = 3;
+    c1.stride = 2;
+    c1.pad = 1;
+    id = net.add_conv2d(id, c1, weights(c1.weight_count()));
+    id = net.add_activation(id, ActivationSpec::square());
+    id = net.add_flatten(id);
+    id = net.add_linear(id, 4, weights(4 * 8 * 8 * 8));
+    net.set_output(id);
+
+    CompileOptions mux = toy_options(1024, 5);
+    CompileOptions raster = toy_options(1024, 5);
+    raster.packing = CompileOptions::Packing::kRaster;
+    const CompiledNetwork cn_mux = core::compile(net, mux);
+    const CompiledNetwork cn_raster = core::compile(net, raster);
+    EXPECT_LT(cn_mux.total_rotations, cn_raster.total_rotations);
+
+    // Both compile to correct programs.
+    core::SimExecutor sim_mux(cn_mux, 0.0);
+    core::SimExecutor sim_raster(cn_raster, 0.0);
+    const std::vector<double> x = random_vector(2 * 16 * 16, 1.0, 39);
+    EXPECT_LT(rel_err(sim_mux.run(x).output, net.forward(x)), 1e-9);
+    EXPECT_LT(rel_err(sim_raster.run(x).output, net.forward(x)), 1e-9);
+}
+
+TEST(Compiler, DiagonalMethodNeedsMoreRotationsThanBsgs)
+{
+    const Network net = nn::make_mlp();
+    CompileOptions with_bsgs = toy_options(4096, 6);
+    CompileOptions without = toy_options(4096, 6);
+    without.use_bsgs = false;
+    const u64 bsgs_rots = core::compile(net, with_bsgs).total_rotations;
+    const u64 diag_rots = core::compile(net, without).total_rotations;
+    EXPECT_LT(bsgs_rots, diag_rots / 3);  // O(sqrt n) vs O(n)
+}
+
+TEST(Compiler, MultiCiphertextTensors)
+{
+    // An input bigger than one ciphertext: blocked matvec path.
+    std::mt19937_64 rng(40);
+    std::normal_distribution<double> dist(0.0, 0.2);
+    Network net("wide");
+    int id = net.add_input(4, 16, 16);  // 1024 slots at 512-slot blocks
+    lin::Conv2dSpec c1;
+    c1.in_channels = 4;
+    c1.out_channels = 2;
+    c1.kernel_h = c1.kernel_w = 3;
+    c1.pad = 1;
+    std::vector<double> w(c1.weight_count());
+    for (double& v : w) v = dist(rng);
+    id = net.add_conv2d(id, c1, w);
+    net.set_output(id);
+
+    const CompiledNetwork cn = core::compile(net, toy_options(512, 4));
+    ASSERT_GE(cn.program.size(), 2u);
+    EXPECT_EQ(cn.program.front().cts, 2u);  // input spans 2 ciphertexts
+    core::SimExecutor sim(cn, 0.0);
+    const std::vector<double> x = random_vector(4 * 16 * 16, 1.0, 41);
+    EXPECT_LT(rel_err(sim.run(x).output, net.forward(x)), 1e-9);
+}
+
+TEST(Compiler, CkksExecutionMatchesSimulation)
+{
+    // The flagship integration test: the same compiled program executed
+    // under real RNS-CKKS encryption agrees with the functional simulation
+    // (and hence with cleartext PyTorch-style execution) to high precision.
+    CkksEnv& env = CkksEnv::shared();
+    const Network net = tiny_resnet(ActivationSpec::Kind::kSquare);
+    CompileOptions opt = toy_options(env.ctx.slot_count(), 4);
+    opt.structural_only = false;  // need value matrices for CKKS
+    const CompiledNetwork cn = core::compile(net, opt);
+
+    core::SimExecutor sim(cn, 0.0);
+    core::CkksExecutor fhe(cn, env.ctx);
+    const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 42);
+    const core::ExecutionResult rs = sim.run(x);
+    const core::ExecutionResult rf = fhe.run(x);
+
+    ASSERT_EQ(rf.output.size(), rs.output.size());
+    const double err = rel_err(rf.output, rs.output);
+    EXPECT_LT(err, 1e-2);
+    // Precision in bits, as reported in Table 2.
+    double abs_err = 1e-12;
+    for (std::size_t i = 0; i < rf.output.size(); ++i) {
+        abs_err = std::max(abs_err, std::abs(rf.output[i] - rs.output[i]));
+    }
+    const double precision_bits = -std::log2(abs_err);
+    EXPECT_GT(precision_bits, 4.0);
+    // Real rotation count must equal the compiler's static count.
+    EXPECT_EQ(rf.rotations, cn.total_rotations);
+}
+
+}  // namespace
+}  // namespace orion::test

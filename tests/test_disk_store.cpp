@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+
+#include "src/core/disk_store.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using core::DiskStoreReader;
+using core::DiskStoreWriter;
+
+std::string
+temp_path(const char* stem)
+{
+    return std::string(::testing::TempDir()) + "/" + stem + ".orionds";
+}
+
+TEST(DiskStore, RoundTripsArrays)
+{
+    const std::string path = temp_path("arrays");
+    const std::vector<double> d = random_vector(1000, 5.0, 1);
+    const std::vector<u64> u = {0, 1, u64(1) << 62, 42};
+    {
+        DiskStoreWriter w(path);
+        w.put_doubles("weights/layer0", d);
+        w.put_u64s("plan/steps", u);
+    }
+    DiskStoreReader r(path);
+    EXPECT_TRUE(r.has("weights/layer0"));
+    EXPECT_TRUE(r.has("plan/steps"));
+    EXPECT_FALSE(r.has("missing"));
+    EXPECT_EQ(r.get_doubles("weights/layer0"), d);
+    EXPECT_EQ(r.get_u64s("plan/steps"), u);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, RoundTripsDiagonalMatrices)
+{
+    const std::string path = temp_path("matrix");
+    lin::DiagonalMatrix m(256);
+    std::mt19937_64 rng(2);
+    std::uniform_real_distribution<double> dist(-1, 1);
+    for (u64 k : {0ull, 3ull, 17ull, 255ull}) {
+        for (u64 r = 0; r < 256; ++r) m.set(r, (r + k) % 256, dist(rng));
+    }
+    {
+        DiskStoreWriter w(path);
+        w.put_matrix("conv1", m);
+    }
+    DiskStoreReader r(path);
+    const lin::DiagonalMatrix back = r.get_matrix("conv1");
+    EXPECT_EQ(back.dim(), m.dim());
+    EXPECT_EQ(back.diagonal_indices(), m.diagonal_indices());
+    const std::vector<double> x = random_vector(256, 1.0, 3);
+    EXPECT_LT(max_abs_diff(back.apply(x), m.apply(x)), 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, RandomAccessDoesNotRequireFullLoad)
+{
+    // The Section 6 behaviour: the index is small, payloads stream on
+    // demand in any order.
+    const std::string path = temp_path("random");
+    {
+        DiskStoreWriter w(path);
+        for (int i = 0; i < 50; ++i) {
+            w.put_doubles("rec/" + std::to_string(i),
+                          random_vector(100, 1.0, 10 + i));
+        }
+    }
+    DiskStoreReader r(path);
+    EXPECT_EQ(r.names().size(), 50u);
+    // Read out of order.
+    const std::vector<double> r49 = r.get_doubles("rec/49");
+    const std::vector<double> r0 = r.get_doubles("rec/0");
+    EXPECT_EQ(r49, random_vector(100, 1.0, 59));
+    EXPECT_EQ(r0, random_vector(100, 1.0, 10));
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, RejectsCorruptFiles)
+{
+    const std::string path = temp_path("corrupt");
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "NOTASTORE";
+    }
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+
+    const std::string truncated = temp_path("truncated");
+    {
+        DiskStoreWriter w(truncated);
+        w.put_doubles("a", {1.0, 2.0});
+        w.close();
+    }
+    // Chop off the sentinel.
+    {
+        std::ifstream in(truncated, std::ios::binary);
+        std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+        std::ofstream out(truncated, std::ios::binary | std::ios::trunc);
+        // Cut into the last record's payload (past the 9-byte sentinel).
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size() - 14));
+    }
+    EXPECT_THROW(DiskStoreReader r2(truncated), Error);
+    std::remove(truncated.c_str());
+}
+
+TEST(DiskStore, WrongTypeRejected)
+{
+    const std::string path = temp_path("types");
+    {
+        DiskStoreWriter w(path);
+        w.put_doubles("x", {1.0});
+    }
+    DiskStoreReader r(path);
+    EXPECT_THROW(r.get_u64s("x"), Error);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace orion::test

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/ckks/modarith.h"
+#include "src/ckks/primes.h"
+
+namespace orion::ckks {
+namespace {
+
+TEST(ModArith, BarrettMatchesNaive)
+{
+    std::mt19937_64 rng(1);
+    for (u64 bits : {30ull, 40ull, 50ull, 60ull}) {
+        const u64 q_val = generate_ntt_primes(static_cast<int>(bits), 1,
+                                              1 << 10)[0];
+        const Modulus q(q_val);
+        std::uniform_int_distribution<u64> dist(0, q_val - 1);
+        for (int i = 0; i < 200; ++i) {
+            const u64 a = dist(rng);
+            const u64 b = dist(rng);
+            const u64 expected = static_cast<u64>((u128(a) * b) % q_val);
+            EXPECT_EQ(mul_mod(a, b, q), expected);
+        }
+    }
+}
+
+TEST(ModArith, Reduce128)
+{
+    const Modulus q(998244353);  // NTT-friendly prime
+    std::mt19937_64 rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const u128 x = (u128(rng()) << 64) | rng();
+        EXPECT_EQ(q.reduce_128(x), static_cast<u64>(x % q.value()));
+    }
+}
+
+TEST(ModArith, ShoupMatchesBarrett)
+{
+    const u64 q_val = generate_ntt_primes(50, 1, 1 << 10)[0];
+    const Modulus q(q_val);
+    std::mt19937_64 rng(3);
+    std::uniform_int_distribution<u64> dist(0, q_val - 1);
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = dist(rng);
+        const u64 w = dist(rng);
+        const u64 ws = shoup_precompute(w, q);
+        EXPECT_EQ(mul_mod_shoup(a, w, ws, q), mul_mod(a, w, q));
+    }
+}
+
+TEST(ModArith, AddSubNeg)
+{
+    const Modulus q(97);
+    EXPECT_EQ(add_mod(96, 5, q), 4u);
+    EXPECT_EQ(sub_mod(3, 5, q), 95u);
+    EXPECT_EQ(neg_mod(0, q), 0u);
+    EXPECT_EQ(neg_mod(96, q), 1u);
+}
+
+TEST(ModArith, PowAndInverse)
+{
+    const u64 q_val = generate_ntt_primes(40, 1, 1 << 10)[0];
+    const Modulus q(q_val);
+    std::mt19937_64 rng(4);
+    std::uniform_int_distribution<u64> dist(1, q_val - 1);
+    for (int i = 0; i < 50; ++i) {
+        const u64 a = dist(rng);
+        EXPECT_EQ(mul_mod(a, inv_mod(a, q), q), 1u);
+    }
+    EXPECT_EQ(pow_mod(2, 10, q), 1024u);
+    EXPECT_EQ(pow_mod(5, 0, q), 1u);
+}
+
+TEST(ModArith, SignedReduction)
+{
+    const Modulus q(101);
+    EXPECT_EQ(reduce_signed(-1, q), 100u);
+    EXPECT_EQ(reduce_signed(-101, q), 0u);
+    EXPECT_EQ(reduce_signed(205, q), 3u);
+    EXPECT_EQ(reduce_signed_128(-i128(1) << 100, q),
+              reduce_signed_128(i128(0) - ((i128(1) << 100) % 101), q));
+    EXPECT_EQ(to_centered(100, q), -1);
+    EXPECT_EQ(to_centered(50, q), 50);
+    EXPECT_EQ(to_centered(51, q), -50);
+}
+
+TEST(ModArith, RejectsBadModulus)
+{
+    EXPECT_THROW(Modulus(0), Error);
+    EXPECT_THROW(Modulus(1), Error);
+    EXPECT_THROW(Modulus(u64(1) << 63), Error);
+}
+
+}  // namespace
+}  // namespace orion::ckks

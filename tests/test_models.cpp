@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "src/nn/models.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using nn::Network;
+
+TEST(Models, MnistModelsMatchPaperParameterCounts)
+{
+    // Table 2: MLP 0.12M, LoLA 0.10M, LeNet 1.66M.
+    EXPECT_NEAR(static_cast<double>(nn::make_mlp().param_count()), 0.12e6,
+                0.02e6);
+    EXPECT_NEAR(static_cast<double>(nn::make_lola().param_count()), 0.10e6,
+                0.02e6);
+    EXPECT_NEAR(static_cast<double>(nn::make_lenet5().param_count()), 1.66e6,
+                0.05e6);
+}
+
+TEST(Models, CifarModelsMatchPaperParameterCounts)
+{
+    // Table 2: AlexNet 23.3M, VGG-16 14.7M, ResNet-20 0.27M.
+    EXPECT_NEAR(
+        static_cast<double>(
+            nn::make_alexnet_cifar(nn::Act::kRelu).param_count()),
+        23.3e6, 1.0e6);
+    EXPECT_NEAR(
+        static_cast<double>(nn::make_vgg16_cifar(nn::Act::kRelu).param_count()),
+        14.7e6, 0.5e6);
+    EXPECT_NEAR(
+        static_cast<double>(
+            nn::make_resnet_cifar(20, nn::Act::kRelu).param_count()),
+        0.27e6, 0.05e6);
+}
+
+TEST(Models, LargeModelsMatchPaperParameterCounts)
+{
+    // Table 2: MobileNet 3.25M, ResNet-18 11.3M, ResNet-34 21.8M,
+    // ResNet-50 25.6M; Section 8.6: YOLO-v1 139M.
+    EXPECT_NEAR(static_cast<double>(nn::make_mobilenet_v1().param_count()),
+                3.25e6, 0.3e6);
+    EXPECT_NEAR(static_cast<double>(nn::make_resnet18_tiny().param_count()),
+                11.3e6, 0.5e6);
+    EXPECT_NEAR(
+        static_cast<double>(nn::make_resnet34_imagenet().param_count()),
+        21.8e6, 1.0e6);
+    EXPECT_NEAR(
+        static_cast<double>(nn::make_resnet50_imagenet().param_count()),
+        25.6e6, 1.5e6);
+    EXPECT_NEAR(static_cast<double>(nn::make_yolo_v1().param_count()), 139e6,
+                8e6);
+}
+
+TEST(Models, ResNetDepthFormula)
+{
+    for (int depth : {20, 32, 44, 56, 110}) {
+        const Network net = nn::make_resnet_cifar(depth, nn::Act::kRelu);
+        int convs = 0;
+        for (int id = 0; id < net.num_layers(); ++id) {
+            if (net.layer(id).kind == nn::LayerKind::kConv2d &&
+                net.layer(id).conv.kernel_h == 3) {
+                ++convs;
+            }
+        }
+        // 6n+2 3x3 convolutions minus the final FC = depth - 1.
+        EXPECT_EQ(convs, depth - 1) << "depth " << depth;
+    }
+    EXPECT_THROW(nn::make_resnet_cifar(21, nn::Act::kRelu), Error);
+}
+
+TEST(Models, ForwardShapesAreConsistent)
+{
+    struct Case {
+        const char* name;
+        u64 in, out;
+    };
+    const std::vector<Case> cases = {
+        {"mlp", 784, 10},        {"lola", 784, 10},
+        {"lenet5", 784, 10},     {"resnet20", 3 * 32 * 32, 10},
+        {"mobilenet", 3 * 64 * 64, 200},
+    };
+    for (const Case& c : cases) {
+        const Network net = nn::make_model(c.name);
+        EXPECT_EQ(net.shape_of(net.input_id()).size(), c.in) << c.name;
+        const std::vector<double> x = random_vector(c.in, 1.0, 60);
+        const std::vector<double> y = net.forward(x);
+        EXPECT_EQ(y.size(), c.out) << c.name;
+        for (double v : y) {
+            EXPECT_TRUE(std::isfinite(v)) << c.name;
+        }
+    }
+}
+
+TEST(Models, ActivationSuffixSelectsActivation)
+{
+    const Network relu = nn::make_model("resnet20-relu");
+    const Network silu = nn::make_model("resnet20-silu");
+    auto count_kind = [](const Network& n, nn::ActivationSpec::Kind k) {
+        int c = 0;
+        for (int id = 0; id < n.num_layers(); ++id) {
+            const nn::Layer& l = n.layer(id);
+            if (l.kind == nn::LayerKind::kActivation && l.act.kind == k) ++c;
+        }
+        return c;
+    };
+    EXPECT_GT(count_kind(relu, nn::ActivationSpec::Kind::kRelu), 0);
+    EXPECT_EQ(count_kind(relu, nn::ActivationSpec::Kind::kSilu), 0);
+    EXPECT_GT(count_kind(silu, nn::ActivationSpec::Kind::kSilu), 0);
+    EXPECT_EQ(count_kind(silu, nn::ActivationSpec::Kind::kRelu), 0);
+}
+
+TEST(Models, UnknownModelRejected)
+{
+    EXPECT_THROW(nn::make_model("transformer"), Error);
+}
+
+TEST(Models, FlopCountsTrackPaper)
+{
+    // Table 2 FLOPS column (multiplies): ResNet-20 41.2M, VGG-16 314M.
+    const double r20 = static_cast<double>(
+        nn::make_resnet_cifar(20, nn::Act::kRelu).flop_count());
+    EXPECT_GT(r20, 35e6);
+    EXPECT_LT(r20, 50e6);
+    const double vgg = static_cast<double>(
+        nn::make_vgg16_cifar(nn::Act::kRelu).flop_count());
+    EXPECT_GT(vgg, 280e6);
+    EXPECT_LT(vgg, 350e6);
+}
+
+TEST(Network, ConsumersAndTopoOrder)
+{
+    const Network net = nn::make_resnet_cifar(8, nn::Act::kRelu);
+    // Every non-output layer has at least one consumer; forks have two.
+    int forks = 0;
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const auto consumers = net.consumers(id);
+        if (id != net.output_id()) {
+            EXPECT_GE(consumers.size(), 1u) << id;
+        }
+        if (consumers.size() > 1) ++forks;
+    }
+    EXPECT_EQ(forks, 3);  // one fork per residual block in ResNet-8
+}
+
+TEST(Network, RejectsMalformedGraphs)
+{
+    Network net("bad");
+    EXPECT_THROW(net.forward({}), Error);  // no input/output
+    int id = net.add_input(1, 4, 4);
+    EXPECT_THROW(net.add_input(1, 4, 4), Error);  // second input
+    lin::Conv2dSpec spec;
+    spec.in_channels = 2;  // mismatched channels
+    spec.out_channels = 1;
+    EXPECT_THROW(net.add_conv2d(id, spec, {0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace orion::test

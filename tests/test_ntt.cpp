@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/ckks/ntt.h"
+#include "src/ckks/primes.h"
+
+namespace orion::ckks {
+namespace {
+
+std::vector<u64>
+random_poly(u64 n, const Modulus& q, u64 seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+    std::vector<u64> out(n);
+    for (u64& x : out) x = dist(rng);
+    return out;
+}
+
+/** Schoolbook negacyclic product: c = a*b mod (X^n + 1, q). */
+std::vector<u64>
+negacyclic_mul(const std::vector<u64>& a, const std::vector<u64>& b,
+               const Modulus& q)
+{
+    const u64 n = a.size();
+    std::vector<u64> c(n, 0);
+    for (u64 i = 0; i < n; ++i) {
+        for (u64 j = 0; j < n; ++j) {
+            const u64 prod = mul_mod(a[i], b[j], q);
+            const u64 k = i + j;
+            if (k < n) {
+                c[k] = add_mod(c[k], prod, q);
+            } else {
+                c[k - n] = sub_mod(c[k - n], prod, q);
+            }
+        }
+    }
+    return c;
+}
+
+class NttTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(NttTest, RoundTrip)
+{
+    const u64 n = GetParam();
+    const Modulus q(generate_ntt_primes(45, 1, n)[0]);
+    const NttTables tables(n, q);
+    const std::vector<u64> original = random_poly(n, q, 10 + n);
+    std::vector<u64> a = original;
+    tables.forward(a.data());
+    EXPECT_NE(a, original);  // astronomically unlikely to be fixed
+    tables.inverse(a.data());
+    EXPECT_EQ(a, original);
+}
+
+TEST_P(NttTest, PointwiseProductIsNegacyclicConvolution)
+{
+    const u64 n = GetParam();
+    if (n > 512) GTEST_SKIP() << "schoolbook too slow beyond 512";
+    const Modulus q(generate_ntt_primes(45, 1, n)[0]);
+    const NttTables tables(n, q);
+    const std::vector<u64> a = random_poly(n, q, 21);
+    const std::vector<u64> b = random_poly(n, q, 22);
+    const std::vector<u64> expected = negacyclic_mul(a, b, q);
+
+    std::vector<u64> fa = a;
+    std::vector<u64> fb = b;
+    tables.forward(fa.data());
+    tables.forward(fb.data());
+    for (u64 i = 0; i < n; ++i) fa[i] = mul_mod(fa[i], fb[i], q);
+    tables.inverse(fa.data());
+    EXPECT_EQ(fa, expected);
+}
+
+TEST_P(NttTest, Linearity)
+{
+    const u64 n = GetParam();
+    const Modulus q(generate_ntt_primes(45, 1, n)[0]);
+    const NttTables tables(n, q);
+    std::vector<u64> a = random_poly(n, q, 31);
+    std::vector<u64> b = random_poly(n, q, 32);
+    std::vector<u64> sum(n);
+    for (u64 i = 0; i < n; ++i) sum[i] = add_mod(a[i], b[i], q);
+    tables.forward(a.data());
+    tables.forward(b.data());
+    tables.forward(sum.data());
+    for (u64 i = 0; i < n; ++i) {
+        EXPECT_EQ(sum[i], add_mod(a[i], b[i], q));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttTest,
+                         ::testing::Values(u64(8), u64(64), u64(256),
+                                           u64(2048)));
+
+TEST(Ntt, MonomialShift)
+{
+    // X * a(X) rotates coefficients with negacyclic wraparound.
+    const u64 n = 64;
+    const Modulus q(generate_ntt_primes(45, 1, n)[0]);
+    const NttTables tables(n, q);
+    std::vector<u64> a = random_poly(n, q, 77);
+    std::vector<u64> x(n, 0);
+    x[1] = 1;  // the monomial X
+    std::vector<u64> fa = a;
+    tables.forward(fa.data());
+    tables.forward(x.data());
+    for (u64 i = 0; i < n; ++i) fa[i] = mul_mod(fa[i], x[i], q);
+    tables.inverse(fa.data());
+    EXPECT_EQ(fa[0], neg_mod(a[n - 1], q));
+    for (u64 i = 1; i < n; ++i) EXPECT_EQ(fa[i], a[i - 1]);
+}
+
+}  // namespace
+}  // namespace orion::ckks

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "src/core/placement.h"
+
+namespace orion::core {
+namespace {
+
+PlacementUnit
+unit(int id, int depth, double base_latency = 1.0)
+{
+    PlacementUnit u;
+    u.layer_id = id;
+    u.name = "u" + std::to_string(id);
+    u.depth = depth;
+    u.latency = [base_latency](int lvl) {
+        return base_latency * (1.0 + 0.1 * lvl);
+    };
+    return u;
+}
+
+Chain
+chain_of(std::vector<PlacementUnit> units)
+{
+    Chain c;
+    for (PlacementUnit& u : units) {
+        ChainItem item;
+        item.kind = ChainItem::Kind::kUnit;
+        item.unit = std::move(u);
+        c.items.push_back(std::move(item));
+    }
+    return c;
+}
+
+/** Replays decisions and verifies the level accounting is consistent. */
+void
+validate_decisions(const PlacementResult& r, const PlacementConfig& cfg)
+{
+    // Every unit executes at a level at least its depth, never above l_eff.
+    for (const UnitDecision& d : r.decisions) {
+        EXPECT_GE(d.exec_level, 0) << d.name;
+        EXPECT_LE(d.exec_level, cfg.l_eff) << d.name;
+    }
+}
+
+TEST(Placement, SkiplessNetworkNeedsNoBootstrap)
+{
+    // Figure 6a/b: three depth-1 layers with l_eff = 3 fit exactly.
+    const Chain c = chain_of({unit(0, 1), unit(1, 1), unit(2, 1)});
+    PlacementConfig cfg;
+    cfg.l_eff = 3;
+    cfg.bootstrap_latency = 100.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    EXPECT_EQ(r.num_bootstraps, 0u);
+    EXPECT_EQ(r.decisions.size(), 3u);
+    validate_decisions(r, cfg);
+}
+
+TEST(Placement, DeepChainBootstrapsMinimally)
+{
+    // Seven depth-1 layers, l_eff = 3: needs at least ceil((7-3)/3) = 2
+    // bootstraps.
+    std::vector<PlacementUnit> units;
+    for (int i = 0; i < 7; ++i) units.push_back(unit(i, 1));
+    const Chain c = chain_of(std::move(units));
+    PlacementConfig cfg;
+    cfg.l_eff = 3;
+    cfg.bootstrap_latency = 100.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    EXPECT_EQ(r.num_bootstraps, 2u);
+    validate_decisions(r, cfg);
+}
+
+TEST(Placement, PrefersCheapLowLevelExecution)
+{
+    // With latency growing in level and no bootstraps required, units
+    // should run as low as feasibility allows (the paper's observation
+    // that level management, not just bootstrap count, drives latency).
+    const Chain c = chain_of({unit(0, 1, 5.0), unit(1, 1, 5.0)});
+    PlacementConfig cfg;
+    cfg.l_eff = 8;
+    cfg.bootstrap_latency = 1000.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    ASSERT_EQ(r.decisions.size(), 2u);
+    EXPECT_EQ(r.decisions[0].exec_level, 2);
+    EXPECT_EQ(r.decisions[1].exec_level, 1);
+    EXPECT_EQ(r.num_bootstraps, 0u);
+}
+
+TEST(Placement, ExpensiveBootstrapTradedAgainstHighLevelCompute)
+{
+    // When bootstrapping is nearly free, the solver may bootstrap to run
+    // layers cheaply; when it is expensive, it avoids bootstraps entirely.
+    std::vector<PlacementUnit> units;
+    for (int i = 0; i < 6; ++i) units.push_back(unit(i, 1, 1.0));
+    const Chain c = chain_of(std::move(units));
+    PlacementConfig cfg;
+    cfg.l_eff = 6;
+    cfg.bootstrap_latency = 1e6;
+    const PlacementResult expensive = place_bootstraps(c, cfg);
+    EXPECT_EQ(expensive.num_bootstraps, 0u);
+    cfg.bootstrap_latency = 1e-9;
+    const PlacementResult cheap = place_bootstraps(c, cfg);
+    EXPECT_LE(cheap.latency, expensive.latency);
+}
+
+Chain
+residual_chain(int backbone_depth, int join_id)
+{
+    // fork -> [backbone (depth units), identity] -> join(Add, depth 0)
+    Chain backbone;
+    for (int i = 0; i < backbone_depth; ++i) {
+        ChainItem item;
+        item.kind = ChainItem::Kind::kUnit;
+        item.unit = unit(100 + i, 1);
+        backbone.items.push_back(std::move(item));
+    }
+    ChainItem region;
+    region.kind = ChainItem::Kind::kRegion;
+    region.unit = unit(join_id, 0, 0.01);
+    region.branches.push_back(std::move(backbone));
+    region.branches.emplace_back();  // identity shortcut
+    Chain c;
+    c.items.push_back(std::move(region));
+    return c;
+}
+
+TEST(Placement, ResidualRegionJoinsAtCommonLevel)
+{
+    // Figure 6c/d: the identity shortcut mod-downs for free to meet the
+    // backbone, so no bootstrap is needed when the backbone fits.
+    const Chain c = residual_chain(/*backbone_depth=*/2, /*join_id=*/7);
+    PlacementConfig cfg;
+    cfg.l_eff = 3;
+    cfg.bootstrap_latency = 100.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    EXPECT_EQ(r.num_bootstraps, 0u);
+    validate_decisions(r, cfg);
+}
+
+TEST(Placement, ResidualRegionBootstrapsInsideBackbone)
+{
+    // Backbone deeper than l_eff: at least one bootstrap must be placed
+    // inside the region (Figure 6c "requires at least one bootstrap").
+    const Chain c = residual_chain(/*backbone_depth=*/5, /*join_id=*/7);
+    PlacementConfig cfg;
+    cfg.l_eff = 3;
+    cfg.bootstrap_latency = 100.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    EXPECT_GE(r.num_bootstraps, 1u);
+    validate_decisions(r, cfg);
+}
+
+TEST(Placement, OrionBeatsLazyOnResidualNetworks)
+{
+    // A stack of residual blocks: the naive delay-until-forced strategy
+    // places more bootstraps and higher latency (Section 5.1).
+    Chain c;
+    for (int blk = 0; blk < 6; ++blk) {
+        Chain backbone;
+        for (int i = 0; i < 3; ++i) {
+            ChainItem item;
+            item.kind = ChainItem::Kind::kUnit;
+            item.unit = unit(100 * blk + i, 1);
+            backbone.items.push_back(std::move(item));
+        }
+        ChainItem region;
+        region.kind = ChainItem::Kind::kRegion;
+        region.unit = unit(1000 + blk, 0, 0.01);
+        region.branches.push_back(std::move(backbone));
+        region.branches.emplace_back();
+        c.items.push_back(std::move(region));
+    }
+    PlacementConfig cfg;
+    cfg.l_eff = 4;
+    cfg.bootstrap_latency = 50.0;
+    const PlacementResult orion = place_bootstraps(c, cfg);
+    const PlacementResult lazy = place_bootstraps_lazy(c, cfg);
+    EXPECT_LE(orion.latency, lazy.latency);
+    EXPECT_LE(orion.num_bootstraps, lazy.num_bootstraps);
+    validate_decisions(orion, cfg);
+}
+
+TEST(Placement, MultiCiphertextEdgesWeightBootstrapCost)
+{
+    // A unit whose input spans 4 ciphertexts costs 4 bootstraps.
+    std::vector<PlacementUnit> units;
+    for (int i = 0; i < 4; ++i) {
+        PlacementUnit u = unit(i, 1);
+        u.input_cts = 4;
+        u.output_cts = 4;
+        units.push_back(std::move(u));
+    }
+    const Chain c = chain_of(std::move(units));
+    PlacementConfig cfg;
+    cfg.l_eff = 2;
+    cfg.bootstrap_latency = 10.0;
+    const PlacementResult r = place_bootstraps(c, cfg);
+    EXPECT_EQ(r.num_bootstraps % 4, 0u);
+    EXPECT_GE(r.num_bootstraps, 4u);
+}
+
+TEST(Placement, InfeasibleWhenUnitDeeperThanLeff)
+{
+    const Chain c = chain_of({unit(0, 5)});
+    PlacementConfig cfg;
+    cfg.l_eff = 3;
+    EXPECT_THROW(place_bootstraps(c, cfg), Error);
+}
+
+TEST(Placement, SolveTimeGrowsRoughlyLinearly)
+{
+    // Table 5's scalability claim: placement time linear in depth.
+    auto time_for = [](int blocks) {
+        Chain c;
+        for (int blk = 0; blk < blocks; ++blk) {
+            Chain backbone;
+            for (int i = 0; i < 2; ++i) {
+                ChainItem item;
+                item.kind = ChainItem::Kind::kUnit;
+                item.unit = unit(10 * blk + i, 2);
+                backbone.items.push_back(std::move(item));
+            }
+            ChainItem region;
+            region.kind = ChainItem::Kind::kRegion;
+            region.unit = unit(1000 + blk, 0, 0.01);
+            region.branches.push_back(std::move(backbone));
+            region.branches.emplace_back();
+            c.items.push_back(std::move(region));
+        }
+        PlacementConfig cfg;
+        cfg.l_eff = 10;
+        cfg.bootstrap_latency = 10.0;
+        return place_bootstraps(c, cfg).solve_seconds;
+    };
+    const double t10 = time_for(10);
+    const double t80 = time_for(80);
+    // Allow generous slack for timer noise; the point is "not quadratic".
+    EXPECT_LT(t80, 40.0 * std::max(t10, 1e-5));
+}
+
+}  // namespace
+}  // namespace orion::core

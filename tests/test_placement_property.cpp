@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/placement.h"
+
+namespace orion::core {
+namespace {
+
+/**
+ * Property tests for the placement DP: on randomly generated small chains
+ * the solver must (a) match an exhaustive brute-force optimum, (b) never
+ * lose to the lazy baseline, and (c) produce internally consistent
+ * decisions. This is the strongest evidence that the level-digraph
+ * shortest path (Section 5.2) is solved exactly.
+ */
+
+struct RandomChainParams {
+    u64 seed;
+    int units;
+    int l_eff;
+};
+
+PlacementUnit
+make_random_unit(std::mt19937_64& rng, int l_eff, int id)
+{
+    std::uniform_int_distribution<int> depth_dist(0, std::min(3, l_eff));
+    std::uniform_real_distribution<double> base_dist(0.1, 5.0);
+    std::uniform_real_distribution<double> slope_dist(0.0, 1.0);
+    PlacementUnit u;
+    u.layer_id = id;
+    u.name = "u" + std::to_string(id);
+    u.depth = depth_dist(rng);
+    const double base = base_dist(rng);
+    const double slope = slope_dist(rng);
+    u.latency = [base, slope](int lvl) { return base + slope * lvl; };
+    return u;
+}
+
+/**
+ * Brute force: enumerate, for every unit, every (bootstrap?, exec level)
+ * choice, and take the cheapest feasible schedule. Exponential - only for
+ * tiny chains.
+ */
+double
+brute_force(const std::vector<PlacementUnit>& units,
+            const PlacementConfig& cfg)
+{
+    double best = std::numeric_limits<double>::infinity();
+    const int n = static_cast<int>(units.size());
+    // Encode choices as: for each unit, boot in {0,1} and exec level in
+    // [depth, l_eff]. Recursive search with pruning-free simplicity.
+    struct Rec {
+        const std::vector<PlacementUnit>& units;
+        const PlacementConfig& cfg;
+        double& best;
+        int n;
+        void
+        go(int i, int level, double cost)
+        {
+            if (cost >= best) return;
+            if (i == n) {
+                best = cost;
+                return;
+            }
+            const PlacementUnit& u = units[static_cast<std::size_t>(i)];
+            for (int boot = 0; boot <= 1; ++boot) {
+                const int avail = boot ? cfg.l_eff : level;
+                const double c =
+                    cost + (boot ? cfg.bootstrap_latency *
+                                       static_cast<double>(u.input_cts)
+                                 : 0.0);
+                for (int e = u.depth; e <= avail; ++e) {
+                    go(i + 1, e - u.depth, c + u.latency(e));
+                }
+            }
+        }
+    };
+    Rec rec{units, cfg, best, n};
+    rec.go(0, cfg.entry_level(), 0.0);
+    return best;
+}
+
+class PlacementPropertyTest
+    : public ::testing::TestWithParam<RandomChainParams> {};
+
+TEST_P(PlacementPropertyTest, DpMatchesBruteForceOptimum)
+{
+    const RandomChainParams& p = GetParam();
+    std::mt19937_64 rng(p.seed);
+    std::vector<PlacementUnit> units;
+    for (int i = 0; i < p.units; ++i) {
+        units.push_back(make_random_unit(rng, p.l_eff, i));
+    }
+    Chain chain;
+    for (const PlacementUnit& u : units) {
+        ChainItem item;
+        item.kind = ChainItem::Kind::kUnit;
+        item.unit = u;
+        chain.items.push_back(std::move(item));
+    }
+    PlacementConfig cfg;
+    cfg.l_eff = p.l_eff;
+    cfg.bootstrap_latency = 7.5;
+
+    const PlacementResult dp = place_bootstraps(chain, cfg);
+    const double brute = brute_force(units, cfg);
+    EXPECT_NEAR(dp.latency, brute, 1e-9 + 1e-9 * brute)
+        << "seed " << p.seed;
+
+    // Lazy never beats the DP.
+    const PlacementResult lazy = place_bootstraps_lazy(chain, cfg);
+    EXPECT_LE(dp.latency, lazy.latency + 1e-9) << "seed " << p.seed;
+
+    // Decisions replay consistently.
+    int level = cfg.entry_level();
+    double replayed = 0.0;
+    std::size_t i = 0;
+    for (const UnitDecision& d : dp.decisions) {
+        const PlacementUnit& u = units[i++];
+        if (d.bootstrap_before) {
+            replayed += cfg.bootstrap_latency *
+                        static_cast<double>(u.input_cts);
+            level = cfg.l_eff;
+        }
+        ASSERT_LE(d.exec_level, level);
+        ASSERT_GE(d.exec_level, u.depth);
+        replayed += u.latency(d.exec_level);
+        level = d.exec_level - u.depth;
+    }
+    EXPECT_NEAR(replayed, dp.latency, 1e-9 + 1e-9 * dp.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomChains, PlacementPropertyTest,
+    ::testing::Values(RandomChainParams{1, 4, 3}, RandomChainParams{2, 5, 4},
+                      RandomChainParams{3, 6, 3}, RandomChainParams{4, 6, 5},
+                      RandomChainParams{5, 7, 4}, RandomChainParams{6, 5, 2},
+                      RandomChainParams{7, 8, 3},
+                      RandomChainParams{8, 6, 6}));
+
+TEST(PlacementProperty, RegionMatchesFlattenedEquivalentWhenShortcutFree)
+{
+    // A region whose second branch is empty and whose join is free is
+    // *almost* a plain chain - but the join forces both branches to meet,
+    // so the region cost must be >= the unconstrained chain cost.
+    std::mt19937_64 rng(99);
+    std::vector<PlacementUnit> units;
+    for (int i = 0; i < 4; ++i) units.push_back(make_random_unit(rng, 4, i));
+
+    Chain flat;
+    for (const PlacementUnit& u : units) {
+        ChainItem item;
+        item.kind = ChainItem::Kind::kUnit;
+        item.unit = u;
+        flat.items.push_back(std::move(item));
+    }
+    Chain region_chain;
+    {
+        ChainItem region;
+        region.kind = ChainItem::Kind::kRegion;
+        region.unit.layer_id = 100;
+        region.unit.depth = 0;
+        region.unit.latency = [](int) { return 0.0; };
+        Chain backbone = flat;  // same units inside the region
+        region.branches.push_back(std::move(backbone));
+        region.branches.emplace_back();
+        region_chain.items.push_back(std::move(region));
+    }
+    PlacementConfig cfg;
+    cfg.l_eff = 4;
+    cfg.bootstrap_latency = 3.0;
+    const PlacementResult plain = place_bootstraps(flat, cfg);
+    const PlacementResult region = place_bootstraps(region_chain, cfg);
+    EXPECT_GE(region.latency + 1e-9, plain.latency);
+}
+
+}  // namespace
+}  // namespace orion::core

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ckks/primes.h"
+
+namespace orion::ckks {
+namespace {
+
+TEST(Primes, KnownPrimality)
+{
+    EXPECT_FALSE(is_prime(0));
+    EXPECT_FALSE(is_prime(1));
+    EXPECT_TRUE(is_prime(2));
+    EXPECT_TRUE(is_prime(3));
+    EXPECT_FALSE(is_prime(4));
+    EXPECT_TRUE(is_prime(998244353));            // 119 * 2^23 + 1
+    EXPECT_FALSE(is_prime((u64(1) << 31) | 1));  // 3 * 715827883
+    EXPECT_FALSE(is_prime(u64(1) << 32));
+    EXPECT_TRUE(is_prime(2305843009213693951));  // 2^61 - 1 (Mersenne)
+    EXPECT_FALSE(is_prime(2147483647ull * 2147483647ull));  // square
+}
+
+TEST(Primes, GeneratedPrimesAreNttFriendly)
+{
+    const u64 n = 1 << 12;
+    const std::vector<u64> primes = generate_ntt_primes(45, 5, n);
+    ASSERT_EQ(primes.size(), 5u);
+    std::set<u64> unique(primes.begin(), primes.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (u64 p : primes) {
+        EXPECT_TRUE(is_prime(p));
+        EXPECT_EQ(p % (2 * n), 1u);
+        EXPECT_GE(p, u64(1) << 44);
+        EXPECT_LT(p, u64(1) << 45);
+    }
+}
+
+TEST(Primes, SkipListRespected)
+{
+    const u64 n = 1 << 10;
+    const std::vector<u64> first = generate_ntt_primes(40, 3, n);
+    const std::vector<u64> second = generate_ntt_primes(40, 3, n, first);
+    for (u64 p : second) {
+        for (u64 s : first) EXPECT_NE(p, s);
+    }
+}
+
+TEST(Primes, PrimitiveRootHasOrder2N)
+{
+    const u64 n = 1 << 10;
+    const u64 p = generate_ntt_primes(40, 1, n)[0];
+    const Modulus q(p);
+    const u64 psi = find_primitive_root(n, q);
+    EXPECT_EQ(pow_mod(psi, n, q), p - 1);       // psi^N = -1
+    EXPECT_EQ(pow_mod(psi, 2 * n, q), 1u);      // psi^2N = 1
+}
+
+}  // namespace
+}  // namespace orion::ckks

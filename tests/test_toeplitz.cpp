@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "src/linalg/linalg.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using lin::BlockedMatrix;
+using lin::Conv2dSpec;
+using lin::TensorLayout;
+
+std::vector<double>
+random_weights(u64 count, u64 seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> out(count);
+    for (double& w : out) w = dist(rng);
+    return out;
+}
+
+TEST(Layout, RasterSlotOrder)
+{
+    const TensorLayout l(3, 4, 5, /*gap=*/1);
+    EXPECT_EQ(l.total_slots(), 60u);
+    EXPECT_EQ(l.slot_of(0, 0, 0), 0u);
+    EXPECT_EQ(l.slot_of(0, 0, 1), 1u);
+    EXPECT_EQ(l.slot_of(0, 1, 0), 5u);
+    EXPECT_EQ(l.slot_of(1, 0, 0), 20u);  // next plane
+}
+
+TEST(Layout, MultiplexedInterleavesChannels)
+{
+    // gap = 2: each 2x2 pixel block holds 4 channels (Figure 5b).
+    const TensorLayout l(4, 2, 2, /*gap=*/2);
+    EXPECT_EQ(l.planes(), 1);
+    EXPECT_EQ(l.total_slots(), 16u);
+    EXPECT_EQ(l.slot_of(0, 0, 0), 0u);
+    EXPECT_EQ(l.slot_of(1, 0, 0), 1u);   // channel 1 at block offset (0,1)
+    EXPECT_EQ(l.slot_of(2, 0, 0), 4u);   // channel 2 at block offset (1,0)
+    EXPECT_EQ(l.slot_of(3, 0, 0), 5u);
+    EXPECT_EQ(l.slot_of(0, 0, 1), 2u);   // next pixel, channel 0
+    EXPECT_EQ(l.slot_of(0, 1, 0), 8u);
+}
+
+TEST(Layout, PackUnpackRoundTrip)
+{
+    for (int gap : {1, 2, 4}) {
+        const TensorLayout l(8, 4, 4, gap);
+        const std::vector<double> t =
+            random_vector(l.logical_size(), 1.0, 13 + gap);
+        EXPECT_EQ(l.unpack(l.pack(t)), t) << "gap " << gap;
+    }
+}
+
+TEST(Layout, ChannelsBeyondGapSquaredUseExtraPlanes)
+{
+    const TensorLayout l(9, 2, 2, /*gap=*/2);
+    EXPECT_EQ(l.planes(), 3);  // ceil(9/4)
+    EXPECT_EQ(l.slot_of(4, 0, 0), 16u);
+    // Channel 8 = plane 2, block offset (0, 0); pixel (1, 1) -> grid (2, 2).
+    EXPECT_EQ(l.slot_of(8, 1, 1), 2u * 16u + 2u * 4u + 2u);
+}
+
+// ---- Parameterized sweep: Toeplitz matrix == reference convolution ----
+// Covers the paper's claim of arbitrary parameter support: stride, padding,
+// dilation, groups, kernel size, asymmetric channels, multiplexed inputs.
+
+struct ConvCase {
+    int ci, co, h, w, k, stride, pad, dilation, groups, in_gap;
+};
+
+class ToeplitzConvTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ToeplitzConvTest, MatrixMatchesReferenceConv)
+{
+    const ConvCase& tc = GetParam();
+    Conv2dSpec spec;
+    spec.in_channels = tc.ci;
+    spec.out_channels = tc.co;
+    spec.kernel_h = spec.kernel_w = tc.k;
+    spec.stride = tc.stride;
+    spec.pad = tc.pad;
+    spec.dilation = tc.dilation;
+    spec.groups = tc.groups;
+
+    const TensorLayout in(tc.ci, tc.h, tc.w, tc.in_gap);
+    const TensorLayout out = lin::conv_output_layout(spec, in);
+    EXPECT_EQ(out.gap, tc.in_gap * tc.stride);
+
+    const std::vector<double> weights =
+        random_weights(spec.weight_count(), 101);
+    const std::vector<double> input = random_vector(
+        static_cast<u64>(tc.ci) * tc.h * tc.w, 1.0, 102);
+
+    const u64 block_dim = 1u << 14;  // single block; cleartext only
+    const BlockedMatrix m = lin::build_conv_matrix(spec, weights, in, out,
+                                                   block_dim);
+    const std::vector<double> packed_in =
+        in.pack(input, m.col_blocks() * block_dim);
+    const std::vector<double> y = m.apply(packed_in);
+
+    const std::vector<double> expected =
+        lin::conv2d_reference(spec, weights, input, tc.h, tc.w);
+    // Compare in the multiplexed output layout.
+    for (int c = 0; c < out.channels; ++c) {
+        for (int oy = 0; oy < out.height; ++oy) {
+            for (int ox = 0; ox < out.width; ++ox) {
+                const double got = y[out.slot_of(c, oy, ox)];
+                const double want =
+                    expected[(static_cast<std::size_t>(c) * out.height + oy) *
+                                 out.width +
+                             ox];
+                ASSERT_NEAR(got, want, 1e-9)
+                    << "c=" << c << " y=" << oy << " x=" << ox;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArbitraryConvolutions, ToeplitzConvTest,
+    ::testing::Values(
+        // SISO same-style conv (Figure 3).
+        ConvCase{1, 1, 3, 3, 3, 1, 1, 1, 1, 1},
+        // MIMO conv (Figure 4).
+        ConvCase{2, 2, 3, 3, 3, 1, 1, 1, 1, 1},
+        // Strided conv, the Figure 5 example: ci=1, co=4, stride 2, pad 0.
+        ConvCase{1, 4, 4, 4, 2, 2, 0, 1, 1, 1},
+        // Strided with padding (ResNet downsample blocks).
+        ConvCase{4, 8, 8, 8, 3, 2, 1, 1, 1, 1},
+        // 1x1 pointwise conv (MobileNet).
+        ConvCase{8, 4, 6, 6, 1, 1, 0, 1, 1, 1},
+        // Depthwise conv: groups == channels (MobileNet).
+        ConvCase{6, 6, 8, 8, 3, 1, 1, 1, 6, 1},
+        // Grouped conv, groups=2.
+        ConvCase{4, 6, 5, 5, 3, 1, 1, 1, 2, 1},
+        // Dilated conv.
+        ConvCase{2, 3, 9, 9, 3, 1, 2, 2, 1, 1},
+        // Strided conv on an already-multiplexed input (gap 2).
+        ConvCase{4, 4, 8, 8, 3, 2, 1, 1, 1, 2},
+        // Non-strided conv on a multiplexed input keeps the gap.
+        ConvCase{4, 4, 8, 8, 3, 1, 1, 1, 1, 2},
+        // Large kernel, no padding.
+        ConvCase{1, 2, 10, 10, 5, 1, 0, 1, 1, 1},
+        // Stride 4 (the stem of AlexNet-style nets).
+        ConvCase{3, 4, 12, 12, 4, 4, 0, 1, 1, 1}));
+
+TEST(Toeplitz, StridedConvSparseVsMultiplexedDiagonals)
+{
+    // The Figure 5 claim: with raster (gap-out = 1 forced) packing a
+    // strided conv produces many sparse diagonals; multiplexed packing
+    // (gap-out = stride) produces far fewer.
+    Conv2dSpec spec;
+    spec.in_channels = 1;
+    spec.out_channels = 4;
+    spec.kernel_h = spec.kernel_w = 2;
+    spec.stride = 2;
+    const TensorLayout in(1, 8, 8, 1);
+
+    const std::vector<double> weights =
+        random_weights(spec.weight_count(), 103);
+    const u64 block_dim = 1u << 14;
+
+    // Raster output: gap 1 (the naive Toeplitz of Figure 5a).
+    const TensorLayout raster_out(4, 4, 4, 1);
+    const BlockedMatrix raster = lin::build_conv_matrix(
+        spec, weights, in, raster_out, block_dim);
+
+    // Multiplexed output: gap 2 (Figure 5b).
+    const TensorLayout mux_out = lin::conv_output_layout(spec, in);
+    const BlockedMatrix mux = lin::build_conv_matrix(spec, weights, in,
+                                                     mux_out, block_dim);
+
+    EXPECT_GT(raster.num_diagonals(), 2 * mux.num_diagonals())
+        << "multiplexed packing should need far fewer diagonals";
+}
+
+TEST(Toeplitz, LinearLayerMatchesDense)
+{
+    const TensorLayout in(4, 3, 3, 2);  // multiplexed input to FC layer
+    const int in_features = static_cast<int>(in.logical_size());
+    const int out_features = 7;
+    const std::vector<double> w =
+        random_weights(static_cast<u64>(out_features) * in_features, 104);
+    const std::vector<double> x = random_vector(in_features, 1.0, 105);
+
+    const u64 block_dim = 1u << 12;
+    const BlockedMatrix m =
+        lin::build_linear_matrix(out_features, in_features, w, in, block_dim);
+    const std::vector<double> y = m.apply(in.pack(x, block_dim));
+    for (int r = 0; r < out_features; ++r) {
+        double expect = 0;
+        for (int c = 0; c < in_features; ++c) {
+            expect += w[static_cast<std::size_t>(r) * in_features + c] * x[c];
+        }
+        ASSERT_NEAR(y[r], expect, 1e-9) << r;
+    }
+}
+
+TEST(Toeplitz, AvgPoolMatchesReference)
+{
+    const TensorLayout in(2, 8, 8, 1);
+    const TensorLayout out = lin::avgpool_output_layout(2, 2, in);
+    EXPECT_EQ(out.gap, 2);
+    EXPECT_EQ(out.height, 4);
+    const u64 block_dim = 1u << 12;
+    const BlockedMatrix m = lin::build_avgpool_matrix(2, 2, in, out,
+                                                      block_dim);
+    const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 106);
+    const std::vector<double> y = m.apply(in.pack(x, block_dim));
+    for (int c = 0; c < 2; ++c) {
+        for (int oy = 0; oy < 4; ++oy) {
+            for (int ox = 0; ox < 4; ++ox) {
+                double expect = 0;
+                for (int dy = 0; dy < 2; ++dy) {
+                    for (int dx = 0; dx < 2; ++dx) {
+                        expect += x[(static_cast<std::size_t>(c) * 8 +
+                                     2 * oy + dy) *
+                                        8 +
+                                    2 * ox + dx];
+                    }
+                }
+                expect /= 4.0;
+                ASSERT_NEAR(y[out.slot_of(c, oy, ox)], expect, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Toeplitz, ChannelScaleFoldsIntoMatrix)
+{
+    Conv2dSpec spec;
+    spec.in_channels = 2;
+    spec.out_channels = 2;
+    spec.kernel_h = spec.kernel_w = 3;
+    spec.pad = 1;
+    const TensorLayout in(2, 4, 4, 1);
+    const TensorLayout out = lin::conv_output_layout(spec, in);
+    const std::vector<double> w = random_weights(spec.weight_count(), 107);
+    const std::vector<double> scale = {2.0, -0.5};
+    const u64 block_dim = 1u << 10;
+    const BlockedMatrix scaled =
+        lin::build_conv_matrix(spec, w, in, out, block_dim, scale);
+    const BlockedMatrix plain =
+        lin::build_conv_matrix(spec, w, in, out, block_dim);
+    const std::vector<double> x = random_vector(2 * 4 * 4, 1.0, 108);
+    const std::vector<double> ys = scaled.apply(in.pack(x, block_dim));
+    const std::vector<double> yp = plain.apply(in.pack(x, block_dim));
+    for (int c = 0; c < 2; ++c) {
+        for (int i = 0; i < 16; ++i) {
+            const u64 slot = out.slot_of(c, i / 4, i % 4);
+            ASSERT_NEAR(ys[slot], scale[static_cast<std::size_t>(c)] *
+                                      yp[slot],
+                        1e-9);
+        }
+    }
+}
+
+TEST(Toeplitz, HomomorphicConvolutionEndToEnd)
+{
+    // Full pipeline at toy parameters: pack -> encrypt -> BSGS conv ->
+    // decrypt -> unpack == reference convolution. Strided, so this also
+    // exercises the single-shot multiplexed path (depth 1).
+    CkksEnv& env = CkksEnv::shared();
+    const u64 slots = env.ctx.slot_count();  // 1024 at toy params
+
+    Conv2dSpec spec;
+    spec.in_channels = 2;
+    spec.out_channels = 4;
+    spec.kernel_h = spec.kernel_w = 3;
+    spec.stride = 2;
+    spec.pad = 1;
+    const TensorLayout in(2, 16, 16, 1);   // 512 logical slots
+    const TensorLayout out = lin::conv_output_layout(spec, in);
+    ASSERT_LE(out.total_slots(), slots);
+
+    const std::vector<double> weights =
+        random_weights(spec.weight_count(), 109);
+    const BlockedMatrix m =
+        lin::build_conv_matrix(spec, weights, in, out, slots);
+    const lin::BlockedPlan plan = lin::BlockedPlan::build(m);
+
+    ckks::GaloisKeys keys =
+        env.keygen.make_galois_keys(plan.required_steps());
+    ckks::Evaluator eval(env.ctx, env.encoder);
+    eval.set_galois_keys(&keys);
+
+    const int level = 3;
+    const lin::HeBlockedMatrix he(
+        env.ctx, env.encoder, m, plan, level,
+        static_cast<double>(env.ctx.q(level).value()));
+
+    const std::vector<double> input = random_vector(2 * 16 * 16, 1.0, 110);
+    const std::vector<ckks::Ciphertext> cts = {
+        encrypt_vector(env, in.pack(input, slots), level)};
+    const std::vector<ckks::Ciphertext> outs = he.apply(eval, cts);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].level(), level - 1);  // single-shot: depth 1
+
+    const std::vector<double> got_slots = decrypt_vector(env, outs[0]);
+    const std::vector<double> got = out.unpack(got_slots);
+    const std::vector<double> expected =
+        lin::conv2d_reference(spec, weights, input, 16, 16);
+    EXPECT_LT(max_abs_diff(got, expected), 1e-2);
+}
+
+}  // namespace
+}  // namespace orion::test
