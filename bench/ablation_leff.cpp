@@ -16,8 +16,9 @@
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Ablation: L_eff sweep + packing/BSGS ablations on ResNet-20");
 
@@ -30,6 +31,7 @@ main()
     // The composite [15,15,27] sign stages need >= 6 levels per stage
     // under our evaluator, so the sweep starts at 6.
     for (int l_eff = 6; l_eff <= 18; l_eff += 2) {
+        if (bench::smoke() && l_eff != 6 && l_eff != 10) continue;
         core::CompileOptions opt;
         opt.slots = u64(1) << 15;
         opt.l_eff = l_eff;
@@ -69,6 +71,10 @@ main()
          core::CompileOptions::Packing::kMultiplexed, true},
     };
     for (const Config& c : configs) {
+        // Smoke: the full Orion configuration plus one ablation suffice.
+        if (bench::smoke() && c.packing == core::CompileOptions::Packing::kRaster) {
+            continue;
+        }
         core::CompileOptions opt;
         opt.slots = u64(1) << 15;
         opt.l_eff = 10;

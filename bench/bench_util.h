@@ -8,8 +8,11 @@
  * per-experiment index) and prints it in a comparable layout.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
@@ -17,6 +20,61 @@
 #include "src/core/orion.h"
 
 namespace orion::bench {
+
+/** Parsed command-line / environment options shared by every bench. */
+struct BenchOptions {
+    /**
+     * Smoke mode: each experiment runs one tiny iteration so CI can verify
+     * every binary end to end without multi-minute runtimes. Enabled by
+     * `--smoke` or a nonempty $ORION_BENCH_SMOKE.
+     */
+    bool smoke = false;
+    /** `--threads N`: sets core num_threads for the whole run (0 = all). */
+    int num_threads = -1;  // -1 = leave the global config untouched
+};
+
+inline BenchOptions&
+options()
+{
+    static BenchOptions opts;
+    return opts;
+}
+
+/**
+ * Parses --smoke / --threads N (and $ORION_BENCH_SMOKE) and applies the
+ * thread knob to the global config. Call first thing in every main().
+ */
+inline void
+init(int argc, char** argv)
+{
+    BenchOptions& opts = options();
+    if (const char* env = std::getenv("ORION_BENCH_SMOKE")) {
+        if (env[0] != '\0' && std::strcmp(env, "0") != 0) opts.smoke = true;
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            opts.smoke = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            opts.num_threads = std::atoi(argv[++i]);
+        }
+        // Unrecognized arguments are left for the binary's own flags.
+    }
+    if (opts.num_threads >= 0) core::set_num_threads(opts.num_threads);
+    if (opts.smoke) std::printf("[smoke mode: tiny single iterations]\n");
+}
+
+inline bool
+smoke()
+{
+    return options().smoke;
+}
+
+/** Repetition count: `full` normally, 1 in smoke mode. */
+inline int
+reps(int full)
+{
+    return smoke() ? 1 : full;
+}
 
 inline std::vector<double>
 random_vector(std::size_t n, double range = 1.0, u64 seed = 42)

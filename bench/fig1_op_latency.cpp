@@ -17,8 +17,9 @@
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Figure 1: homomorphic op latency vs ciphertext level");
 
@@ -46,13 +47,17 @@ main()
     std::printf("%6s %14s %14s\n", "level", "PMult (ms)", "HRot (ms)");
     double top_rot = 0.0;
     for (int level = 1; level <= ctx.max_level(); ++level) {
+        // Smoke: the endpoints are enough to exercise the code path.
+        if (bench::smoke() && level != 1 && level != ctx.max_level()) {
+            continue;
+        }
         const ckks::Plaintext pt = enc.encode(m, level, ctx.scale());
         const ckks::Ciphertext ct = encryptor.encrypt(pt);
-        const double t_pmult = bench::time_median(5, [&] {
+        const double t_pmult = bench::time_median(bench::reps(5), [&] {
             ckks::Ciphertext c = ct;
             eval.mul_plain_inplace(c, pt);
         });
-        const double t_rot = bench::time_median(5, [&] {
+        const double t_rot = bench::time_median(bench::reps(5), [&] {
             (void)eval.rotate(ct, 1);
         });
         if (level == ctx.max_level()) top_rot = t_rot;

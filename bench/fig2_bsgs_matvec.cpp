@@ -6,13 +6,16 @@
  * CKKS substrate for the slot-sized case.
  */
 
+#include <thread>
+
 #include "bench/bench_util.h"
 
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Figure 2: diagonal method vs BSGS matrix-vector products");
 
@@ -65,10 +68,10 @@ main()
     const ckks::Ciphertext ct = encryptor.encrypt(
         enc.encode(bench::random_vector(dim, 1.0, 6), level, ctx.scale()));
 
-    const double t_diag =
-        bench::time_median(3, [&] { (void)he_diag.apply(eval, ct); });
-    const double t_bsgs =
-        bench::time_median(3, [&] { (void)he_bsgs.apply(eval, ct); });
+    const double t_diag = bench::time_median(
+        bench::reps(3), [&] { (void)he_diag.apply(eval, ct); });
+    const double t_bsgs = bench::time_median(
+        bench::reps(3), [&] { (void)he_bsgs.apply(eval, ct); });
     std::printf("\n(measured, N = 2^11, 64-diagonal band, slot dim %llu)\n",
                 static_cast<unsigned long long>(dim));
     std::printf("diagonal method: %4llu rots, %8.2f ms\n",
@@ -77,5 +80,42 @@ main()
     std::printf("BSGS:            %4llu rots, %8.2f ms  (%.2fx faster)\n",
                 static_cast<unsigned long long>(plan_bsgs.rotation_count()),
                 t_bsgs * 1e3, t_diag / t_bsgs);
+
+    // Thread scaling of the same BSGS matvec: the decrypted output must be
+    // identical at every thread count (the runtime's determinism
+    // guarantee), only the wall clock may change.
+    ckks::Decryptor dec(ctx, keygen.secret_key());
+    std::printf("\nBSGS matvec thread scaling (num_threads knob; "
+                "%u hardware threads on this host):\n",
+                std::thread::hardware_concurrency());
+    std::printf("%8s %12s %10s %12s\n", "threads", "ms", "speedup",
+                "output");
+    double t1 = 0.0;
+    std::vector<double> out1;
+    bool diverged = false;
+    for (int threads : {1, 2, 4, 8}) {
+        const core::ScopedNumThreads scoped(threads);
+        const double t = bench::time_median(
+            bench::reps(3), [&] { (void)he_bsgs.apply(eval, ct); });
+        const std::vector<double> out =
+            enc.decode(dec.decrypt(he_bsgs.apply(eval, ct)));
+        if (threads == 1) {
+            t1 = t;
+            out1 = out;
+        }
+        const double diff = bench::max_abs_diff(out, out1);
+        if (diff != 0.0) diverged = true;
+        std::printf("%8d %12.2f %9.2fx %12s\n", threads, t * 1e3, t1 / t,
+                    diff == 0.0 ? "identical" : "DIVERGED");
+    }
+    if (std::thread::hardware_concurrency() <= 1) {
+        std::printf("(single-core host: speedup requires multiple cores; "
+                    "outputs above still verify determinism)\n");
+    }
+    if (diverged) {
+        std::fprintf(stderr, "FAIL: multithreaded BSGS output diverged "
+                             "from num_threads=1\n");
+        return 1;
+    }
     return 0;
 }

@@ -33,8 +33,9 @@ report(const char* name, const lin::Conv2dSpec& spec,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Figures 3-4: packed SISO/MIMO conv = Toeplitz diagonal method;\n"
         "Orion adds BSGS (rotations O(f) -> O(sqrt f))");
@@ -103,7 +104,8 @@ main()
     const std::vector<double> img = bench::random_vector(256, 1.0, 8);
     const std::vector<ckks::Ciphertext> cts = {encryptor.encrypt(enc.encode(
         in.pack(img, ctx.slot_count()), 2, ctx.scale()))};
-    const double t = bench::time_median(3, [&] { (void)he.apply(eval, cts); });
+    const double t = bench::time_median(bench::reps(3),
+                                        [&] { (void)he.apply(eval, cts); });
     const std::vector<ckks::Ciphertext> y = he.apply(eval, cts);
     ckks::Decryptor dec(ctx, keygen.secret_key());
     const std::vector<double> got =

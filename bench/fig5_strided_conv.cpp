@@ -14,8 +14,9 @@
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Figure 5: strided convolutions - raster Toeplitz vs single-shot "
         "multiplexed");

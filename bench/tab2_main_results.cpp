@@ -45,7 +45,7 @@ run_row(const Row& row)
     // Functional run: simulation with bootstrap noise; top-1 agreement and
     // precision vs the cleartext network.
     core::SimExecutor sim(cn, /*bootstrap_noise_std=*/1e-6);
-    const int trials = in_size > 100000 ? 1 : 4;
+    const int trials = bench::smoke() ? 1 : (in_size > 100000 ? 1 : 4);
     int agree = 0;
     double prec = 0.0;
     for (int t = 0; t < trials; ++t) {
@@ -98,12 +98,16 @@ run_row(const Row& row)
 int
 main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header("Table 2: main results across networks/datasets");
     std::printf("%-14s %8s %9s %8s %6s %7s %8s %5s %10s\n", "model",
                 "params", "FLOPs", "#rots", "depth", "#boots", "prec",
                 "top1", "model t(s)");
 
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick") quick = true;
+    }
 
     std::vector<Row> rows = {
         {"mlp", true, "rots 70, depth 5, boots 0, prec 4.6b, 0.29s"},
@@ -122,7 +126,12 @@ main(int argc, char** argv)
         {"resnet20-silu", false,
          "rots 836, act depth 154, boots 19, prec 13.6b, 301s"},
     };
-    if (!quick) {
+    if (bench::smoke()) {
+        // One real-FHE MNIST row and one structural CIFAR row cover both
+        // backends in seconds.
+        rows = {rows[0], rows[7]};
+    }
+    if (!quick && !bench::smoke()) {
         rows.push_back({"mobilenet", false,
                         "rots 2508, act depth 218, boots 42, prec 8.9b, "
                         "892s"});

@@ -19,8 +19,9 @@
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Table 4: ResNet-20 breakdown, Orion vs Fhelipe-style baseline");
 
@@ -97,9 +98,9 @@ main()
         ctx.scale()));
 
     const lin::HeDiagonalMatrix he(ctx, enc, *block, plan, level, w_scale);
-    const double t_orion =
-        bench::time_median(3, [&] { (void)he.apply(eval, ct); });
-    const double t_base = bench::time_median(3, [&] {
+    const double t_orion = bench::time_median(
+        bench::reps(3), [&] { (void)he.apply(eval, ct); });
+    const double t_base = bench::time_median(bench::reps(3), [&] {
         (void)baselines::apply_unhoisted(eval, enc, *block, plan, level,
                                          w_scale, ct);
     });

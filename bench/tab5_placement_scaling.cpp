@@ -15,8 +15,9 @@
 using namespace orion;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::print_header(
         "Table 5: bootstrap placement scalability on CIFAR ResNets");
 
@@ -26,7 +27,9 @@ main()
     double first_place = 0.0;
     u64 first_boots = 0;
     int first_depth = 0;
-    for (int depth : {20, 32, 44, 56, 110}) {
+    std::vector<int> depths = {20, 32, 44, 56, 110};
+    if (bench::smoke()) depths = {20, 32};
+    for (int depth : depths) {
         const nn::Network net = nn::make_resnet_cifar(depth, nn::Act::kRelu);
         core::CompileOptions opt;
         opt.slots = u64(1) << 15;

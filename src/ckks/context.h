@@ -17,6 +17,7 @@
  * the multiplicative budget is spent and a bootstrap is required.
  */
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -26,17 +27,51 @@
 
 namespace orion::ckks {
 
+/**
+ * A relaxed atomic counter that still copies and compares like a plain u64,
+ * so counters can be incremented from parallel kernels (thread_pool.h) and
+ * snapshotted with `OpCounters before = ctx.counters();`.
+ */
+class OpCounter {
+  public:
+    OpCounter(u64 v = 0) : v_(v) {}
+    OpCounter(const OpCounter& o) : v_(o.value()) {}
+    OpCounter&
+    operator=(const OpCounter& o)
+    {
+        v_.store(o.value(), std::memory_order_relaxed);
+        return *this;
+    }
+    OpCounter&
+    operator=(u64 v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+        return *this;
+    }
+    OpCounter&
+    operator+=(u64 d)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+        return *this;
+    }
+    operator u64() const { return value(); }
+    u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<u64> v_;
+};
+
 /** Running counters of primitive FHE operations, for benches and tables. */
 struct OpCounters {
-    u64 pmult = 0;        ///< plaintext-ciphertext products
-    u64 hmult = 0;        ///< ciphertext-ciphertext products
-    u64 hadd = 0;         ///< additions (either operand kind)
-    u64 hrot = 0;         ///< un-hoisted rotations
-    u64 hrot_hoisted = 0; ///< rotations served from a hoisted decomposition
-    u64 keyswitch = 0;    ///< key-switch inner products (relin + rotations)
-    u64 rescale = 0;
-    u64 bootstrap = 0;
-    u64 ntt = 0;          ///< individual limb-sized (I)NTT invocations
+    OpCounter pmult;        ///< plaintext-ciphertext products
+    OpCounter hmult;        ///< ciphertext-ciphertext products
+    OpCounter hadd;         ///< additions (either operand kind)
+    OpCounter hrot;         ///< un-hoisted rotations
+    OpCounter hrot_hoisted; ///< rotations served from a hoisted decomposition
+    OpCounter keyswitch;    ///< key-switch inner products (relin + rotations)
+    OpCounter rescale;
+    OpCounter bootstrap;
+    OpCounter ntt;          ///< individual limb-sized (I)NTT invocations
 
     void
     reset()

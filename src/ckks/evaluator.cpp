@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/core/thread_pool.h"
+
 namespace orion::ckks {
 
 void
@@ -221,11 +223,12 @@ Evaluator::rotate_hoisted(const Hoisted& h, int step) const
 
     // Permute the precomputed digits (decomposition commutes with the
     // automorphism coefficient-wise), then inner-product and mod-down.
-    std::vector<RnsPoly> rotated;
-    rotated.reserve(h.digits.size());
-    for (const RnsPoly& d : h.digits) {
-        rotated.push_back(d.galois_with_permutation(perm));
-    }
+    std::vector<RnsPoly> rotated(h.digits.size());
+    core::parallel_for(0, static_cast<i64>(h.digits.size()), [&](i64 i) {
+        rotated[static_cast<std::size_t>(i)] =
+            h.digits[static_cast<std::size_t>(i)].galois_with_permutation(
+                perm);
+    });
     const int level = h.ct.level();
     RnsPoly acc0(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
     RnsPoly acc1(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
@@ -280,7 +283,10 @@ Evaluator::accumulate_rotation(RotationAccumulator& acc, const Ciphertext& ct,
     const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
 
     std::vector<RnsPoly> digits = switcher_.decompose(ct.c1);
-    for (RnsPoly& d : digits) d = d.galois_with_permutation(perm);
+    core::parallel_for(0, static_cast<i64>(digits.size()), [&](i64 i) {
+        RnsPoly& d = digits[static_cast<std::size_t>(i)];
+        d = d.galois_with_permutation(perm);
+    });
     switcher_.inner_product(digits, key, &acc.ext0_, &acc.ext1_);
     acc.base0_.add_inplace(ct.c0.galois_with_permutation(perm));
     acc.any_ext_ = true;

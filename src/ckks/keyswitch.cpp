@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/thread_pool.h"
+
 namespace orion::ckks {
 
 std::vector<RnsPoly>
@@ -50,12 +52,15 @@ KeySwitcher::decompose(const RnsPoly& c) const
 
         // Fill every target limb: digit limbs copy c directly; other limbs
         // get the fast base conversion sum_j lambda_j * (D/q_j mod m_t).
-        for (int t = 0; t < ext.num_limbs(); ++t) {
+        // Target limbs are independent, so this hoistable decomposition
+        // parallelizes cleanly across the RNS base.
+        core::parallel_for(0, ext.num_limbs(), [&](i64 ti) {
+            const int t = static_cast<int>(ti);
             const int tg = ext.limb_global_index(t);
             u64* dst = ext.limb(t);
             if (tg >= lo && tg <= hi) {
                 std::copy(c_coeff.limb(tg), c_coeff.limb(tg) + n, dst);
-                continue;
+                return;
             }
             const Modulus& mt = ext.limb_modulus(t);
             // hat_mod_t[j] = (D/q_j) mod m_t.
@@ -76,7 +81,7 @@ KeySwitcher::decompose(const RnsPoly& c) const
                 }
                 dst[x] = mt.reduce_128(acc);
             }
-        }
+        });
         ext.to_ntt();
         out.push_back(std::move(ext));
     }
@@ -95,29 +100,33 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
     ORION_ASSERT(acc0->extended() && acc1->extended());
 
     for (std::size_t d = 0; d < digits.size(); ++d) {
-        const RnsPoly& dig = digits[d];
-        const RnsPoly& kb = ksk.b[d];
-        const RnsPoly& ka = ksk.a[d];
-        ORION_ASSERT(dig.is_ntt() && kb.is_ntt() && ka.is_ntt());
-        // The key lives at max level; pick only the limbs present in the
-        // accumulator (coefficient limbs 0..level plus the special limbs).
-        for (int t = 0; t < acc0->num_limbs(); ++t) {
-            const int tg = acc0->limb_global_index(t);
-            // Global index within the full-level key polynomial: coefficient
-            // limbs match 1:1; special limbs sit after q_0..q_L.
-            const int key_t = tg;
-            const Modulus& q = acc0->limb_modulus(t);
-            const u64* x = dig.limb(t);
-            const u64* b = kb.limb(key_t);
-            const u64* a = ka.limb(key_t);
-            u64* o0 = acc0->limb(t);
-            u64* o1 = acc1->limb(t);
+        ORION_ASSERT(digits[d].is_ntt() && ksk.b[d].is_ntt() &&
+                     ksk.a[d].is_ntt());
+    }
+    // Limb-major loop order so every (t, j) lane is owned by one task:
+    // the digit sum runs serially per limb, keeping results independent of
+    // the thread count. The key lives at max level; pick only the limbs
+    // present in the accumulator (coefficient limbs 0..level plus the
+    // special limbs).
+    core::parallel_for(0, acc0->num_limbs(), [&](i64 ti) {
+        const int t = static_cast<int>(ti);
+        const int tg = acc0->limb_global_index(t);
+        // Global index within the full-level key polynomial: coefficient
+        // limbs match 1:1; special limbs sit after q_0..q_L.
+        const int key_t = tg;
+        const Modulus& q = acc0->limb_modulus(t);
+        u64* o0 = acc0->limb(t);
+        u64* o1 = acc1->limb(t);
+        for (std::size_t d = 0; d < digits.size(); ++d) {
+            const u64* x = digits[d].limb(t);
+            const u64* b = ksk.b[d].limb(key_t);
+            const u64* a = ksk.a[d].limb(key_t);
             for (u64 j = 0; j < n; ++j) {
                 o0[j] = add_mod(o0[j], mul_mod(x[j], b[j], q), q);
                 o1[j] = add_mod(o1[j], mul_mod(x[j], a[j], q), q);
             }
         }
-    }
+    });
     ctx.counters().keyswitch += 1;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/core/thread_pool.h"
+
 namespace orion::ckks {
 
 RnsPoly::RnsPoly(const Context& ctx, int level, bool extended, bool ntt_form)
@@ -121,9 +123,10 @@ void
 RnsPoly::to_ntt()
 {
     ORION_ASSERT(!ntt_);
-    for (int i = 0; i < num_limbs(); ++i) {
-        limb_tables(i).forward(limb(i));
-    }
+    core::parallel_for(0, num_limbs(), [this](i64 i) {
+        const int limb_idx = static_cast<int>(i);
+        limb_tables(limb_idx).forward(limb(limb_idx));
+    });
     ctx_->counters().ntt += static_cast<u64>(num_limbs());
     ntt_ = true;
 }
@@ -132,9 +135,10 @@ void
 RnsPoly::to_coeff()
 {
     ORION_ASSERT(ntt_);
-    for (int i = 0; i < num_limbs(); ++i) {
-        limb_tables(i).inverse(limb(i));
-    }
+    core::parallel_for(0, num_limbs(), [this](i64 i) {
+        const int limb_idx = static_cast<int>(i);
+        limb_tables(limb_idx).inverse(limb(limb_idx));
+    });
     ctx_->counters().ntt += static_cast<u64>(num_limbs());
     ntt_ = false;
 }
@@ -165,11 +169,11 @@ RnsPoly::galois_with_permutation(const std::vector<u32>& perm) const
     ORION_ASSERT(ntt_);
     const u64 n = degree();
     RnsPoly out(*ctx_, level_, extended(), /*ntt_form=*/true);
-    for (int i = 0; i < num_limbs(); ++i) {
-        const u64* src = limb(i);
-        u64* dst = out.limb(i);
+    core::parallel_for(0, num_limbs(), [&](i64 i) {
+        const u64* src = limb(static_cast<int>(i));
+        u64* dst = out.limb(static_cast<int>(i));
         for (u64 j = 0; j < n; ++j) dst[j] = src[perm[j]];
-    }
+    });
     return out;
 }
 
@@ -220,15 +224,15 @@ RnsPoly::divide_and_drop_last()
     }
 
     const int remaining = last;  // limbs 0..last-1 survive
-    std::vector<u64> tmp(n);
-    for (int i = 0; i < remaining; ++i) {
+    core::parallel_for(0, remaining, [&](i64 li) {
+        const int i = static_cast<int>(li);
         const Modulus& q = limb_modulus(i);
+        std::vector<u64> tmp(n);
         for (u64 j = 0; j < n; ++j) {
             tmp[j] = reduce_signed(centered[j], q);
         }
         if (ntt_) {
             limb_tables(i).forward(tmp.data());
-            ctx_->counters().ntt += 1;
         }
         const u64 inv = ctx_->inv_mod_global(last_global, limb_global_index(i));
         const u64 inv_shoup = shoup_precompute(inv, q);
@@ -236,7 +240,8 @@ RnsPoly::divide_and_drop_last()
         for (u64 j = 0; j < n; ++j) {
             a[j] = mul_mod_shoup(sub_mod(a[j], tmp[j], q), inv, inv_shoup, q);
         }
-    }
+    });
+    if (ntt_) ctx_->counters().ntt += static_cast<u64>(remaining);
 
     data_.resize(static_cast<std::size_t>(remaining) * n);
     if (special_limbs_ > 0) {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/approx/polyeval.h"
+#include "src/core/thread_pool.h"
 
 namespace orion::core {
 
@@ -188,8 +189,10 @@ SimExecutor::run(const std::vector<double>& input)
 // ---------------------------------------------------------------------
 
 CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
-                           const ckks::Context& ctx, u64 seed)
-    : cn_(&cn), ctx_(&ctx), encoder_(ctx), keygen_(ctx, seed),
+                           const ckks::Context& ctx, u64 seed,
+                           std::optional<OrionConfig> cfg)
+    : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
+      keygen_(ctx, seed),
       pk_(keygen_.make_public_key()), relin_(keygen_.make_relin_key()),
       galois_(keygen_.make_galois_keys(cn.required_steps())),
       encryptor_(ctx, pk_), decryptor_(ctx, keygen_.secret_key()),
@@ -384,6 +387,12 @@ CkksExecutor::run(const std::vector<double>& input)
     const auto t0 = std::chrono::steady_clock::now();
     ORION_CHECK(input.size() == cn_->input_shape.size(),
                 "input size mismatch");
+    // A pinned config governs every kernel underneath this call via a
+    // thread-local override (concurrent executors with different budgets
+    // cannot interfere). Without one, kernels follow the ambient setting
+    // (global pool or the caller's own override).
+    std::optional<ScopedPoolOverride> scoped_threads;
+    if (cfg_) scoped_threads.emplace(cfg_->resolved_num_threads());
     const ckks::OpCounters before = ctx_->counters();
     const approx::HePolyEvaluator polyeval(eval_);
     const double delta = ctx_->scale();

@@ -12,8 +12,11 @@
  * same instruction stream under real RNS-CKKS encryption end to end.
  */
 
+#include <optional>
+
 #include "src/ckks/ckks.h"
 #include "src/core/compiler.h"
+#include "src/core/config.h"
 
 namespace orion::core {
 
@@ -51,6 +54,16 @@ class SimExecutor {
     ckks::Sampler noise_;
 };
 
+/*
+ * CkksExecutor honors OrionConfig::num_threads: run() installs a
+ * thread-local pool override for its duration, so the executor knob
+ * controls every parallel kernel underneath it without touching global
+ * state (concurrent executors with different budgets are safe).
+ * num_threads = 1 is bit-identical to any other setting; it simply runs
+ * the kernels serially. SimExecutor is pure cleartext simulation and has
+ * no parallel kernels today.
+ */
+
 /** Real-FHE backend over the from-scratch CKKS substrate. */
 class CkksExecutor {
   public:
@@ -61,10 +74,21 @@ class CkksExecutor {
      * been compiled with matrices (structural_only = false) and with
      * l_eff < the context's max level.
      */
+    /**
+     * When `cfg` is given, run() pins its kernels to cfg.num_threads via a
+     * thread-local pool override. Without it, the executor follows the
+     * ambient setting at run() time (core::set_num_threads or a caller's
+     * ScopedPoolOverride), so late thread-count changes take effect.
+     */
     CkksExecutor(const CompiledNetwork& cn, const ckks::Context& ctx,
-                 u64 seed = 7);
+                 u64 seed = 7,
+                 std::optional<OrionConfig> cfg = std::nullopt);
 
     ExecutionResult run(const std::vector<double>& input);
+
+    /** The pinned config, or the current global one when not pinned. */
+    OrionConfig exec_config() const { return cfg_ ? *cfg_ : config(); }
+    void set_exec_config(const OrionConfig& cfg) { cfg_ = cfg; }
 
     InspectFn inspect;  ///< optional observer (decrypts intermediates!)
 
@@ -85,6 +109,7 @@ class CkksExecutor {
 
     const CompiledNetwork* cn_;
     const ckks::Context* ctx_;
+    std::optional<OrionConfig> cfg_;
     ckks::Encoder encoder_;
     ckks::KeyGenerator keygen_;
     ckks::PublicKey pk_;

@@ -17,9 +17,11 @@
 
 #include "src/ckks/ckks.h"
 #include "src/core/compiler.h"
+#include "src/core/config.h"
 #include "src/core/cost_model.h"
 #include "src/core/executor.h"
 #include "src/core/placement.h"
+#include "src/core/thread_pool.h"
 #include "src/linalg/linalg.h"
 #include "src/nn/models.h"
 #include "src/nn/network.h"

@@ -1,0 +1,217 @@
+#include "src/core/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/core/config.h"
+
+namespace orion::core {
+
+namespace {
+
+/** Set while the current thread runs a worker loop (nesting guard). */
+thread_local bool tls_on_worker = false;
+
+/** Per-thread pool override installed by ScopedPoolOverride. */
+thread_local std::shared_ptr<ThreadPool> tls_pool_override;
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+/** Size of g_pool, readable without g_pool_mu (0 = not yet created). */
+std::atomic<int> g_pool_size{0};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    ORION_CHECK(num_threads >= 1, "thread pool needs at least one thread");
+    const int workers = num_threads - 1;
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+bool
+ThreadPool::on_worker_thread()
+{
+    return tls_on_worker;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    tls_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallel_for(i64 begin, i64 end,
+                         const std::function<void(i64)>& fn)
+{
+    const i64 count = end - begin;
+    if (count <= 0) return;
+    if (count == 1 || workers_.empty() || on_worker_thread()) {
+        for (i64 i = begin; i < end; ++i) fn(i);
+        return;
+    }
+
+    struct State {
+        std::atomic<i64> next{0};
+        i64 end = 0;
+        const std::function<void(i64)>* fn = nullptr;
+        std::atomic<bool> failed{false};
+        std::atomic<int> pending{0};
+        std::mutex mu;
+        std::condition_variable done;
+        std::exception_ptr error;
+    };
+    auto st = std::make_shared<State>();
+    st->next = begin;
+    st->end = end;
+    st->fn = &fn;
+
+    auto drain = [](const std::shared_ptr<State>& s) {
+        try {
+            while (!s->failed.load(std::memory_order_relaxed)) {
+                const i64 i = s->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= s->end) break;
+                (*s->fn)(i);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(s->mu);
+            if (!s->error) s->error = std::current_exception();
+            s->failed.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    const int helpers = static_cast<int>(std::min<i64>(
+        static_cast<i64>(workers_.size()), count - 1));
+    st->pending = helpers;
+    for (int h = 0; h < helpers; ++h) {
+        enqueue([st, drain] {
+            drain(st);
+            if (st->pending.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lk(st->mu);
+                st->done.notify_all();
+            }
+        });
+    }
+    drain(st);
+    {
+        std::unique_lock<std::mutex> lk(st->mu);
+        st->done.wait(lk, [&] { return st->pending.load() == 0; });
+    }
+    if (st->error) std::rethrow_exception(st->error);
+}
+
+std::shared_ptr<ThreadPool>
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool) {
+        g_pool = std::make_shared<ThreadPool>(config().resolved_num_threads());
+        g_pool_size.store(g_pool->num_threads(), std::memory_order_relaxed);
+    }
+    return g_pool;
+}
+
+void
+ThreadPool::set_global_threads(int n)
+{
+    ORION_CHECK(n >= 1, "num_threads must be >= 1");
+    std::shared_ptr<ThreadPool> retired;
+    {
+        std::lock_guard<std::mutex> lk(g_pool_mu);
+        if (g_pool && g_pool->num_threads() == n) return;
+        retired = std::move(g_pool);  // destroyed outside the lock, or kept
+                                      // alive by in-flight kernels
+        g_pool = std::make_shared<ThreadPool>(n);
+        g_pool_size.store(n, std::memory_order_relaxed);
+    }
+}
+
+int
+ThreadPool::global_threads()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    return g_pool ? g_pool->num_threads() : config().resolved_num_threads();
+}
+
+void
+parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn)
+{
+    // Lock-free fast paths first: trivial ranges, nested launches from
+    // pool workers, and a serial global pool all run inline without
+    // touching g_pool_mu (this is the common case inside hot kernels).
+    if (end - begin <= 1 || ThreadPool::on_worker_thread()) {
+        for (i64 i = begin; i < end; ++i) fn(i);
+        return;
+    }
+    if (tls_pool_override) {
+        tls_pool_override->parallel_for(begin, end, fn);
+        return;
+    }
+    if (g_pool_size.load(std::memory_order_relaxed) == 1) {
+        for (i64 i = begin; i < end; ++i) fn(i);
+        return;
+    }
+    // Holding the shared_ptr for the whole region keeps the pool alive
+    // even if another thread swaps in a different global pool meanwhile.
+    ThreadPool::global()->parallel_for(begin, end, fn);
+}
+
+ScopedNumThreads::ScopedNumThreads(int n)
+    : previous_(config().num_threads)  // raw value, preserving the 0 =
+                                       // "follow hardware" sentinel
+{
+    set_num_threads(n);
+}
+
+ScopedNumThreads::~ScopedNumThreads()
+{
+    set_num_threads(previous_);
+}
+
+ScopedPoolOverride::ScopedPoolOverride(int n)
+    : previous_(std::move(tls_pool_override))
+{
+    ORION_CHECK(n >= 1, "num_threads must be >= 1");
+    tls_pool_override = std::make_shared<ThreadPool>(n);
+}
+
+ScopedPoolOverride::~ScopedPoolOverride()
+{
+    tls_pool_override = std::move(previous_);
+}
+
+}  // namespace orion::core

@@ -1,0 +1,151 @@
+#ifndef ORION_SRC_CORE_THREAD_POOL_H_
+#define ORION_SRC_CORE_THREAD_POOL_H_
+
+/**
+ * @file
+ * A small fork-join thread pool for data-parallel FHE kernels.
+ *
+ * Design constraints (which rule out a generic task graph):
+ *  - Every parallel region in the CKKS substrate is a fork-join loop over
+ *    independent slices (RNS limbs, key-switch digits, BSGS rotations)
+ *    whose writes are disjoint and whose arithmetic is exact modular
+ *    integer math, so results are bit-identical for ANY thread count.
+ *    Reductions are always finalized serially in a fixed order.
+ *  - Kernels nest (a parallel BSGS baby step performs a parallel NTT).
+ *    Nested regions run inline on the calling worker - this is also the
+ *    deadlock guard: a worker never blocks waiting on queue capacity.
+ *  - num_threads = 1 must not spawn threads at all, so single-threaded
+ *    runs exercise exactly the same code path as the seed implementation.
+ *
+ * Exceptions thrown by loop bodies are captured and the first one is
+ * rethrown on the calling thread after the region completes; remaining
+ * iterations are abandoned (best effort) once a failure is recorded.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "src/common.h"
+
+namespace orion::core {
+
+class ThreadPool {
+  public:
+    /** Creates a pool where `num_threads` threads (including the caller)
+     *  participate in parallel regions; spawns `num_threads - 1` workers. */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Threads participating in parallel_for (workers + calling thread). */
+    int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /** True when the current thread is a worker of any ThreadPool. */
+    static bool on_worker_thread();
+
+    /**
+     * Runs fn(i) for every i in [begin, end), distributing iterations
+     * across the pool. Blocks until all iterations complete. Runs inline
+     * when the pool is serial, the range is trivial, or the caller is
+     * already a pool worker (nesting / deadlock guard).
+     */
+    void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn);
+
+    /**
+     * Schedules a single task and returns its future. Runs inline (and
+     * returns a ready future) when the pool is serial or the caller is a
+     * pool worker, so waiting on the future can never deadlock.
+     */
+    template <typename F>
+    auto
+    submit(F&& f) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        if (workers_.empty() || on_worker_thread()) {
+            (*task)();
+        } else {
+            enqueue([task] { (*task)(); });
+        }
+        return fut;
+    }
+
+    /**
+     * The process-wide pool used by all FHE kernels. Sized from
+     * core::config().num_threads on first use. Shared ownership: a kernel
+     * holds the returned pointer for the duration of its region, so a
+     * concurrent resize (which installs a fresh pool) cannot destroy a
+     * pool that still has work in flight - the old pool is torn down when
+     * its last in-flight region finishes.
+     */
+    static std::shared_ptr<ThreadPool> global();
+    /** Replaces the global pool with one of the given size. */
+    static void set_global_threads(int n);
+    /** Current size of the global pool (without forcing its creation). */
+    static int global_threads();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * The kernels' entry point. Dispatch order: trivial ranges and calls from
+ * pool workers run inline (no locks); otherwise the calling thread's
+ * ScopedPoolOverride pool, if any; otherwise the global pool.
+ */
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn);
+
+/** RAII guard: sets the global pool size, restores the old size on exit.
+ *  Process-wide - intended for single-threaded drivers (tests, benches).
+ *  Concurrent guards on different threads trample each other's sizes; use
+ *  ScopedPoolOverride for per-call-tree parallelism instead. */
+class ScopedNumThreads {
+  public:
+    explicit ScopedNumThreads(int n);
+    ~ScopedNumThreads();
+    ScopedNumThreads(const ScopedNumThreads&) = delete;
+    ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+  private:
+    int previous_;
+};
+
+/**
+ * RAII guard: gives the *current thread's* kernel launches a private pool
+ * of n threads, restoring the previous override (if any) on exit. Unlike
+ * ScopedNumThreads this touches no global state, so concurrent executors
+ * with different thread budgets cannot interfere with each other.
+ */
+class ScopedPoolOverride {
+  public:
+    explicit ScopedPoolOverride(int n);
+    ~ScopedPoolOverride();
+    ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+    ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+  private:
+    std::shared_ptr<ThreadPool> previous_;
+};
+
+}  // namespace orion::core
+
+#endif  // ORION_SRC_CORE_THREAD_POOL_H_

@@ -1,7 +1,11 @@
 #include "src/linalg/blocked.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+
+#include "src/core/thread_pool.h"
+#include "src/linalg/bsgs_detail.h"
 
 namespace orion::lin {
 
@@ -165,24 +169,23 @@ HeBlockedMatrix::HeBlockedMatrix(const ckks::Context& ctx,
     ORION_CHECK(m.block_dim() == ctx.slot_count(),
                 "block dimension must equal the slot count");
     const u64 dim = m.block_dim();
-    std::vector<double> rotated(dim);
+    // Flatten every (block, group, term) encode into one parallel sweep;
+    // the map structure is built serially first so tasks only fill
+    // preallocated slots.
+    std::vector<detail::EncodeSlot> slots;
     for (const auto& [key, bp] : plan_.block_plans) {
         const DiagonalMatrix* block = m.block(key.first, key.second);
         ORION_ASSERT(block != nullptr);
         auto& group_map = encoded_[key];
         for (const auto& [g, terms] : bp.groups) {
             std::vector<ckks::Plaintext>& row = group_map[g];
-            row.reserve(terms.size());
-            for (const BsgsPlan::Term& term : terms) {
-                const std::vector<double>* diag = block->diagonal(term.diag);
-                ORION_ASSERT(diag != nullptr);
-                for (u64 t = 0; t < dim; ++t) {
-                    rotated[t] = (*diag)[(t + dim - g) % dim];
-                }
-                row.push_back(encoder.encode(rotated, level, scale));
+            row.resize(terms.size());
+            for (std::size_t t = 0; t < terms.size(); ++t) {
+                slots.push_back({block->diagonal(terms[t].diag), g, &row[t]});
             }
         }
     }
+    detail::encode_rotated_diagonals(encoder, dim, level, scale, slots);
 }
 
 std::vector<ckks::Ciphertext>
@@ -207,35 +210,40 @@ HeBlockedMatrix::apply(const ckks::Evaluator& eval,
         const auto babies_it = plan_.column_babies.find(bc);
         if (babies_it == plan_.column_babies.end()) continue;
 
-        // Shared hoisted baby rotations for this input ciphertext.
-        const ckks::Evaluator::Hoisted hoisted = eval.hoist(in[bc]);
-        std::map<u64, ckks::Ciphertext> babies;
-        for (u64 b : babies_it->second) {
-            babies.emplace(b, b == 0 ? in[bc]
-                                     : eval.rotate_hoisted(
-                                           hoisted, static_cast<int>(b)));
-        }
+        // Shared hoisted baby rotations for this input ciphertext; the
+        // rotations fan out across the thread pool.
+        std::map<u64, const ckks::Ciphertext*> babies;
+        const std::vector<ckks::Ciphertext> baby_cts =
+            detail::hoisted_baby_rotations(eval, in[bc], babies_it->second,
+                                           &babies);
 
+        // Per-(row block, giant group) inner sums are independent; compute
+        // them in parallel, then fold each into its row accumulator in a
+        // fixed order.
+        struct GroupTask {
+            u64 br;
+            u64 g;
+            const std::vector<BsgsPlan::Term>* terms;
+            const std::vector<ckks::Plaintext>* encoded;
+        };
+        std::vector<GroupTask> tasks;
         for (u64 br = 0; br < row_blocks_; ++br) {
             const auto plan_it = plan_.block_plans.find({br, bc});
             if (plan_it == plan_.block_plans.end()) continue;
             const auto& group_map = encoded_.at({br, bc});
             for (const auto& [g, terms] : plan_it->second.groups) {
-                const std::vector<ckks::Plaintext>& encoded =
-                    group_map.at(g);
-                std::optional<ckks::Ciphertext> inner;
-                for (std::size_t t = 0; t < terms.size(); ++t) {
-                    ckks::Ciphertext part = eval.mul_plain(
-                        babies.at(terms[t].baby), encoded[t]);
-                    if (inner.has_value()) {
-                        eval.add_inplace(*inner, part);
-                    } else {
-                        inner = std::move(part);
-                    }
-                }
-                eval.accumulate_rotation(accs[br], *inner,
-                                         static_cast<int>(g));
+                tasks.push_back({br, g, &terms, &group_map.at(g)});
             }
+        }
+        std::vector<std::optional<ckks::Ciphertext>> inners(tasks.size());
+        core::parallel_for(0, static_cast<i64>(tasks.size()), [&](i64 ti) {
+            const GroupTask& task = tasks[static_cast<std::size_t>(ti)];
+            inners[static_cast<std::size_t>(ti)] = detail::group_inner_sum(
+                eval, *task.terms, *task.encoded, babies);
+        });
+        for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+            eval.accumulate_rotation(accs[tasks[ti].br], *inners[ti],
+                                     static_cast<int>(tasks[ti].g));
         }
     }
 

@@ -4,7 +4,67 @@
 #include <cmath>
 #include <set>
 
+#include "src/core/thread_pool.h"
+#include "src/linalg/bsgs_detail.h"
+
 namespace orion::lin {
+
+namespace detail {
+
+void
+encode_rotated_diagonals(const ckks::Encoder& encoder, u64 dim, int level,
+                         double scale, const std::vector<EncodeSlot>& slots)
+{
+    core::parallel_for(0, static_cast<i64>(slots.size()), [&](i64 si) {
+        const EncodeSlot& s = slots[static_cast<std::size_t>(si)];
+        ORION_ASSERT(s.diag != nullptr);
+        std::vector<double> rotated(dim);
+        for (u64 t = 0; t < dim; ++t) {
+            rotated[t] = (*s.diag)[(t + dim - s.g) % dim];
+        }
+        *s.out = encoder.encode(rotated, level, scale);
+    });
+}
+
+std::vector<ckks::Ciphertext>
+hoisted_baby_rotations(const ckks::Evaluator& eval,
+                       const ckks::Ciphertext& ct,
+                       const std::vector<u64>& steps,
+                       std::map<u64, const ckks::Ciphertext*>* lookup)
+{
+    const ckks::Evaluator::Hoisted hoisted = eval.hoist(ct);
+    std::vector<ckks::Ciphertext> cts(steps.size());
+    core::parallel_for(0, static_cast<i64>(steps.size()), [&](i64 i) {
+        const u64 b = steps[static_cast<std::size_t>(i)];
+        cts[static_cast<std::size_t>(i)] =
+            b == 0 ? ct : eval.rotate_hoisted(hoisted, static_cast<int>(b));
+    });
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        lookup->emplace(steps[i], &cts[i]);
+    }
+    return cts;
+}
+
+std::optional<ckks::Ciphertext>
+group_inner_sum(const ckks::Evaluator& eval,
+                const std::vector<BsgsPlan::Term>& terms,
+                const std::vector<ckks::Plaintext>& encoded,
+                const std::map<u64, const ckks::Ciphertext*>& babies)
+{
+    std::optional<ckks::Ciphertext> inner;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        ckks::Ciphertext part =
+            eval.mul_plain(*babies.at(terms[t].baby), encoded[t]);
+        if (inner.has_value()) {
+            eval.add_inplace(*inner, part);
+        } else {
+            inner = std::move(part);
+        }
+    }
+    return inner;
+}
+
+}  // namespace detail
 
 u64
 BsgsPlan::baby_rotation_count() const
@@ -130,20 +190,17 @@ HeDiagonalMatrix::HeDiagonalMatrix(const ckks::Context& ctx,
                     << m.dim() << " vs " << ctx.slot_count() << ")");
     const u64 dim = m.dim();
     // Encode diag_{g+b} rotated down by the giant amount g (Equation 1):
-    // e[t] = diag_k[(t - g) mod dim].
-    std::vector<double> rotated(dim);
+    // e[t] = diag_k[(t - g) mod dim]. Every (group, term) encode is
+    // independent, so flatten the plan and encode in parallel.
+    std::vector<detail::EncodeSlot> slots;
     for (const auto& [g, terms] : plan_.groups) {
         std::vector<ckks::Plaintext>& row = encoded_[g];
-        row.reserve(terms.size());
-        for (const BsgsPlan::Term& term : terms) {
-            const std::vector<double>* diag = m.diagonal(term.diag);
-            ORION_ASSERT(diag != nullptr);
-            for (u64 t = 0; t < dim; ++t) {
-                rotated[t] = (*diag)[(t + dim - g) % dim];
-            }
-            row.push_back(encoder.encode(rotated, level, scale));
+        row.resize(terms.size());
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            slots.push_back({m.diagonal(terms[t].diag), g, &row[t]});
         }
     }
+    detail::encode_rotated_diagonals(encoder, dim, level, scale, slots);
 }
 
 ckks::Ciphertext
@@ -153,32 +210,32 @@ HeDiagonalMatrix::apply(const ckks::Evaluator& eval,
     ORION_CHECK(ct.level() == level_,
                 "matrix encoded at level " << level_ << ", input at level "
                                            << ct.level());
-    // Baby steps: one hoisted decomposition serves every baby rotation.
-    const ckks::Evaluator::Hoisted hoisted = eval.hoist(ct);
-    std::map<u64, ckks::Ciphertext> babies;
-    for (u64 b : plan_.baby_steps) {
-        babies.emplace(b, b == 0 ? ct
-                                 : eval.rotate_hoisted(
-                                       hoisted, static_cast<int>(b)));
-    }
+    // Baby steps: one hoisted decomposition serves every baby rotation,
+    // and the rotations themselves fan out across the thread pool.
+    std::map<u64, const ckks::Ciphertext*> babies;
+    const std::vector<ckks::Ciphertext> baby_cts =
+        detail::hoisted_baby_rotations(eval, ct, plan_.baby_steps, &babies);
 
-    // Giant groups: inner sums of PMults, then one (deferred mod-down)
-    // rotation per group.
-    auto acc = eval.make_accumulator(level_, ct.scale * scale_);
+    // Giant groups: the inner sums of PMults are independent per group, so
+    // compute them in parallel; the deferred-mod-down accumulation then
+    // runs serially in group order (exact modular sums, so the result is
+    // bit-identical to the single-threaded path either way).
+    std::vector<std::pair<u64, const std::vector<BsgsPlan::Term>*>> groups;
+    groups.reserve(plan_.groups.size());
     for (const auto& [g, terms] : plan_.groups) {
-        const std::vector<ckks::Plaintext>& encoded = encoded_.at(g);
-        std::optional<ckks::Ciphertext> inner;
-        for (std::size_t t = 0; t < terms.size(); ++t) {
-            ckks::Ciphertext part =
-                eval.mul_plain(babies.at(terms[t].baby), encoded[t]);
-            if (inner.has_value()) {
-                eval.add_inplace(*inner, part);
-            } else {
-                inner = std::move(part);
-            }
-        }
-        ORION_ASSERT(inner.has_value());
-        eval.accumulate_rotation(acc, *inner, static_cast<int>(g));
+        groups.emplace_back(g, &terms);
+    }
+    std::vector<std::optional<ckks::Ciphertext>> inners(groups.size());
+    core::parallel_for(0, static_cast<i64>(groups.size()), [&](i64 gi) {
+        const auto& [g, terms] = groups[static_cast<std::size_t>(gi)];
+        inners[static_cast<std::size_t>(gi)] =
+            detail::group_inner_sum(eval, *terms, encoded_.at(g), babies);
+    });
+    auto acc = eval.make_accumulator(level_, ct.scale * scale_);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        ORION_ASSERT(inners[gi].has_value());
+        eval.accumulate_rotation(acc, *inners[gi],
+                                 static_cast<int>(groups[gi].first));
     }
     ckks::Ciphertext out = eval.finalize_accumulator(acc);
     eval.rescale_inplace(out);

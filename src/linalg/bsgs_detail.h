@@ -1,0 +1,58 @@
+#ifndef ORION_SRC_LINALG_BSGS_DETAIL_H_
+#define ORION_SRC_LINALG_BSGS_DETAIL_H_
+
+/**
+ * @file
+ * Shared internals of the parallel BSGS evaluation paths, used by both
+ * HeDiagonalMatrix (bsgs.cpp) and HeBlockedMatrix (blocked.cpp) so the
+ * fan-out logic lives in exactly one place. Definitions in bsgs.cpp.
+ */
+
+#include <map>
+#include <optional>
+
+#include "src/ckks/encoder.h"
+#include "src/ckks/evaluator.h"
+#include "src/linalg/bsgs.h"
+
+namespace orion::lin::detail {
+
+/** One pending "encode diag rotated down by g into *out" work item. */
+struct EncodeSlot {
+    const std::vector<double>* diag;
+    u64 g;
+    ckks::Plaintext* out;
+};
+
+/**
+ * Encodes every slot in parallel: out[t] = diag[(t - g) mod dim]
+ * (Equation 1's pre-rotated giant-group diagonals).
+ */
+void encode_rotated_diagonals(const ckks::Encoder& encoder, u64 dim,
+                              int level, double scale,
+                              const std::vector<EncodeSlot>& slots);
+
+/**
+ * Hoists ct once and serves every baby rotation from it, fanning the
+ * rotations out across the thread pool. Returns the ciphertexts aligned
+ * with `steps` and fills `lookup` (step -> pointer into the result).
+ * The returned vector owns the ciphertexts; keep it alive while using
+ * `lookup`.
+ */
+std::vector<ckks::Ciphertext> hoisted_baby_rotations(
+    const ckks::Evaluator& eval, const ckks::Ciphertext& ct,
+    const std::vector<u64>& steps,
+    std::map<u64, const ckks::Ciphertext*>* lookup);
+
+/**
+ * One giant group's inner sum of PMults, in fixed term order:
+ * sum_t babies[terms[t].baby] * encoded[t].
+ */
+std::optional<ckks::Ciphertext> group_inner_sum(
+    const ckks::Evaluator& eval, const std::vector<BsgsPlan::Term>& terms,
+    const std::vector<ckks::Plaintext>& encoded,
+    const std::map<u64, const ckks::Ciphertext*>& babies);
+
+}  // namespace orion::lin::detail
+
+#endif  // ORION_SRC_LINALG_BSGS_DETAIL_H_

@@ -284,6 +284,91 @@ TEST(Evaluator, MissingGaloisKeyRejected)
     EXPECT_THROW(env.eval.rotate(ct, 123), Error);  // no key for step 123
 }
 
+TEST(Evaluator, HoistedRotationMatchesPlainRotationAllSharedSteps)
+{
+    // Full sweep: one hoisted decomposition must serve every step the
+    // shared environment owns keys for, matching the un-hoisted rotation
+    // both in the decrypted slots and in scale/level metadata.
+    CkksEnv& env = CkksEnv::shared();
+    const u64 n = env.ctx.slot_count();
+    const std::vector<double> a = random_vector(n, 1.0, 24);
+    const Ciphertext ct = encrypt_vector(env, a, 3);
+    const ckks::Evaluator::Hoisted h = env.eval.hoist(ct);
+    for (int step : kSharedSteps) {
+        const Ciphertext hr = env.eval.rotate_hoisted(h, step);
+        const Ciphertext pr = env.eval.rotate(ct, step);
+        EXPECT_EQ(hr.level(), pr.level()) << "step " << step;
+        EXPECT_EQ(hr.scale, pr.scale) << "step " << step;
+        EXPECT_LT(max_abs_diff(decrypt_vector(env, hr),
+                               decrypt_vector(env, pr)),
+                  1e-4)
+            << "step " << step;
+        // And both match the cleartext rotation.
+        std::vector<double> want(n);
+        for (u64 i = 0; i < n; ++i) {
+            const u64 src =
+                (i + static_cast<u64>(((step % static_cast<i64>(n)) +
+                                       static_cast<i64>(n))) ) % n;
+            want[i] = a[src];
+        }
+        EXPECT_LT(max_abs_diff(decrypt_vector(env, hr), want), 1e-4)
+            << "step " << step;
+    }
+}
+
+TEST(Evaluator, HoistedRotationByZeroIsIdentity)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 25);
+    const Ciphertext ct = encrypt_vector(env, a, 2);
+    const ckks::Evaluator::Hoisted h = env.eval.hoist(ct);
+    const Ciphertext r = env.eval.rotate_hoisted(h, 0);
+    EXPECT_LT(max_abs_diff(decrypt_vector(env, r), a), 1e-4);
+    // Full-slot rotations are also trivial.
+    const Ciphertext full = env.eval.rotate_hoisted(
+        h, static_cast<int>(env.ctx.slot_count()));
+    EXPECT_LT(max_abs_diff(decrypt_vector(env, full), a), 1e-4);
+}
+
+TEST(Evaluator, MissingGaloisKeyRejectedForHoistedRotation)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 26);
+    const Ciphertext ct = encrypt_vector(env, a, 2);
+    const ckks::Evaluator::Hoisted h = env.eval.hoist(ct);
+    EXPECT_THROW((void)env.eval.rotate_hoisted(h, 123), Error);
+    EXPECT_THROW((void)env.eval.galois_key_for_step(123), Error);
+    // A trivial step never needs a key, even when none would exist.
+    EXPECT_NO_THROW((void)env.eval.rotate_hoisted(h, 0));
+}
+
+TEST(Evaluator, RotationsRejectedWhenNoGaloisKeysSet)
+{
+    // A fresh evaluator with no key registry must fail loudly on every
+    // rotation entry point, not crash on a null lookup.
+    CkksEnv& env = CkksEnv::shared();
+    ckks::Evaluator bare(env.ctx, env.encoder);
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 27);
+    const Ciphertext ct = encrypt_vector(env, a, 2);
+    EXPECT_THROW((void)bare.rotate(ct, 1), Error);
+    EXPECT_THROW((void)bare.conjugate(ct), Error);
+    const ckks::Evaluator::Hoisted h = bare.hoist(ct);
+    EXPECT_THROW((void)bare.rotate_hoisted(h, 1), Error);
+    auto acc = bare.make_accumulator(2, env.ctx.scale());
+    EXPECT_THROW(bare.accumulate_rotation(acc, ct, 1), Error);
+    // Step 0 accumulates without keys (it is a plain addition).
+    EXPECT_NO_THROW(bare.accumulate_rotation(acc, ct, 0));
+}
+
+TEST(Evaluator, MissingGaloisKeyRejectedInAccumulator)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const std::vector<double> a = random_vector(env.ctx.slot_count(), 1.0, 28);
+    const Ciphertext ct = encrypt_vector(env, a, 2);
+    auto acc = env.eval.make_accumulator(2, env.ctx.scale());
+    EXPECT_THROW(env.eval.accumulate_rotation(acc, ct, 123), Error);
+}
+
 TEST(Evaluator, OpCountersTrackRotationsAndMults)
 {
     CkksEnv& env = CkksEnv::shared();

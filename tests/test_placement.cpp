@@ -232,8 +232,16 @@ TEST(Placement, SolveTimeGrowsRoughlyLinearly)
         cfg.bootstrap_latency = 10.0;
         return place_bootstraps(c, cfg).solve_seconds;
     };
-    const double t10 = time_for(10);
-    const double t80 = time_for(80);
+    // Best-of-5 per size: a single measurement flakes when the machine is
+    // loaded (e.g. ctest -j alongside multithreaded suites); the minimum
+    // is a stable proxy for the true cost.
+    auto best_of = [&](int blocks) {
+        double best = time_for(blocks);
+        for (int i = 0; i < 4; ++i) best = std::min(best, time_for(blocks));
+        return best;
+    };
+    const double t10 = best_of(10);
+    const double t80 = best_of(80);
     // Allow generous slack for timer noise; the point is "not quadratic".
     EXPECT_LT(t80, 40.0 * std::max(t10, 1e-5));
 }

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The core/thread_pool contract: task completion, exception propagation
+ * through both submit() and parallel_for(), the nested-submit deadlock
+ * guard, and the determinism guarantee the whole runtime rests on -
+ * multithreaded NTT and BSGS results are bit-identical to num_threads = 1.
+ */
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/core/thread_pool.h"
+#include "src/linalg/bsgs.h"
+#include "tests/test_util.h"
+
+namespace orion {
+namespace {
+
+using core::ScopedNumThreads;
+using core::ThreadPool;
+
+TEST(ThreadPool, RunsEveryIteration)
+{
+    ThreadPool pool(4);
+    constexpr i64 kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(0, kCount, [&](i64 i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitDeliversResults)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 32; ++i) {
+        futs.push_back(pool.submit([i] { return i * i; }));
+    }
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, SerialPoolSpawnsNoThreads)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.num_threads(), 1);
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.parallel_for(0, 4, [&](i64) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100,
+                          [](i64 i) {
+                              if (i == 37) throw Error("boom 37");
+                          }),
+        Error);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([]() -> int { throw Error("task failed"); });
+    EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(ThreadPool, AbandonsRemainingWorkAfterFailure)
+{
+    // Best effort: iterations claimed after the failure is recorded are
+    // skipped, so a failing region does not run to the bitter end.
+    ThreadPool pool(4);
+    std::atomic<i64> executed{0};
+    try {
+        pool.parallel_for(0, 100000, [&](i64 i) {
+            if (i == 0) throw Error("early failure");
+            executed.fetch_add(1);
+        });
+        FAIL() << "expected Error";
+    } catch (const Error&) {
+    }
+    EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    pool.parallel_for(0, 8, [&](i64) {
+        // Workers must not re-enqueue and block on their own queue.
+        pool.parallel_for(0, 4, [&](i64) { inner_total.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    auto outer = pool.submit([&] {
+        // Waiting on a nested future would deadlock a queue-only design;
+        // the guard runs nested submissions inline instead.
+        return pool.submit([] { return 41; }).get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, NestedGlobalParallelForFromWorker)
+{
+    const ScopedNumThreads scoped(4);
+    std::atomic<int> total{0};
+    core::parallel_for(0, 6, [&](i64) {
+        core::parallel_for(0, 5, [&](i64) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadPool, ScopedPoolOverrideLeavesGlobalPoolAlone)
+{
+    using core::ScopedPoolOverride;
+    const int global_before = ThreadPool::global_threads();
+    std::atomic<int> total{0};
+    std::set<std::thread::id> seen;
+    std::mutex seen_mu;
+    {
+        const ScopedPoolOverride scoped(4);
+        core::parallel_for(0, 64, [&](i64) {
+            total.fetch_add(1);
+            std::lock_guard<std::mutex> lk(seen_mu);
+            seen.insert(std::this_thread::get_id());
+        });
+        // Overrides nest: the inner override wins, then restores.
+        {
+            const ScopedPoolOverride inner(2);
+            core::parallel_for(0, 8, [&](i64) { total.fetch_add(1); });
+        }
+        core::parallel_for(0, 8, [&](i64) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 64 + 8 + 8);
+    EXPECT_GE(seen.size(), 1u);
+    EXPECT_EQ(ThreadPool::global_threads(), global_before);
+}
+
+TEST(ThreadPool, ScopedNumThreadsRestoresPreviousSize)
+{
+    const int before = ThreadPool::global_threads();
+    {
+        const ScopedNumThreads scoped(3);
+        EXPECT_EQ(ThreadPool::global_threads(), 3);
+    }
+    EXPECT_EQ(ThreadPool::global_threads(), before);
+}
+
+TEST(Config, DefaultIsSerial)
+{
+    // Unless ORION_NUM_THREADS overrides it, kernels default to the serial
+    // seed behavior.
+    if (std::getenv("ORION_NUM_THREADS") == nullptr) {
+        EXPECT_EQ(core::OrionConfig{}.num_threads, 1);
+    }
+    core::OrionConfig hw;
+    hw.num_threads = 0;
+    EXPECT_GE(hw.resolved_num_threads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: threaded kernels must be bit-identical to num_threads = 1.
+// ---------------------------------------------------------------------
+
+bool
+polys_bit_identical(const ckks::RnsPoly& a, const ckks::RnsPoly& b)
+{
+    if (a.num_limbs() != b.num_limbs() || a.is_ntt() != b.is_ntt() ||
+        a.level() != b.level()) {
+        return false;
+    }
+    const std::size_t bytes = sizeof(u64) * a.degree();
+    for (int i = 0; i < a.num_limbs(); ++i) {
+        if (std::memcmp(a.limb(i), b.limb(i), bytes) != 0) return false;
+    }
+    return true;
+}
+
+TEST(ThreadPoolDeterminism, NttRoundTripBitIdenticalAcrossThreadCounts)
+{
+    test::CkksEnv& env = test::CkksEnv::shared();
+    const std::vector<double> v =
+        test::random_vector(env.ctx.slot_count(), 1.0, 11);
+
+    auto roundtrip = [&](int threads) {
+        const ScopedNumThreads scoped(threads);
+        ckks::Plaintext pt =
+            env.encoder.encode(v, env.ctx.max_level(), env.ctx.scale());
+        pt.poly.to_coeff();
+        pt.poly.to_ntt();
+        return pt;
+    };
+    const ckks::Plaintext serial = roundtrip(1);
+    for (int threads : {2, 4, 8}) {
+        const ckks::Plaintext threaded = roundtrip(threads);
+        EXPECT_TRUE(polys_bit_identical(serial.poly, threaded.poly))
+            << "NTT round trip diverged at num_threads = " << threads;
+    }
+}
+
+TEST(ThreadPoolDeterminism, BsgsMatvecBitIdenticalAcrossThreadCounts)
+{
+    test::CkksEnv& env = test::CkksEnv::shared();
+    const u64 dim = env.ctx.slot_count();
+
+    // A banded matrix whose plan exercises baby steps, giant steps, and
+    // the deferred mod-down accumulation.
+    lin::DiagonalMatrix m(dim);
+    std::mt19937_64 rng(23);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    for (u64 k : {u64(0), u64(1), u64(2), u64(3), u64(8), u64(9)}) {
+        for (u64 r = 0; r < dim; ++r) m.set(r, (r + k) % dim, dist(rng));
+    }
+    const lin::BsgsPlan plan = lin::BsgsPlan::build(m, 8);
+    ckks::GaloisKeys keys =
+        env.keygen.make_galois_keys(plan.required_steps());
+    ckks::Evaluator eval(env.ctx, env.encoder);
+    eval.set_galois_keys(&keys);
+
+    const int level = 3;
+    const double w_scale = static_cast<double>(env.ctx.q(level).value());
+    const ckks::Ciphertext ct = env.encryptor.encrypt(env.encoder.encode(
+        test::random_vector(dim, 1.0, 29), level, env.ctx.scale()));
+
+    auto matvec = [&](int threads) {
+        const ScopedNumThreads scoped(threads);
+        const lin::HeDiagonalMatrix he(env.ctx, env.encoder, m, plan, level,
+                                       w_scale);
+        return he.apply(eval, ct);
+    };
+    const ckks::Ciphertext serial = matvec(1);
+    for (int threads : {2, 4}) {
+        const ckks::Ciphertext threaded = matvec(threads);
+        EXPECT_TRUE(polys_bit_identical(serial.c0, threaded.c0))
+            << "BSGS c0 diverged at num_threads = " << threads;
+        EXPECT_TRUE(polys_bit_identical(serial.c1, threaded.c1))
+            << "BSGS c1 diverged at num_threads = " << threads;
+        EXPECT_EQ(serial.scale, threaded.scale);
+    }
+}
+
+TEST(ThreadPoolDeterminism, HoistedRotationBitIdenticalAcrossThreadCounts)
+{
+    test::CkksEnv& env = test::CkksEnv::shared();
+    const std::vector<double> v =
+        test::random_vector(env.ctx.slot_count(), 1.0, 31);
+    const ckks::Ciphertext ct = env.encryptor.encrypt(
+        env.encoder.encode(v, env.ctx.max_level(), env.ctx.scale()));
+
+    auto rotate = [&](int threads) {
+        const ScopedNumThreads scoped(threads);
+        const ckks::Evaluator::Hoisted h = env.eval.hoist(ct);
+        return env.eval.rotate_hoisted(h, 5);
+    };
+    const ckks::Ciphertext serial = rotate(1);
+    const ckks::Ciphertext threaded = rotate(4);
+    EXPECT_TRUE(polys_bit_identical(serial.c0, threaded.c0));
+    EXPECT_TRUE(polys_bit_identical(serial.c1, threaded.c1));
+}
+
+}  // namespace
+}  // namespace orion
