@@ -1,0 +1,115 @@
+/**
+ * @file
+ * RNS kernel microbenchmark: the three limb-level hot paths that dominate
+ * end-to-end latency (PAPER.md Section 3) — NTT forward/inverse butterflies,
+ * the key-switch inner product, and BSGS rotation accumulation. This is the
+ * binary behind the repo's kernel perf trajectory: run with
+ * `--json BENCH_kernels.json` before and after a kernel change and compare
+ * the per-op metrics.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace orion;
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    bench::print_header("Kernel microbenchmark: NTT / key switch / rotation");
+
+    // ---- raw NTT on one limb ----------------------------------------
+    const u64 n = bench::smoke() ? (u64(1) << 11) : (u64(1) << 13);
+    const ckks::Modulus q(ckks::generate_ntt_primes(50, 1, n)[0]);
+    const ckks::NttTables tables(n, q);
+
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+    std::vector<u64> poly(n);
+    for (u64& x : poly) x = dist(rng);
+    const std::vector<u64> original = poly;
+
+    const int ntt_iters = bench::smoke() ? 4 : 200;
+    const double t_fwd = bench::time_median(bench::reps(7), [&] {
+        for (int i = 0; i < ntt_iters; ++i) tables.forward(poly.data());
+    }) / ntt_iters;
+    const double t_inv = bench::time_median(bench::reps(7), [&] {
+        for (int i = 0; i < ntt_iters; ++i) tables.inverse(poly.data());
+    }) / ntt_iters;
+    // Self-check: the timed transforms are inverses in pairs, so after an
+    // equal number of forward and inverse passes the data must be intact.
+    ORION_CHECK(poly == original, "NTT roundtrip corrupted the polynomial");
+
+    std::printf("NTT (N = %llu, 50-bit prime, single limb)\n",
+                static_cast<unsigned long long>(n));
+    std::printf("  forward: %10.4f ms\n", t_fwd * 1e3);
+    std::printf("  inverse: %10.4f ms\n", t_inv * 1e3);
+    bench::json_metric("ntt_n", static_cast<double>(n));
+    bench::json_metric("ntt_forward_ms", t_fwd * 1e3);
+    bench::json_metric("ntt_inverse_ms", t_inv * 1e3);
+
+    // ---- key-switch decompose + inner product -----------------------
+    ckks::CkksParams params = ckks::CkksParams::toy();
+    if (!bench::smoke()) {
+        params.poly_degree = u64(1) << 13;
+        params.log_scale = 35;
+        params.first_prime_bits = 45;
+        params.num_scale_primes = 12;
+        params.special_prime_bits = 46;
+        params.digit_size = 3;
+    }
+    ckks::Context ctx(params);
+    ckks::Encoder enc(ctx);
+    ckks::KeyGenerator keygen(ctx, 7);
+    const ckks::KswitchKey relin = keygen.make_relin_key();
+    ckks::GaloisKeys galois = keygen.make_galois_keys(std::vector<int>{1, 2});
+    const ckks::PublicKey pk = keygen.make_public_key();
+    ckks::Encryptor encryptor(ctx, pk);
+    ckks::Evaluator eval(ctx, enc);
+    eval.set_galois_keys(&galois);
+    const ckks::KeySwitcher switcher(ctx);
+
+    const int level = ctx.max_level();
+    const ckks::Plaintext pt = enc.encode(
+        bench::random_vector(ctx.slot_count(), 1.0, 11), level, ctx.scale());
+    const ckks::Ciphertext ct = encryptor.encrypt(pt);
+
+    const std::vector<ckks::RnsPoly> digits = switcher.decompose(ct.c1);
+    ckks::RnsPoly acc0(ctx, level, /*extended=*/true, /*ntt_form=*/true);
+    ckks::RnsPoly acc1(ctx, level, /*extended=*/true, /*ntt_form=*/true);
+    const int ks_iters = bench::smoke() ? 2 : 20;
+    const double t_ip = bench::time_median(bench::reps(5), [&] {
+        for (int i = 0; i < ks_iters; ++i) {
+            switcher.inner_product(digits, relin, &acc0, &acc1);
+        }
+    }) / ks_iters;
+    const double t_dec = bench::time_median(bench::reps(5), [&] {
+        (void)switcher.decompose(ct.c1);
+    });
+
+    std::printf("\nkey switch (N = %llu, %d digits, level %d)\n",
+                static_cast<unsigned long long>(ctx.degree()),
+                ctx.num_digits(level), level);
+    std::printf("  decompose:     %10.4f ms\n", t_dec * 1e3);
+    std::printf("  inner product: %10.4f ms\n", t_ip * 1e3);
+    bench::json_metric("ks_degree", static_cast<double>(ctx.degree()));
+    bench::json_metric("ks_decompose_ms", t_dec * 1e3);
+    bench::json_metric("ks_inner_product_ms", t_ip * 1e3);
+
+    // ---- rotation accumulation (the BSGS giant-step primitive) ------
+    const int acc_iters = bench::smoke() ? 1 : 5;
+    const double t_acc = bench::time_median(bench::reps(5), [&] {
+        for (int i = 0; i < acc_iters; ++i) {
+            auto acc = eval.make_accumulator(level, ct.scale);
+            eval.accumulate_rotation(acc, ct, 1);
+            eval.accumulate_rotation(acc, ct, 2);
+            eval.accumulate_rotation(acc, ct, 0);
+            (void)eval.finalize_accumulator(acc);
+        }
+    }) / acc_iters;
+    std::printf("\nrotation accumulate (2 rotations + step 0 + finalize)\n");
+    std::printf("  accumulate: %10.4f ms\n", t_acc * 1e3);
+    bench::json_metric("rotation_accumulate_ms", t_acc * 1e3);
+
+    return 0;
+}

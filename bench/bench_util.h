@@ -15,6 +15,7 @@
 #include <cstring>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/orion.h"
@@ -31,6 +32,12 @@ struct BenchOptions {
     bool smoke = false;
     /** `--threads N`: sets core num_threads for the whole run (0 = all). */
     int num_threads = -1;  // -1 = leave the global config untouched
+    /**
+     * `--json <path>`: write a machine-readable report of every metric
+     * recorded via json_metric() on exit. This is the repo's perf
+     * trajectory: CI uploads one BENCH_<name>.json per benchmark run.
+     */
+    std::string json_path;
 };
 
 inline BenchOptions&
@@ -40,9 +47,112 @@ options()
     return opts;
 }
 
+namespace detail {
+
+/** Accumulated state of the JSON report (metrics in recording order). */
+struct JsonReport {
+    std::string bench_name;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::chrono::steady_clock::time_point start;
+};
+
+inline JsonReport&
+json_report()
+{
+    static JsonReport report;
+    return report;
+}
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+inline std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Best-effort commit id: $ORION_GIT_SHA, then $GITHUB_SHA, else unknown. */
+inline std::string
+git_sha()
+{
+    for (const char* var : {"ORION_GIT_SHA", "GITHUB_SHA"}) {
+        if (const char* env = std::getenv(var)) {
+            if (env[0] != '\0') return env;
+        }
+    }
+    return "unknown";
+}
+
+inline void
+write_json_report()
+{
+    const BenchOptions& opts = options();
+    if (opts.json_path.empty()) return;
+    const JsonReport& report = json_report();
+    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     opts.json_path.c_str());
+        return;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      report.start)
+            .count();
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n",
+                 json_escape(report.bench_name).c_str());
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n",
+                 json_escape(git_sha()).c_str());
+    std::fprintf(f, "  \"threads\": %d,\n", core::ThreadPool::global_threads());
+    std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
+    std::fprintf(f, "  \"wall_time_s\": %.6f,\n", wall);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %.9g", i == 0 ? "" : ",",
+                     json_escape(report.metrics[i].first).c_str(),
+                     report.metrics[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("[json report: %s]\n", opts.json_path.c_str());
+}
+
+}  // namespace detail
+
 /**
- * Parses --smoke / --threads N (and $ORION_BENCH_SMOKE) and applies the
- * thread knob to the global config. Call first thing in every main().
+ * Records one named metric (typically a latency in ms) for the JSON
+ * report. No-op unless `--json <path>` was passed; later records with the
+ * same name overwrite the earlier value.
+ */
+inline void
+json_metric(const std::string& name, double value)
+{
+    if (options().json_path.empty()) return;
+    for (auto& [k, v] : detail::json_report().metrics) {
+        if (k == name) {
+            v = value;
+            return;
+        }
+    }
+    detail::json_report().metrics.emplace_back(name, value);
+}
+
+/**
+ * Parses --smoke / --threads N / --json PATH (and $ORION_BENCH_SMOKE),
+ * applies the thread knob to the global config, and registers the exit-time
+ * JSON report writer. Call first thing in every main().
  */
 inline void
 init(int argc, char** argv)
@@ -56,11 +166,21 @@ init(int argc, char** argv)
             opts.smoke = true;
         } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             opts.num_threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            opts.json_path = argv[++i];
         }
         // Unrecognized arguments are left for the binary's own flags.
     }
     if (opts.num_threads >= 0) core::set_num_threads(opts.num_threads);
     if (opts.smoke) std::printf("[smoke mode: tiny single iterations]\n");
+    if (!opts.json_path.empty()) {
+        detail::JsonReport& report = detail::json_report();
+        report.start = std::chrono::steady_clock::now();
+        const char* slash = (argc > 0) ? std::strrchr(argv[0], '/') : nullptr;
+        report.bench_name =
+            (argc > 0) ? (slash ? slash + 1 : argv[0]) : "unknown";
+        std::atexit(detail::write_json_report);
+    }
 }
 
 inline bool

@@ -63,6 +63,10 @@ main(int argc, char** argv)
         if (level == ctx.max_level()) top_rot = t_rot;
         std::printf("%6d %14.3f %14.3f\n", level, t_pmult * 1e3,
                     t_rot * 1e3);
+        bench::json_metric("pmult_ms_level_" + std::to_string(level),
+                           t_pmult * 1e3);
+        bench::json_metric("hrot_ms_level_" + std::to_string(level),
+                           t_rot * 1e3);
     }
 
     // Calibrate the paper-scale model from the measured rotation, then

@@ -80,6 +80,8 @@ main(int argc, char** argv)
     std::printf("BSGS:            %4llu rots, %8.2f ms  (%.2fx faster)\n",
                 static_cast<unsigned long long>(plan_bsgs.rotation_count()),
                 t_bsgs * 1e3, t_diag / t_bsgs);
+    bench::json_metric("diag_matvec_ms", t_diag * 1e3);
+    bench::json_metric("bsgs_matvec_ms", t_bsgs * 1e3);
 
     // Thread scaling of the same BSGS matvec: the decrypted output must be
     // identical at every thread count (the runtime's determinism
@@ -107,6 +109,8 @@ main(int argc, char** argv)
         if (diff != 0.0) diverged = true;
         std::printf("%8d %12.2f %9.2fx %12s\n", threads, t * 1e3, t1 / t,
                     diff == 0.0 ? "identical" : "DIVERGED");
+        bench::json_metric("bsgs_matvec_ms_threads_" + std::to_string(threads),
+                           t * 1e3);
     }
     if (std::thread::hardware_concurrency() <= 1) {
         std::printf("(single-core host: speedup requires multiple cores; "

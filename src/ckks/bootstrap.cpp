@@ -21,11 +21,18 @@ Bootstrapper::bootstrap(const Ciphertext& ct)
     ORION_CHECK(ct.scale > 0.25 * ctx_->scale() &&
                     ct.scale < 4.0 * ctx_->scale(),
                 "bootstrap input scale implausible: " << ct.scale);
+    // The oracle's heavy ops all run on the parallel kernel substrate:
+    // decrypt and encrypt fan out per RNS limb, and decode/encode run the
+    // special FFT — the clear-text analogue of a real bootstrap's
+    // CoeffToSlot/SlotToCoeff stages — with its butterflies fanned out
+    // per stage (see encoder.cpp). Only the noise loop below is serial.
     const Plaintext pt = decryptor_.decrypt(ct);
     std::vector<std::complex<double>> slots = encoder_->decode_complex(pt);
 
     // A real EvalMod only approximates the modular reduction well inside
-    // [-input_range, input_range]; emulate the same contract.
+    // [-input_range, input_range]; emulate the same contract. This loop
+    // must stay serial: the noise samples come from one sequential RNG
+    // stream, and the output has to be bit-identical at any thread count.
     for (std::complex<double>& v : slots) {
         ORION_CHECK(std::abs(v.real()) <= config_.input_range * 1.05,
                     "bootstrap input out of range: " << v.real()

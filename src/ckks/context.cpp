@@ -1,5 +1,6 @@
 #include "src/ckks/context.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/ckks/primes.h"
@@ -62,6 +63,53 @@ Context::Context(const CkksParams& params) : params_(params)
             prod = mul_mod(prod, special(i).value(), q(j));
         }
         p_prod_mod_q_[static_cast<std::size_t>(j)] = prod;
+    }
+
+    // Fast-base-conversion constants for every (digit, length) pair a key
+    // switch can encounter: digit d spans limbs lo..lo+len-1; len runs to
+    // alpha except when the chain ends first. Tiny tables (O(L * alpha *
+    // num_global) words), computed once so decompose never rebuilds them.
+    const int alpha = params_.digit_size;
+    const int max_digits = num_digits(max_level());
+    digit_consts_.resize(static_cast<std::size_t>(max_digits));
+    for (int d = 0; d < max_digits; ++d) {
+        const int lo = d * alpha;
+        const int max_len = std::min(alpha, num_q_ - lo);
+        auto& per_len = digit_consts_[static_cast<std::size_t>(d)];
+        per_len.resize(static_cast<std::size_t>(max_len));
+        for (int len = 1; len <= max_len; ++len) {
+            const int hi = lo + len - 1;
+            DigitConsts& dc = per_len[static_cast<std::size_t>(len - 1)];
+            dc.hat_inv.resize(static_cast<std::size_t>(len));
+            dc.hat_inv_shoup.resize(static_cast<std::size_t>(len));
+            for (int j = lo; j <= hi; ++j) {
+                const Modulus& qj = q(j);
+                u64 hat_inv = 1;  // (D/q_j)^{-1} mod q_j
+                for (int j2 = lo; j2 <= hi; ++j2) {
+                    if (j2 == j) continue;
+                    hat_inv = mul_mod(hat_inv, inv_mod_global(j2, j), qj);
+                }
+                dc.hat_inv[static_cast<std::size_t>(j - lo)] = hat_inv;
+                dc.hat_inv_shoup[static_cast<std::size_t>(j - lo)] =
+                    shoup_precompute(hat_inv, qj);
+            }
+            dc.hat_mod.resize(static_cast<std::size_t>(num_global()));
+            for (int g = 0; g < num_global(); ++g) {
+                if (g >= lo && g <= hi) continue;  // own limbs copy directly
+                const Modulus& mt = modulus_global(g);
+                std::vector<u64>& row =
+                    dc.hat_mod[static_cast<std::size_t>(g)];
+                row.resize(static_cast<std::size_t>(len));
+                for (int j = lo; j <= hi; ++j) {
+                    u64 h = 1;  // (D/q_j) mod m_t
+                    for (int j2 = lo; j2 <= hi; ++j2) {
+                        if (j2 == j) continue;
+                        h = mul_mod(h, mt.reduce(q(j2).value()), mt);
+                    }
+                    row[static_cast<std::size_t>(j - lo)] = h;
+                }
+            }
+        }
     }
 }
 

@@ -204,6 +204,32 @@ class Context {
     }
 
     /**
+     * Precomputed fast-base-conversion constants of one key-switch digit
+     * covering coefficient limbs q_lo..q_{lo+len-1} (lo = d * alpha). D
+     * denotes the product of the digit's primes. Hoisting these out of
+     * KeySwitcher::decompose removes an O(alpha^2) mul_mod chain per digit
+     * limb per call from the rotation hot path.
+     */
+    struct DigitConsts {
+        std::vector<u64> hat_inv;        ///< (D/q_j)^{-1} mod q_j per limb j
+        std::vector<u64> hat_inv_shoup;  ///< Shoup companions of hat_inv
+        /** hat_mod[g][j] = (D/q_j) mod modulus_global(g); empty for the
+         *  digit's own limbs (those are copied, not converted). */
+        std::vector<std::vector<u64>> hat_mod;
+    };
+
+    /**
+     * Constants of digit d when it spans `len` limbs (len < alpha only for
+     * the chain's last digit at a given level).
+     */
+    const DigitConsts&
+    digit_consts(int d, int len) const
+    {
+        return digit_consts_[static_cast<std::size_t>(d)]
+                            [static_cast<std::size_t>(len - 1)];
+    }
+
+    /**
      * Galois element for a cyclic rotation of the message slots by `step`
      * positions toward lower indices (the paper's "rotate up"), i.e.
      * slot i of the result holds slot i + step of the input.
@@ -229,6 +255,7 @@ class Context {
     std::vector<NttTables> tables_;
     std::vector<u64> inv_table_;
     std::vector<u64> p_prod_mod_q_;
+    std::vector<std::vector<DigitConsts>> digit_consts_;  // [digit][len-1]
     mutable OpCounters counters_;
 };
 

@@ -1,7 +1,10 @@
 #include "src/ckks/encoder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+
+#include "src/core/thread_pool.h"
 
 namespace orion::ckks {
 
@@ -16,6 +19,23 @@ bit_reverse(std::complex<double>* vals, u64 n)
         const u64 j = reverse_bits(static_cast<u32>(i), log_n);
         if (i < j) std::swap(vals[i], vals[j]);
     }
+}
+
+/**
+ * Chunked elementwise fan-out (core::parallel_for_chunked) over u64
+ * indices. Each index must be elementwise-independent (no cross-index
+ * reads or reductions), which makes the floating-point results
+ * bit-identical for any chunking and thread count. This is the op-level
+ * parallelism of the special FFT — the clear-text analogue of the
+ * CoeffToSlot/SlotToCoeff stages a full bootstrap evaluates, and the
+ * dominant cost of the bootstrap oracle's decode/encode round trip.
+ */
+template <typename F>
+void
+parallel_elementwise(u64 count, F&& fn)
+{
+    core::parallel_for_chunked(static_cast<i64>(count),
+                               [&](i64 k) { fn(static_cast<u64>(k)); });
 }
 
 }  // namespace
@@ -47,16 +67,20 @@ Encoder::fft_special(std::complex<double>* vals) const
     for (u64 len = 2; len <= n; len <<= 1) {
         const u64 lenh = len >> 1;
         const u64 lenq = len << 2;
-        for (u64 i = 0; i < n; i += len) {
-            for (u64 j = 0; j < lenh; ++j) {
-                const u64 idx = (rot_group_[j] % lenq) * (m / lenq);
-                const std::complex<double> u = vals[i + j];
-                const std::complex<double> v =
-                    vals[i + j + lenh] * ksi_pows_[idx];
-                vals[i + j] = u + v;
-                vals[i + j + lenh] = u - v;
-            }
-        }
+        const int log_lenh = log2_exact(lenh);
+        // Butterflies within a stage touch disjoint pairs; fan them out.
+        // lenh is a power of two, so butterfly k decomposes by shift/mask
+        // (a hardware division here would rival the complex multiply).
+        parallel_elementwise(n >> 1, [&](u64 k) {
+            const u64 j = k & (lenh - 1);
+            const u64 top = ((k >> log_lenh) << 1 | 1) << log_lenh;
+            const u64 bot = top - lenh;
+            const u64 idx = (rot_group_[j] % lenq) * (m / lenq);
+            const std::complex<double> u = vals[bot + j];
+            const std::complex<double> v = vals[top + j] * ksi_pows_[idx];
+            vals[bot + j] = u + v;
+            vals[top + j] = u - v;
+        });
     }
 }
 
@@ -68,17 +92,18 @@ Encoder::fft_special_inv(std::complex<double>* vals) const
     for (u64 len = n; len >= 2; len >>= 1) {
         const u64 lenh = len >> 1;
         const u64 lenq = len << 2;
-        for (u64 i = 0; i < n; i += len) {
-            for (u64 j = 0; j < lenh; ++j) {
-                const u64 idx =
-                    (lenq - (rot_group_[j] % lenq)) * (m / lenq);
-                const std::complex<double> u = vals[i + j] + vals[i + j + lenh];
-                const std::complex<double> v =
-                    (vals[i + j] - vals[i + j + lenh]) * ksi_pows_[idx];
-                vals[i + j] = u;
-                vals[i + j + lenh] = v;
-            }
-        }
+        const int log_lenh = log2_exact(lenh);
+        parallel_elementwise(n >> 1, [&](u64 k) {
+            const u64 j = k & (lenh - 1);
+            const u64 top = ((k >> log_lenh) << 1 | 1) << log_lenh;
+            const u64 bot = top - lenh;
+            const u64 idx = (lenq - (rot_group_[j] % lenq)) * (m / lenq);
+            const std::complex<double> u = vals[bot + j] + vals[top + j];
+            const std::complex<double> v =
+                (vals[bot + j] - vals[top + j]) * ksi_pows_[idx];
+            vals[bot + j] = u;
+            vals[top + j] = v;
+        });
     }
     bit_reverse(vals, n);
     const double inv_n = 1.0 / static_cast<double>(n);
@@ -106,13 +131,15 @@ Encoder::from_slots(std::vector<std::complex<double>> slots, int level,
         coeffs[j + nh] = static_cast<i128>(std::llroundl(
             static_cast<long double>(slots[j].imag()) * scale));
     }
-    for (int i = 0; i < pt.poly.num_limbs(); ++i) {
-        const Modulus& q = pt.poly.limb_modulus(i);
-        u64* limb = pt.poly.limb(i);
+    // Independent per limb: fan the signed reductions out across the pool.
+    core::parallel_for(0, pt.poly.num_limbs(), [&](i64 i) {
+        const int limb_idx = static_cast<int>(i);
+        const Modulus& q = pt.poly.limb_modulus(limb_idx);
+        u64* limb = pt.poly.limb(limb_idx);
         for (u64 j = 0; j < n; ++j) {
             limb[j] = reduce_signed_128(coeffs[j], q);
         }
-    }
+    });
     pt.poly.to_ntt();
     return pt;
 }
@@ -188,7 +215,7 @@ Encoder::to_coefficients(const Plaintext& pt) const
     const u64 q0_inv_q1 = ctx_->q_inv_mod(0, 1);
     const u64* a0 = poly.limb(0);
     const u64* a1 = poly.limb(1);
-    for (u64 j = 0; j < n; ++j) {
+    parallel_elementwise(n, [&](u64 j) {
         const u64 diff = sub_mod(a1[j], q1.reduce(a0[j]), q1);
         const u64 t = mul_mod(diff, q0_inv_q1, q1);
         u128 x = u128(a0[j]) + u128(q0.value()) * t;
@@ -200,7 +227,7 @@ Encoder::to_coefficients(const Plaintext& pt) const
             v = static_cast<long double>(x);
         }
         out[j] = static_cast<double>(v);
-    }
+    });
     return out;
 }
 

@@ -293,6 +293,22 @@ Evaluator::accumulate_rotation(RotationAccumulator& acc, const Ciphertext& ct,
     ctx_->counters().hrot_hoisted += 1;
 }
 
+void
+Evaluator::merge_accumulator(RotationAccumulator& into,
+                             const RotationAccumulator& from) const
+{
+    ORION_CHECK(into.level_ == from.level_,
+                "accumulator merge level mismatch: " << into.level_ << " vs "
+                                                     << from.level_);
+    ORION_CHECK(scales_match(into.scale_, from.scale_),
+                "accumulator merge scale mismatch");
+    into.base0_.add_inplace(from.base0_);
+    into.base1_.add_inplace(from.base1_);
+    into.ext0_.add_inplace(from.ext0_);
+    into.ext1_.add_inplace(from.ext1_);
+    into.any_ext_ = into.any_ext_ || from.any_ext_;
+}
+
 Ciphertext
 Evaluator::finalize_accumulator(RotationAccumulator& acc) const
 {

@@ -108,6 +108,15 @@ class Evaluator {
     RotationAccumulator make_accumulator(int level, double scale) const;
     void accumulate_rotation(RotationAccumulator& acc, const Ciphertext& ct,
                              int step) const;
+    /**
+     * Folds `from` into `into` (exact modular adds of the plain-basis and
+     * extended-basis partial sums). Parallel BSGS giant-step fan-outs give
+     * each worker chunk a private accumulator and merge them in fixed
+     * chunk order at the end; because the sums are exact, the result is
+     * bit-identical to serial accumulation at any thread count.
+     */
+    void merge_accumulator(RotationAccumulator& into,
+                           const RotationAccumulator& from) const;
     Ciphertext finalize_accumulator(RotationAccumulator& acc) const;
 
     /** The Galois key lookup used internally; public for diagnostics. */

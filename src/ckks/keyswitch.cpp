@@ -30,25 +30,25 @@ KeySwitcher::decompose(const RnsPoly& c) const
         RnsPoly ext(ctx, level, /*extended=*/true, /*ntt_form=*/false);
 
         // lambda_j = c_j * (D/q_j)^{-1} mod q_j for each digit limb j,
-        // where D is the product of the digit's primes.
+        // where D is the product of the digit's primes. The (D/q_j)^{-1}
+        // and (D/q_j mod m_t) constants live in precomputed Context tables
+        // (digit_consts), so this stage is pure Shoup multiplications.
+        const Context::DigitConsts& dc = ctx.digit_consts(d, digit_len);
         std::vector<std::vector<u64>> lambdas(
             static_cast<std::size_t>(digit_len));
-        for (int j = lo; j <= hi; ++j) {
+        core::parallel_for(0, digit_len, [&](i64 ji) {
+            const int j = lo + static_cast<int>(ji);
             const Modulus& qj = ctx.q(j);
-            u64 hat_inv = 1;  // (D/q_j)^{-1} mod q_j
-            for (int j2 = lo; j2 <= hi; ++j2) {
-                if (j2 == j) continue;
-                hat_inv = mul_mod(hat_inv, ctx.inv_mod_global(j2, j), qj);
-            }
-            const u64 hat_inv_shoup = shoup_precompute(hat_inv, qj);
-            std::vector<u64>& lam =
-                lambdas[static_cast<std::size_t>(j - lo)];
+            const u64 hat_inv = dc.hat_inv[static_cast<std::size_t>(ji)];
+            const u64 hat_inv_shoup =
+                dc.hat_inv_shoup[static_cast<std::size_t>(ji)];
+            std::vector<u64>& lam = lambdas[static_cast<std::size_t>(ji)];
             lam.resize(n);
             const u64* src = c_coeff.limb(j);
             for (u64 x = 0; x < n; ++x) {
                 lam[x] = mul_mod_shoup(src[x], hat_inv, hat_inv_shoup, qj);
             }
-        }
+        });
 
         // Fill every target limb: digit limbs copy c directly; other limbs
         // get the fast base conversion sum_j lambda_j * (D/q_j mod m_t).
@@ -63,16 +63,8 @@ KeySwitcher::decompose(const RnsPoly& c) const
                 return;
             }
             const Modulus& mt = ext.limb_modulus(t);
-            // hat_mod_t[j] = (D/q_j) mod m_t.
-            std::vector<u64> hat_mod_t(static_cast<std::size_t>(digit_len));
-            for (int j = lo; j <= hi; ++j) {
-                u64 h = 1;
-                for (int j2 = lo; j2 <= hi; ++j2) {
-                    if (j2 == j) continue;
-                    h = mul_mod(h, mt.reduce(ctx.q(j2).value()), mt);
-                }
-                hat_mod_t[static_cast<std::size_t>(j - lo)] = h;
-            }
+            const std::vector<u64>& hat_mod_t =
+                dc.hat_mod[static_cast<std::size_t>(tg)];
             for (u64 x = 0; x < n; ++x) {
                 u128 acc = 0;
                 for (int j = 0; j < digit_len; ++j) {
@@ -108,6 +100,16 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
     // the thread count. The key lives at max level; pick only the limbs
     // present in the accumulator (coefficient limbs 0..level plus the
     // special limbs).
+    //
+    // Lazy reduction: the digit sum sum_d x_d * k_d accumulates per
+    // coefficient in a u128 and pays ONE Barrett reduce_128 per output
+    // instead of a mul_mod + add_mod per term. With q < 2^61 each product
+    // is below 2^122, so chunks of up to 16 terms (plus the carried-in
+    // partial sum, < q) stay below 2^127 — reduced between chunks to keep
+    // deeper digit counts overflow-free. The result is the same residue
+    // the eager loop produces, bit for bit.
+    const std::size_t num_digits = digits.size();
+    constexpr std::size_t kChunk = 16;
     core::parallel_for(0, acc0->num_limbs(), [&](i64 ti) {
         const int t = static_cast<int>(ti);
         const int tg = acc0->limb_global_index(t);
@@ -117,14 +119,32 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
         const Modulus& q = acc0->limb_modulus(t);
         u64* o0 = acc0->limb(t);
         u64* o1 = acc1->limb(t);
-        for (std::size_t d = 0; d < digits.size(); ++d) {
-            const u64* x = digits[d].limb(t);
-            const u64* b = ksk.b[d].limb(key_t);
-            const u64* a = ksk.a[d].limb(key_t);
-            for (u64 j = 0; j < n; ++j) {
-                o0[j] = add_mod(o0[j], mul_mod(x[j], b[j], q), q);
-                o1[j] = add_mod(o1[j], mul_mod(x[j], a[j], q), q);
+        // Gather the per-digit limb pointers once.
+        std::vector<const u64*> xs(num_digits), bs(num_digits),
+            as(num_digits);
+        for (std::size_t d = 0; d < num_digits; ++d) {
+            xs[d] = digits[d].limb(t);
+            bs[d] = ksk.b[d].limb(key_t);
+            as[d] = ksk.a[d].limb(key_t);
+        }
+        for (u64 j = 0; j < n; ++j) {
+            u128 s0 = o0[j];  // carried-in partial sums (double-hoisting)
+            u128 s1 = o1[j];
+            std::size_t d = 0;
+            while (d < num_digits) {
+                const std::size_t end = std::min(d + kChunk, num_digits);
+                for (; d < end; ++d) {
+                    const u128 x = xs[d][j];
+                    s0 += x * bs[d][j];
+                    s1 += x * as[d][j];
+                }
+                if (d < num_digits) {
+                    s0 = q.reduce_128(s0);
+                    s1 = q.reduce_128(s1);
+                }
             }
+            o0[j] = q.reduce_128(s0);
+            o1[j] = q.reduce_128(s1);
         }
     });
     ctx.counters().keyswitch += 1;

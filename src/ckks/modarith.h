@@ -6,10 +6,18 @@
  * 64-bit modular arithmetic for RNS-CKKS.
  *
  * All ring operations in the library reduce to arithmetic modulo word-sized
- * primes q < 2^62. Hot paths (NTT butterflies, pointwise products) use
+ * primes q < 2^61. Hot paths (NTT butterflies, pointwise products) use
  * Barrett reduction with a precomputed 128-bit reciprocal, and Shoup
  * multiplication when one operand is a known constant (NTT twiddles,
  * plaintext scalars).
+ *
+ * Lazy (deferred) reduction: the hottest kernels keep residues in the
+ * relaxed ranges [0, 2q) (Shoup products) and [0, 4q) (Harvey NTT
+ * butterfly intermediates), normalizing to the canonical [0, q) once per
+ * kernel instead of once per op. The q < 2^61 bound makes every lazy
+ * intermediate fit in a u64: sums of two [0, 4q) residues stay below
+ * 8q < 2^64. All lazy results are exact mod q, so kernels that normalize
+ * on exit are bit-identical to their eager counterparts.
  */
 
 #include "src/common.h"
@@ -20,8 +28,10 @@ namespace orion::ckks {
  * A word-sized modulus with its precomputed Barrett reciprocal.
  *
  * The reciprocal is floor(2^128 / value), stored as two 64-bit words
- * (ratio[0] low, ratio[1] high). Moduli must be odd primes below 2^62 so
- * that lazy sums of two residues never overflow.
+ * (ratio[0] low, ratio[1] high). Moduli must be odd primes below 2^61 so
+ * that the lazy [0, 4q) arithmetic of the Harvey NTT kernels never
+ * overflows a u64 (see the file comment; primes.cpp enforces the same
+ * bound at generation time).
  */
 class Modulus {
   public:
@@ -29,7 +39,7 @@ class Modulus {
 
     explicit Modulus(u64 value) : value_(value)
     {
-        ORION_CHECK(value > 1 && value < (u64(1) << 62),
+        ORION_CHECK(value > 1 && value < (u64(1) << 61),
                     "modulus out of range: " << value);
         // floor(2^128 / value) via 128-bit long division in two steps.
         u128 numerator = ~u128(0);  // 2^128 - 1; floor((2^128-1)/v) ==
@@ -127,6 +137,63 @@ mul_mod_shoup(u64 a, u64 w, u64 w_shoup, const Modulus& q)
     u64 hi = static_cast<u64>((u128(a) * w_shoup) >> 64);
     u64 r = a * w - hi * q.value();
     return r >= q.value() ? r - q.value() : r;
+}
+
+// ---- lazy (deferred-reduction) variants ----
+//
+// These trade the canonical [0, q) output range for fewer conditional
+// subtractions; callers track the relaxed range invariants ([0, 2q) for
+// lazy Shoup products, [0, 4q) for lazy sums/differences) and normalize
+// once per kernel. Exactness mod q is preserved throughout.
+
+/**
+ * (a * w) mod q in [0, 2q), for any a < 2^64 and reduced constant w.
+ * Skipping the final correction halves the dependent-op chain of the NTT
+ * butterfly (Harvey, "Faster arithmetic for number-theoretic transforms").
+ */
+inline u64
+mul_mod_shoup_lazy(u64 a, u64 w, u64 w_shoup, const Modulus& q)
+{
+    const u64 hi = static_cast<u64>((u128(a) * w_shoup) >> 64);
+    return a * w - hi * q.value();
+}
+
+/**
+ * a + b for lazy residues a, b in [0, 4q), result in [0, 4q). Needs
+ * q < 2^61 so the intermediate sum (< 8q) fits in a u64.
+ */
+inline u64
+add_lazy(u64 a, u64 b, const Modulus& q)
+{
+    const u64 four_q = 4 * q.value();
+    const u64 s = a + b;
+    return s >= four_q ? s - four_q : s;
+}
+
+/** a - b for lazy residues a, b in [0, 4q), result in [0, 4q). */
+inline u64
+sub_lazy(u64 a, u64 b, const Modulus& q)
+{
+    const u64 four_q = 4 * q.value();
+    const u64 d = a + four_q - b;
+    return d >= four_q ? d - four_q : d;
+}
+
+/** Normalizes one lazy residue from [0, 4q) to the canonical [0, q). */
+inline u64
+normalize_lazy(u64 a, const Modulus& q)
+{
+    const u64 two_q = 2 * q.value();
+    if (a >= two_q) a -= two_q;
+    if (a >= q.value()) a -= q.value();
+    return a;
+}
+
+/** Vector normalization pass: maps n lazy residues in [0, 4q) to [0, q). */
+inline void
+normalize_lazy(u64* a, u64 n, const Modulus& q)
+{
+    for (u64 j = 0; j < n; ++j) a[j] = normalize_lazy(a[j], q);
 }
 
 /** a^e mod q by square-and-multiply. */

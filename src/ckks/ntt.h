@@ -10,6 +10,14 @@
  * 2.5 of the paper). We use the standard merged-twiddle formulation with
  * Shoup multiplication: root powers are stored in bit-reversed order so
  * both transforms access twiddles sequentially.
+ *
+ * Both transforms use Harvey-style lazy butterflies: intermediates stay in
+ * the relaxed ranges [0, 4q) (forward) / [0, 2q) (inverse) and a single
+ * normalization pass on exit restores the canonical [0, q) residues, so
+ * outputs are bit-identical to the eager per-op-reduction formulation.
+ * The inverse transform additionally folds the 1/N scaling into the last
+ * Gentleman-Sande stage (precomputed n_inv and w*n_inv twiddles) instead
+ * of a separate scaling pass.
  */
 
 #include <vector>
@@ -47,6 +55,9 @@ class NttTables {
     std::vector<u64> inv_roots_shoup_;
     u64 n_inv_ = 0;
     u64 n_inv_shoup_ = 0;
+    // Last inverse-stage twiddle with 1/N folded in: inv_roots_[1] * n_inv.
+    u64 inv_root_last_scaled_ = 0;
+    u64 inv_root_last_scaled_shoup_ = 0;
 };
 
 }  // namespace orion::ckks

@@ -86,7 +86,10 @@ RnsPoly::add_product_inplace(const RnsPoly& b, const RnsPoly& c)
         const u64* x = b.limb(i);
         const u64* y = c.limb(i);
         for (u64 j = 0; j < n; ++j) {
-            a[j] = add_mod(a[j], mul_mod(x[j], y[j], q), q);
+            // Lazy: one Barrett reduction for the whole a + x*y term
+            // (x*y < 2^122 and a < 2^61, so the u128 sum cannot overflow);
+            // same canonical residue as mul_mod followed by add_mod.
+            a[j] = q.reduce_128(u128(a[j]) + u128(x[j]) * y[j]);
         }
     }
 }

@@ -6,15 +6,39 @@ namespace orion::ckks {
 
 namespace {
 
+// The primality test is a cold path that must accept ANY u64 candidate, so
+// it uses plain u128 modular arithmetic here instead of the CKKS Modulus
+// class (whose Barrett/Shoup machinery requires q < 2^61 for the lazy
+// [0, 4q) kernels — see modarith.h).
+
+u64
+mul_mod_u128(u64 a, u64 b, u64 n)
+{
+    return static_cast<u64>(u128(a) * b % n);
+}
+
+u64
+pow_mod_u128(u64 a, u64 e, u64 n)
+{
+    u64 result = 1;
+    u64 base = a % n;
+    while (e > 0) {
+        if (e & 1) result = mul_mod_u128(result, base, n);
+        base = mul_mod_u128(base, base, n);
+        e >>= 1;
+    }
+    return result;
+}
+
 /** Miller-Rabin witness check: returns true if `a` proves n composite. */
 bool
-witness_composite(u64 a, u64 d, int r, const Modulus& n)
+witness_composite(u64 a, u64 d, int r, u64 n)
 {
-    u64 x = pow_mod(a, d, n);
-    if (x == 1 || x == n.value() - 1) return false;
+    u64 x = pow_mod_u128(a, d, n);
+    if (x == 1 || x == n - 1) return false;
     for (int i = 1; i < r; ++i) {
-        x = mul_mod(x, x, n);
-        if (x == n.value() - 1) return false;
+        x = mul_mod_u128(x, x, n);
+        if (x == n - 1) return false;
     }
     return true;
 }
@@ -36,13 +60,12 @@ is_prime(u64 n)
         d >>= 1;
         ++r;
     }
-    Modulus m(n);
     // This witness set is deterministic for all n < 2^64
     // (Sinclair, 2011: https://miller-rabin.appspot.com).
     for (u64 a : {2ull, 325ull, 9375ull, 28178ull, 450775ull, 9780504ull,
                   1795265022ull}) {
         if (a % n == 0) continue;
-        if (witness_composite(a % n, d, r, m)) return false;
+        if (witness_composite(a % n, d, r, n)) return false;
     }
     return true;
 }
@@ -51,6 +74,12 @@ std::vector<u64>
 generate_ntt_primes(int bit_size, int count, u64 poly_degree,
                     const std::vector<u64>& skip)
 {
+    // The 61-bit ceiling is a hard invariant of the arithmetic core, not a
+    // soft limit: every generated prime becomes a Modulus, and the lazy
+    // [0, 4q) kernels (Harvey NTT butterflies, deferred key-switch sums;
+    // modarith.h) need q < 2^61 so that sums of two lazy residues fit in
+    // a u64. A candidate below 2^bit_size <= 2^61 satisfies it by
+    // construction.
     ORION_CHECK(bit_size >= 20 && bit_size <= 61,
                 "prime bit size out of supported range: " << bit_size);
     ORION_CHECK(is_power_of_two(poly_degree), "N must be a power of two");

@@ -190,6 +190,15 @@ parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn)
     ThreadPool::global()->parallel_for(begin, end, fn);
 }
 
+int
+current_parallelism()
+{
+    if (ThreadPool::on_worker_thread()) return 1;
+    if (tls_pool_override) return tls_pool_override->num_threads();
+    const int global = g_pool_size.load(std::memory_order_relaxed);
+    return global > 0 ? global : config().resolved_num_threads();
+}
+
 ScopedNumThreads::ScopedNumThreads(int n)
     : previous_(config().num_threads)  // raw value, preserving the 0 =
                                        // "follow hardware" sentinel

@@ -22,6 +22,7 @@
  * iterations are abandoned (best effort) once a failure is recorded.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -113,6 +114,62 @@ class ThreadPool {
  * ScopedPoolOverride pool, if any; otherwise the global pool.
  */
 void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn);
+
+/**
+ * Number of threads a parallel_for launched from the current thread would
+ * use: 1 on pool workers (nested regions run inline), the override pool's
+ * size under a ScopedPoolOverride, otherwise the global pool's size. Used
+ * by kernels that pick a chunk count for per-thread partial results; the
+ * chunking only affects scheduling, never values, so any return value
+ * preserves bit-identical outputs.
+ */
+int current_parallelism();
+
+/** Chunk-count policy for per-chunk fan-outs: one contiguous chunk per
+ *  available thread, never more chunks than iterations. */
+inline i64
+chunk_count(i64 count)
+{
+    return std::min<i64>(count, std::max(1, current_parallelism()));
+}
+
+/**
+ * Splits [0, count) into `chunks` contiguous ranges (from chunk_count —
+ * passed explicitly so callers sizing per-chunk state see the same value)
+ * and runs fn(chunk, begin, end) for each across the pool, inline when
+ * there is a single chunk. The partition depends only on (count, chunks),
+ * so workloads whose values don't depend on the grouping — elementwise
+ * loops, or reductions merged in chunk order with exact arithmetic —
+ * stay bit-identical at any thread count.
+ */
+template <typename F>
+void
+parallel_chunks(i64 count, i64 chunks, F&& fn)
+{
+    if (count <= 0) return;
+    if (chunks <= 1) {
+        fn(i64(0), i64(0), count);
+        return;
+    }
+    parallel_for(0, chunks, [&](i64 c) {
+        fn(c, count * c / chunks, count * (c + 1) / chunks);
+    });
+}
+
+/**
+ * Runs fn(i) for every i in [0, count) via parallel_chunks. For
+ * elementwise-independent bodies — no cross-index reads or reductions —
+ * this gives fine-grained loops pool parallelism without per-index
+ * dispatch overhead.
+ */
+template <typename F>
+void
+parallel_for_chunked(i64 count, F&& fn)
+{
+    parallel_chunks(count, chunk_count(count), [&](i64, i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i) fn(i);
+    });
+}
 
 /** RAII guard: sets the global pool size, restores the old size on exit.
  *  Process-wide - intended for single-threaded drivers (tests, benches).

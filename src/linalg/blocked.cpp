@@ -217,34 +217,21 @@ HeBlockedMatrix::apply(const ckks::Evaluator& eval,
             detail::hoisted_baby_rotations(eval, in[bc], babies_it->second,
                                            &babies);
 
-        // Per-(row block, giant group) inner sums are independent; compute
-        // them in parallel, then fold each into its row accumulator in a
-        // fixed order.
-        struct GroupTask {
-            u64 br;
-            u64 g;
-            const std::vector<BsgsPlan::Term>* terms;
-            const std::vector<ckks::Plaintext>* encoded;
-        };
-        std::vector<GroupTask> tasks;
+        // Per-(row block, giant group) inner sums and their giant-step
+        // accumulations fan out together: worker chunks fold into private
+        // per-row partial accumulators merged in fixed order (exact
+        // modular adds — bit-identical to the serial path).
+        std::vector<detail::GroupTask> tasks;
         for (u64 br = 0; br < row_blocks_; ++br) {
             const auto plan_it = plan_.block_plans.find({br, bc});
             if (plan_it == plan_.block_plans.end()) continue;
             const auto& group_map = encoded_.at({br, bc});
             for (const auto& [g, terms] : plan_it->second.groups) {
-                tasks.push_back({br, g, &terms, &group_map.at(g)});
+                tasks.push_back({static_cast<std::size_t>(br), g, &terms,
+                                 &group_map.at(g)});
             }
         }
-        std::vector<std::optional<ckks::Ciphertext>> inners(tasks.size());
-        core::parallel_for(0, static_cast<i64>(tasks.size()), [&](i64 ti) {
-            const GroupTask& task = tasks[static_cast<std::size_t>(ti)];
-            inners[static_cast<std::size_t>(ti)] = detail::group_inner_sum(
-                eval, *task.terms, *task.encoded, babies);
-        });
-        for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
-            eval.accumulate_rotation(accs[tasks[ti].br], *inners[ti],
-                                     static_cast<int>(tasks[ti].g));
-        }
+        detail::accumulate_group_sums(eval, tasks, babies, accs);
     }
 
     std::vector<ckks::Ciphertext> out;

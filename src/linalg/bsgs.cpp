@@ -64,6 +64,59 @@ group_inner_sum(const ckks::Evaluator& eval,
     return inner;
 }
 
+void
+accumulate_group_sums(const ckks::Evaluator& eval,
+                      const std::vector<GroupTask>& tasks,
+                      const std::map<u64, const ckks::Ciphertext*>& babies,
+                      std::vector<ckks::Evaluator::RotationAccumulator>& accs)
+{
+    if (tasks.empty()) return;
+    auto run_task = [&](const GroupTask& task,
+                        ckks::Evaluator::RotationAccumulator& acc) {
+        std::optional<ckks::Ciphertext> inner =
+            group_inner_sum(eval, *task.terms, *task.encoded, babies);
+        ORION_ASSERT(inner.has_value());
+        eval.accumulate_rotation(acc, *inner, static_cast<int>(task.giant));
+    };
+
+    const i64 chunks = core::chunk_count(static_cast<i64>(tasks.size()));
+    if (chunks <= 1) {
+        // Serial fast path: accumulate straight into the outputs, with no
+        // partial accumulators to allocate or merge (identical to the
+        // multi-chunk result because the merge adds are exact).
+        for (const GroupTask& task : tasks) run_task(task, accs[task.acc]);
+        return;
+    }
+
+    // Per-chunk private partial accumulators, created lazily for the acc
+    // indices the chunk actually touches.
+    using Partial = std::optional<ckks::Evaluator::RotationAccumulator>;
+    std::vector<std::vector<Partial>> partials(
+        static_cast<std::size_t>(chunks),
+        std::vector<Partial>(accs.size()));
+    core::parallel_chunks(
+        static_cast<i64>(tasks.size()), chunks,
+        [&](i64 c, i64 begin, i64 end) {
+            for (i64 i = begin; i < end; ++i) {
+                const GroupTask& task = tasks[static_cast<std::size_t>(i)];
+                Partial& slot =
+                    partials[static_cast<std::size_t>(c)][task.acc];
+                if (!slot.has_value()) {
+                    slot = eval.make_accumulator(accs[task.acc].level(),
+                                                 accs[task.acc].scale());
+                }
+                run_task(task, *slot);
+            }
+        });
+    for (std::size_t a = 0; a < accs.size(); ++a) {
+        for (std::size_t c = 0; c < static_cast<std::size_t>(chunks); ++c) {
+            if (partials[c][a].has_value()) {
+                eval.merge_accumulator(accs[a], *partials[c][a]);
+            }
+        }
+    }
+}
+
 }  // namespace detail
 
 u64
@@ -216,28 +269,20 @@ HeDiagonalMatrix::apply(const ckks::Evaluator& eval,
     const std::vector<ckks::Ciphertext> baby_cts =
         detail::hoisted_baby_rotations(eval, ct, plan_.baby_steps, &babies);
 
-    // Giant groups: the inner sums of PMults are independent per group, so
-    // compute them in parallel; the deferred-mod-down accumulation then
-    // runs serially in group order (exact modular sums, so the result is
-    // bit-identical to the single-threaded path either way).
-    std::vector<std::pair<u64, const std::vector<BsgsPlan::Term>*>> groups;
-    groups.reserve(plan_.groups.size());
+    // Giant groups: inner sums AND the deferred-mod-down giant-step
+    // accumulation both fan out across the pool — worker chunks fold into
+    // private partial accumulators that merge in fixed order at the end
+    // (exact modular adds, so the result is bit-identical to the
+    // single-threaded path).
+    std::vector<detail::GroupTask> tasks;
+    tasks.reserve(plan_.groups.size());
     for (const auto& [g, terms] : plan_.groups) {
-        groups.emplace_back(g, &terms);
+        tasks.push_back({0, g, &terms, &encoded_.at(g)});
     }
-    std::vector<std::optional<ckks::Ciphertext>> inners(groups.size());
-    core::parallel_for(0, static_cast<i64>(groups.size()), [&](i64 gi) {
-        const auto& [g, terms] = groups[static_cast<std::size_t>(gi)];
-        inners[static_cast<std::size_t>(gi)] =
-            detail::group_inner_sum(eval, *terms, encoded_.at(g), babies);
-    });
-    auto acc = eval.make_accumulator(level_, ct.scale * scale_);
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-        ORION_ASSERT(inners[gi].has_value());
-        eval.accumulate_rotation(acc, *inners[gi],
-                                 static_cast<int>(groups[gi].first));
-    }
-    ckks::Ciphertext out = eval.finalize_accumulator(acc);
+    std::vector<ckks::Evaluator::RotationAccumulator> accs;
+    accs.push_back(eval.make_accumulator(level_, ct.scale * scale_));
+    detail::accumulate_group_sums(eval, tasks, babies, accs);
+    ckks::Ciphertext out = eval.finalize_accumulator(accs[0]);
     eval.rescale_inplace(out);
     return out;
 }

@@ -53,6 +53,31 @@ std::optional<ckks::Ciphertext> group_inner_sum(
     const std::vector<ckks::Plaintext>& encoded,
     const std::map<u64, const ckks::Ciphertext*>& babies);
 
+/**
+ * One giant group's full work item: the inner sum of PMults followed by a
+ * rotation by `giant` accumulated into the output accumulator `accs[acc]`.
+ */
+struct GroupTask {
+    std::size_t acc;  ///< index into the output accumulator array
+    u64 giant;        ///< giant-step rotation amount
+    const std::vector<BsgsPlan::Term>* terms;
+    const std::vector<ckks::Plaintext>* encoded;
+};
+
+/**
+ * Evaluates every giant-group task — inner sum, giant rotation, rotation
+ * accumulation — across the thread pool. Each worker chunk accumulates
+ * into private per-acc partial accumulators that are merged into `accs`
+ * serially in fixed (accumulator, chunk) order; the merge is exact modular
+ * addition, so the result is bit-identical to serial accumulation at any
+ * thread count. This lifts the formerly-serial giant-step accumulation
+ * (the last serial fraction of the BSGS matvec) onto the pool.
+ */
+void accumulate_group_sums(
+    const ckks::Evaluator& eval, const std::vector<GroupTask>& tasks,
+    const std::map<u64, const ckks::Ciphertext*>& babies,
+    std::vector<ckks::Evaluator::RotationAccumulator>& accs);
+
 }  // namespace orion::lin::detail
 
 #endif  // ORION_SRC_LINALG_BSGS_DETAIL_H_

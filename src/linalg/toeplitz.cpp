@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/thread_pool.h"
+
 namespace orion::lin {
 
 TensorLayout
@@ -162,39 +164,56 @@ conv2d_reference(const Conv2dSpec& spec, const std::vector<double>& weights,
     const int co_per_group = spec.out_channels / spec.groups;
     std::vector<double> out(
         static_cast<std::size_t>(spec.out_channels) * oh * ow, 0.0);
-    for (int o = 0; o < spec.out_channels; ++o) {
+
+    // Blocked + parallel: the output is tiled into (channel, row-band)
+    // blocks that fan out across the thread pool — rows of one band reuse
+    // the same input rows while they are cache-hot. Each output element's
+    // accumulation runs in the original serial tap order, so results are
+    // bitwise identical to the untiled single-threaded loop. This is the
+    // reference path behind fig8_yolo's full mode (three 448x448x3
+    // forwards), which was untenably slow untiled on small hosts.
+    const int row_block = 16;
+    const int bands = (oh + row_block - 1) / row_block;
+    const i64 num_tiles = static_cast<i64>(spec.out_channels) * bands;
+    core::parallel_for(0, num_tiles, [&](i64 tile) {
+        const int o = static_cast<int>(tile / bands);
+        const int band = static_cast<int>(tile % bands);
+        const int oy_end = std::min((band + 1) * row_block, oh);
         const int group = o / co_per_group;
-        for (int oy = 0; oy < oh; ++oy) {
+        const double* w_base =
+            weights.data() +
+            static_cast<std::size_t>(o) * ci_per_group * spec.kernel_h *
+                spec.kernel_w;
+        for (int oy = band * row_block; oy < oy_end; ++oy) {
             for (int ox = 0; ox < ow; ++ox) {
                 double acc = 0.0;
                 for (int ci = 0; ci < ci_per_group; ++ci) {
                     const int c = group * ci_per_group + ci;
+                    const double* w_ci =
+                        w_base + static_cast<std::size_t>(ci) *
+                                     spec.kernel_h * spec.kernel_w;
+                    const double* in_c =
+                        input.data() +
+                        static_cast<std::size_t>(c) * in_h * in_w;
                     for (int ky = 0; ky < spec.kernel_h; ++ky) {
                         const int iy =
                             oy * spec.stride - spec.pad + ky * spec.dilation;
                         if (iy < 0 || iy >= in_h) continue;
+                        const double* w_ky = w_ci + ky * spec.kernel_w;
+                        const double* in_row = in_c + static_cast<std::size_t>(
+                                                          iy) * in_w;
                         for (int kx = 0; kx < spec.kernel_w; ++kx) {
                             const int ix = ox * spec.stride - spec.pad +
                                            kx * spec.dilation;
                             if (ix < 0 || ix >= in_w) continue;
-                            const u64 widx =
-                                ((static_cast<u64>(o) * ci_per_group + ci) *
-                                     spec.kernel_h +
-                                 ky) *
-                                    spec.kernel_w +
-                                kx;
-                            acc += weights[widx] *
-                                   input[(static_cast<std::size_t>(c) * in_h +
-                                          iy) *
-                                             in_w +
-                                         ix];
+                            acc += w_ky[kx] * in_row[ix];
                         }
                     }
                 }
                 out[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = acc;
             }
         }
-    }
+    });
     return out;
 }
 
