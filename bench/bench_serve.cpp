@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Serving throughput/latency benchmark: a tiny square-activation MLP
+ * behind the InferenceServer, swept over scheduler concurrency
+ * (max_inflight). Reports requests/second and p50/p95 client-observed
+ * latency per concurrency level, with `--json` metrics for the CI perf
+ * trajectory. Two sessions with distinct keys keep the executor pool's
+ * key rebinding on the measured path.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/serve.h"
+
+using namespace orion;
+
+namespace {
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    bench::print_header(
+        "bench_serve: encrypted-inference throughput vs concurrency");
+
+    const ckks::CkksParams params = ckks::CkksParams::toy();
+    const ckks::Context ctx(params);
+    // The same micro model the serving tests validate (src/nn/models.h).
+    const nn::Network net = nn::make_micro_mlp();
+    core::CompileOptions opt;
+    opt.slots = ctx.slot_count();
+    opt.l_eff = 4;
+    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
+                                           params.digit_size, 3);
+    opt.calibration_samples = 3;
+    const core::CompiledNetwork cn = core::compile(net, opt);
+    const auto prepared =
+        std::make_shared<const core::PreparedProgram>(cn, ctx);
+
+    // Two sessions: half the requests go through each key bundle.
+    serve::ServeClient alice(cn, ctx, /*seed=*/1001);
+    serve::ServeClient bob(cn, ctx, /*seed=*/2002);
+
+    const std::vector<int> concurrency =
+        bench::smoke() ? std::vector<int>{4} : std::vector<int>{1, 2, 4, 8};
+    const int per_worker = bench::reps(4);
+
+    std::printf("\n%-12s %10s %10s %10s %12s %12s\n", "max_inflight",
+                "requests", "p50 ms", "p95 ms", "req/s",
+                "queue p95 ms");
+    for (const int c : concurrency) {
+        serve::ServeOptions sopts;
+        sopts.max_inflight = c;
+        sopts.queue_capacity = 256;
+        serve::InferenceServer server(cn, ctx, sopts, prepared);
+        alice.set_session_id(server.register_session(alice.key_bundle()));
+        bob.set_session_id(server.register_session(bob.key_bundle()));
+
+        const int requests = c * per_worker;
+        std::vector<std::future<serve::ServeReply>> futures;
+        std::vector<std::chrono::steady_clock::time_point> submitted;
+        futures.reserve(static_cast<std::size_t>(requests));
+        submitted.reserve(static_cast<std::size_t>(requests));
+
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < requests; ++r) {
+            serve::ServeClient& client = (r % 2 == 0) ? alice : bob;
+            const std::vector<double> input = bench::random_vector(
+                64, 1.0, 400 + static_cast<u64>(r));
+            submitted.push_back(std::chrono::steady_clock::now());
+            futures.push_back(server.submit(client.make_request(input)));
+        }
+        std::vector<double> latency_ms, queue_ms;
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            const serve::ServeReply reply = futures[i].get();
+            latency_ms.push_back(
+                1e3 *
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - submitted[i])
+                    .count());
+            queue_ms.push_back(1e3 * reply.stats.queue_wait_s);
+        }
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const serve::ServerStats stats = server.stats();
+        ORION_CHECK(stats.completed == static_cast<u64>(requests) &&
+                        stats.failed == 0,
+                    "bench requests failed");
+
+        const double p50 = percentile(latency_ms, 0.50);
+        const double p95 = percentile(latency_ms, 0.95);
+        const double rps = static_cast<double>(requests) / wall;
+        std::printf("%-12d %10d %10.1f %10.1f %12.2f %12.1f\n", c, requests,
+                    p50, p95, rps, percentile(queue_ms, 0.95));
+
+        const std::string prefix = "c" + std::to_string(c) + "/";
+        bench::json_metric(prefix + "throughput_rps", rps);
+        bench::json_metric(prefix + "p50_ms", p50);
+        bench::json_metric(prefix + "p95_ms", p95);
+        bench::json_metric(prefix + "queue_p95_ms",
+                           percentile(queue_ms, 0.95));
+        bench::json_metric(prefix + "peak_inflight",
+                           static_cast<double>(stats.peak_inflight));
+        bench::json_metric(
+            prefix + "mean_exec_ms",
+            1e3 * stats.total_execute_s /
+                static_cast<double>(std::max<u64>(stats.completed, 1)));
+    }
+    std::printf("\n(two sessions with distinct key bundles; kernel threads "
+                "per request = 1,\n scaling comes from request-level "
+                "parallelism across the worker pool)\n");
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MNIST MLP behind the serving subsystem: two clients with distinct key
+ * bundles register sessions on one InferenceServer and run concurrent
+ * encrypted inferences through the full wire path
+ *
+ *   encrypt -> serialize -> submit -> (scheduler) -> execute ->
+ *   serialize -> decrypt
+ *
+ * and each result is validated against a direct in-process CkksExecutor
+ * run of the same compiled program (the paper's Section 6 deployment
+ * model: the server computes on ciphertexts it cannot read).
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "src/core/orion.h"
+#include "src/serve/serve.h"
+
+using namespace orion;
+
+int
+main()
+{
+    const nn::Network net = nn::make_mlp();
+    std::printf("MLP: %.2fM parameters\n", net.param_count() / 1e6);
+
+    // Functional CKKS parameters sized for the 784-dim input (NOT secure;
+    // see DESIGN.md on parameter substitution). 2^12 keeps the smoke run
+    // CI-friendly.
+    ckks::CkksParams params = ckks::CkksParams::network(u64(1) << 12, 8);
+    ckks::Context ctx(params);
+
+    core::CompileOptions opt;
+    opt.slots = ctx.slot_count();
+    opt.l_eff = 6;
+    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
+                                           params.digit_size, 2);
+    const core::CompiledNetwork compiled = core::compile(net, opt);
+    std::printf("compiled in %.2f s: %llu rotations, depth %d, "
+                "%llu bootstraps\n",
+                compiled.compile_seconds,
+                static_cast<unsigned long long>(compiled.total_rotations),
+                compiled.activation_depth,
+                static_cast<unsigned long long>(compiled.num_bootstraps));
+
+    // The expensive key-independent preparation, shared by the reference
+    // executor and the whole server pool.
+    auto prepared =
+        std::make_shared<const core::PreparedProgram>(compiled, ctx);
+
+    // Ground truth: a direct, in-process, self-keyed executor.
+    core::CkksExecutor direct(compiled, ctx, /*seed=*/7, std::nullopt,
+                              prepared);
+
+    serve::ServeOptions sopts;
+    sopts.max_inflight = 2;
+    sopts.queue_capacity = 8;
+    serve::InferenceServer server(compiled, ctx, sopts, prepared);
+    std::printf("server: %d workers, queue capacity %d\n",
+                server.max_inflight(), server.queue_capacity());
+
+    // Two clients with independent secrets (different seeds).
+    serve::ServeClient alice(compiled, ctx, /*seed=*/1001);
+    serve::ServeClient bob(compiled, ctx, /*seed=*/2002);
+    const ckks::serial::Bytes alice_bundle = alice.key_bundle();
+    const ckks::serial::Bytes bob_bundle = bob.key_bundle();
+    alice.set_session_id(server.register_session(alice_bundle));
+    bob.set_session_id(server.register_session(bob_bundle));
+    std::printf("sessions: alice=%llu bob=%llu "
+                "(key bundle %.1f MB each)\n",
+                static_cast<unsigned long long>(alice.session_id()),
+                static_cast<unsigned long long>(bob.session_id()),
+                static_cast<double>(alice_bundle.size()) / 1e6);
+
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const int rounds = 2;
+    int agree = 0, total = 0;
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<double> image_a(784), image_b(784);
+        for (double& x : image_a) x = dist(rng);
+        for (double& x : image_b) x = dist(rng);
+
+        // Reference outputs (same program, in-process).
+        const std::vector<double> want_a = direct.run(image_a).output;
+        const std::vector<double> want_b = direct.run(image_b).output;
+
+        // Both sessions in flight concurrently.
+        const ckks::serial::Bytes req_a = alice.make_request(image_a);
+        const ckks::serial::Bytes req_b = bob.make_request(image_b);
+        std::printf("round %d: request %.1f KB each\n", round,
+                    static_cast<double>(req_a.size()) / 1e3);
+        auto fut_a = server.submit(req_a);
+        auto fut_b = server.submit(req_b);
+        const serve::ServeReply rep_a = fut_a.get();
+        const serve::ServeReply rep_b = fut_b.get();
+
+        const std::vector<double> got_a =
+            alice.decrypt_response(rep_a.response);
+        const std::vector<double> got_b =
+            bob.decrypt_response(rep_b.response);
+
+        auto argmax = [](const std::vector<double>& v) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < v.size(); ++i) {
+                if (v[i] > v[best]) best = i;
+            }
+            return best;
+        };
+        auto report = [&](const char* who, const serve::ServeReply& rep,
+                          const std::vector<double>& got,
+                          const std::vector<double>& want) {
+            double err = 0.0;
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                err = std::max(err, std::abs(got[i] - want[i]));
+            }
+            const bool same = argmax(got) == argmax(want);
+            agree += same ? 1 : 0;
+            ++total;
+            std::printf("  %s: served argmax %zu, direct argmax %zu, "
+                        "max err %.2e, queue %.1f ms, exec %.2f s, "
+                        "%llu rotations\n",
+                        who, argmax(got), argmax(want), err,
+                        rep.stats.queue_wait_s * 1e3, rep.stats.execute_s,
+                        static_cast<unsigned long long>(
+                            rep.stats.rotations));
+        };
+        report("alice", rep_a, got_a, want_a);
+        report("bob  ", rep_b, got_b, want_b);
+    }
+
+    const serve::ServerStats stats = server.stats();
+    std::printf("\nserver stats: %llu completed, %llu failed, "
+                "peak inflight %llu, mean queue wait %.1f ms, "
+                "mean exec %.2f s\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.peak_inflight),
+                1e3 * stats.total_queue_wait_s /
+                    static_cast<double>(std::max<u64>(stats.completed, 1)),
+                stats.total_execute_s /
+                    static_cast<double>(std::max<u64>(stats.completed, 1)));
+    std::printf("argmax agreement with direct execution: %d/%d\n", agree,
+                total);
+    return agree == total ? 0 : 1;
+}

@@ -20,6 +20,14 @@ config_from_env()
         const int n = std::atoi(env);
         if (n >= 0) cfg.num_threads = n;
     }
+    if (const char* env = std::getenv("ORION_MAX_INFLIGHT")) {
+        const int n = std::atoi(env);
+        if (n >= 0) cfg.max_inflight = n;
+    }
+    if (const char* env = std::getenv("ORION_QUEUE_CAPACITY")) {
+        const int n = std::atoi(env);
+        if (n >= 1) cfg.queue_capacity = n;
+    }
     return cfg;
 }
 
@@ -32,12 +40,28 @@ mutable_config()
 
 }  // namespace
 
+namespace {
+
+int
+resolve_or_hardware(int n)
+{
+    if (n > 0) return n;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
 int
 OrionConfig::resolved_num_threads() const
 {
-    if (num_threads > 0) return num_threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
+    return resolve_or_hardware(num_threads);
+}
+
+int
+OrionConfig::resolved_max_inflight() const
+{
+    return resolve_or_hardware(max_inflight);
 }
 
 OrionConfig

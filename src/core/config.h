@@ -25,8 +25,24 @@ struct OrionConfig {
      */
     int num_threads = 1;
 
+    /**
+     * Serving defaults (src/serve): requests executing concurrently in an
+     * InferenceServer (0 = hardware concurrency). Initialized from
+     * $ORION_MAX_INFLIGHT when set; ServeOptions can override per server.
+     */
+    int max_inflight = 2;
+
+    /**
+     * Serving defaults: submitted-but-not-yet-executing requests an
+     * InferenceServer queues before applying backpressure. Initialized
+     * from $ORION_QUEUE_CAPACITY when set.
+     */
+    int queue_capacity = 16;
+
     /** Resolves num_threads = 0 to the hardware concurrency. */
     int resolved_num_threads() const;
+    /** Resolves max_inflight = 0 to the hardware concurrency. */
+    int resolved_max_inflight() const;
 };
 
 /** A snapshot of the active global configuration (copied under lock). */

@@ -45,6 +45,10 @@ DiskStoreWriter::write_record(const std::string& name, char tag,
 {
     ORION_CHECK(!closed_, "store already closed");
     ORION_CHECK(name.size() < 65536, "record name too long");
+    // The reader refuses duplicate names; fail at write time so the
+    // mistake surfaces where it happens, not when the store is reopened.
+    ORION_CHECK(written_.insert(name).second,
+                "duplicate store record: " << name);
     out_.put(tag);
     const u64 name_len = name.size();
     const u64 byte_count = bytes;
@@ -90,23 +94,72 @@ DiskStoreReader::DiskStoreReader(const std::string& path)
     : in_(path, std::ios::binary)
 {
     ORION_CHECK(in_.good(), "cannot open store for reading: " << path);
+    // Total size first, so every record's payload extent (and the trailer)
+    // can be validated without trusting length fields.
+    in_.seekg(0, std::ios::end);
+    const std::streamoff file_size = in_.tellg();
+    in_.seekg(0, std::ios::beg);
+
     char magic[sizeof(kMagic)];
     in_.read(magic, sizeof(magic));
     ORION_CHECK(in_.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
                 "bad store magic in " << path);
-    // Build the index by walking record headers, skipping payloads.
+    // Build the index by walking record headers, skipping payloads. Every
+    // length is validated against the actual file size before use, so a
+    // truncated or bit-flipped store is reported at open time instead of
+    // surfacing as a short read (or a giant allocation) later.
     while (true) {
         const int tag = in_.get();
-        ORION_CHECK(tag != EOF, "truncated store (missing sentinel)");
-        if (tag == kSentinel) break;
+        ORION_CHECK(tag != EOF,
+                    "truncated store " << path << ": ran out of bytes "
+                                       << "before the closing sentinel");
+        if (tag == kSentinel) {
+            u64 trailer = 1;
+            in_.read(reinterpret_cast<char*>(&trailer), sizeof(trailer));
+            ORION_CHECK(in_.good() && trailer == 0,
+                        "truncated store " << path
+                                           << ": corrupt or missing "
+                                           << "trailer after sentinel");
+            ORION_CHECK(in_.tellg() == file_size,
+                        "corrupt store " << path << ": "
+                                         << (file_size - in_.tellg())
+                                         << " trailing bytes after the "
+                                         << "sentinel");
+            break;
+        }
+        ORION_CHECK(tag == kTagDoubles || tag == kTagU64 || tag == kTagMatrix,
+                    "corrupt store " << path << ": unknown record tag '"
+                                     << static_cast<char>(tag) << "'");
         u64 name_len = 0;
         in_.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+        ORION_CHECK(in_.good(), "truncated store " << path
+                                                   << ": cut off inside a "
+                                                   << "record header");
+        // The writer enforces < 65536; anything larger is corruption and
+        // must not size an allocation.
+        ORION_CHECK(name_len < 65536,
+                    "corrupt store " << path << ": record name length "
+                                     << name_len << " exceeds the format "
+                                     << "limit");
         std::string name(name_len, '\0');
         in_.read(name.data(), static_cast<std::streamsize>(name_len));
         u64 bytes = 0;
         in_.read(reinterpret_cast<char*>(&bytes), sizeof(bytes));
-        ORION_CHECK(in_.good(), "truncated store record header");
-        index_[name] = Entry{static_cast<char>(tag), in_.tellg(), bytes};
+        ORION_CHECK(in_.good(), "truncated store " << path
+                                                   << ": cut off inside "
+                                                   << "record " << name);
+        const std::streamoff payload_at = in_.tellg();
+        ORION_CHECK(bytes <= static_cast<u64>(file_size) &&
+                        payload_at <= file_size -
+                                          static_cast<std::streamoff>(bytes),
+                    "truncated store " << path << ": record " << name
+                                       << " claims " << bytes
+                                       << " payload bytes past the end of "
+                                       << "the file");
+        ORION_CHECK(index_.count(name) == 0,
+                    "corrupt store " << path << ": duplicate record "
+                                     << name);
+        index_[name] = Entry{static_cast<char>(tag), payload_at, bytes};
         in_.seekg(static_cast<std::streamoff>(bytes), std::ios::cur);
     }
     in_.clear();
@@ -138,6 +191,10 @@ std::vector<double>
 DiskStoreReader::get_doubles(const std::string& name)
 {
     const Entry& e = entry(name, kTagDoubles);
+    ORION_CHECK(e.bytes % sizeof(double) == 0,
+                "corrupt store record " << name << ": " << e.bytes
+                                        << " bytes is not a whole number "
+                                        << "of doubles");
     std::vector<double> out(e.bytes / sizeof(double));
     in_.seekg(e.offset);
     in_.read(reinterpret_cast<char*>(out.data()),
@@ -150,6 +207,10 @@ std::vector<u64>
 DiskStoreReader::get_u64s(const std::string& name)
 {
     const Entry& e = entry(name, kTagU64);
+    ORION_CHECK(e.bytes % sizeof(u64) == 0,
+                "corrupt store record " << name << ": " << e.bytes
+                                        << " bytes is not a whole number "
+                                        << "of u64s");
     std::vector<u64> out(e.bytes / sizeof(u64));
     in_.seekg(e.offset);
     in_.read(reinterpret_cast<char*>(out.data()),
@@ -162,14 +223,21 @@ lin::DiagonalMatrix
 DiskStoreReader::get_matrix(const std::string& name)
 {
     const Entry& e = entry(name, kTagMatrix);
+    ORION_CHECK(e.bytes % sizeof(u64) == 0 && e.bytes >= 2 * sizeof(u64),
+                "corrupt store record " << name
+                                        << ": matrix header is not a "
+                                        << "whole number of u64s");
     std::vector<u64> header(e.bytes / sizeof(u64));
     in_.seekg(e.offset);
     in_.read(reinterpret_cast<char*>(header.data()),
              static_cast<std::streamsize>(e.bytes));
-    ORION_CHECK(in_.good() && header.size() >= 2, "bad matrix record");
+    ORION_CHECK(in_.good(), "store read failed: " << name);
     const u64 dim = header[0];
     const u64 count = header[1];
-    ORION_CHECK(header.size() == 2 + count, "bad matrix index");
+    ORION_CHECK(count == header.size() - 2,
+                "corrupt store record " << name << ": diagonal count "
+                                        << count << " does not match the "
+                                        << "header length");
     lin::DiagonalMatrix m(dim);
     for (u64 i = 0; i < count; ++i) {
         const u64 k = header[2 + i];

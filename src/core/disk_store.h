@@ -17,6 +17,7 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@ class DiskStoreWriter {
                       std::size_t bytes);
 
     std::ofstream out_;
+    std::set<std::string> written_;  ///< duplicate names fail at write time
     bool closed_ = false;
 };
 

@@ -16,6 +16,11 @@ struct ValueMeta {
     int level = 0;
 };
 
+/** One tensor value of the CKKS backend: its ciphertexts. */
+struct Value {
+    std::vector<ckks::Ciphertext> cts;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -185,20 +190,12 @@ SimExecutor::run(const std::vector<double>& input)
 }
 
 // ---------------------------------------------------------------------
-// CkksExecutor
+// PreparedProgram
 // ---------------------------------------------------------------------
 
-CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
-                           const ckks::Context& ctx, u64 seed,
-                           std::optional<OrionConfig> cfg)
-    : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
-      keygen_(ctx, seed),
-      pk_(keygen_.make_public_key()), relin_(keygen_.make_relin_key()),
-      galois_(keygen_.make_galois_keys(cn.required_steps())),
-      encryptor_(ctx, pk_), decryptor_(ctx, keygen_.secret_key()),
-      eval_(ctx, encoder_),
-      boot_(ctx, encoder_, keygen_.secret_key(),
-            ckks::BootstrapConfig{ctx.max_level() - cn.l_eff, 1e-6, 1.0})
+PreparedProgram::PreparedProgram(const CompiledNetwork& cn,
+                                 const ckks::Context& ctx)
+    : cn_(&cn), ctx_(&ctx)
 {
     ORION_CHECK(cn.slots == ctx.slot_count(),
                 "program compiled for " << cn.slots
@@ -206,10 +203,10 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
                                         << ctx.slot_count());
     ORION_CHECK(cn.l_eff < ctx.max_level(),
                 "context needs more levels than l_eff");
-    eval_.set_relin_key(&relin_);
-    eval_.set_galois_keys(&galois_);
+    const ckks::Encoder encoder(ctx);
 
-    // Symbolic scale propagation mirrors run(); every linear layer encodes
+    // Symbolic scale propagation mirrors execute_program(); every linear
+    // layer encodes
     // its diagonals at the repair scale Delta * q_level / in_scale
     // (Figure 7), so scales between layers are exactly Delta.
     const double delta = ctx.scale();
@@ -225,7 +222,6 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
     // to its partner's scale (which may have drifted through a square),
     // any other consumer binds it to Delta.
     std::map<int, double> scale_of;
-    std::map<int, std::size_t> producer_of;
     std::set<int> pending;  // linear outputs with undecided targets
     auto finalize = [&](int v, double s) {
         scale_of[v] = s;
@@ -297,7 +293,6 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
             (void)consume(ins.a);
             break;
         }
-        producer_of[ins.value] = idx;
     }
     for (int v : std::set<int>(pending.begin(), pending.end())) {
         finalize(v, delta);
@@ -319,7 +314,7 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
                 target *
                 static_cast<double>(ctx.q(ins.level).value()) / in_scale;
             prepared_[idx] = std::make_shared<lin::HeBlockedMatrix>(
-                ctx, encoder_, *data.matrix, data.plan, ins.level, w_scale);
+                ctx, encoder, *data.matrix, data.plan, ins.level, w_scale);
             if (!data.folded_bias.empty()) {
                 const u64 padded =
                     std::max<u64>(1, ceil_div(data.rows, cn.slots)) *
@@ -346,7 +341,7 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
                 for (u64 c = 0; c * cn.slots < padded; ++c) {
                     const std::span<const double> chunk(
                         slots.data() + c * cn.slots, cn.slots);
-                    bias_[idx].push_back(encoder_.encode(
+                    bias_[idx].push_back(encoder.encode(
                         chunk, ins.level - 1, target));
                 }
             }
@@ -366,6 +361,129 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
     }
 }
 
+// ---------------------------------------------------------------------
+// Input/output packing helpers (shared with the serving client)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The program's (unique) input instruction. */
+const Instruction&
+input_instruction(const CompiledNetwork& cn)
+{
+    for (const Instruction& ins : cn.program) {
+        if (ins.op == Instruction::Op::kInput) return ins;
+    }
+    ORION_CHECK(false, "program has no input instruction");
+    // Unreachable; silences the missing-return warning.
+    return cn.program.front();
+}
+
+}  // namespace
+
+std::vector<ckks::Ciphertext>
+encrypt_network_input(const CompiledNetwork& cn, const ckks::Context& ctx,
+                      const ckks::Encoder& encoder,
+                      ckks::Encryptor& encryptor,
+                      const std::vector<double>& input)
+{
+    ORION_CHECK(input.size() == cn.input_shape.size(),
+                "input size mismatch: got " << input.size() << ", program "
+                                            << "expects "
+                                            << cn.input_shape.size());
+    const Instruction& ins = input_instruction(cn);
+    std::vector<double> normalized(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        normalized[i] = cn.input_nu * input[i];
+    }
+    const u64 padded = ins.cts * cn.slots;
+    const std::vector<double> packed =
+        cn.input_layout.pack(normalized, padded);
+    const double delta = ctx.scale();
+    std::vector<ckks::Ciphertext> cts;
+    cts.reserve(ins.cts);
+    for (u64 c = 0; c < ins.cts; ++c) {
+        const std::span<const double> chunk(packed.data() + c * cn.slots,
+                                            cn.slots);
+        cts.push_back(
+            encryptor.encrypt(encoder.encode(chunk, ins.level, delta)));
+    }
+    return cts;
+}
+
+std::vector<double>
+decrypt_network_output(const CompiledNetwork& cn,
+                       const ckks::Encoder& encoder,
+                       const ckks::Decryptor& decryptor,
+                       const std::vector<ckks::Ciphertext>& outputs)
+{
+    std::vector<double> slots;
+    slots.reserve(outputs.size() * cn.slots);
+    for (const ckks::Ciphertext& ct : outputs) {
+        const std::vector<double> part =
+            encoder.decode(decryptor.decrypt(ct));
+        slots.insert(slots.end(), part.begin(), part.end());
+    }
+    slots.resize(std::max<u64>(cn.output_layout.total_slots(), slots.size()),
+                 0.0);
+    std::vector<double> logical = cn.output_layout.unpack(slots);
+    logical.resize(cn.output_size);
+    for (double& x : logical) x /= cn.output_nu;
+    return logical;
+}
+
+// ---------------------------------------------------------------------
+// CkksExecutor
+// ---------------------------------------------------------------------
+
+CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
+                           const ckks::Context& ctx, u64 seed,
+                           std::optional<OrionConfig> cfg,
+                           std::shared_ptr<const PreparedProgram> prepared)
+    : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
+      keygen_(std::in_place, ctx, seed),
+      pk_(keygen_->make_public_key()),
+      own_relin_(keygen_->make_relin_key()),
+      own_galois_(keygen_->make_galois_keys(cn.required_steps())),
+      encryptor_(std::in_place, ctx, *pk_),
+      decryptor_(std::in_place, ctx, keygen_->secret_key()),
+      boot_(std::in_place, ctx, encoder_, keygen_->secret_key(),
+            ckks::BootstrapConfig{ctx.max_level() - cn.l_eff, 1e-6, 1.0}),
+      eval_(ctx, encoder_),
+      prep_(prepared ? std::move(prepared)
+                     : std::make_shared<const PreparedProgram>(cn, ctx))
+{
+    ORION_CHECK(prep_->cn_ == &cn && prep_->ctx_ == &ctx,
+                "prepared program belongs to a different network or context");
+    bind_session_keys(&*own_relin_, &*own_galois_);
+}
+
+CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
+                           const ckks::Context& ctx,
+                           std::shared_ptr<const PreparedProgram> prepared,
+                           std::optional<OrionConfig> cfg)
+    : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
+      eval_(ctx, encoder_), prep_(std::move(prepared))
+{
+    ORION_CHECK(prep_ != nullptr,
+                "external-key executor requires a prepared program");
+    ORION_CHECK(prep_->cn_ == &cn && prep_->ctx_ == &ctx,
+                "prepared program belongs to a different network or context");
+    ORION_CHECK(cn.num_bootstraps == 0,
+                "external-key executors cannot run programs with bootstraps "
+                "(the bootstrapper is a secret-key oracle)");
+}
+
+void
+CkksExecutor::bind_session_keys(const ckks::KswitchKey* relin,
+                                const ckks::GaloisKeys* galois)
+{
+    relin_ = relin;
+    galois_ = galois;
+    eval_.set_relin_key(relin_);
+    eval_.set_galois_keys(galois_);
+}
+
 std::vector<ckks::Ciphertext>
 CkksExecutor::drop_all(const std::vector<ckks::Ciphertext>& in,
                        int level) const
@@ -381,50 +499,65 @@ CkksExecutor::drop_all(const std::vector<ckks::Ciphertext>& in,
     return out;
 }
 
-ExecutionResult
-CkksExecutor::run(const std::vector<double>& input)
+std::vector<ckks::Ciphertext>
+CkksExecutor::encrypt_input(const std::vector<double>& input)
+{
+    ORION_CHECK(encryptor_.has_value(),
+                "encrypt_input requires a self-keyed executor");
+    return encrypt_network_input(*cn_, *ctx_, encoder_, *encryptor_, input);
+}
+
+std::vector<double>
+CkksExecutor::decrypt_output(const std::vector<ckks::Ciphertext>& outputs)
+    const
+{
+    ORION_CHECK(decryptor_.has_value(),
+                "decrypt_output requires a self-keyed executor");
+    return decrypt_network_output(*cn_, encoder_, *decryptor_, outputs);
+}
+
+EncryptedResult
+CkksExecutor::execute_program(const std::vector<ckks::Ciphertext>& input)
 {
     const auto t0 = std::chrono::steady_clock::now();
-    ORION_CHECK(input.size() == cn_->input_shape.size(),
-                "input size mismatch");
-    // A pinned config governs every kernel underneath this call via a
-    // thread-local override (concurrent executors with different budgets
-    // cannot interfere). Without one, kernels follow the ambient setting
-    // (global pool or the caller's own override).
-    std::optional<ScopedPoolOverride> scoped_threads;
-    if (cfg_) scoped_threads.emplace(cfg_->resolved_num_threads());
-    const ckks::OpCounters before = ctx_->counters();
     const approx::HePolyEvaluator polyeval(eval_);
     const double delta = ctx_->scale();
 
     std::map<int, Value> values;
-    ExecutionResult result;
+    EncryptedResult result;
 
     for (std::size_t idx = 0; idx < cn_->program.size(); ++idx) {
         const Instruction& ins = cn_->program[idx];
         switch (ins.op) {
         case Instruction::Op::kInput: {
-            std::vector<double> normalized(input.size());
-            for (std::size_t i = 0; i < input.size(); ++i) {
-                normalized[i] = cn_->input_nu * input[i];
+            ORION_CHECK(input.size() == ins.cts,
+                        "encrypted input has " << input.size()
+                                               << " ciphertexts, program "
+                                               << "expects " << ins.cts);
+            for (const ckks::Ciphertext& ct : input) {
+                ORION_CHECK(ct.valid() && ct.level() >= ins.level,
+                            "encrypted input below the program's input "
+                            "level " << ins.level);
+                ORION_CHECK(ct.c0.is_ntt() && ct.c1.is_ntt(),
+                            "encrypted input must be in NTT form");
+                ORION_CHECK(ckks::scales_match(ct.scale, delta),
+                            "encrypted input scale " << ct.scale
+                                << " does not match the context scale "
+                                << delta);
             }
-            const u64 padded = ins.cts * cn_->slots;
-            const std::vector<double> packed =
-                cn_->input_layout.pack(normalized, padded);
             Value v;
-            for (u64 c = 0; c < ins.cts; ++c) {
-                const std::span<const double> chunk(
-                    packed.data() + c * cn_->slots, cn_->slots);
-                v.cts.push_back(encryptor_.encrypt(
-                    encoder_.encode(chunk, ins.level, delta)));
-            }
+            v.cts = drop_all(input, ins.level);
             values[ins.value] = std::move(v);
             break;
         }
         case Instruction::Op::kBootstrap: {
+            ORION_CHECK(boot_.has_value(),
+                        "bootstrap instruction requires a self-keyed "
+                        "executor (the bootstrapper is a secret-key "
+                        "oracle)");
             Value v;
             for (const ckks::Ciphertext& ct : values.at(ins.a).cts) {
-                v.cts.push_back(boot_.bootstrap(ct));
+                v.cts.push_back(boot_->bootstrap(ct));
             }
             values[ins.value] = std::move(v);
             result.bootstraps += ins.cts;
@@ -436,14 +569,18 @@ CkksExecutor::run(const std::vector<double>& input)
             const std::vector<ckks::Ciphertext> in_cts =
                 drop_all(values.at(ins.a).cts, ins.level);
             Value v;
-            v.cts = prepared_[idx]->apply(eval_, in_cts);
-            if (!bias_[idx].empty()) {
+            v.cts = prep_->prepared_[idx]->apply(eval_, in_cts);
+            if (!prep_->bias_[idx].empty()) {
                 for (std::size_t c = 0; c < v.cts.size(); ++c) {
-                    eval_.add_plain_inplace(v.cts[c], bias_[idx][c]);
+                    eval_.add_plain_inplace(v.cts[c],
+                                            prep_->bias_[idx][c]);
                 }
             }
-            (void)data;
             values[ins.value] = std::move(v);
+            // Deterministic program counts (equal to the measured kernel
+            // counts; race-free when executors share one Context).
+            result.rotations += data.stats.total_rotations();
+            result.pmults += data.stats.pmults;
             break;
         }
         case Instruction::Op::kActivation: {
@@ -459,7 +596,7 @@ CkksExecutor::run(const std::vector<double>& input)
                     v.cts.push_back(std::move(sq));
                 } else {
                     v.cts.push_back(polyeval.evaluate(
-                        data.stages[0], ct, act_target_[idx]));
+                        data.stages[0], ct, prep_->act_target_[idx]));
                 }
             }
             values[ins.value] = std::move(v);
@@ -492,10 +629,11 @@ CkksExecutor::run(const std::vector<double>& input)
                     c, ins.scale_factor,
                     static_cast<double>(ctx_->q(ins.level).value()));
                 eval_.rescale_inplace(c);
-                c.scale = in_scale_[idx];  // exact by construction
+                c.scale = prep_->in_scale_[idx];  // exact by construction
                 v.cts.push_back(std::move(c));
             }
             values[ins.value] = std::move(v);
+            result.pmults += ins.cts;
             break;
         }
         case Instruction::Op::kAdd: {
@@ -512,44 +650,71 @@ CkksExecutor::run(const std::vector<double>& input)
             break;
         }
         case Instruction::Op::kOutput: {
-            const Value& v = values.at(ins.a);
-            std::vector<double> slots;
-            slots.reserve(v.cts.size() * cn_->slots);
-            for (const ckks::Ciphertext& ct : v.cts) {
-                const std::vector<double> part =
-                    encoder_.decode(decryptor_.decrypt(ct));
-                slots.insert(slots.end(), part.begin(), part.end());
-            }
-            slots.resize(
-                std::max<u64>(cn_->output_layout.total_slots(),
-                              slots.size()),
-                0.0);
-            std::vector<double> logical = cn_->output_layout.unpack(slots);
-            logical.resize(cn_->output_size);
-            for (double& x : logical) x /= cn_->output_nu;
-            result.output = std::move(logical);
+            // The values map dies with this call; no need to copy the
+            // megabytes of output ciphertexts.
+            result.outputs = std::move(values.at(ins.a).cts);
             break;
         }
         }
         if (inspect && ins.op != Instruction::Op::kOutput) {
+            ORION_CHECK(decryptor_.has_value(),
+                        "inspect requires a self-keyed executor");
             std::vector<double> slots;
             for (const ckks::Ciphertext& ct : values.at(ins.value).cts) {
                 const std::vector<double> part =
-                    encoder_.decode(decryptor_.decrypt(ct));
+                    encoder_.decode(decryptor_->decrypt(ct));
                 slots.insert(slots.end(), part.begin(), part.end());
             }
             inspect(ins, slots);
         }
     }
 
-    const ckks::OpCounters after = ctx_->counters();
-    result.rotations = after.total_rotations() - before.total_rotations();
-    result.pmults = after.pmult - before.pmult;
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+ExecutionResult
+CkksExecutor::run(const std::vector<double>& input)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ORION_CHECK(encryptor_.has_value() && decryptor_.has_value(),
+                "run() requires a self-keyed executor; serving mode uses "
+                "run_encrypted()");
+    // A pinned config governs every kernel underneath this call via a
+    // thread-local override (concurrent executors with different budgets
+    // cannot interfere). Without one, kernels follow the ambient setting
+    // (global pool or the caller's own override).
+    std::optional<ScopedPoolOverride> scoped_threads;
+    if (cfg_) scoped_threads.emplace(cfg_->resolved_num_threads());
+
+    const std::vector<ckks::Ciphertext> in_cts =
+        encrypt_network_input(*cn_, *ctx_, encoder_, *encryptor_, input);
+    EncryptedResult er = execute_program(in_cts);
+
+    ExecutionResult result;
+    result.output =
+        decrypt_network_output(*cn_, encoder_, *decryptor_, er.outputs);
+    result.bootstraps = er.bootstraps;
+    result.rotations = er.rotations;
+    result.pmults = er.pmults;
     result.modeled_latency = cn_->modeled_latency;
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     return result;
+}
+
+EncryptedResult
+CkksExecutor::run_encrypted(const std::vector<ckks::Ciphertext>& input)
+{
+    ORION_CHECK(relin_ != nullptr || galois_ != nullptr,
+                "run_encrypted requires bound evaluation keys "
+                "(bind_session_keys)");
+    std::optional<ScopedPoolOverride> scoped_threads;
+    if (cfg_) scoped_threads.emplace(cfg_->resolved_num_threads());
+    return execute_program(input);
 }
 
 }  // namespace orion::core

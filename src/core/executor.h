@@ -10,8 +10,21 @@
  * charging the analytic cost model and tracking levels exactly - this is
  * how ImageNet-scale rows of Table 2 are produced. CkksExecutor runs the
  * same instruction stream under real RNS-CKKS encryption end to end.
+ *
+ * CkksExecutor has two key modes:
+ *  - self-keyed: the executor generates its own secret, can encrypt inputs
+ *    and decrypt outputs, and supports bootstrap instructions (the oracle
+ *    bootstrapper holds the secret). This is the single-party mode used by
+ *    tests, benches, and the paper's tables.
+ *  - external-key (serving): the executor holds only a client's evaluation
+ *    keys (relinearization + Galois). It can run run_encrypted() -
+ *    ciphertexts in, ciphertexts out - but never sees a secret key. The
+ *    expensive key-independent preparation (encoded diagonals, bias
+ *    plaintexts, resolved scales) lives in a shared PreparedProgram so a
+ *    pool of serving executors amortizes it across sessions.
  */
 
+#include <memory>
 #include <optional>
 
 #include "src/ckks/ckks.h"
@@ -25,6 +38,15 @@ struct ExecutionResult {
     std::vector<double> output;    ///< logical network output (de-normalized)
     double modeled_latency = 0.0;  ///< cost-model seconds
     double wall_seconds = 0.0;     ///< measured wall-clock seconds
+    u64 bootstraps = 0;
+    u64 rotations = 0;
+    u64 pmults = 0;
+};
+
+/** Outcome of one encrypted-domain inference (serving path). */
+struct EncryptedResult {
+    std::vector<ckks::Ciphertext> outputs;  ///< still encrypted
+    double wall_seconds = 0.0;
     u64 bootstraps = 0;
     u64 rotations = 0;
     u64 pmults = 0;
@@ -54,6 +76,52 @@ class SimExecutor {
     ckks::Sampler noise_;
 };
 
+/**
+ * Key-independent prepared payloads of a compiled program: every linear
+ * layer's matrix diagonals encoded at their assigned levels and repair
+ * scales (Figure 7), bias plaintexts, and the symbolic scale resolution.
+ * Immutable after construction and safe to share (read-only) across any
+ * number of concurrently running executors; the program must have been
+ * compiled with matrices (structural_only = false).
+ */
+class PreparedProgram {
+  public:
+    PreparedProgram(const CompiledNetwork& cn, const ckks::Context& ctx);
+
+    const CompiledNetwork& network() const { return *cn_; }
+    const ckks::Context& context() const { return *ctx_; }
+
+  private:
+    friend class CkksExecutor;
+
+    const CompiledNetwork* cn_;
+    const ckks::Context* ctx_;
+    // Prepared payloads, indexed like cn_->program.
+    std::vector<std::shared_ptr<lin::HeBlockedMatrix>> prepared_;
+    std::vector<std::vector<ckks::Plaintext>> bias_;
+    std::vector<double> in_scale_;    ///< per-instruction input scale
+    std::vector<double> act_target_;  ///< per-activation target scale
+};
+
+/**
+ * Packs and encrypts a network input exactly as the program's kInput
+ * instruction expects (normalization, layout packing, level, scale).
+ * Shared by CkksExecutor::run and the serving client.
+ */
+std::vector<ckks::Ciphertext> encrypt_network_input(
+    const CompiledNetwork& cn, const ckks::Context& ctx,
+    const ckks::Encoder& encoder, ckks::Encryptor& encryptor,
+    const std::vector<double>& input);
+
+/**
+ * Decrypts, unpacks, and de-normalizes program outputs exactly as the
+ * kOutput instruction does.
+ */
+std::vector<double> decrypt_network_output(
+    const CompiledNetwork& cn, const ckks::Encoder& encoder,
+    const ckks::Decryptor& decryptor,
+    const std::vector<ckks::Ciphertext>& outputs);
+
 /*
  * CkksExecutor honors OrionConfig::num_threads: run() installs a
  * thread-local pool override for its duration, so the executor knob
@@ -68,11 +136,10 @@ class SimExecutor {
 class CkksExecutor {
   public:
     /**
-     * Prepares the program for the given context: generates keys for every
-     * required rotation step, encodes all matrix diagonals and biases at
-     * their assigned levels and repair scales. Requires the program to have
-     * been compiled with matrices (structural_only = false) and with
-     * l_eff < the context's max level.
+     * Self-keyed mode: generates keys for every required rotation step and
+     * prepares the program (or reuses `prepared` when given). Requires the
+     * program to have been compiled with matrices (structural_only =
+     * false) and with l_eff < the context's max level.
      */
     /**
      * When `cfg` is given, run() pins its kernels to cfg.num_threads via a
@@ -82,48 +149,98 @@ class CkksExecutor {
      */
     CkksExecutor(const CompiledNetwork& cn, const ckks::Context& ctx,
                  u64 seed = 7,
+                 std::optional<OrionConfig> cfg = std::nullopt,
+                 std::shared_ptr<const PreparedProgram> prepared = nullptr);
+
+    /**
+     * External-key (serving) mode: no key material of its own; callers
+     * bind a session's evaluation keys before each run_encrypted(). Only
+     * bootstrap-free programs can run in this mode (the repo's
+     * bootstrapper is a secret-key oracle).
+     */
+    CkksExecutor(const CompiledNetwork& cn, const ckks::Context& ctx,
+                 std::shared_ptr<const PreparedProgram> prepared,
                  std::optional<OrionConfig> cfg = std::nullopt);
 
+    /**
+     * Binds per-session evaluation keys (external-key mode, or to override
+     * the self-generated keys). The pointed-to keys must outlive every
+     * subsequent run_encrypted() call.
+     */
+    void bind_session_keys(const ckks::KswitchKey* relin,
+                           const ckks::GaloisKeys* galois);
+
+    /**
+     * Full inference: encrypt, execute, decrypt. Self-keyed mode only.
+     * Safe to call repeatedly on one instance: all per-run state (values,
+     * levels, stats) is local to the call.
+     */
     ExecutionResult run(const std::vector<double>& input);
+
+    /**
+     * Encrypted-domain inference: validates the input ciphertexts against
+     * the program's kInput contract (count, level, scale), executes, and
+     * returns the still-encrypted outputs. Works in both modes; the
+     * serving path never touches a secret key. Reported rotation /
+     * bootstrap / pmult counts are the program's deterministic operation
+     * counts with SimExecutor's accounting (race-free when many executors
+     * share one Context): rotations equal the measured kernel counts
+     * (asserted against Context counters by the compiler integration
+     * test); pmults cover linear layers and explicit scales but not the
+     * plaintext products inside polynomial activation evaluation.
+     */
+    EncryptedResult run_encrypted(const std::vector<ckks::Ciphertext>& input);
+
+    /** Encrypts a logical input (self-keyed mode). */
+    std::vector<ckks::Ciphertext> encrypt_input(
+        const std::vector<double>& input);
+    /** Decrypts encrypted-domain outputs (self-keyed mode). */
+    std::vector<double> decrypt_output(
+        const std::vector<ckks::Ciphertext>& outputs) const;
 
     /** The pinned config, or the current global one when not pinned. */
     OrionConfig exec_config() const { return cfg_ ? *cfg_ : config(); }
     void set_exec_config(const OrionConfig& cfg) { cfg_ = cfg; }
 
+    bool self_keyed() const { return keygen_.has_value(); }
+
     InspectFn inspect;  ///< optional observer (decrypts intermediates!)
 
     const ckks::SecretKey& secret_key() const
     {
-        return keygen_.secret_key();
+        ORION_CHECK(keygen_.has_value(),
+                    "external-key executor holds no secret key");
+        return keygen_->secret_key();
     }
-    std::size_t galois_key_bytes() const { return galois_.byte_size(); }
+    std::size_t galois_key_bytes() const
+    {
+        return galois_ ? galois_->byte_size() : 0;
+    }
 
   private:
-    /** One tensor value: its ciphertexts. */
-    struct Value {
-        std::vector<ckks::Ciphertext> cts;
-    };
-
     std::vector<ckks::Ciphertext> drop_all(
         const std::vector<ckks::Ciphertext>& in, int level) const;
+    /** The shared instruction walk behind run() and run_encrypted(). */
+    EncryptedResult execute_program(
+        const std::vector<ckks::Ciphertext>& input);
 
     const CompiledNetwork* cn_;
     const ckks::Context* ctx_;
     std::optional<OrionConfig> cfg_;
     ckks::Encoder encoder_;
-    ckks::KeyGenerator keygen_;
-    ckks::PublicKey pk_;
-    ckks::KswitchKey relin_;
-    ckks::GaloisKeys galois_;
-    ckks::Encryptor encryptor_;
-    ckks::Decryptor decryptor_;
+    // Self-key material; absent in external-key (serving) mode.
+    std::optional<ckks::KeyGenerator> keygen_;
+    std::optional<ckks::PublicKey> pk_;
+    std::optional<ckks::KswitchKey> own_relin_;
+    std::optional<ckks::GaloisKeys> own_galois_;
+    std::optional<ckks::Encryptor> encryptor_;
+    std::optional<ckks::Decryptor> decryptor_;
+    std::optional<ckks::Bootstrapper> boot_;
+    // Bound evaluation keys (own keys, or a session's external keys).
+    const ckks::KswitchKey* relin_ = nullptr;
+    const ckks::GaloisKeys* galois_ = nullptr;
     ckks::Evaluator eval_;
-    ckks::Bootstrapper boot_;
-    // Prepared payloads, indexed like cn_->program.
-    std::vector<std::shared_ptr<lin::HeBlockedMatrix>> prepared_;
-    std::vector<std::vector<ckks::Plaintext>> bias_;
-    std::vector<double> in_scale_;    ///< per-instruction input scale
-    std::vector<double> act_target_;  ///< per-activation target scale
+    std::shared_ptr<const PreparedProgram> prep_;
 };
 
 }  // namespace orion::core

@@ -16,6 +16,7 @@
  */
 
 #include "src/ckks/ckks.h"
+#include "src/ckks/serial.h"
 #include "src/core/compiler.h"
 #include "src/core/config.h"
 #include "src/core/cost_model.h"

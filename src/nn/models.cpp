@@ -171,6 +171,26 @@ resnet_trunk(Network& net, Init& init, int input, bool bottleneck,
 }  // namespace
 
 Network
+make_micro_mlp(u64 seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> dist(0.0, 0.3);
+    auto weights = [&rng, &dist](u64 n) {
+        std::vector<double> w(n);
+        for (double& x : w) x = dist(rng);
+        return w;
+    };
+    Network net("micro-mlp");
+    int id = net.add_input(1, 8, 8);
+    id = net.add_flatten(id);
+    id = net.add_linear(id, 16, weights(16 * 64), weights(16));
+    id = net.add_activation(id, ActivationSpec::square());
+    id = net.add_linear(id, 5, weights(5 * 16), weights(5));
+    net.set_output(id);
+    return net;
+}
+
+Network
 make_mlp(u64 seed)
 {
     Init init(seed);

@@ -20,6 +20,15 @@ namespace orion::nn {
 /** Which activation family a model is instantiated with (Section 8.2). */
 enum class Act { kSquare, kRelu, kSilu };
 
+// ---- micro (8 x 8 x 1, not from the paper) ----
+
+/**
+ * A 64-16-5 MLP with one x^2 activation: small enough to run under the
+ * toy CKKS parameters in well under a second. Shared by the serving
+ * tests and bench_serve so they measure/validate the same network.
+ */
+Network make_micro_mlp(u64 seed = 51);
+
 // ---- MNIST (28 x 28 x 1) ----
 
 /** 3-layer MLP (SecureML): 784-128-128-10 with x^2 activations. */

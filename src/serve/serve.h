@@ -1,0 +1,16 @@
+#ifndef ORION_SRC_SERVE_SERVE_H_
+#define ORION_SRC_SERVE_SERVE_H_
+
+/**
+ * @file
+ * Umbrella header for the serving subsystem: wire messages, session
+ * registry, the multi-session inference server, and the client helper.
+ * See README's "Serving" section for the protocol and threading model.
+ */
+
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/session.h"
+#include "src/serve/wire.h"
+
+#endif  // ORION_SRC_SERVE_SERVE_H_

@@ -1,0 +1,242 @@
+#include "src/serve/server.h"
+
+namespace orion::serve {
+
+namespace {
+
+double
+seconds_between(std::chrono::steady_clock::time_point a,
+                std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(
+    const core::CompiledNetwork& cn, const ckks::Context& ctx,
+    ServeOptions opts, std::shared_ptr<const core::PreparedProgram> prepared)
+    : cn_(&cn), ctx_(&ctx), sessions_(ctx), paused_(opts.start_paused)
+{
+    const core::OrionConfig defaults = core::config();
+    core::OrionConfig resolved = defaults;
+    if (opts.max_inflight > 0) resolved.max_inflight = opts.max_inflight;
+    max_inflight_ = resolved.resolved_max_inflight();
+    queue_capacity_ = opts.queue_capacity > 0 ? opts.queue_capacity
+                                              : defaults.queue_capacity;
+    ORION_CHECK(max_inflight_ >= 1 && queue_capacity_ >= 1,
+                "server needs at least one worker and one queue slot");
+    ORION_CHECK(cn.num_bootstraps == 0,
+                "serving requires a bootstrap-free program: this repo's "
+                "bootstrapper is a secret-key oracle and cannot run on an "
+                "untrusted server (see ROADMAP)");
+
+    prepared_ = prepared ? std::move(prepared)
+                         : std::make_shared<const core::PreparedProgram>(
+                               cn, ctx);
+
+    // Per-request kernel threading: a pinned config when > 0, ambient
+    // inheritance when 0.
+    std::optional<core::OrionConfig> exec_cfg;
+    if (opts.threads_per_request > 0) {
+        core::OrionConfig cfg = defaults;
+        cfg.num_threads = opts.threads_per_request;
+        exec_cfg = cfg;
+    }
+    executors_.reserve(static_cast<std::size_t>(max_inflight_));
+    for (int i = 0; i < max_inflight_; ++i) {
+        executors_.push_back(std::make_unique<core::CkksExecutor>(
+            cn, ctx, prepared_, exec_cfg));
+    }
+    workers_.reserve(static_cast<std::size_t>(max_inflight_));
+    for (int i = 0; i < max_inflight_; ++i) {
+        workers_.emplace_back(
+            [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+    }
+}
+
+InferenceServer::~InferenceServer()
+{
+    std::deque<Pending> orphaned;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+        orphaned.swap(queue_);
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    for (Pending& p : orphaned) {
+        p.promise.set_exception(std::make_exception_ptr(
+            Error("inference server shut down before the request ran")));
+    }
+    for (std::thread& t : workers_) t.join();
+}
+
+u64
+InferenceServer::register_session(std::span<const u8> key_bundle)
+{
+    return sessions_.register_session(key_bundle);
+}
+
+void
+InferenceServer::unregister_session(u64 id)
+{
+    sessions_.unregister(id);
+}
+
+u64
+InferenceServer::session_requests(u64 id) const
+{
+    const std::shared_ptr<Session> session = sessions_.find(id);
+    return session ? session->requests_served.value() : 0;
+}
+
+std::future<ServeReply>
+InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
+                         bool& accepted)
+{
+    Pending p;
+    p.bytes = std::move(request);
+    std::future<ServeReply> fut = p.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (blocking) {
+            space_cv_.wait(lk, [this] {
+                return stop_ ||
+                       queue_.size() <
+                           static_cast<std::size_t>(queue_capacity_);
+            });
+        }
+        ORION_CHECK(!stop_, "inference server is shutting down");
+        if (queue_.size() >= static_cast<std::size_t>(queue_capacity_)) {
+            stats_.rejected += 1;
+            accepted = false;
+            return fut;
+        }
+        p.enqueued = std::chrono::steady_clock::now();
+        queue_.push_back(std::move(p));
+        stats_.submitted += 1;
+        stats_.peak_queue_depth =
+            std::max<u64>(stats_.peak_queue_depth, queue_.size());
+        accepted = true;
+    }
+    queue_cv_.notify_one();
+    return fut;
+}
+
+std::future<ServeReply>
+InferenceServer::submit(ckks::serial::Bytes request)
+{
+    bool accepted = false;
+    std::future<ServeReply> fut = enqueue(std::move(request),
+                                          /*blocking=*/true, accepted);
+    ORION_ASSERT(accepted);
+    return fut;
+}
+
+std::optional<std::future<ServeReply>>
+InferenceServer::try_submit(ckks::serial::Bytes request)
+{
+    bool accepted = false;
+    std::future<ServeReply> fut = enqueue(std::move(request),
+                                          /*blocking=*/false, accepted);
+    if (!accepted) return std::nullopt;
+    return fut;
+}
+
+ServeReply
+InferenceServer::execute(Pending& p,
+                         std::chrono::steady_clock::time_point picked_up,
+                         std::size_t worker_index)
+{
+    Request req = decode_request(p.bytes, *ctx_);
+    const std::shared_ptr<Session> session = sessions_.find(req.session_id);
+    ORION_CHECK(session != nullptr,
+                "unknown session id " << req.session_id
+                                      << " (register a key bundle first)");
+
+    core::CkksExecutor& exec = *executors_[worker_index];
+    exec.bind_session_keys(&session->relin, &session->galois);
+    core::EncryptedResult er = exec.run_encrypted(req.inputs);
+    session->requests_served += 1;
+
+    ServeReply reply;
+    reply.stats.session_id = req.session_id;
+    reply.stats.request_id = req.request_id;
+    reply.stats.queue_wait_s = seconds_between(p.enqueued, picked_up);
+    reply.stats.execute_s = er.wall_seconds;
+    reply.stats.rotations = er.rotations;
+    reply.stats.bootstraps = er.bootstraps;
+
+    Response resp;
+    resp.request_id = req.request_id;
+    resp.outputs = std::move(er.outputs);
+    resp.rotations = er.rotations;
+    resp.bootstraps = er.bootstraps;
+    resp.queue_wait_s = reply.stats.queue_wait_s;
+    resp.execute_s = reply.stats.execute_s;
+    reply.response = encode_response(resp);
+    return reply;
+}
+
+void
+InferenceServer::worker_loop(std::size_t worker_index)
+{
+    while (true) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            queue_cv_.wait(lk, [this] {
+                return stop_ || (!paused_ && !queue_.empty());
+            });
+            if (stop_ && queue_.empty()) return;
+            p = std::move(queue_.front());
+            queue_.pop_front();
+            inflight_ += 1;
+            stats_.peak_inflight =
+                std::max<u64>(stats_.peak_inflight, inflight_);
+        }
+        space_cv_.notify_one();
+
+        const auto picked_up = std::chrono::steady_clock::now();
+        try {
+            ServeReply reply = execute(p, picked_up, worker_index);
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                inflight_ -= 1;
+                stats_.completed += 1;
+                stats_.total_queue_wait_s += reply.stats.queue_wait_s;
+                stats_.total_execute_s += reply.stats.execute_s;
+                stats_.total_rotations += reply.stats.rotations;
+                stats_.total_bootstraps += reply.stats.bootstraps;
+            }
+            p.promise.set_value(std::move(reply));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                inflight_ -= 1;
+                stats_.failed += 1;
+            }
+            p.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+void
+InferenceServer::resume()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        paused_ = false;
+    }
+    queue_cv_.notify_all();
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+}  // namespace orion::serve

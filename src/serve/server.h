@@ -1,0 +1,180 @@
+#ifndef ORION_SRC_SERVE_SERVER_H_
+#define ORION_SRC_SERVE_SERVER_H_
+
+/**
+ * @file
+ * The multi-session FHE inference server (the deployment model of Section
+ * 6: clients encrypt locally, the untrusted server computes on
+ * ciphertexts it cannot read).
+ *
+ * Architecture:
+ *  - One compiled network + one shared PreparedProgram (the expensive
+ *    key-independent encodings, built once).
+ *  - A pool of `max_inflight` worker threads, each owning one
+ *    external-key CkksExecutor. Per request, the worker binds the
+ *    session's evaluation keys into its executor and runs the encrypted
+ *    program; an executor therefore serves every session in turn, which
+ *    is why CkksExecutor must be safely re-runnable.
+ *  - A bounded submission queue (`queue_capacity` waiting requests).
+ *    submit() applies backpressure by blocking; try_submit() rejects
+ *    immediately when the queue is full.
+ *  - Per-request statistics (queue wait, execute wall, rotations,
+ *    bootstraps) are returned with each reply and aggregated into
+ *    server-level counters.
+ *
+ * Threading: submit()/try_submit()/stats()/register_session() are safe to
+ * call from any thread. Worker kernels default to one thread per request
+ * (throughput via request-level parallelism); ServeOptions::
+ * threads_per_request widens individual requests instead.
+ */
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/serve/session.h"
+
+namespace orion::serve {
+
+/** Server construction knobs (0 = take the core config's default). */
+struct ServeOptions {
+    /** Requests executing concurrently (workers in the executor pool). */
+    int max_inflight = 0;
+    /** Submitted-but-not-executing requests held before backpressure. */
+    int queue_capacity = 0;
+    /**
+     * Kernel threads per executing request: 1 serializes each request's
+     * kernels (default; throughput comes from request parallelism), > 1
+     * pins a per-request pool of that size, 0 inherits the ambient
+     * setting at run time.
+     */
+    int threads_per_request = 1;
+    /**
+     * Start with the worker pool idle; requests queue (and the capacity
+     * limit applies) until resume(). Lets tests and benches stage a
+     * backlog deterministically.
+     */
+    bool start_paused = false;
+};
+
+/** Per-request statistics (also echoed to the client in the Response). */
+struct RequestStats {
+    u64 session_id = 0;
+    u64 request_id = 0;
+    double queue_wait_s = 0.0;  ///< submit -> worker pickup
+    double execute_s = 0.0;     ///< encrypted program wall time
+    u64 rotations = 0;
+    u64 bootstraps = 0;
+};
+
+/** One finished request: the serialized Response plus its statistics. */
+struct ServeReply {
+    ckks::serial::Bytes response;
+    RequestStats stats;
+};
+
+/** Aggregate server counters (snapshot via InferenceServer::stats()). */
+struct ServerStats {
+    u64 submitted = 0;
+    u64 completed = 0;
+    u64 failed = 0;    ///< bad session / malformed request / exec error
+    u64 rejected = 0;  ///< try_submit refusals on a full queue
+    double total_queue_wait_s = 0.0;
+    double total_execute_s = 0.0;
+    u64 total_rotations = 0;
+    u64 total_bootstraps = 0;
+    u64 peak_inflight = 0;
+    u64 peak_queue_depth = 0;
+};
+
+/** A multi-session encrypted-inference server over one compiled network. */
+class InferenceServer {
+  public:
+    /**
+     * Builds (or adopts) the shared PreparedProgram and starts the worker
+     * pool. The network must be bootstrap-free (the repo's bootstrapper
+     * is a secret-key oracle; see ROADMAP) and compiled with matrices.
+     */
+    InferenceServer(const core::CompiledNetwork& cn,
+                    const ckks::Context& ctx, ServeOptions opts = {},
+                    std::shared_ptr<const core::PreparedProgram> prepared =
+                        nullptr);
+    /** Fails pending requests, drains workers, joins. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer&) = delete;
+    InferenceServer& operator=(const InferenceServer&) = delete;
+
+    /** Registers a client's serialized KeyBundle; returns the session id. */
+    u64 register_session(std::span<const u8> key_bundle);
+    void unregister_session(u64 id);
+    std::size_t session_count() const { return sessions_.session_count(); }
+    /** Requests completed under one session (0 for unknown ids). */
+    u64 session_requests(u64 id) const;
+
+    /**
+     * Enqueues a serialized Request. Blocks while the queue is at
+     * capacity (backpressure). The future resolves to the reply, or to an
+     * exception for unknown sessions / malformed bytes / execution
+     * failures.
+     */
+    std::future<ServeReply> submit(ckks::serial::Bytes request);
+
+    /** Non-blocking submit: nullopt (and stats().rejected++) when full. */
+    std::optional<std::future<ServeReply>> try_submit(
+        ckks::serial::Bytes request);
+
+    /** Releases a start_paused worker pool; no-op when already running. */
+    void resume();
+
+    ServerStats stats() const;
+    int max_inflight() const { return max_inflight_; }
+    int queue_capacity() const { return queue_capacity_; }
+    const ckks::Context& context() const { return *ctx_; }
+    const core::CompiledNetwork& network() const { return *cn_; }
+    std::shared_ptr<const core::PreparedProgram> prepared() const
+    {
+        return prepared_;
+    }
+
+  private:
+    struct Pending {
+        ckks::serial::Bytes bytes;
+        std::promise<ServeReply> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    std::future<ServeReply> enqueue(ckks::serial::Bytes request,
+                                    bool blocking, bool& accepted);
+    void worker_loop(std::size_t worker_index);
+    ServeReply execute(Pending& p,
+                       std::chrono::steady_clock::time_point picked_up,
+                       std::size_t worker_index);
+
+    const core::CompiledNetwork* cn_;
+    const ckks::Context* ctx_;
+    int max_inflight_ = 0;
+    int queue_capacity_ = 0;
+    std::shared_ptr<const core::PreparedProgram> prepared_;
+    SessionManager sessions_;
+    // One external-key executor per worker; index == worker index.
+    std::vector<std::unique_ptr<core::CkksExecutor>> executors_;
+
+    mutable std::mutex mu_;
+    std::condition_variable queue_cv_;  ///< workers wait for work
+    std::condition_variable space_cv_;  ///< submitters wait for space
+    std::deque<Pending> queue_;
+    bool stop_ = false;
+    bool paused_ = false;
+    u64 inflight_ = 0;
+    ServerStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace orion::serve
+
+#endif  // ORION_SRC_SERVE_SERVER_H_

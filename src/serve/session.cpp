@@ -1,0 +1,43 @@
+#include "src/serve/session.h"
+
+namespace orion::serve {
+
+u64
+SessionManager::register_session(std::span<const u8> key_bundle)
+{
+    // Decode outside the lock: key bundles are megabytes and decode cost
+    // should not serialize against concurrent lookups.
+    KeyBundle bundle = decode_key_bundle(key_bundle, *ctx_);
+    auto session = std::make_shared<Session>();
+    session->relin = std::move(bundle.relin);
+    session->galois = std::move(bundle.galois);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    session->id = next_id_++;
+    sessions_.emplace(session->id, session);
+    return session->id;
+}
+
+void
+SessionManager::unregister(u64 id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ORION_CHECK(sessions_.erase(id) == 1, "unknown session id " << id);
+}
+
+std::shared_ptr<Session>
+SessionManager::find(u64 id) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::size_t
+SessionManager::session_count() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return sessions_.size();
+}
+
+}  // namespace orion::serve

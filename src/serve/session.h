@@ -1,0 +1,60 @@
+#ifndef ORION_SRC_SERVE_SESSION_H_
+#define ORION_SRC_SERVE_SESSION_H_
+
+/**
+ * @file
+ * Per-client session state. Each client registers a KeyBundle once; the
+ * server keeps the deserialized evaluation keys alive for the lifetime of
+ * the session and binds them into a pooled executor per request. Sessions
+ * are handed out as shared_ptr so an unregister cannot pull keys out from
+ * under an in-flight request.
+ */
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/serve/wire.h"
+
+namespace orion::serve {
+
+/** One client's server-side state: evaluation keys + counters. */
+struct Session {
+    u64 id = 0;
+    ckks::KswitchKey relin;
+    ckks::GaloisKeys galois;
+
+    /** Requests completed under this session (relaxed; informational). */
+    ckks::OpCounter requests_served;
+};
+
+/** Thread-safe registry of sessions, keyed by server-assigned id. */
+class SessionManager {
+  public:
+    explicit SessionManager(const ckks::Context& ctx) : ctx_(&ctx) {}
+
+    /**
+     * Decodes and validates a serialized KeyBundle (parameters must be
+     * ring-compatible with the server context) and registers it under a
+     * fresh session id.
+     */
+    u64 register_session(std::span<const u8> key_bundle);
+
+    /** Removes a session; in-flight requests keep their shared_ptr. */
+    void unregister(u64 id);
+
+    /** The session, or nullptr when the id is unknown. */
+    std::shared_ptr<Session> find(u64 id) const;
+
+    std::size_t session_count() const;
+
+  private:
+    const ckks::Context* ctx_;
+    mutable std::mutex mu_;
+    u64 next_id_ = 1;
+    std::map<u64, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace orion::serve
+
+#endif  // ORION_SRC_SERVE_SESSION_H_

@@ -1,0 +1,62 @@
+#ifndef ORION_SRC_SERVE_WIRE_H_
+#define ORION_SRC_SERVE_WIRE_H_
+
+/**
+ * @file
+ * The three messages of the serving protocol, built on the ckks::serial
+ * record framing. A transport (today: in-process byte buffers; a future
+ * socket/RPC layer per ROADMAP) moves these opaque byte strings around:
+ *
+ *   KeyBundle  client -> server, once per session: the client's CKKS
+ *              parameters (validated against the server context) plus its
+ *              evaluation keys (relinearization + Galois). No secret key
+ *              ever appears on the wire.
+ *   Request    client -> server: session + request ids and the encrypted
+ *              input ciphertexts.
+ *   Response   server -> client: the still-encrypted output ciphertexts
+ *              plus per-request execution statistics.
+ */
+
+#include "src/ckks/serial.h"
+
+namespace orion::serve {
+
+/** Per-session evaluation key material (client -> server, once). */
+struct KeyBundle {
+    ckks::CkksParams params;    ///< must be compatible with the server's
+    ckks::KswitchKey relin;
+    ckks::GaloisKeys galois;
+};
+
+/** One encrypted inference request (client -> server). */
+struct Request {
+    u64 session_id = 0;
+    u64 request_id = 0;
+    std::vector<ckks::Ciphertext> inputs;
+};
+
+/** One encrypted inference response (server -> client). */
+struct Response {
+    u64 request_id = 0;
+    std::vector<ckks::Ciphertext> outputs;
+    // Execution statistics echoed to the client.
+    u64 rotations = 0;
+    u64 bootstraps = 0;
+    double queue_wait_s = 0.0;
+    double execute_s = 0.0;
+};
+
+ckks::serial::Bytes encode_key_bundle(const KeyBundle& b);
+/** Validates the bundle's parameters against `ctx` (ring compatibility). */
+KeyBundle decode_key_bundle(std::span<const u8> bytes,
+                            const ckks::Context& ctx);
+
+ckks::serial::Bytes encode_request(const Request& r);
+Request decode_request(std::span<const u8> bytes, const ckks::Context& ctx);
+
+ckks::serial::Bytes encode_response(const Response& r);
+Response decode_response(std::span<const u8> bytes, const ckks::Context& ctx);
+
+}  // namespace orion::serve
+
+#endif  // ORION_SRC_SERVE_WIRE_H_

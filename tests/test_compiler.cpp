@@ -282,7 +282,9 @@ TEST(Compiler, CkksExecutionMatchesSimulation)
     core::CkksExecutor fhe(cn, env.ctx);
     const std::vector<double> x = random_vector(2 * 8 * 8, 1.0, 42);
     const core::ExecutionResult rs = sim.run(x);
+    const ckks::OpCounters before = env.ctx.counters();
     const core::ExecutionResult rf = fhe.run(x);
+    const ckks::OpCounters after = env.ctx.counters();
 
     ASSERT_EQ(rf.output.size(), rs.output.size());
     const double err = rel_err(rf.output, rs.output);
@@ -294,7 +296,10 @@ TEST(Compiler, CkksExecutionMatchesSimulation)
     }
     const double precision_bits = -std::log2(abs_err);
     EXPECT_GT(precision_bits, 4.0);
-    // Real rotation count must equal the compiler's static count.
+    // The measured kernel rotation count (Context counter delta) must
+    // equal the compiler's static count, and the executor must report it.
+    EXPECT_EQ(after.total_rotations() - before.total_rotations(),
+              cn.total_rotations);
     EXPECT_EQ(rf.rotations, cn.total_rotations);
 }
 

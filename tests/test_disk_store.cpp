@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <random>
 
 #include "src/core/disk_store.h"
@@ -109,6 +110,144 @@ TEST(DiskStore, RejectsCorruptFiles)
     }
     EXPECT_THROW(DiskStoreReader r2(truncated), Error);
     std::remove(truncated.c_str());
+}
+
+// ---- hardening regressions: every corruption mode must produce a clear
+// ---- error at open (or first read), never a silent partial result ----
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+write_file(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+}
+
+/** A minimal valid store with one record: "a" = {1.0, 2.0}. */
+std::string
+one_record_store(const std::string& path)
+{
+    DiskStoreWriter w(path);
+    w.put_doubles("a", {1.0, 2.0});
+    w.close();
+    return read_file(path);
+}
+
+TEST(DiskStore, OversizedNameLengthRejected)
+{
+    const std::string path = temp_path("badname");
+    std::string contents = one_record_store(path);
+    // The name length field sits right after magic (8) + tag (1).
+    const u64 huge = u64(1) << 60;
+    std::memcpy(contents.data() + 9, &huge, sizeof(huge));
+    write_file(path, contents);
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, PayloadPastEofRejected)
+{
+    const std::string path = temp_path("badbytes");
+    std::string contents = one_record_store(path);
+    // The byte-count field follows magic + tag + name_len + 1-char name.
+    const u64 oversized = 1 << 20;
+    std::memcpy(contents.data() + 18, &oversized, sizeof(oversized));
+    write_file(path, contents);
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, MissingTrailerRejected)
+{
+    const std::string path = temp_path("notrailer");
+    std::string contents = one_record_store(path);
+    // Drop the 8-byte zero trailer; the sentinel byte alone must not pass.
+    write_file(path, contents.substr(0, contents.size() - 8));
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, TrailingGarbageRejected)
+{
+    const std::string path = temp_path("trailing");
+    std::string contents = one_record_store(path);
+    write_file(path, contents + "extra");
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, UnknownTagRejected)
+{
+    const std::string path = temp_path("badtag");
+    std::string contents = one_record_store(path);
+    contents[8] = 'Q';  // the record tag
+    write_file(path, contents);
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, DuplicateRecordRejected)
+{
+    // The writer refuses at write time...
+    const std::string path = temp_path("dupe");
+    {
+        DiskStoreWriter w(path);
+        w.put_doubles("same", {1.0});
+        EXPECT_THROW(w.put_doubles("same", {2.0}), Error);
+    }
+    std::remove(path.c_str());
+
+    // ...and the reader independently rejects a hand-crafted file with
+    // two same-named records.
+    const std::string crafted = temp_path("dupe2");
+    std::string contents = one_record_store(crafted);
+    const std::string record =
+        contents.substr(8, contents.size() - 8 - 9);  // strip magic+trailer
+    const std::string tail = contents.substr(contents.size() - 9);
+    write_file(crafted, contents.substr(0, 8) + record + record + tail);
+    EXPECT_THROW(DiskStoreReader r(crafted), Error);
+    std::remove(crafted.c_str());
+}
+
+TEST(DiskStore, NonIntegralElementCountRejected)
+{
+    // Hand-craft a store whose record payload is 7 bytes: structurally
+    // valid, but not a whole number of doubles (or u64s).
+    const std::string path = temp_path("odd7");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write("ORIONDS1", 8);
+        out.put('D');
+        const u64 name_len = 1;
+        out.write(reinterpret_cast<const char*>(&name_len),
+                  sizeof(name_len));
+        out.put('x');
+        const u64 bytes = 7;
+        out.write(reinterpret_cast<const char*>(&bytes), sizeof(bytes));
+        out.write("1234567", 7);
+        out.put('Z');
+        const u64 zero = 0;
+        out.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+    }
+    DiskStoreReader r(path);
+    EXPECT_THROW(r.get_doubles("x"), Error);
+    std::remove(path.c_str());
+}
+
+TEST(DiskStore, EmptyFileRejected)
+{
+    const std::string path = temp_path("empty");
+    write_file(path, "");
+    EXPECT_THROW(DiskStoreReader r(path), Error);
+    std::remove(path.c_str());
 }
 
 TEST(DiskStore, WrongTypeRejected)

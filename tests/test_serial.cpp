@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "src/ckks/serial.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+namespace serial = ckks::serial;
+using serial::Bytes;
+
+// ---------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------
+
+TEST(Serial, ParamsRoundTrip)
+{
+    const ckks::CkksParams p = ckks::CkksParams::network(u64(1) << 13, 11);
+    const Bytes bytes = serial::serialize(p);
+    const ckks::CkksParams back = serial::deserialize_params(bytes);
+    EXPECT_EQ(back.poly_degree, p.poly_degree);
+    EXPECT_EQ(back.log_scale, p.log_scale);
+    EXPECT_EQ(back.first_prime_bits, p.first_prime_bits);
+    EXPECT_EQ(back.num_scale_primes, p.num_scale_primes);
+    EXPECT_EQ(back.special_prime_bits, p.special_prime_bits);
+    EXPECT_EQ(back.digit_size, p.digit_size);
+    EXPECT_EQ(back.seed, p.seed);
+    EXPECT_TRUE(serial::params_compatible(back, p));
+}
+
+TEST(Serial, ParamsCompatibilityIgnoresSeedOnly)
+{
+    ckks::CkksParams a = ckks::CkksParams::toy();
+    ckks::CkksParams b = a;
+    b.seed = 999;
+    EXPECT_TRUE(serial::params_compatible(a, b));
+    b = a;
+    b.num_scale_primes += 1;
+    EXPECT_FALSE(serial::params_compatible(a, b));
+}
+
+TEST(Serial, PolyRoundTripAllForms)
+{
+    CkksEnv& env = CkksEnv::shared();
+    for (const int level : {0, 2, env.ctx.max_level()}) {
+        // NTT-form ciphertext component.
+        const ckks::Ciphertext ct =
+            encrypt_vector(env, random_vector(100, 1.0, 7), level);
+        const Bytes bytes = serial::serialize(ct.c0);
+        const ckks::RnsPoly back = serial::deserialize_poly(bytes, env.ctx);
+        EXPECT_EQ(back.level(), level);
+        EXPECT_TRUE(back.is_ntt());
+        // Byte-identical re-serialization == limb-exact round trip.
+        EXPECT_EQ(serial::serialize(back), bytes);
+
+        // Coefficient form.
+        ckks::RnsPoly coeff = ct.c1;
+        coeff.to_coeff();
+        const Bytes cbytes = serial::serialize(coeff);
+        const ckks::RnsPoly cback =
+            serial::deserialize_poly(cbytes, env.ctx);
+        EXPECT_FALSE(cback.is_ntt());
+        EXPECT_EQ(serial::serialize(cback), cbytes);
+    }
+}
+
+TEST(Serial, CiphertextRoundTripAcrossParameterPoints)
+{
+    // Several (N, L) points: the shared toy context plus a larger ring
+    // with a shorter chain.
+    CkksEnv& env = CkksEnv::shared();
+    struct Point {
+        const ckks::Context* ctx;
+        const ckks::Encoder* encoder;
+        int level;
+    };
+    ckks::CkksParams big_params = ckks::CkksParams::toy();
+    big_params.poly_degree = u64(1) << 12;
+    big_params.num_scale_primes = 4;
+    const ckks::Context big_ctx(big_params);
+    const ckks::Encoder big_encoder(big_ctx);
+    ckks::KeyGenerator big_keygen(big_ctx, 13);
+    const ckks::PublicKey big_pk = big_keygen.make_public_key();
+    ckks::Encryptor big_encryptor(big_ctx, big_pk);
+    const ckks::Decryptor big_decryptor(big_ctx,
+                                        big_keygen.secret_key());
+
+    for (const int level : {1, 3}) {
+        const std::vector<double> values = random_vector(64, 1.0, level);
+        // Toy point.
+        {
+            const ckks::Ciphertext ct = encrypt_vector(env, values, level);
+            const Bytes bytes = serial::serialize(ct);
+            const ckks::Ciphertext back =
+                serial::deserialize_ciphertext(bytes, env.ctx);
+            EXPECT_EQ(back.level(), level);
+            EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+            EXPECT_EQ(serial::serialize(back), bytes);
+            const std::vector<double> got = decrypt_vector(env, back);
+            EXPECT_LT(max_abs_diff(
+                          std::vector<double>(got.begin(), got.begin() + 64),
+                          values),
+                      1e-4);
+        }
+        // Larger-ring point.
+        {
+            const ckks::Plaintext pt =
+                big_encoder.encode(values, level, big_ctx.scale());
+            const ckks::Ciphertext ct = big_encryptor.encrypt(pt);
+            const Bytes bytes = serial::serialize(ct);
+            const ckks::Ciphertext back =
+                serial::deserialize_ciphertext(bytes, big_ctx);
+            EXPECT_EQ(serial::serialize(back), bytes);
+            const std::vector<double> got =
+                big_encoder.decode(big_decryptor.decrypt(back));
+            EXPECT_LT(max_abs_diff(
+                          std::vector<double>(got.begin(), got.begin() + 64),
+                          values),
+                      1e-4);
+        }
+    }
+}
+
+TEST(Serial, PlaintextRoundTrip)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const ckks::Plaintext pt = env.encoder.encode(
+        random_vector(50, 1.0, 3), 2, env.ctx.scale());
+    const Bytes bytes = serial::serialize(pt);
+    const ckks::Plaintext back =
+        serial::deserialize_plaintext(bytes, env.ctx);
+    EXPECT_EQ(serial::serialize(back), bytes);
+}
+
+TEST(Serial, PublicKeyRoundTripEncrypts)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const Bytes bytes = serial::serialize(env.pk);
+    const ckks::PublicKey back =
+        serial::deserialize_public_key(bytes, env.ctx);
+    EXPECT_EQ(serial::serialize(back), bytes);
+
+    // A ciphertext made with the deserialized key must decrypt correctly.
+    ckks::Encryptor enc(env.ctx, back, /*seed=*/123);
+    const std::vector<double> values = random_vector(80, 1.0, 17);
+    const ckks::Ciphertext ct = enc.encrypt(env.encoder.encode(
+        values, env.ctx.max_level(), env.ctx.scale()));
+    const std::vector<double> got = decrypt_vector(env, ct);
+    EXPECT_LT(max_abs_diff(
+                  std::vector<double>(got.begin(), got.begin() + 80),
+                  values),
+              1e-4);
+}
+
+TEST(Serial, RelinKeyRoundTripIsBitExactInUse)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const Bytes bytes = serial::serialize(env.relin);
+    const ckks::KswitchKey back =
+        serial::deserialize_kswitch_key(bytes, env.ctx);
+    EXPECT_EQ(serial::serialize(back), bytes);
+
+    // Squaring with the deserialized key must be bit-identical.
+    const ckks::Ciphertext ct =
+        encrypt_vector(env, random_vector(64, 0.5, 23), 3);
+    ckks::Evaluator eval2(env.ctx, env.encoder);
+    eval2.set_relin_key(&back);
+    eval2.set_galois_keys(&env.galois);
+    const ckks::Ciphertext want = env.eval.square(ct);
+    const ckks::Ciphertext got = eval2.square(ct);
+    EXPECT_EQ(serial::serialize(got), serial::serialize(want));
+}
+
+TEST(Serial, GaloisKeysRoundTripIsBitExactInUse)
+{
+    CkksEnv& env = CkksEnv::shared();
+    const Bytes bytes = serial::serialize(env.galois);
+    const ckks::GaloisKeys back =
+        serial::deserialize_galois_keys(bytes, env.ctx);
+    EXPECT_EQ(back.keys.size(), env.galois.keys.size());
+    EXPECT_EQ(serial::serialize(back), bytes);
+
+    const ckks::Ciphertext ct =
+        encrypt_vector(env, random_vector(128, 1.0, 29), 4);
+    ckks::Evaluator eval2(env.ctx, env.encoder);
+    eval2.set_relin_key(&env.relin);
+    eval2.set_galois_keys(&back);
+    for (const int step : {1, 7, -3}) {
+        const ckks::Ciphertext want = env.eval.rotate(ct, step);
+        const ckks::Ciphertext got = eval2.rotate(ct, step);
+        EXPECT_EQ(serial::serialize(got), serial::serialize(want));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial decodes: malformed bytes produce clean errors, never UB
+// ---------------------------------------------------------------------
+
+Bytes
+sample_ciphertext_bytes()
+{
+    CkksEnv& env = CkksEnv::shared();
+    const ckks::Ciphertext ct =
+        encrypt_vector(env, random_vector(32, 1.0, 31), 2);
+    return serial::serialize(ct);
+}
+
+TEST(Serial, RejectsBadMagic)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    bytes[0] = 'X';
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsBadVersion)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    bytes[4] = 0x7F;  // version byte
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsWrongKind)
+{
+    const Bytes bytes = sample_ciphertext_bytes();
+    // Valid ciphertext record handed to the poly decoder.
+    EXPECT_THROW(serial::deserialize_poly(bytes, CkksEnv::shared().ctx),
+                 Error);
+}
+
+TEST(Serial, RejectsTruncatedPayload)
+{
+    const Bytes bytes = sample_ciphertext_bytes();
+    // Cut at several depths: inside the header, inside the first poly,
+    // and one byte short of complete.
+    for (const std::size_t keep :
+         {std::size_t(3), std::size_t(13), std::size_t(40),
+          bytes.size() / 2, bytes.size() - 1}) {
+        const Bytes cut(bytes.begin(),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_THROW(
+            serial::deserialize_ciphertext(cut, CkksEnv::shared().ctx),
+            Error)
+            << "keep=" << keep;
+    }
+}
+
+TEST(Serial, RejectsOversizedLengthPrefix)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    // The payload length lives at offset 6..13; claim more than present.
+    bytes[6] = 0xFF;
+    bytes[7] = 0xFF;
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsUndersizedLengthPrefix)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    bytes[6] = 0x01;  // claim a tiny payload; actual bytes remain
+    for (int i = 7; i < 14; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsOutOfRangeResidue)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    // First residue of c0's limb 0: frame (14) + scale (8) + poly header
+    // (1 + 1 + 4 + 8). Patch to 2^64 - 1, far above any 61-bit modulus.
+    const std::size_t offset = 14 + 8 + 14;
+    for (std::size_t i = 0; i < 8; ++i) bytes[offset + i] = 0xFF;
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsLevelAboveContext)
+{
+    Bytes bytes = sample_ciphertext_bytes();
+    // The c0 poly's level field: frame (14) + scale (8) + flags (2).
+    bytes[14 + 8 + 2] = 99;
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(bytes, CkksEnv::shared().ctx),
+        Error);
+}
+
+TEST(Serial, RejectsKswitchKeyBelowFullChain)
+{
+    // The key switcher indexes key limbs assuming full-chain (max level)
+    // keys; a hostile bundle with shorter digit polys would be read out
+    // of bounds, so the decoder must reject it outright.
+    CkksEnv& env = CkksEnv::shared();
+    ckks::KswitchKey low;
+    low.b.emplace_back(env.ctx, /*level=*/0, /*extended=*/true,
+                       /*ntt_form=*/true);
+    low.a.emplace_back(env.ctx, /*level=*/0, /*extended=*/true,
+                       /*ntt_form=*/true);
+    const Bytes bytes = serial::serialize(low);
+    EXPECT_THROW(serial::deserialize_kswitch_key(bytes, env.ctx), Error);
+}
+
+TEST(Serial, RejectsForeignContext)
+{
+    const Bytes bytes = sample_ciphertext_bytes();
+    ckks::CkksParams other = ckks::CkksParams::toy();
+    other.poly_degree = u64(1) << 12;
+    const ckks::Context other_ctx(other);
+    EXPECT_THROW(serial::deserialize_ciphertext(bytes, other_ctx), Error);
+}
+
+TEST(Serial, RejectsEmptyAndTinyBuffers)
+{
+    const Bytes empty;
+    EXPECT_THROW(
+        serial::deserialize_ciphertext(empty, CkksEnv::shared().ctx),
+        Error);
+    const Bytes tiny = {'O', 'R', 'N', '1'};
+    EXPECT_THROW(serial::deserialize_ciphertext(tiny, CkksEnv::shared().ctx),
+                 Error);
+}
+
+}  // namespace
+}  // namespace orion::test

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "src/core/executor.h"
+#include "src/nn/models.h"
+#include "src/serve/serve.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using core::CompiledNetwork;
+using nn::Network;
+using serve::InferenceServer;
+using serve::ServeClient;
+using serve::ServeOptions;
+
+/** Shared compiled program + prepared payloads (built once; read-only). */
+struct ServeEnv {
+    Network net;
+    CompiledNetwork cn;
+    std::shared_ptr<const core::PreparedProgram> prepared;
+
+    ServeEnv()
+        : net(nn::make_micro_mlp())
+    {
+        CkksEnv& env = CkksEnv::shared();
+        core::CompileOptions opt;
+        opt.slots = env.ctx.slot_count();
+        opt.l_eff = 4;
+        opt.cost = core::CostModel::for_params(env.ctx.degree(), 3, 3, 3);
+        opt.calibration_samples = 3;
+        opt.structural_only = false;
+        cn = core::compile(net, opt);
+        prepared =
+            std::make_shared<const core::PreparedProgram>(cn, env.ctx);
+    }
+
+    static ServeEnv&
+    shared()
+    {
+        static ServeEnv env;
+        return env;
+    }
+};
+
+ServeOptions
+opts(int inflight, int capacity, bool paused = false)
+{
+    ServeOptions o;
+    o.max_inflight = inflight;
+    o.queue_capacity = capacity;
+    o.start_paused = paused;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Executor reuse (the pooling prerequisite)
+// ---------------------------------------------------------------------
+
+TEST(Serve, BackToBackRunsOnOneExecutorAgree)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    core::CkksExecutor exec(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                            senv.prepared);
+    const std::vector<double> x = random_vector(64, 1.0, 61);
+
+    const core::ExecutionResult r1 = exec.run(x);
+    const core::ExecutionResult r2 = exec.run(x);
+    ASSERT_EQ(r1.output.size(), r2.output.size());
+    // Fresh encryption noise differs per run; results agree to CKKS
+    // precision and all deterministic stats match exactly.
+    EXPECT_LT(max_abs_diff(r1.output, r2.output), 1e-3);
+    EXPECT_EQ(r1.rotations, r2.rotations);
+    EXPECT_EQ(r1.pmults, r2.pmults);
+    EXPECT_EQ(r1.bootstraps, r2.bootstraps);
+    EXPECT_EQ(r1.rotations, senv.cn.total_rotations);
+
+    // Encrypted-domain reruns on the same instance as well.
+    const std::vector<ckks::Ciphertext> in_cts = exec.encrypt_input(x);
+    const core::EncryptedResult e1 = exec.run_encrypted(in_cts);
+    const core::EncryptedResult e2 = exec.run_encrypted(in_cts);
+    EXPECT_EQ(e1.rotations, e2.rotations);
+    EXPECT_LT(max_abs_diff(exec.decrypt_output(e1.outputs),
+                           exec.decrypt_output(e2.outputs)),
+              1e-6);  // same input ciphertexts -> same encrypted outputs
+}
+
+// ---------------------------------------------------------------------
+// End-to-end serving
+// ---------------------------------------------------------------------
+
+TEST(Serve, TwoSessionsEndToEndMatchDirectExecution)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+
+    // Ground truth: a direct in-process self-keyed run.
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+
+    InferenceServer server(senv.cn, env.ctx, opts(2, 8), senv.prepared);
+    ServeClient alice(senv.cn, env.ctx, /*seed=*/100);
+    ServeClient bob(senv.cn, env.ctx, /*seed=*/200);
+    alice.set_session_id(server.register_session(alice.key_bundle()));
+    bob.set_session_id(server.register_session(bob.key_bundle()));
+    EXPECT_EQ(server.session_count(), 2u);
+    EXPECT_NE(alice.session_id(), bob.session_id());
+
+    const std::vector<double> xa = random_vector(64, 1.0, 71);
+    const std::vector<double> xb = random_vector(64, 1.0, 72);
+    const std::vector<double> want_a = direct.run(xa).output;
+    const std::vector<double> want_b = direct.run(xb).output;
+
+    // Both sessions in flight concurrently, through the full
+    // serialize -> submit -> execute -> deserialize -> decrypt path.
+    std::future<serve::ServeReply> fa = server.submit(alice.make_request(xa));
+    std::future<serve::ServeReply> fb = server.submit(bob.make_request(xb));
+    const serve::ServeReply ra = fa.get();
+    const serve::ServeReply rb = fb.get();
+
+    const std::vector<double> got_a = alice.decrypt_response(ra.response);
+    const std::vector<double> got_b = bob.decrypt_response(rb.response);
+    ASSERT_EQ(got_a.size(), want_a.size());
+    ASSERT_EQ(got_b.size(), want_b.size());
+    EXPECT_LT(max_abs_diff(got_a, want_a), 1e-3);
+    EXPECT_LT(max_abs_diff(got_b, want_b), 1e-3);
+
+    // Per-request stats.
+    EXPECT_EQ(ra.stats.session_id, alice.session_id());
+    EXPECT_EQ(ra.stats.rotations, senv.cn.total_rotations);
+    EXPECT_EQ(ra.stats.bootstraps, 0u);
+    EXPECT_GE(ra.stats.queue_wait_s, 0.0);
+    EXPECT_GT(ra.stats.execute_s, 0.0);
+    // Stats echoed on the wire match.
+    const serve::Response parsed = alice.parse_response(ra.response);
+    EXPECT_EQ(parsed.rotations, ra.stats.rotations);
+    EXPECT_EQ(parsed.request_id, ra.stats.request_id);
+
+    // Aggregates, server-level and per-session.
+    EXPECT_EQ(server.session_requests(alice.session_id()), 1u);
+    EXPECT_EQ(server.session_requests(bob.session_id()), 1u);
+    EXPECT_EQ(server.session_requests(999), 0u);
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.total_rotations, 2 * senv.cn.total_rotations);
+    EXPECT_LE(stats.peak_inflight, 2u);
+    EXPECT_GE(stats.peak_inflight, 1u);
+}
+
+TEST(Serve, OneWorkerServesManySessionsByRebinding)
+{
+    // A single pooled executor must serve interleaved sessions correctly
+    // (key rebinding between runs - the executor-reuse requirement).
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+
+    InferenceServer server(senv.cn, env.ctx, opts(1, 8), senv.prepared);
+    ServeClient alice(senv.cn, env.ctx, /*seed=*/101);
+    ServeClient bob(senv.cn, env.ctx, /*seed=*/202);
+    alice.set_session_id(server.register_session(alice.key_bundle()));
+    bob.set_session_id(server.register_session(bob.key_bundle()));
+
+    const std::vector<double> x = random_vector(64, 1.0, 73);
+    const std::vector<double> want = direct.run(x).output;
+    for (int round = 0; round < 2; ++round) {
+        auto fa = server.submit(alice.make_request(x));
+        auto fb = server.submit(bob.make_request(x));
+        EXPECT_LT(max_abs_diff(alice.decrypt_response(fa.get().response),
+                               want),
+                  1e-3);
+        EXPECT_LT(max_abs_diff(bob.decrypt_response(fb.get().response),
+                               want),
+                  1e-3);
+    }
+    EXPECT_EQ(server.stats().completed, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler admission and failure paths
+// ---------------------------------------------------------------------
+
+TEST(Serve, TrySubmitRejectsWhenQueueFull)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    // Paused workers: the queue fills deterministically.
+    InferenceServer server(senv.cn, env.ctx,
+                           opts(1, /*capacity=*/2, /*paused=*/true),
+                           senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/103);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    const std::vector<double> x = random_vector(64, 1.0, 74);
+    auto f1 = server.try_submit(client.make_request(x));
+    auto f2 = server.try_submit(client.make_request(x));
+    auto f3 = server.try_submit(client.make_request(x));
+    EXPECT_TRUE(f1.has_value());
+    EXPECT_TRUE(f2.has_value());
+    EXPECT_FALSE(f3.has_value());  // capacity 2: third is rejected
+    EXPECT_EQ(server.stats().rejected, 1u);
+    EXPECT_EQ(server.stats().peak_queue_depth, 2u);
+
+    server.resume();
+    EXPECT_NO_THROW(f1->get());
+    EXPECT_NO_THROW(f2->get());
+    EXPECT_EQ(server.stats().completed, 2u);
+}
+
+TEST(Serve, BlockingSubmitAppliesBackpressure)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx,
+                           opts(1, /*capacity=*/1, /*paused=*/true),
+                           senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/104);
+    client.set_session_id(server.register_session(client.key_bundle()));
+    const std::vector<double> x = random_vector(64, 1.0, 75);
+
+    auto f1 = server.submit(client.make_request(x));
+    // The queue is full; the next submit must block until resume() lets
+    // the worker drain it.
+    std::future<serve::ServeReply> f2;
+    std::thread submitter([&] {
+        f2 = server.submit(client.make_request(x));
+    });
+    server.resume();
+    submitter.join();
+    EXPECT_NO_THROW(f1.get());
+    EXPECT_NO_THROW(f2.get());
+    EXPECT_EQ(server.stats().completed, 2u);
+    EXPECT_EQ(server.stats().rejected, 0u);
+}
+
+TEST(Serve, UnknownSessionFailsTheRequest)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/105);
+    client.set_session_id(777);  // never registered
+
+    auto fut = server.submit(client.make_request(random_vector(64, 1.0, 76)));
+    EXPECT_THROW(fut.get(), Error);
+    EXPECT_EQ(server.stats().failed, 1u);
+    EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(Serve, MalformedRequestFailsCleanly)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+
+    ckks::serial::Bytes garbage = {1, 2, 3, 4, 5};
+    auto fut = server.submit(std::move(garbage));
+    EXPECT_THROW(fut.get(), Error);
+    EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST(Serve, MismatchedParameterBundleRejected)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+
+    // A bundle from an incompatible ring must be rejected at registration.
+    ckks::CkksParams other = ckks::CkksParams::toy();
+    other.num_scale_primes += 1;
+    serve::KeyBundle bundle;
+    bundle.params = other;
+    ckks::KeyGenerator keygen(env.ctx, 9);
+    bundle.relin = keygen.make_relin_key();
+    EXPECT_THROW(server.register_session(serve::encode_key_bundle(bundle)),
+                 Error);
+
+    // Unregistering a never-registered id is also an error.
+    EXPECT_THROW(server.unregister_session(42), Error);
+}
+
+TEST(Serve, ServerShutdownFailsPendingRequests)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    std::future<serve::ServeReply> orphan;
+    {
+        InferenceServer server(senv.cn, env.ctx,
+                               opts(1, 4, /*paused=*/true), senv.prepared);
+        ServeClient client(senv.cn, env.ctx, /*seed=*/106);
+        client.set_session_id(server.register_session(client.key_bundle()));
+        orphan =
+            server.submit(client.make_request(random_vector(64, 1.0, 77)));
+        // Destructor runs with the request still queued (workers paused).
+    }
+    EXPECT_THROW(orphan.get(), Error);
+}
+
+TEST(Serve, ConcurrentMixedSessionsUnderLoad)
+{
+    // The sanitizer-job stress: several sessions, more requests than
+    // workers, futures resolved out of order.
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+
+    InferenceServer server(senv.cn, env.ctx, opts(2, 16), senv.prepared);
+    const int kClients = 3;
+    const int kRequestsEach = 2;
+    std::vector<std::unique_ptr<ServeClient>> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.push_back(std::make_unique<ServeClient>(
+            senv.cn, env.ctx, /*seed=*/300 + static_cast<u64>(c)));
+        clients.back()->set_session_id(
+            server.register_session(clients.back()->key_bundle()));
+    }
+
+    std::vector<std::vector<double>> inputs;
+    std::vector<std::vector<double>> want;
+    std::vector<std::future<serve::ServeReply>> futures;
+    std::vector<int> owner;
+    for (int r = 0; r < kRequestsEach; ++r) {
+        for (int c = 0; c < kClients; ++c) {
+            inputs.push_back(random_vector(64, 1.0,
+                                           800 + static_cast<u64>(r * 8 + c)));
+            want.push_back(direct.run(inputs.back()).output);
+            futures.push_back(
+                server.submit(clients[static_cast<std::size_t>(c)]
+                                  ->make_request(inputs.back())));
+            owner.push_back(c);
+        }
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const serve::ServeReply reply = futures[i].get();
+        const std::vector<double> got =
+            clients[static_cast<std::size_t>(owner[i])]->decrypt_response(
+                reply.response);
+        EXPECT_LT(max_abs_diff(got, want[i]), 1e-3) << "request " << i;
+    }
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed,
+              static_cast<u64>(kClients * kRequestsEach));
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_LE(stats.peak_inflight, 2u);
+}
+
+}  // namespace
+}  // namespace orion::test
