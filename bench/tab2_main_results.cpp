@@ -35,23 +35,22 @@ run_row(const Row& row)
     const nn::Network net = nn::make_model(row.model);
     const u64 in_size = net.shape_of(net.input_id()).size();
 
+    // Paper-scale simulation-only session (2^15 slots, l_eff 10).
+    Session session = Session::simulation();
     core::CompileOptions opt;
-    opt.slots = u64(1) << 15;
-    opt.l_eff = 10;
     opt.structural_only = true;
     opt.calibration_samples = in_size > 100000 ? 2 : 8;
-    const core::CompiledNetwork cn = core::compile(net, opt);
+    const core::CompiledNetwork& cn = session.compile(net, opt);
 
     // Functional run: simulation with bootstrap noise; top-1 agreement and
     // precision vs the cleartext network.
-    core::SimExecutor sim(cn, /*bootstrap_noise_std=*/1e-6);
     const int trials = bench::smoke() ? 1 : (in_size > 100000 ? 1 : 4);
     int agree = 0;
     double prec = 0.0;
     for (int t = 0; t < trials; ++t) {
         const std::vector<double> x =
             bench::random_vector(in_size, 1.0, 100 + t);
-        const core::ExecutionResult r = sim.run(x);
+        const core::ExecutionResult r = session.simulate(x);
         const std::vector<double> want = net.forward(x);
         agree += bench::same_argmax(r.output, want) ? 1 : 0;
         prec += bench::precision_bits(r.output, want);
@@ -62,14 +61,11 @@ run_row(const Row& row)
     double real_prec = 0.0;
     if (row.real_fhe) {
         // Real end-to-end RNS-CKKS inference at functional parameters.
-        ckks::CkksParams params = ckks::CkksParams::network(u64(1) << 13, 8);
-        ckks::Context ctx(params);
-        core::CompileOptions fopt = opt;
-        fopt.slots = ctx.slot_count();
-        fopt.l_eff = 6;
-        fopt.structural_only = false;
-        const core::CompiledNetwork fcn = core::compile(net, fopt);
-        core::CkksExecutor fhe(fcn, ctx);
+        Session fhe = Session::with_params(
+            ckks::CkksParams::network(u64(1) << 13, 8), /*l_eff=*/6);
+        core::CompileOptions fopt;
+        fopt.calibration_samples = opt.calibration_samples;
+        fhe.compile(net, fopt);
         const std::vector<double> x =
             bench::random_vector(in_size, 1.0, 200);
         const core::ExecutionResult r = fhe.run(x);

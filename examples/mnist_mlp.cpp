@@ -3,7 +3,8 @@
  * MNIST MLP under real FHE: the paper's smallest Table 2 row, run
  * end-to-end under RNS-CKKS encryption on this machine and validated
  * against the cleartext network over a batch of inputs (the paper's
- * validation methodology, Section 7).
+ * validation methodology, Section 7). The whole pipeline - context,
+ * keys, compile, execute - is driven through one orion::Session.
  */
 
 #include <cstdio>
@@ -16,31 +17,25 @@ using namespace orion;
 int
 main()
 {
-    const nn::Network net = nn::make_mlp();
+    const nn::Network net = nn::make_model("mlp");
     std::printf("MLP: %.2fM parameters (paper: 0.12M)\n",
                 net.param_count() / 1e6);
 
     // Functional CKKS parameters sized for the 784-dim input (NOT secure;
     // see DESIGN.md on parameter substitution).
-    ckks::CkksParams params = ckks::CkksParams::network(u64(1) << 13, 8);
-    ckks::Context ctx(params);
-
-    core::CompileOptions opt;
-    opt.slots = ctx.slot_count();
-    opt.l_eff = 6;
-    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
-                                           params.digit_size, 2);
-    const core::CompiledNetwork compiled = core::compile(net, opt);
+    Session session =
+        Session::with_params(ckks::CkksParams::network(u64(1) << 13, 8),
+                             /*l_eff=*/6);
+    const core::CompiledNetwork& compiled = session.compile(net);
     std::printf("compiled in %.2f s: %llu rotations, depth %d, "
                 "%llu bootstraps (paper: 70 rots, depth 5, 0 boots)\n",
                 compiled.compile_seconds,
                 static_cast<unsigned long long>(compiled.total_rotations),
                 compiled.activation_depth,
                 static_cast<unsigned long long>(compiled.num_bootstraps));
-
-    core::CkksExecutor fhe(compiled, ctx);
     std::printf("rotation keys: %.1f MB\n",
-                static_cast<double>(fhe.galois_key_bytes()) / 1e6);
+                static_cast<double>(session.executor().galois_key_bytes()) /
+                    1e6);
 
     std::mt19937_64 rng(3);
     std::uniform_real_distribution<double> dist(-1.0, 1.0);
@@ -52,7 +47,7 @@ main()
         std::vector<double> image(784);
         for (double& x : image) x = dist(rng);
         const std::vector<double> clear = net.forward(image);
-        const core::ExecutionResult r = fhe.run(image);
+        const core::ExecutionResult r = session.run(image);
         total_time += r.wall_seconds;
 
         std::size_t ic = 0, ie = 0;

@@ -1,8 +1,9 @@
 /**
  * @file
- * Quickstart: define a small network with the orion::nn API (the C++
- * analogue of Listing 1), compile it, and run the same program three ways:
- * cleartext, functional simulation, and real RNS-CKKS encryption.
+ * Quickstart: define a small network with the PyTorch-style orion::nn
+ * module frontend (the C++ analogue of Listing 1), compile it inside an
+ * orion::Session, and run the same program three ways: cleartext,
+ * functional simulation, and real RNS-CKKS encryption.
  */
 
 #include <cstdio>
@@ -15,43 +16,26 @@ using namespace orion;
 int
 main()
 {
-    // 1. Define a network (mirrors the PyTorch-style API of Listing 1).
-    std::mt19937_64 rng(1);
-    std::normal_distribution<double> dist(0.0, 0.3);
-    auto weights = [&](u64 n) {
-        std::vector<double> w(n);
-        for (double& x : w) x = dist(rng);
-        return w;
-    };
+    // 1. Define the network (Listing 1 style: no layer ids, no flat weight
+    //    vectors; unset weights are He-initialized by the session's seed).
+    auto net = nn::Sequential({
+        nn::Conv2d(1, 4, 3, {.stride = 2, .pad = 1}),  // still one level
+        nn::Square(),
+        nn::Flatten(),
+        nn::Linear(64, 10),
+    });
 
-    nn::Network net("quickstart");
-    int id = net.add_input(1, 8, 8);
-    lin::Conv2dSpec conv;
-    conv.in_channels = 1;
-    conv.out_channels = 4;
-    conv.kernel_h = conv.kernel_w = 3;
-    conv.stride = 2;  // single-shot multiplexed: still one level
-    conv.pad = 1;
-    id = net.add_conv2d(id, conv, weights(conv.weight_count()), weights(4));
-    id = net.add_activation(id, nn::ActivationSpec::square());
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 10, weights(10 * 4 * 4 * 4), weights(10));
-    net.set_output(id);
+    // 2. A session owns the CKKS context + keys (toy params - NOT secure)
+    //    and compiles: range estimation, packing, level + bootstrap
+    //    placement (Section 6).
+    Session session = Session::toy();
+    const core::CompiledNetwork& compiled =
+        session.compile(*net, 1, 8, 8, "quickstart");
     std::printf("network: %llu parameters, %llu multiplies\n",
-                static_cast<unsigned long long>(net.param_count()),
-                static_cast<unsigned long long>(net.flop_count()));
-
-    // 2. A CKKS context (toy parameters - NOT secure, fast for demo).
-    ckks::CkksParams params = ckks::CkksParams::toy();
-    ckks::Context ctx(params);
-
-    // 3. Compile: range estimation, packing, level + bootstrap placement.
-    core::CompileOptions opt;
-    opt.slots = ctx.slot_count();
-    opt.l_eff = 4;
-    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
-                                           params.digit_size, 2);
-    const core::CompiledNetwork compiled = core::compile(net, opt);
+                static_cast<unsigned long long>(
+                    session.network().param_count()),
+                static_cast<unsigned long long>(
+                    session.network().flop_count()));
     std::printf("compiled: %zu instructions, %llu rotations, "
                 "%llu bootstraps\n",
                 compiled.program.size(),
@@ -66,17 +50,15 @@ main()
                     d.bootstrap_before ? "  [bootstrap before]" : "");
     }
 
-    // 4. Run it three ways.
-    std::mt19937_64 rng2(2);
+    // 3. Run it three ways.
+    std::mt19937_64 rng(2);
     std::uniform_real_distribution<double> in_dist(-1.0, 1.0);
     std::vector<double> image(64);
-    for (double& x : image) x = in_dist(rng2);
+    for (double& x : image) x = in_dist(rng);
 
-    const std::vector<double> clear = net.forward(image);
-    core::SimExecutor sim(compiled, 0.0);
-    const core::ExecutionResult sim_result = sim.run(image);
-    core::CkksExecutor fhe(compiled, ctx);
-    const core::ExecutionResult fhe_result = fhe.run(image);
+    const std::vector<double> clear = session.network().forward(image);
+    const core::ExecutionResult sim_result = session.simulate(image);
+    const core::ExecutionResult fhe_result = session.run(image);
 
     std::printf("\n%-10s %12s %12s %12s\n", "logit", "cleartext",
                 "simulated", "encrypted");

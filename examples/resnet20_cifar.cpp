@@ -1,10 +1,11 @@
 /**
  * @file
  * ResNet-20 on CIFAR-10-sized inputs: the FHE community's standard
- * benchmark (Table 2/4 of the paper). Compiles the full network (single-
- * shot multiplexed packing + automatic bootstrap placement), prints the
- * level-management policy for the first residual block, and validates the
- * functional FHE execution against the cleartext network.
+ * benchmark (Table 2/4 of the paper). A simulation-only orion::Session
+ * compiles the full network (single-shot multiplexed packing + automatic
+ * bootstrap placement) at paper-scale slots, prints the level-management
+ * policy for the first residual block, and validates the functional FHE
+ * execution against the cleartext network.
  */
 
 #include <cstdio>
@@ -18,18 +19,18 @@ int
 main(int argc, char** argv)
 {
     const bool silu = argc > 1 && std::string(argv[1]) == "--silu";
-    const nn::Network net = nn::make_resnet_cifar(
-        20, silu ? nn::Act::kSilu : nn::Act::kRelu);
+    const nn::Network net =
+        nn::make_model(silu ? "resnet20-silu" : "resnet20-relu");
     std::printf("%s: %.2fM params, %.1fM multiplies\n",
                 net.network_name().c_str(), net.param_count() / 1e6,
                 net.flop_count() / 1e6);
 
+    // Paper scale: N = 2^16 -> 2^15 slots, l_eff 10 (the session default).
+    Session session = Session::simulation();
     core::CompileOptions opt;
-    opt.slots = u64(1) << 15;  // paper scale: N = 2^16
-    opt.l_eff = 10;
     opt.structural_only = true;
     opt.calibration_samples = 2;
-    const core::CompiledNetwork cn = core::compile(net, opt);
+    const core::CompiledNetwork& cn = session.compile(net, opt);
     std::printf("compiled in %.1f s (placement %.2f s)\n",
                 cn.compile_seconds, cn.placement_seconds);
     std::printf("rotations %llu | activation depth %d | bootstraps %llu | "
@@ -56,8 +57,7 @@ main(int argc, char** argv)
     std::vector<double> image(3 * 32 * 32);
     for (double& x : image) x = dist(rng);
 
-    core::SimExecutor sim(cn, 1e-6);
-    const core::ExecutionResult r = sim.run(image);
+    const core::ExecutionResult r = session.simulate(image);
     const std::vector<double> clear = net.forward(image);
     double mean_err = 0;
     std::size_t ic = 0, ie = 0;

@@ -23,21 +23,17 @@ using namespace orion;
 int
 main()
 {
-    const nn::Network net = nn::make_mlp();
+    const nn::Network net = nn::make_model("mlp");
     std::printf("MLP: %.2fM parameters\n", net.param_count() / 1e6);
 
-    // Functional CKKS parameters sized for the 784-dim input (NOT secure;
-    // see DESIGN.md on parameter substitution). 2^12 keeps the smoke run
-    // CI-friendly.
-    ckks::CkksParams params = ckks::CkksParams::network(u64(1) << 12, 8);
-    ckks::Context ctx(params);
-
-    core::CompileOptions opt;
-    opt.slots = ctx.slot_count();
-    opt.l_eff = 6;
-    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
-                                           params.digit_size, 2);
-    const core::CompiledNetwork compiled = core::compile(net, opt);
+    // One Session drives the whole pipeline: functional CKKS parameters
+    // sized for the 784-dim input (NOT secure; see DESIGN.md on parameter
+    // substitution - 2^12 keeps the smoke run CI-friendly), compile, the
+    // in-process reference executor, the server, and both clients.
+    Session session =
+        Session::with_params(ckks::CkksParams::network(u64(1) << 12, 8),
+                             /*l_eff=*/6);
+    const core::CompiledNetwork& compiled = session.compile(net);
     std::printf("compiled in %.2f s: %llu rotations, depth %d, "
                 "%llu bootstraps\n",
                 compiled.compile_seconds,
@@ -45,29 +41,22 @@ main()
                 compiled.activation_depth,
                 static_cast<unsigned long long>(compiled.num_bootstraps));
 
-    // The expensive key-independent preparation, shared by the reference
-    // executor and the whole server pool.
-    auto prepared =
-        std::make_shared<const core::PreparedProgram>(compiled, ctx);
-
-    // Ground truth: a direct, in-process, self-keyed executor.
-    core::CkksExecutor direct(compiled, ctx, /*seed=*/7, std::nullopt,
-                              prepared);
-
     serve::ServeOptions sopts;
     sopts.max_inflight = 2;
     sopts.queue_capacity = 8;
-    serve::InferenceServer server(compiled, ctx, sopts, prepared);
+    // The server pool shares the session's key-independent PreparedProgram
+    // with the session's own (ground-truth) executor.
+    auto server = session.serve(sopts);
     std::printf("server: %d workers, queue capacity %d\n",
-                server.max_inflight(), server.queue_capacity());
+                server->max_inflight(), server->queue_capacity());
 
     // Two clients with independent secrets (different seeds).
-    serve::ServeClient alice(compiled, ctx, /*seed=*/1001);
-    serve::ServeClient bob(compiled, ctx, /*seed=*/2002);
+    serve::ServeClient alice = session.serve_client(/*seed=*/1001);
+    serve::ServeClient bob = session.serve_client(/*seed=*/2002);
     const ckks::serial::Bytes alice_bundle = alice.key_bundle();
     const ckks::serial::Bytes bob_bundle = bob.key_bundle();
-    alice.set_session_id(server.register_session(alice_bundle));
-    bob.set_session_id(server.register_session(bob_bundle));
+    alice.set_session_id(server->register_session(alice_bundle));
+    bob.set_session_id(server->register_session(bob_bundle));
     std::printf("sessions: alice=%llu bob=%llu "
                 "(key bundle %.1f MB each)\n",
                 static_cast<unsigned long long>(alice.session_id()),
@@ -83,17 +72,17 @@ main()
         for (double& x : image_a) x = dist(rng);
         for (double& x : image_b) x = dist(rng);
 
-        // Reference outputs (same program, in-process).
-        const std::vector<double> want_a = direct.run(image_a).output;
-        const std::vector<double> want_b = direct.run(image_b).output;
+        // Reference outputs (same program, in-process, session-keyed).
+        const std::vector<double> want_a = session.run(image_a).output;
+        const std::vector<double> want_b = session.run(image_b).output;
 
         // Both sessions in flight concurrently.
         const ckks::serial::Bytes req_a = alice.make_request(image_a);
         const ckks::serial::Bytes req_b = bob.make_request(image_b);
         std::printf("round %d: request %.1f KB each\n", round,
                     static_cast<double>(req_a.size()) / 1e3);
-        auto fut_a = server.submit(req_a);
-        auto fut_b = server.submit(req_b);
+        auto fut_a = server->submit(req_a);
+        auto fut_b = server->submit(req_b);
         const serve::ServeReply rep_a = fut_a.get();
         const serve::ServeReply rep_b = fut_b.get();
 
@@ -131,7 +120,7 @@ main()
         report("bob  ", rep_b, got_b, want_b);
     }
 
-    const serve::ServerStats stats = server.stats();
+    const serve::ServerStats stats = server->stats();
     std::printf("\nserver stats: %llu completed, %llu failed, "
                 "peak inflight %llu, mean queue wait %.1f ms, "
                 "mean exec %.2f s\n",

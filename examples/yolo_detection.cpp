@@ -27,12 +27,12 @@ main()
                 "(Section 8.6)\n\n");
     std::fflush(stdout);
 
+    // Paper-scale simulation-only session (2^15 slots, l_eff 10).
+    Session session = Session::simulation();
     core::CompileOptions opt;
-    opt.slots = u64(1) << 15;
-    opt.l_eff = 10;
     opt.structural_only = true;
     opt.calibration_samples = 1;
-    const core::CompiledNetwork cn = core::compile(net, opt);
+    const core::CompiledNetwork& cn = session.compile(net, opt);
     std::printf("compiled: %llu rotations, %llu bootstraps, modeled "
                 "latency %.1f h single-thread (paper: 17.5 h)\n",
                 static_cast<unsigned long long>(cn.total_rotations),
@@ -46,8 +46,7 @@ main()
     std::vector<double> image(3 * 448 * 448);
     for (double& x : image) x = dist(rng);
 
-    core::SimExecutor sim(cn, 1e-6);
-    const core::ExecutionResult r = sim.run(image);
+    const core::ExecutionResult r = session.simulate(image);
 
     // Decode the 7x7x30 tensor: per cell 20 class scores then 2 boxes.
     std::printf("\ntop detections (class confidence = box conf x class "

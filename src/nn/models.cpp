@@ -1,66 +1,11 @@
 #include "src/nn/models.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
-#include <random>
+#include <utility>
 
 namespace orion::nn {
-
-namespace {
-
-/** Seeded He-style initializer for synthetic weights. */
-class Init {
-  public:
-    explicit Init(u64 seed) : rng_(seed) {}
-
-    std::vector<double>
-    conv(const lin::Conv2dSpec& s)
-    {
-        const u64 fan_in = static_cast<u64>(s.in_channels) / s.groups *
-                           s.kernel_h * s.kernel_w;
-        return gaussian(s.weight_count(),
-                        std::sqrt(2.0 / static_cast<double>(fan_in)));
-    }
-    std::vector<double>
-    linear(int out_features, int in_features)
-    {
-        return gaussian(static_cast<u64>(out_features) * in_features,
-                        std::sqrt(2.0 / static_cast<double>(in_features)));
-    }
-    std::vector<double>
-    bias(int n)
-    {
-        return gaussian(static_cast<u64>(n), 0.01);
-    }
-    /** BatchNorm parameters resembling a trained network. */
-    void
-    bn(int c, std::vector<double>* gamma, std::vector<double>* beta,
-       std::vector<double>* mean, std::vector<double>* var)
-    {
-        std::uniform_real_distribution<double> g(0.6, 1.4);
-        std::uniform_real_distribution<double> v(0.4, 1.6);
-        gamma->resize(static_cast<std::size_t>(c));
-        beta->resize(static_cast<std::size_t>(c));
-        mean->resize(static_cast<std::size_t>(c));
-        var->resize(static_cast<std::size_t>(c));
-        for (int i = 0; i < c; ++i) {
-            (*gamma)[static_cast<std::size_t>(i)] = g(rng_);
-            (*beta)[static_cast<std::size_t>(i)] = 0.05 * normal_(rng_);
-            (*mean)[static_cast<std::size_t>(i)] = 0.1 * normal_(rng_);
-            (*var)[static_cast<std::size_t>(i)] = v(rng_);
-        }
-    }
-
-  private:
-    std::vector<double>
-    gaussian(u64 n, double std)
-    {
-        std::vector<double> out(n);
-        for (double& x : out) x = std * normal_(rng_);
-        return out;
-    }
-    std::mt19937_64 rng_;
-    std::normal_distribution<double> normal_{0.0, 1.0};
-};
 
 ActivationSpec
 act_spec(Act act)
@@ -74,234 +19,224 @@ act_spec(Act act)
     return {};
 }
 
-/** conv -> bn -> act block. */
-int
-conv_bn_act(Network& net, Init& init, int input, int co, int kernel,
-            int stride, int pad, Act act, int groups = 1)
+// ---------------------------------------------------------------------
+// Reusable blocks
+// ---------------------------------------------------------------------
+
+ModulePtr
+ConvBnAct(int in_channels, int out_channels, int kernel, int stride, int pad,
+          Act act, int groups)
 {
-    const Shape& in = net.shape_of(input);
-    lin::Conv2dSpec spec;
-    spec.in_channels = in.c;
-    spec.out_channels = co;
-    spec.kernel_h = spec.kernel_w = kernel;
-    spec.stride = stride;
-    spec.pad = pad;
-    spec.groups = groups;
-    int id = net.add_conv2d(input, spec, init.conv(spec));
-    std::vector<double> g, b, m, v;
-    init.bn(co, &g, &b, &m, &v);
-    id = net.add_batchnorm2d(id, g, b, m, v);
-    return net.add_activation(id, act_spec(act));
+    return Sequential(
+        {Conv2d(in_channels, out_channels, kernel,
+                {.stride = stride, .pad = pad, .groups = groups,
+                 .bias = false}),
+         BatchNorm2d(out_channels), Activation(act_spec(act))});
 }
 
-/** conv -> bn (no activation). */
-int
-conv_bn(Network& net, Init& init, int input, int co, int kernel, int stride,
-        int pad, int groups = 1)
+ModulePtr
+ConvBn(int in_channels, int out_channels, int kernel, int stride, int pad,
+       int groups)
 {
-    const Shape& in = net.shape_of(input);
-    lin::Conv2dSpec spec;
-    spec.in_channels = in.c;
-    spec.out_channels = co;
-    spec.kernel_h = spec.kernel_w = kernel;
-    spec.stride = stride;
-    spec.pad = pad;
-    spec.groups = groups;
-    int id = net.add_conv2d(input, spec, init.conv(spec));
-    std::vector<double> g, b, m, v;
-    init.bn(co, &g, &b, &m, &v);
-    return net.add_batchnorm2d(id, g, b, m, v);
+    return Sequential(
+        {Conv2d(in_channels, out_channels, kernel,
+                {.stride = stride, .pad = pad, .groups = groups,
+                 .bias = false}),
+         BatchNorm2d(out_channels)});
 }
 
-/** The BasicBlock of Listing 1. */
-int
-basic_block(Network& net, Init& init, int input, int co, int stride, Act act)
+ModulePtr
+BasicBlock(int in_channels, int out_channels, int stride, Act act)
 {
-    const int ci = net.shape_of(input).c;
-    int out = conv_bn_act(net, init, input, co, 3, stride, 1, act);
-    out = conv_bn(net, init, out, co, 3, 1, 1);
-    int shortcut = input;
-    if (stride != 1 || ci != co) {
-        shortcut = conv_bn(net, init, input, co, 1, stride, 0);
-    }
-    const int sum = net.add_add(out, shortcut);
-    return net.add_activation(sum, act_spec(act));
+    ModulePtr body =
+        Sequential({ConvBnAct(in_channels, out_channels, 3, stride, 1, act),
+                    ConvBn(out_channels, out_channels, 3, 1, 1)});
+    ModulePtr shortcut =
+        (stride != 1 || in_channels != out_channels)
+            ? ConvBn(in_channels, out_channels, 1, stride, 0)
+            : nullptr;
+    return Sequential(
+        {Residual(std::move(body), std::move(shortcut)),
+         Activation(act_spec(act))});
 }
 
-/** The Bottleneck block of ResNet-50. */
-int
-bottleneck_block(Network& net, Init& init, int input, int planes, int stride,
-                 Act act)
+ModulePtr
+Bottleneck(int in_channels, int planes, int stride, Act act)
 {
-    const int ci = net.shape_of(input).c;
-    const int co = planes * 4;
-    int out = conv_bn_act(net, init, input, planes, 1, 1, 0, act);
-    out = conv_bn_act(net, init, out, planes, 3, stride, 1, act);
-    out = conv_bn(net, init, out, co, 1, 1, 0);
-    int shortcut = input;
-    if (stride != 1 || ci != co) {
-        shortcut = conv_bn(net, init, input, co, 1, stride, 0);
-    }
-    const int sum = net.add_add(out, shortcut);
-    return net.add_activation(sum, act_spec(act));
+    const int out_channels = planes * 4;
+    ModulePtr body =
+        Sequential({ConvBnAct(in_channels, planes, 1, 1, 0, act),
+                    ConvBnAct(planes, planes, 3, stride, 1, act),
+                    ConvBn(planes, out_channels, 1, 1, 0)});
+    ModulePtr shortcut =
+        (stride != 1 || in_channels != out_channels)
+            ? ConvBn(in_channels, out_channels, 1, stride, 0)
+            : nullptr;
+    return Sequential(
+        {Residual(std::move(body), std::move(shortcut)),
+         Activation(act_spec(act))});
 }
 
-/** ImageNet-style ResNet trunk (stem + 4 stages). */
+namespace {
+
+/**
+ * ImageNet-style ResNet trunk (stem + 4 stages): appends its modules to
+ * `mods` and returns the trunk's output channel count.
+ */
 int
-resnet_trunk(Network& net, Init& init, int input, bool bottleneck,
+resnet_trunk(std::vector<ModulePtr>* mods, int in_channels, bool bottleneck,
              const std::vector<int>& blocks, Act act)
 {
     // Stem: 7x7/s2 conv, then 3x3/s2 average pool (max pool replaced per
     // Section 7).
-    int id = conv_bn_act(net, init, input, 64, 7, 2, 3, act);
-    id = net.add_avgpool2d(id, 3, 2, 1);
+    mods->push_back(ConvBnAct(in_channels, 64, 7, 2, 3, act));
+    mods->push_back(AvgPool2d(3, 2, 1));
     const std::vector<int> widths = {64, 128, 256, 512};
+    int ci = 64;
     for (std::size_t stage = 0; stage < widths.size(); ++stage) {
         for (int b = 0; b < blocks[stage]; ++b) {
             const int stride = (stage > 0 && b == 0) ? 2 : 1;
-            id = bottleneck
-                     ? bottleneck_block(net, init, id,
-                                        widths[stage], stride, act)
-                     : basic_block(net, init, id, widths[stage], stride, act);
+            if (bottleneck) {
+                mods->push_back(Bottleneck(ci, widths[stage], stride, act));
+                ci = widths[stage] * 4;
+            } else {
+                mods->push_back(BasicBlock(ci, widths[stage], stride, act));
+                ci = widths[stage];
+            }
         }
     }
-    return id;
+    return ci;
 }
 
+/** micro-mlp's historical N(0, std) initializer (one shared carry). */
+class GaussianInit final : public Initializer {
+  public:
+    GaussianInit(u64 seed, double std) : rng_(seed), dist_(0.0, std) {}
+
+    std::vector<double>
+    conv_weight(const lin::Conv2dSpec& spec) override
+    {
+        return draw(spec.weight_count());
+    }
+    std::vector<double>
+    linear_weight(int out_features, int in_features) override
+    {
+        return draw(static_cast<u64>(out_features) * in_features);
+    }
+    std::vector<double> bias(int n) override
+    {
+        return draw(static_cast<u64>(n));
+    }
+    void
+    batchnorm(int, std::vector<double>*, std::vector<double>*,
+              std::vector<double>*, std::vector<double>*) override
+    {
+        ORION_CHECK(false, "GaussianInit has no batchnorm policy");
+    }
+
+  private:
+    std::vector<double>
+    draw(u64 n)
+    {
+        std::vector<double> w(n);
+        for (double& x : w) x = dist_(rng_);
+        return w;
+    }
+
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> dist_;
+};
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// The zoo
+// ---------------------------------------------------------------------
 
 Network
 make_micro_mlp(u64 seed)
 {
-    std::mt19937_64 rng(seed);
-    std::normal_distribution<double> dist(0.0, 0.3);
-    auto weights = [&rng, &dist](u64 n) {
-        std::vector<double> w(n);
-        for (double& x : w) x = dist(rng);
-        return w;
-    };
-    Network net("micro-mlp");
-    int id = net.add_input(1, 8, 8);
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 16, weights(16 * 64), weights(16));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_linear(id, 5, weights(5 * 16), weights(5));
-    net.set_output(id);
-    return net;
+    auto m = Sequential(
+        {Flatten(), Linear(64, 16), Square(), Linear(16, 5)});
+    GaussianInit init(seed, 0.3);
+    m->initialize(init);
+    return lower_to_network(*m, 1, 8, 8, "micro-mlp", /*take_params=*/true);
 }
 
 Network
 make_mlp(u64 seed)
 {
-    Init init(seed);
-    Network net("mlp");
-    int id = net.add_input(1, 28, 28);
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 128, init.linear(128, 784), init.bias(128));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_linear(id, 128, init.linear(128, 128), init.bias(128));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_linear(id, 10, init.linear(10, 128), init.bias(10));
-    net.set_output(id);
-    return net;
+    auto m = Sequential({Flatten(), Linear(784, 128), Square(),
+                         Linear(128, 128), Square(), Linear(128, 10)});
+    return build_network(*m, 1, 28, 28, "mlp", seed);
 }
 
 Network
 make_lola(u64 seed)
 {
-    Init init(seed);
-    Network net("lola");
-    int id = net.add_input(1, 28, 28);
-    lin::Conv2dSpec spec;
-    spec.in_channels = 1;
-    spec.out_channels = 5;
-    spec.kernel_h = spec.kernel_w = 5;
-    spec.stride = 2;
-    spec.pad = 1;
-    id = net.add_conv2d(id, spec, init.conv(spec), init.bias(5));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_flatten(id);  // 5 x 13 x 13 = 845
-    id = net.add_linear(id, 100, init.linear(100, 845), init.bias(100));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_linear(id, 10, init.linear(10, 100), init.bias(10));
-    net.set_output(id);
-    return net;
+    auto m = Sequential({Conv2d(1, 5, 5, {.stride = 2, .pad = 1}), Square(),
+                         Flatten(),  // 5 x 13 x 13 = 845
+                         Linear(845, 100), Square(), Linear(100, 10)});
+    return build_network(*m, 1, 28, 28, "lola", seed);
 }
 
 Network
 make_lenet5(u64 seed)
 {
-    Init init(seed);
-    Network net("lenet5");
-    int id = net.add_input(1, 28, 28);
-    lin::Conv2dSpec c1;
-    c1.in_channels = 1;
-    c1.out_channels = 32;
-    c1.kernel_h = c1.kernel_w = 5;
-    c1.pad = 2;
-    id = net.add_conv2d(id, c1, init.conv(c1), init.bias(32));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_avgpool2d(id, 2, 2);
-    lin::Conv2dSpec c2;
-    c2.in_channels = 32;
-    c2.out_channels = 64;
-    c2.kernel_h = c2.kernel_w = 5;
-    c2.pad = 2;
-    id = net.add_conv2d(id, c2, init.conv(c2), init.bias(64));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_avgpool2d(id, 2, 2);
-    id = net.add_flatten(id);  // 64 * 7 * 7 = 3136
-    id = net.add_linear(id, 512, init.linear(512, 3136), init.bias(512));
-    id = net.add_activation(id, ActivationSpec::square());
-    id = net.add_linear(id, 10, init.linear(10, 512), init.bias(10));
-    net.set_output(id);
-    return net;
+    auto m = Sequential({Conv2d(1, 32, 5, {.pad = 2}), Square(),
+                         AvgPool2d(2), Conv2d(32, 64, 5, {.pad = 2}),
+                         Square(), AvgPool2d(2),
+                         Flatten(),  // 64 * 7 * 7 = 3136
+                         Linear(3136, 512), Square(), Linear(512, 10)});
+    return build_network(*m, 1, 28, 28, "lenet5", seed);
 }
 
 Network
 make_alexnet_cifar(Act act, u64 seed)
 {
-    Init init(seed);
-    Network net(act == Act::kSilu ? "alexnet-silu" : "alexnet-relu");
-    int id = net.add_input(3, 32, 32);
-    id = conv_bn_act(net, init, id, 64, 3, 2, 1, act);    // 16x16
-    id = conv_bn_act(net, init, id, 192, 3, 1, 1, act);   // 16x16
-    id = net.add_avgpool2d(id, 2, 2);                     // 8x8
-    id = conv_bn_act(net, init, id, 384, 3, 1, 1, act);
-    id = conv_bn_act(net, init, id, 256, 3, 1, 1, act);
-    id = conv_bn_act(net, init, id, 256, 3, 1, 1, act);
-    id = net.add_avgpool2d(id, 2, 2);                     // 4x4
-    id = net.add_flatten(id);                             // 4096
-    id = net.add_linear(id, 4096, init.linear(4096, 4096), init.bias(4096));
-    id = net.add_activation(id, act_spec(act));
-    id = net.add_linear(id, 1024, init.linear(1024, 4096), init.bias(1024));
-    id = net.add_activation(id, act_spec(act));
-    id = net.add_linear(id, 10, init.linear(10, 1024), init.bias(10));
-    net.set_output(id);
-    return net;
+    auto m = Sequential({
+        ConvBnAct(3, 64, 3, 2, 1, act),    // 16x16
+        ConvBnAct(64, 192, 3, 1, 1, act),  // 16x16
+        AvgPool2d(2),                      // 8x8
+        ConvBnAct(192, 384, 3, 1, 1, act),
+        ConvBnAct(384, 256, 3, 1, 1, act),
+        ConvBnAct(256, 256, 3, 1, 1, act),
+        AvgPool2d(2),  // 4x4
+        Flatten(),     // 4096
+        Linear(4096, 4096),
+        Activation(act_spec(act)),
+        Linear(4096, 1024),
+        Activation(act_spec(act)),
+        Linear(1024, 10),
+    });
+    return build_network(
+        *m, 3, 32, 32, act == Act::kSilu ? "alexnet-silu" : "alexnet-relu",
+        seed);
 }
 
 Network
 make_vgg16_cifar(Act act, u64 seed)
 {
-    Init init(seed);
-    Network net(act == Act::kSilu ? "vgg16-silu" : "vgg16-relu");
-    int id = net.add_input(3, 32, 32);
     const std::vector<std::vector<int>> stages = {
         {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512},
         {512, 512, 512}};
+    std::vector<ModulePtr> mods;
+    int ci = 3;
     for (const std::vector<int>& stage : stages) {
         for (int width : stage) {
-            id = conv_bn_act(net, init, id, width, 3, 1, 1, act);
+            mods.push_back(ConvBnAct(ci, width, 3, 1, 1, act));
+            ci = width;
         }
-        id = net.add_avgpool2d(id, 2, 2);
+        mods.push_back(AvgPool2d(2));
     }
-    id = net.add_flatten(id);  // 512 (1x1 after five pools)
-    id = net.add_linear(id, 512, init.linear(512, 512), init.bias(512));
-    id = net.add_activation(id, act_spec(act));
-    id = net.add_linear(id, 10, init.linear(10, 512), init.bias(10));
-    net.set_output(id);
-    return net;
+    mods.push_back(Flatten());  // 512 (1x1 after five pools)
+    mods.push_back(Linear(512, 512));
+    mods.push_back(Activation(act_spec(act)));
+    mods.push_back(Linear(512, 10));
+    auto m = Sequential(std::move(mods));
+    return build_network(
+        *m, 3, 32, 32, act == Act::kSilu ? "vgg16-silu" : "vgg16-relu",
+        seed);
 }
 
 Network
@@ -310,48 +245,50 @@ make_resnet_cifar(int depth, Act act, u64 seed)
     ORION_CHECK(depth >= 8 && (depth - 2) % 6 == 0,
                 "CIFAR ResNet depth must be 6n+2, got " << depth);
     const int n = (depth - 2) / 6;
-    Init init(seed);
-    Network net("resnet" + std::to_string(depth) +
-                (act == Act::kSilu ? "-silu" : "-relu"));
-    int id = net.add_input(3, 32, 32);
-    id = conv_bn_act(net, init, id, 16, 3, 1, 1, act);
+    std::vector<ModulePtr> mods;
+    mods.push_back(ConvBnAct(3, 16, 3, 1, 1, act));
     const std::vector<int> widths = {16, 32, 64};
+    int ci = 16;
     for (std::size_t stage = 0; stage < widths.size(); ++stage) {
         for (int b = 0; b < n; ++b) {
             const int stride = (stage > 0 && b == 0) ? 2 : 1;
-            id = basic_block(net, init, id, widths[stage], stride, act);
+            mods.push_back(BasicBlock(ci, widths[stage], stride, act));
+            ci = widths[stage];
         }
     }
-    id = net.add_global_avgpool(id);  // 64 x 1 x 1
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 10, init.linear(10, 64), init.bias(10));
-    net.set_output(id);
-    return net;
+    mods.push_back(GlobalAvgPool());  // 64 x 1 x 1
+    mods.push_back(Flatten());
+    mods.push_back(Linear(64, 10));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 32, 32,
+                         "resnet" + std::to_string(depth) +
+                             (act == Act::kSilu ? "-silu" : "-relu"),
+                         seed);
 }
 
 Network
 make_mobilenet_v1(u64 seed)
 {
-    Init init(seed);
-    Network net("mobilenet");
     const Act act = Act::kSilu;
-    int id = net.add_input(3, 64, 64);
-    id = conv_bn_act(net, init, id, 32, 3, 2, 1, act);  // 32x32
+    std::vector<ModulePtr> mods;
+    mods.push_back(ConvBnAct(3, 32, 3, 2, 1, act));  // 32x32
     // (out_channels, stride) of each depthwise-separable block.
     const std::vector<std::pair<int, int>> blocks = {
         {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2},
         {512, 1}, {512, 1}, {512, 1}, {512, 1},  {512, 1},  {1024, 2},
         {1024, 1}};
+    int ci = 32;
     for (const auto& [co, stride] : blocks) {
-        const int ci = net.shape_of(id).c;
-        id = conv_bn_act(net, init, id, ci, 3, stride, 1, act, /*groups=*/ci);
-        id = conv_bn_act(net, init, id, co, 1, 1, 0, act);
+        mods.push_back(
+            ConvBnAct(ci, ci, 3, stride, 1, act, /*groups=*/ci));
+        mods.push_back(ConvBnAct(ci, co, 1, 1, 0, act));
+        ci = co;
     }
-    id = net.add_global_avgpool(id);  // 1024 x 1 x 1 (spatial 2 -> 1)
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 200, init.linear(200, 1024), init.bias(200));
-    net.set_output(id);
-    return net;
+    mods.push_back(GlobalAvgPool());  // 1024 x 1 x 1 (spatial 2 -> 1)
+    mods.push_back(Flatten());
+    mods.push_back(Linear(1024, 200));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 64, 64, "mobilenet", seed);
 }
 
 Network
@@ -360,95 +297,116 @@ make_resnet18_tiny(u64 seed)
     // Tiny-ImageNet adaptation: stride-1 3x3 stem and no stem pooling, so
     // stage 1 runs at the full 64x64 resolution (this is what gives the
     // paper's 2.26G multiply count despite only 11M parameters).
-    Init init(seed);
-    Network net("resnet18");
     const Act act = Act::kSilu;
-    int id = net.add_input(3, 64, 64);
-    id = conv_bn_act(net, init, id, 64, 3, 1, 1, act);
+    std::vector<ModulePtr> mods;
+    mods.push_back(ConvBnAct(3, 64, 3, 1, 1, act));
     const std::vector<int> widths = {64, 128, 256, 512};
     const std::vector<int> blocks = {2, 2, 2, 2};
+    int ci = 64;
     for (std::size_t stage = 0; stage < widths.size(); ++stage) {
         for (int b = 0; b < blocks[stage]; ++b) {
             const int stride = (stage > 0 && b == 0) ? 2 : 1;
-            id = basic_block(net, init, id, widths[stage], stride, act);
+            mods.push_back(BasicBlock(ci, widths[stage], stride, act));
+            ci = widths[stage];
         }
     }
-    id = net.add_global_avgpool(id);
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 200, init.linear(200, 512), init.bias(200));
-    net.set_output(id);
-    return net;
+    mods.push_back(GlobalAvgPool());
+    mods.push_back(Flatten());
+    mods.push_back(Linear(512, 200));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 64, 64, "resnet18", seed);
 }
 
 Network
 make_resnet34_imagenet(u64 seed)
 {
-    Init init(seed);
-    Network net("resnet34");
-    int id = net.add_input(3, 224, 224);
-    id = resnet_trunk(net, init, id, /*bottleneck=*/false, {3, 4, 6, 3},
-                      Act::kSilu);
-    id = net.add_global_avgpool(id);
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 1000, init.linear(1000, 512), init.bias(1000));
-    net.set_output(id);
-    return net;
+    std::vector<ModulePtr> mods;
+    const int co = resnet_trunk(&mods, 3, /*bottleneck=*/false, {3, 4, 6, 3},
+                                Act::kSilu);
+    mods.push_back(GlobalAvgPool());
+    mods.push_back(Flatten());
+    mods.push_back(Linear(co, 1000));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 224, 224, "resnet34", seed);
 }
 
 Network
 make_resnet50_imagenet(u64 seed)
 {
-    Init init(seed);
-    Network net("resnet50");
-    int id = net.add_input(3, 224, 224);
-    id = resnet_trunk(net, init, id, /*bottleneck=*/true, {3, 4, 6, 3},
-                      Act::kSilu);
-    id = net.add_global_avgpool(id);
-    id = net.add_flatten(id);
-    id = net.add_linear(id, 1000, init.linear(1000, 2048), init.bias(1000));
-    net.set_output(id);
-    return net;
+    std::vector<ModulePtr> mods;
+    const int co = resnet_trunk(&mods, 3, /*bottleneck=*/true, {3, 4, 6, 3},
+                                Act::kSilu);
+    mods.push_back(GlobalAvgPool());
+    mods.push_back(Flatten());
+    mods.push_back(Linear(co, 1000));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 224, 224, "resnet50", seed);
 }
 
 Network
 make_yolo_v1(u64 seed)
 {
-    Init init(seed);
-    Network net("yolo-v1");
     const Act act = Act::kSilu;
-    int id = net.add_input(3, 448, 448);
+    std::vector<ModulePtr> mods;
     // ResNet-34 backbone at 448 resolution: final feature map 14x14x512.
-    id = resnet_trunk(net, init, id, /*bottleneck=*/false, {3, 4, 6, 3}, act);
+    const int co = resnet_trunk(&mods, 3, /*bottleneck=*/false, {3, 4, 6, 3},
+                                act);
     // Detection head: one strided conv to 7x7, then the big FC pair.
-    id = conv_bn_act(net, init, id, 512, 3, 2, 1, act);  // 7x7x512
-    id = net.add_flatten(id);                            // 25088
-    id = net.add_linear(id, 4096, init.linear(4096, 25088), init.bias(4096));
-    id = net.add_activation(id, act_spec(act));
+    mods.push_back(ConvBnAct(co, 512, 3, 2, 1, act));  // 7x7x512
+    mods.push_back(Flatten());                         // 25088
+    mods.push_back(Linear(25088, 4096));
+    mods.push_back(Activation(act_spec(act)));
     // 7 x 7 x 30 detection tensor (20 classes + 2 boxes x 5).
-    id = net.add_linear(id, 1470, init.linear(1470, 4096), init.bias(1470));
-    net.set_output(id);
-    return net;
+    mods.push_back(Linear(4096, 1470));
+    auto m = Sequential(std::move(mods));
+    return build_network(*m, 3, 448, 448, "yolo-v1", seed);
+}
+
+// ---------------------------------------------------------------------
+// make_model
+// ---------------------------------------------------------------------
+
+const std::vector<std::string>&
+model_names()
+{
+    static const std::vector<std::string> names = {
+        "mlp",      "lola",     "lenet5",   "alexnet",  "vgg16",
+        "resnet20", "resnet32", "resnet44", "resnet56", "resnet110",
+        "mobilenet", "resnet18", "resnet34", "resnet50", "yolo",
+        "micro"};
+    return names;
 }
 
 Network
 make_model(const std::string& name)
 {
-    auto act_of = [&name](Act fallback) {
-        if (name.ends_with("-silu")) return Act::kSilu;
-        if (name.ends_with("-relu")) return Act::kRelu;
+    std::string lowered = name;
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+
+    auto act_of = [&lowered](Act fallback) {
+        if (lowered.ends_with("-silu")) return Act::kSilu;
+        if (lowered.ends_with("-relu")) return Act::kRelu;
         return fallback;
     };
-    const std::string base = [&name] {
-        const auto dash = name.find('-');
-        return dash == std::string::npos ? name : name.substr(0, dash);
+    const std::string base = [&lowered] {
+        const auto dash = lowered.find('-');
+        return dash == std::string::npos ? lowered : lowered.substr(0, dash);
     }();
 
+    if (base == "micro") return make_micro_mlp();
     if (base == "mlp") return make_mlp();
     if (base == "lola") return make_lola();
     if (base == "lenet5") return make_lenet5();
     if (base == "alexnet") return make_alexnet_cifar(act_of(Act::kRelu));
     if (base == "vgg16") return make_vgg16_cifar(act_of(Act::kRelu));
-    if (base.starts_with("resnet")) {
+    // Depth capped at 4 digits so std::stoi cannot overflow (anything
+    // longer falls through to the unknown-model error).
+    if (base.starts_with("resnet") && base.size() > 6 &&
+        base.size() <= 6 + 4 &&
+        std::all_of(base.begin() + 6, base.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        })) {
         const int depth = std::stoi(base.substr(6));
         if (depth == 18) return make_resnet18_tiny();
         if (depth == 34) return make_resnet34_imagenet();
@@ -457,7 +415,16 @@ make_model(const std::string& name)
     }
     if (base == "mobilenet") return make_mobilenet_v1();
     if (base == "yolo") return make_yolo_v1();
-    ORION_CHECK(false, "unknown model: " << name);
+
+    std::string valid;
+    for (const std::string& n : model_names()) {
+        if (!valid.empty()) valid += ", ";
+        valid += n;
+    }
+    ORION_CHECK(false, "unknown model '"
+                           << name << "'; valid models (case-insensitive): "
+                           << valid
+                           << "; CIFAR nets accept -relu/-silu suffixes");
     return Network();
 }
 

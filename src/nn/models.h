@@ -5,20 +5,40 @@
  * @file
  * The model zoo: every network evaluated in Table 2 of the paper, plus the
  * YOLO-v1 detector of Section 8.6 and the deeper CIFAR ResNets of Tables
- * 3 and 5. Weights are seeded synthetic (He-initialized); the datasets and
- * pretrained torchvision weights used by the paper are not available
- * offline, so accuracy columns are replaced by FHE-vs-cleartext agreement
- * (see DESIGN.md, "Substitutions").
+ * 3 and 5. All networks are defined with the orion::nn module frontend
+ * (src/nn/module.h) and lowered to the graph IR; weights are seeded
+ * synthetic (He-initialized). The datasets and pretrained torchvision
+ * weights used by the paper are not available offline, so accuracy
+ * columns are replaced by FHE-vs-cleartext agreement (see DESIGN.md,
+ * "Substitutions").
  */
 
 #include <string>
+#include <vector>
 
+#include "src/nn/module.h"
 #include "src/nn/network.h"
 
 namespace orion::nn {
 
 /** Which activation family a model is instantiated with (Section 8.2). */
 enum class Act { kSquare, kRelu, kSilu };
+
+/** The ActivationSpec behind each Act family. */
+ActivationSpec act_spec(Act act);
+
+// ---- reusable blocks (Listing 1's BasicBlock and friends) ----
+
+/** conv(no bias) -> batchnorm -> activation. */
+ModulePtr ConvBnAct(int in_channels, int out_channels, int kernel,
+                    int stride, int pad, Act act, int groups = 1);
+/** conv(no bias) -> batchnorm. */
+ModulePtr ConvBn(int in_channels, int out_channels, int kernel, int stride,
+                 int pad, int groups = 1);
+/** The residual BasicBlock of Listing 1 (projection shortcut as needed). */
+ModulePtr BasicBlock(int in_channels, int out_channels, int stride, Act act);
+/** The Bottleneck block of ResNet-50 (expansion 4). */
+ModulePtr Bottleneck(int in_channels, int planes, int stride, Act act);
 
 // ---- micro (8 x 8 x 1, not from the paper) ----
 
@@ -60,11 +80,16 @@ Network make_resnet50_imagenet(u64 seed = 10);
 /** YOLO-v1 with a ResNet-34 backbone, 7x7x30 output (Section 8.6). */
 Network make_yolo_v1(u64 seed = 11);
 
+/** Every name make_model accepts (without activation suffixes). */
+const std::vector<std::string>& model_names();
+
 /**
- * Builds a model by name: mlp, lola, lenet5, alexnet, vgg16, resnet20,
- * resnet32, resnet44, resnet56, resnet110, mobilenet, resnet18, resnet34,
- * resnet50, yolo. Optional suffix "-relu"/"-silu" selects the activation
- * for CIFAR nets (default ReLU for CIFAR, SiLU for larger sets).
+ * Builds a model by name (case-insensitive): mlp, lola, lenet5, alexnet,
+ * vgg16, resnet20, resnet32, resnet44, resnet56, resnet110, mobilenet,
+ * resnet18, resnet34, resnet50, yolo, micro. Optional suffix
+ * "-relu"/"-silu" selects the activation for CIFAR nets (default ReLU
+ * for CIFAR, SiLU for larger sets). Unknown names throw an Error listing
+ * every valid model.
  */
 Network make_model(const std::string& name);
 

@@ -1,0 +1,818 @@
+#include "src/nn/module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace orion::nn {
+
+// ---------------------------------------------------------------------
+// HeInit
+//
+// The draw order and distribution usage below reproduce the historical
+// model-zoo initializer bit for bit (one member normal_distribution whose
+// cached spare value carries across calls); the frontend/IR equivalence
+// test pins this behavior against the pre-frontend builders.
+// ---------------------------------------------------------------------
+
+std::vector<double>
+HeInit::gaussian(u64 n, double std)
+{
+    std::vector<double> out(n);
+    for (double& x : out) x = std * normal_(rng_);
+    return out;
+}
+
+std::vector<double>
+HeInit::conv_weight(const lin::Conv2dSpec& spec)
+{
+    const u64 fan_in = static_cast<u64>(spec.in_channels) / spec.groups *
+                       spec.kernel_h * spec.kernel_w;
+    return gaussian(spec.weight_count(),
+                    std::sqrt(2.0 / static_cast<double>(fan_in)));
+}
+
+std::vector<double>
+HeInit::linear_weight(int out_features, int in_features)
+{
+    return gaussian(static_cast<u64>(out_features) * in_features,
+                    std::sqrt(2.0 / static_cast<double>(in_features)));
+}
+
+std::vector<double>
+HeInit::bias(int n)
+{
+    return gaussian(static_cast<u64>(n), 0.01);
+}
+
+void
+HeInit::batchnorm(int channels, std::vector<double>* gamma,
+                  std::vector<double>* beta, std::vector<double>* mean,
+                  std::vector<double>* var)
+{
+    std::uniform_real_distribution<double> g(0.6, 1.4);
+    std::uniform_real_distribution<double> v(0.4, 1.6);
+    gamma->resize(static_cast<std::size_t>(channels));
+    beta->resize(static_cast<std::size_t>(channels));
+    mean->resize(static_cast<std::size_t>(channels));
+    var->resize(static_cast<std::size_t>(channels));
+    for (int i = 0; i < channels; ++i) {
+        (*gamma)[static_cast<std::size_t>(i)] = g(rng_);
+        (*beta)[static_cast<std::size_t>(i)] = 0.05 * normal_(rng_);
+        (*mean)[static_cast<std::size_t>(i)] = 0.1 * normal_(rng_);
+        (*var)[static_cast<std::size_t>(i)] = v(rng_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Module base: the parameter registry
+// ---------------------------------------------------------------------
+
+void
+Module::register_param(std::string name, u64 size, bool trainable)
+{
+    ORION_CHECK(name.find('.') == std::string::npos,
+                "parameter name '" << name << "' may not contain '.'");
+    for (const ParamSlot& p : params_) {
+        ORION_CHECK(p.name != name,
+                    kind() << " already has a parameter '" << name << "'");
+    }
+    params_.push_back(ParamSlot{std::move(name), size, trainable, {}});
+}
+
+Module::ParamSlot&
+Module::slot(const std::string& name)
+{
+    for (ParamSlot& p : params_) {
+        if (p.name == name) return p;
+    }
+    ORION_CHECK(false, kind() << " has no parameter '" << name << "'");
+    return params_.front();  // unreachable
+}
+
+const Module::ParamSlot&
+Module::slot(const std::string& name) const
+{
+    return const_cast<Module*>(this)->slot(name);
+}
+
+std::vector<double>
+Module::slot_values(const std::string& name, bool take)
+{
+    ParamSlot& p = slot(name);
+    ORION_CHECK(!p.values.empty(),
+                kind() << " parameter '" << name
+                       << "' is uninitialized: call initialize() or "
+                          "set_param first");
+    if (take) return std::move(p.values);
+    return p.values;
+}
+
+std::vector<std::string>
+Module::param_names() const
+{
+    std::vector<std::string> names;
+    names.reserve(params_.size());
+    for (const ParamSlot& p : params_) names.push_back(p.name);
+    return names;
+}
+
+u64
+Module::param_size(const std::string& name) const
+{
+    return slot(name).size;
+}
+
+bool
+Module::param_set(const std::string& name) const
+{
+    return !slot(name).values.empty();
+}
+
+const std::vector<double>&
+Module::param(const std::string& name) const
+{
+    const ParamSlot& p = slot(name);
+    ORION_CHECK(!p.values.empty(),
+                kind() << " parameter '" << name << "' is not set");
+    return p.values;
+}
+
+void
+Module::set_param(const std::string& name, std::vector<double> values)
+{
+    ParamSlot& p = slot(name);
+    ORION_CHECK(values.size() == p.size,
+                kind() << " parameter '" << name << "' expects " << p.size
+                       << " values, got " << values.size());
+    p.values = std::move(values);
+}
+
+bool
+Module::initialized() const
+{
+    for (const ParamSlot& p : params_) {
+        if (p.values.empty()) return false;
+    }
+    for (const auto& [name, child] : children()) {
+        if (!child->initialized()) return false;
+    }
+    return true;
+}
+
+u64
+Module::param_count() const
+{
+    u64 count = 0;
+    for (const ParamSlot& p : params_) {
+        if (p.trainable) count += p.size;
+    }
+    for (const auto& [name, child] : children()) {
+        count += child->param_count();
+    }
+    return count;
+}
+
+void
+Module::initialize(Initializer& init)
+{
+    init_own_params(init);
+    for (const auto& [name, child] : children()) child->initialize(init);
+}
+
+void
+Module::initialize(u64 seed)
+{
+    HeInit init(seed);
+    initialize(init);
+}
+
+StateDict
+Module::state_dict() const
+{
+    StateDict dict;
+    struct Collector {
+        static void
+        walk(const Module& m, const std::string& prefix, StateDict* out)
+        {
+            for (const std::string& name : m.param_names()) {
+                if (m.param_set(name)) (*out)[prefix + name] = m.param(name);
+            }
+            for (const auto& [cname, child] : m.children()) {
+                walk(*child, prefix + cname + ".", out);
+            }
+        }
+    };
+    Collector::walk(*this, "", &dict);
+    return dict;
+}
+
+void
+Module::load_state_dict(const StateDict& dict)
+{
+    for (const auto& [path, values] : dict) {
+        Module* m = this;
+        std::string rest = path;
+        for (;;) {
+            // Own parameter at this level?
+            bool own = false;
+            for (const std::string& name : m->param_names()) {
+                if (name == rest) {
+                    own = true;
+                    break;
+                }
+            }
+            if (own) {
+                m->set_param(rest, values);
+                break;
+            }
+            const std::size_t dot = rest.find('.');
+            ORION_CHECK(dot != std::string::npos,
+                        "unknown parameter '" << path << "' ('" << rest
+                                              << "' not found on "
+                                              << m->kind() << ")");
+            const std::string head = rest.substr(0, dot);
+            Module* next = nullptr;
+            for (const auto& [cname, child] : m->children()) {
+                if (cname == head) {
+                    next = child.get();
+                    break;
+                }
+            }
+            ORION_CHECK(next != nullptr,
+                        "unknown parameter '"
+                            << path << "': " << m->kind()
+                            << " has no child named '" << head << "'");
+            m = next;
+            rest = rest.substr(dot + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Conv2dModule final : public Module {
+  public:
+    Conv2dModule(int in_channels, int out_channels, int kernel,
+                 Conv2dOpts opts)
+        : has_bias_(opts.bias)
+    {
+        spec_.in_channels = in_channels;
+        spec_.out_channels = out_channels;
+        spec_.kernel_h = spec_.kernel_w = kernel;
+        spec_.stride = opts.stride;
+        spec_.pad = opts.pad;
+        spec_.dilation = opts.dilation;
+        spec_.groups = opts.groups;
+        spec_.validate();
+        register_param("weight", spec_.weight_count());
+        if (has_bias_) {
+            register_param("bias", static_cast<u64>(out_channels));
+        }
+    }
+
+    const char* kind() const override { return "Conv2d"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        ORION_CHECK(!in.flat, "Conv2d needs a spatial (c, h, w) input, got "
+                                  << to_string(in));
+        ORION_CHECK(in.c == spec_.in_channels,
+                    "Conv2d expects " << spec_.in_channels
+                                      << " input channels, got "
+                                      << to_string(in));
+        const int oh = spec_.out_h(in.h);
+        const int ow = spec_.out_w(in.w);
+        ORION_CHECK(oh >= 1 && ow >= 1,
+                    "Conv2d kernel " << spec_.kernel_h << "x" << spec_.kernel_w
+                                     << " (stride " << spec_.stride << ", pad "
+                                     << spec_.pad
+                                     << ") does not fit the input "
+                                     << to_string(in));
+        return Shape{false, spec_.out_channels, oh, ow, 0};
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        std::vector<double> bias;
+        std::vector<double> weight = slot_values("weight", take_params);
+        if (has_bias_) bias = slot_values("bias", take_params);
+        return net.add_conv2d(input, spec_, std::move(weight),
+                              std::move(bias));
+    }
+
+  protected:
+    void
+    init_own_params(Initializer& init) override
+    {
+        // Bias before weight: the historical builders passed both draws as
+        // function arguments, which gcc evaluates right to left, so the
+        // model zoo's seeded networks have always drawn bias first. This
+        // order is pinned by the frontend/IR equivalence test.
+        if (has_bias_ && !param_set("bias")) {
+            set_param("bias", init.bias(spec_.out_channels));
+        }
+        if (!param_set("weight")) {
+            set_param("weight", init.conv_weight(spec_));
+        }
+    }
+
+  private:
+    lin::Conv2dSpec spec_;
+    bool has_bias_;
+};
+
+class LinearModule final : public Module {
+  public:
+    LinearModule(int in_features, int out_features, bool bias)
+        : in_(in_features), out_(out_features), has_bias_(bias)
+    {
+        ORION_CHECK(in_ > 0 && out_ > 0,
+                    "Linear needs positive dimensions, got " << in_ << " -> "
+                                                             << out_);
+        register_param("weight", static_cast<u64>(out_) * in_);
+        if (has_bias_) register_param("bias", static_cast<u64>(out_));
+    }
+
+    const char* kind() const override { return "Linear"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        ORION_CHECK(static_cast<int>(in.size()) == in_,
+                    "Linear expects " << in_ << " input features, got "
+                                      << to_string(in));
+        return Shape{true, 0, 0, 0, out_};
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        std::vector<double> bias;
+        std::vector<double> weight = slot_values("weight", take_params);
+        if (has_bias_) bias = slot_values("bias", take_params);
+        return net.add_linear(input, out_, std::move(weight),
+                              std::move(bias));
+    }
+
+  protected:
+    void
+    init_own_params(Initializer& init) override
+    {
+        // Bias before weight - see Conv2dModule::init_own_params.
+        if (has_bias_ && !param_set("bias")) {
+            set_param("bias", init.bias(out_));
+        }
+        if (!param_set("weight")) {
+            set_param("weight", init.linear_weight(out_, in_));
+        }
+    }
+
+  private:
+    int in_, out_;
+    bool has_bias_;
+};
+
+class BatchNorm2dModule final : public Module {
+  public:
+    BatchNorm2dModule(int channels, double eps) : c_(channels), eps_(eps)
+    {
+        ORION_CHECK(c_ > 0, "BatchNorm2d needs positive channels, got "
+                                << c_);
+        register_param("gamma", static_cast<u64>(c_));
+        register_param("beta", static_cast<u64>(c_));
+        register_param("mean", static_cast<u64>(c_), /*trainable=*/false);
+        register_param("var", static_cast<u64>(c_), /*trainable=*/false);
+    }
+
+    const char* kind() const override { return "BatchNorm2d"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        ORION_CHECK(!in.flat,
+                    "BatchNorm2d needs a spatial (c, h, w) input, got "
+                        << to_string(in));
+        ORION_CHECK(in.c == c_, "BatchNorm2d expects " << c_
+                                                       << " channels, got "
+                                                       << to_string(in));
+        return in;
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        return net.add_batchnorm2d(input, slot_values("gamma", take_params),
+                                   slot_values("beta", take_params),
+                                   slot_values("mean", take_params),
+                                   slot_values("var", take_params), eps_);
+    }
+
+  protected:
+    void
+    init_own_params(Initializer& init) override
+    {
+        if (param_set("gamma") && param_set("beta") && param_set("mean") &&
+            param_set("var")) {
+            return;
+        }
+        // One atomic draw for all four statistics, keeping the RNG stream
+        // aligned with a fully-unset tree even when some are user-set.
+        std::vector<double> g, b, m, v;
+        init.batchnorm(c_, &g, &b, &m, &v);
+        if (!param_set("gamma")) set_param("gamma", std::move(g));
+        if (!param_set("beta")) set_param("beta", std::move(b));
+        if (!param_set("mean")) set_param("mean", std::move(m));
+        if (!param_set("var")) set_param("var", std::move(v));
+    }
+
+  private:
+    int c_;
+    double eps_;
+};
+
+class AvgPool2dModule final : public Module {
+  public:
+    AvgPool2dModule(int kernel, int stride, int pad)
+        : k_(kernel), s_(stride == 0 ? kernel : stride), p_(pad)
+    {
+        ORION_CHECK(k_ > 0 && s_ > 0 && p_ >= 0,
+                    "AvgPool2d needs positive kernel/stride, got kernel "
+                        << k_ << ", stride " << s_ << ", pad " << p_);
+    }
+
+    const char* kind() const override { return "AvgPool2d"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        ORION_CHECK(!in.flat, "AvgPool2d needs a spatial (c, h, w) input, "
+                              "got "
+                                  << to_string(in));
+        const int oh = (in.h + 2 * p_ - k_) / s_ + 1;
+        const int ow = (in.w + 2 * p_ - k_) / s_ + 1;
+        ORION_CHECK(in.h + 2 * p_ >= k_ && in.w + 2 * p_ >= k_,
+                    "AvgPool2d kernel " << k_ << " does not fit the input "
+                                        << to_string(in));
+        return Shape{false, in.c, oh, ow, 0};
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        (void)take_params;
+        return net.add_avgpool2d(input, k_, s_, p_);
+    }
+
+  private:
+    int k_, s_, p_;
+};
+
+class GlobalAvgPoolModule final : public Module {
+  public:
+    const char* kind() const override { return "GlobalAvgPool"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        ORION_CHECK(!in.flat && in.h == in.w,
+                    "GlobalAvgPool expects a square spatial input, got "
+                        << to_string(in));
+        return Shape{false, in.c, 1, 1, 0};
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        (void)take_params;
+        return net.add_global_avgpool(input);
+    }
+};
+
+class ActivationModule final : public Module {
+  public:
+    explicit ActivationModule(ActivationSpec spec) : spec_(std::move(spec))
+    {
+        ORION_CHECK(static_cast<bool>(spec_.f),
+                    "activation has no cleartext function (CustomAct needs "
+                    "a callable)");
+    }
+
+    const char*
+    kind() const override
+    {
+        switch (spec_.kind) {
+        case ActivationSpec::Kind::kSquare: return "Square";
+        case ActivationSpec::Kind::kRelu: return "ReLU";
+        case ActivationSpec::Kind::kSilu: return "SiLU";
+        case ActivationSpec::Kind::kCustom: return "CustomAct";
+        }
+        return "Activation";
+    }
+
+    Shape infer_shape(const Shape& in) const override { return in; }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        (void)take_params;
+        return net.add_activation(input, spec_);
+    }
+
+  private:
+    ActivationSpec spec_;
+};
+
+class FlattenModule final : public Module {
+  public:
+    const char* kind() const override { return "Flatten"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        return Shape{true, 0, 0, 0, static_cast<int>(in.size())};
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        (void)take_params;
+        return net.add_flatten(input);
+    }
+};
+
+class IdentityModule final : public Module {
+  public:
+    const char* kind() const override { return "Identity"; }
+    Shape infer_shape(const Shape& in) const override { return in; }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        (void)net;
+        (void)take_params;
+        return input;  // no IR layer
+    }
+};
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+class SequentialModule final : public Module {
+  public:
+    explicit SequentialModule(
+        std::vector<std::pair<std::string, ModulePtr>> kids)
+        : kids_(std::move(kids))
+    {
+        for (std::size_t i = 0; i < kids_.size(); ++i) {
+            ORION_CHECK(kids_[i].second != nullptr,
+                        "Sequential child " << i << " is null");
+            ORION_CHECK(kids_[i].first.find('.') == std::string::npos,
+                        "Sequential child name '" << kids_[i].first
+                                                  << "' may not contain '.'");
+            for (std::size_t j = 0; j < i; ++j) {
+                ORION_CHECK(kids_[j].first != kids_[i].first,
+                            "Sequential has two children named '"
+                                << kids_[i].first << "'");
+            }
+        }
+    }
+
+    const char* kind() const override { return "Sequential"; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        Shape s = in;
+        for (const auto& [name, child] : kids_) {
+            s = child->infer_shape(s);
+        }
+        return s;
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        int id = input;
+        for (const auto& [name, child] : kids_) {
+            id = child->build(net, id, take_params);
+        }
+        return id;
+    }
+
+    std::vector<std::pair<std::string, ModulePtr>>
+    children() const override
+    {
+        return kids_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, ModulePtr>> kids_;
+};
+
+/** body(x) + shortcut(x); a null shortcut is the identity. */
+class AddModule final : public Module {
+  public:
+    AddModule(const char* kind, const char* a_name, const char* b_name,
+              ModulePtr a, ModulePtr b)
+        : kind_(kind), a_name_(a_name), b_name_(b_name), a_(std::move(a)),
+          b_(std::move(b))
+    {
+        ORION_CHECK(a_ != nullptr, kind_ << " branch '" << a_name_
+                                         << "' is null");
+    }
+
+    const char* kind() const override { return kind_; }
+
+    Shape
+    infer_shape(const Shape& in) const override
+    {
+        const Shape sa = a_->infer_shape(in);
+        const Shape sb = b_ ? b_->infer_shape(in) : in;
+        ORION_CHECK(sa == sb, kind_ << " branches produce different shapes: "
+                                    << to_string(sa) << " vs "
+                                    << to_string(sb));
+        return sa;
+    }
+
+    int
+    build(Network& net, int input, bool take_params) override
+    {
+        const int ia = a_->build(net, input, take_params);
+        const int ib = b_ ? b_->build(net, input, take_params) : input;
+        return net.add_add(ia, ib);
+    }
+
+    std::vector<std::pair<std::string, ModulePtr>>
+    children() const override
+    {
+        std::vector<std::pair<std::string, ModulePtr>> kids;
+        kids.emplace_back(a_name_, a_);
+        if (b_) kids.emplace_back(b_name_, b_);
+        return kids;
+    }
+
+  private:
+    const char* kind_;
+    const char* a_name_;
+    const char* b_name_;
+    ModulePtr a_, b_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+ModulePtr
+Conv2d(int in_channels, int out_channels, int kernel, Conv2dOpts opts)
+{
+    return std::make_shared<Conv2dModule>(in_channels, out_channels, kernel,
+                                          opts);
+}
+
+ModulePtr
+Linear(int in_features, int out_features, bool bias)
+{
+    return std::make_shared<LinearModule>(in_features, out_features, bias);
+}
+
+ModulePtr
+BatchNorm2d(int channels, double eps)
+{
+    return std::make_shared<BatchNorm2dModule>(channels, eps);
+}
+
+ModulePtr
+AvgPool2d(int kernel, int stride, int pad)
+{
+    return std::make_shared<AvgPool2dModule>(kernel, stride, pad);
+}
+
+ModulePtr
+GlobalAvgPool()
+{
+    return std::make_shared<GlobalAvgPoolModule>();
+}
+
+ModulePtr
+ReLU(std::vector<int> degrees)
+{
+    return std::make_shared<ActivationModule>(
+        ActivationSpec::relu(std::move(degrees)));
+}
+
+ModulePtr
+SiLU(int degree)
+{
+    return std::make_shared<ActivationModule>(ActivationSpec::silu(degree));
+}
+
+ModulePtr
+Square()
+{
+    return std::make_shared<ActivationModule>(ActivationSpec::square());
+}
+
+ModulePtr
+CustomAct(std::function<double(double)> f, int degree)
+{
+    return std::make_shared<ActivationModule>(
+        ActivationSpec::custom(std::move(f), degree));
+}
+
+ModulePtr
+Activation(const ActivationSpec& spec)
+{
+    return std::make_shared<ActivationModule>(spec);
+}
+
+ModulePtr
+Flatten()
+{
+    return std::make_shared<FlattenModule>();
+}
+
+ModulePtr
+Identity()
+{
+    return std::make_shared<IdentityModule>();
+}
+
+ModulePtr
+Sequential(std::vector<ModulePtr> children)
+{
+    std::vector<std::pair<std::string, ModulePtr>> named;
+    named.reserve(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        named.emplace_back(std::to_string(i), std::move(children[i]));
+    }
+    return std::make_shared<SequentialModule>(std::move(named));
+}
+
+ModulePtr
+Sequential(std::vector<std::pair<std::string, ModulePtr>> children)
+{
+    return std::make_shared<SequentialModule>(std::move(children));
+}
+
+ModulePtr
+Add(ModulePtr a, ModulePtr b)
+{
+    ORION_CHECK(b != nullptr, "Add branch 'b' is null (use Residual for an "
+                              "identity shortcut)");
+    return std::make_shared<AddModule>("Add", "a", "b", std::move(a),
+                                       std::move(b));
+}
+
+ModulePtr
+Residual(ModulePtr body, ModulePtr shortcut)
+{
+    return std::make_shared<AddModule>("Residual", "body", "shortcut",
+                                       std::move(body), std::move(shortcut));
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+Network
+lower_to_network(Module& m, int c, int h, int w, std::string name,
+                 bool take_params)
+{
+    ORION_CHECK(c > 0 && h > 0 && w > 0,
+                "input shape must be positive, got (" << c << ", " << h
+                                                      << ", " << w << ")");
+    const Shape in{false, c, h, w, 0};
+    m.infer_shape(in);  // precise shape errors before any IR is built
+    ORION_CHECK(m.initialized(),
+                "module tree has uninitialized parameters: call "
+                "initialize(seed) or set_param first");
+    Network net(std::move(name));
+    const int input = net.add_input(c, h, w);
+    const int output = m.build(net, input, take_params);
+    net.set_output(output);
+    return net;
+}
+
+Network
+build_network(Module& m, int c, int h, int w, std::string name, u64 seed)
+{
+    ORION_CHECK(c > 0 && h > 0 && w > 0,
+                "input shape must be positive, got (" << c << ", " << h
+                                                      << ", " << w << ")");
+    m.infer_shape(Shape{false, c, h, w, 0});  // fail before drawing weights
+    m.initialize(seed);
+    return lower_to_network(m, c, h, w, std::move(name),
+                            /*take_params=*/true);
+}
+
+}  // namespace orion::nn

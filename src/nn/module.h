@@ -1,0 +1,275 @@
+#ifndef ORION_SRC_NN_MODULE_H_
+#define ORION_SRC_NN_MODULE_H_
+
+/**
+ * @file
+ * The PyTorch-style module frontend (the C++ realization of the paper's
+ * Listing 1): typed, composable layer objects with shape inference at
+ * construction, automatic seeded He initialization, and named
+ * state_dict()-style weight access. A module tree *lowers* to the flat
+ * graph IR of src/nn/network.h via build_network(), so the compiler,
+ * placement, and executors underneath are untouched.
+ *
+ * A network definition reads like the paper's Python:
+ *
+ *   auto net = nn::Sequential({
+ *       nn::Conv2d(1, 4, 3, {.stride = 2, .pad = 1}),
+ *       nn::Square(),
+ *       nn::Flatten(),
+ *       nn::Linear(64, 10),
+ *   });
+ *   nn::Network ir = nn::build_network(*net, 1, 8, 8, "quickstart", seed);
+ *
+ * Lowering contract (see DESIGN.md, "Module -> Network ->
+ * CompiledNetwork"): build() appends IR layers in module order, one
+ * add_input at the root, and every parameter is materialized before
+ * lowering (either user-set via set_param / load_state_dict, or drawn by
+ * an Initializer in module order - which makes module-built graphs
+ * bit-identical to the historical hand-threaded builders for the same
+ * seed).
+ */
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/nn/network.h"
+
+namespace orion::nn {
+
+class Module;
+using ModulePtr = std::shared_ptr<Module>;
+/** Flat named-parameter map with dotted paths ("body.0.weight"). */
+using StateDict = std::map<std::string, std::vector<double>>;
+
+/**
+ * Weight-initialization policy. Modules draw their unset parameters from
+ * one Initializer in module order, so a given (policy, seed) pair
+ * determines every weight in the tree deterministically.
+ */
+class Initializer {
+  public:
+    virtual ~Initializer() = default;
+
+    virtual std::vector<double> conv_weight(const lin::Conv2dSpec& spec) = 0;
+    virtual std::vector<double> linear_weight(int out_features,
+                                              int in_features) = 0;
+    virtual std::vector<double> bias(int n) = 0;
+    virtual void batchnorm(int channels, std::vector<double>* gamma,
+                           std::vector<double>* beta,
+                           std::vector<double>* mean,
+                           std::vector<double>* var) = 0;
+};
+
+/**
+ * The default seeded He-style initializer (the historical model-zoo
+ * `Init`): He-scaled gaussians for conv/linear weights, 0.01-std
+ * gaussians for biases, and BatchNorm statistics resembling a trained
+ * network. One shared normal_distribution carries state across draws, so
+ * the draw *order* is part of the reproducibility contract.
+ */
+class HeInit final : public Initializer {
+  public:
+    explicit HeInit(u64 seed) : rng_(seed) {}
+
+    std::vector<double> conv_weight(const lin::Conv2dSpec& spec) override;
+    std::vector<double> linear_weight(int out_features,
+                                      int in_features) override;
+    std::vector<double> bias(int n) override;
+    void batchnorm(int channels, std::vector<double>* gamma,
+                   std::vector<double>* beta, std::vector<double>* mean,
+                   std::vector<double>* var) override;
+
+  private:
+    std::vector<double> gaussian(u64 n, double std);
+
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/**
+ * Base class of every frontend layer. Leaves own their parameters;
+ * containers (Sequential, Residual/Add) own named children. All shape
+ * computation happens at construction/composition time via
+ * infer_shape(), so a mis-sized model throws before any compilation.
+ */
+class Module {
+  public:
+    virtual ~Module() = default;
+
+    /** The module kind ("Conv2d", "Sequential", ...). */
+    virtual const char* kind() const = 0;
+
+    /**
+     * Validates this module against an input shape and returns the output
+     * shape. Throws orion::Error with a precise message on mismatch.
+     */
+    virtual Shape infer_shape(const Shape& in) const = 0;
+
+    /**
+     * Lowers this module into `net`, consuming the value produced by
+     * layer `input`; returns the id of the produced layer. All
+     * parameters must be materialized (initialize() or set_param).
+     * When `take_params` is true the parameters are *moved* into the IR
+     * (the module becomes uninitialized) - used by one-shot lowering of
+     * large models to avoid double-buffering hundreds of MB of weights.
+     */
+    virtual int build(Network& net, int input, bool take_params = false) = 0;
+
+    // ---- parameters (leaf-level names: "weight", "gamma", ...) ----
+
+    /** Parameter names owned directly by this module (not children). */
+    std::vector<std::string> param_names() const;
+    /** Expected element count of a named parameter. */
+    u64 param_size(const std::string& name) const;
+    /** True when the named parameter has been materialized. */
+    bool param_set(const std::string& name) const;
+    /** Read access; throws if the name is unknown or not yet set. */
+    const std::vector<double>& param(const std::string& name) const;
+    /** Sets one parameter (size-checked against param_size). */
+    void set_param(const std::string& name, std::vector<double> values);
+
+    /** Named children in composition order (empty for leaves). */
+    virtual std::vector<std::pair<std::string, ModulePtr>> children() const
+    {
+        return {};
+    }
+
+    /** True once every parameter in the tree is materialized. */
+    bool initialized() const;
+
+    /** Trainable parameter count (BatchNorm mean/var excluded). */
+    u64 param_count() const;
+
+    /**
+     * Fills every *unset* parameter in the tree, in module order, from
+     * the policy. User-set parameters are preserved (a BatchNorm with any
+     * unset parameter still consumes one batchnorm() draw so the RNG
+     * stream stays aligned with a fully-unset tree).
+     */
+    void initialize(Initializer& init);
+    /** He-initializes with a fresh HeInit(seed). */
+    void initialize(u64 seed);
+
+    /** Recursive dotted-name snapshot of every set parameter. */
+    StateDict state_dict() const;
+    /**
+     * Loads parameters by dotted name. Strict: unknown names and size
+     * mismatches throw; names absent from the dict are left untouched.
+     */
+    void load_state_dict(const StateDict& dict);
+
+  protected:
+    /** One directly-owned parameter (registered by leaf constructors). */
+    struct ParamSlot {
+        std::string name;
+        u64 size = 0;          ///< expected element count
+        bool trainable = true;  ///< counted by param_count (BN stats not)
+        std::vector<double> values;  ///< empty until set/initialized
+    };
+
+    /** Declares a parameter of `size` elements (leaf constructors). */
+    void register_param(std::string name, u64 size, bool trainable = true);
+    ParamSlot& slot(const std::string& name);
+    const ParamSlot& slot(const std::string& name) const;
+    /**
+     * The materialized values of a slot, copied - or moved out, leaving
+     * the slot unset - when `take` is set. Throws when unset.
+     */
+    std::vector<double> slot_values(const std::string& name, bool take);
+
+    /** Per-leaf hook drawing this module's unset params (leaves only). */
+    virtual void init_own_params(Initializer& init) { (void)init; }
+
+  private:
+    std::vector<ParamSlot> params_;
+};
+
+// ---- leaf factories ----
+
+/** Optional Conv2d geometry (PyTorch defaults). */
+struct Conv2dOpts {
+    int stride = 1;
+    int pad = 0;
+    int dilation = 1;
+    int groups = 1;
+    bool bias = true;
+};
+
+/** 2-D convolution, weights [co][ci/g][kh][kw] ("weight" / "bias"). */
+ModulePtr Conv2d(int in_channels, int out_channels, int kernel,
+                 Conv2dOpts opts = {});
+
+/** Fully connected layer, weights [out][in] ("weight" / "bias"). */
+ModulePtr Linear(int in_features, int out_features, bool bias = true);
+
+/** Inference-mode batch normalization ("gamma"/"beta"/"mean"/"var"). */
+ModulePtr BatchNorm2d(int channels, double eps = 1e-5);
+
+/** Average pooling (stride defaults to the kernel size). */
+ModulePtr AvgPool2d(int kernel, int stride = 0, int pad = 0);
+
+/** Global average pooling to (c, 1, 1). */
+ModulePtr GlobalAvgPool();
+
+/** Composite-minimax ReLU (Listing 1: degrees = {15, 15, 27}). */
+ModulePtr ReLU(std::vector<int> degrees = {15, 15, 27});
+
+/** Chebyshev-approximated SiLU. */
+ModulePtr SiLU(int degree = 127);
+
+/** The x^2 activation of the MNIST-era networks. */
+ModulePtr Square();
+
+/** A user-supplied activation approximated at the given degree. */
+ModulePtr CustomAct(std::function<double(double)> f, int degree);
+
+/** Any ActivationSpec as a module (the generic form of the above). */
+ModulePtr Activation(const ActivationSpec& spec);
+
+/** Collapses (c, h, w) to a flat feature vector. */
+ModulePtr Flatten();
+
+/** The identity (useful as a Residual shortcut). */
+ModulePtr Identity();
+
+// ---- composition ----
+
+/** Runs children in order ("0", "1", ... or the given names). */
+ModulePtr Sequential(std::vector<ModulePtr> children);
+ModulePtr Sequential(std::vector<std::pair<std::string, ModulePtr>> children);
+
+/** Two branches over the same input, summed ("a" / "b"). */
+ModulePtr Add(ModulePtr a, ModulePtr b);
+
+/**
+ * body(x) + shortcut(x), the residual connection of Listing 1
+ * ("body" / "shortcut"; a null shortcut is the identity).
+ */
+ModulePtr Residual(ModulePtr body, ModulePtr shortcut = nullptr);
+
+// ---- lowering ----
+
+/**
+ * Lowers an initialized module tree over a (c, h, w) input to the graph
+ * IR: add_input, module build in order, set_output. Shape inference runs
+ * first, so mis-sized trees throw before any layer is added. When
+ * `take_params` is true the tree's weights are moved (not copied) into
+ * the IR.
+ */
+Network lower_to_network(Module& m, int c, int h, int w,
+                         std::string name = "net", bool take_params = false);
+
+/**
+ * infer + He-initialize(seed) + lower in one call: the zoo's one-liner.
+ * Parameters already set on the tree are preserved; weights are moved
+ * into the returned network (the tree is consumed).
+ */
+Network build_network(Module& m, int c, int h, int w, std::string name,
+                      u64 seed);
+
+}  // namespace orion::nn
+
+#endif  // ORION_SRC_NN_MODULE_H_

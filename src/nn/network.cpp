@@ -59,11 +59,32 @@ layer_kind_name(LayerKind k)
     return "?";
 }
 
+std::string
+to_string(const Shape& s)
+{
+    std::ostringstream oss;
+    if (s.flat) {
+        oss << "flat[" << s.features << "]";
+    } else {
+        oss << "(" << s.c << ", " << s.h << ", " << s.w << ")";
+    }
+    return oss.str();
+}
+
 const Layer&
 Network::layer(int id) const
 {
     ORION_CHECK(id >= 0 && id < num_layers(), "bad layer id " << id);
     return layers_[static_cast<std::size_t>(id)];
+}
+
+void
+Network::check_input_id(int id, const char* who) const
+{
+    ORION_CHECK(id >= 0 && id < num_layers(),
+                who << " input id " << id
+                    << " does not name an existing layer (network '" << name_
+                    << "' has layer ids 0.." << num_layers() - 1 << ")");
 }
 
 int
@@ -86,10 +107,23 @@ Network::infer_shape(const Layer& l) const
         return l.out_shape;  // set by add_input
     case LayerKind::kConv2d: {
         const Shape& in = shape_of(l.inputs[0]);
-        ORION_CHECK(!in.flat, "conv needs a spatial input");
-        ORION_CHECK(in.c == l.conv.in_channels, "conv channel mismatch");
-        return Shape{false, l.conv.out_channels, l.conv.out_h(in.h),
-                     l.conv.out_w(in.w), 0};
+        ORION_CHECK(!in.flat, "add_conv2d needs a spatial (c, h, w) input, "
+                              "got "
+                                  << to_string(in));
+        ORION_CHECK(in.c == l.conv.in_channels,
+                    "add_conv2d expects " << l.conv.in_channels
+                                          << " input channels, got "
+                                          << to_string(in));
+        const int oh = l.conv.out_h(in.h);
+        const int ow = l.conv.out_w(in.w);
+        ORION_CHECK(oh >= 1 && ow >= 1,
+                    "add_conv2d kernel " << l.conv.kernel_h << "x"
+                                         << l.conv.kernel_w
+                                         << " (stride " << l.conv.stride
+                                         << ", pad " << l.conv.pad
+                                         << ") does not fit the input "
+                                         << to_string(in));
+        return Shape{false, l.conv.out_channels, oh, ow, 0};
     }
     case LayerKind::kLinear: {
         const Shape& in = shape_of(l.inputs[0]);
@@ -147,13 +181,20 @@ int
 Network::add_conv2d(int input, const lin::Conv2dSpec& spec,
                     std::vector<double> weights, std::vector<double> bias)
 {
+    check_input_id(input, "add_conv2d");
     spec.validate();
     ORION_CHECK(weights.size() == spec.weight_count(),
-                "conv weight count mismatch");
+                "add_conv2d expects "
+                    << spec.weight_count() << " weights (co "
+                    << spec.out_channels << " x ci/g "
+                    << spec.in_channels / spec.groups << " x "
+                    << spec.kernel_h << "x" << spec.kernel_w << "), got "
+                    << weights.size());
     ORION_CHECK(bias.empty() ||
                     bias.size() ==
                         static_cast<std::size_t>(spec.out_channels),
-                "conv bias size mismatch");
+                "add_conv2d expects one bias per output channel ("
+                    << spec.out_channels << "), got " << bias.size());
     Layer l;
     l.kind = LayerKind::kConv2d;
     l.name = "conv2d";
@@ -168,14 +209,25 @@ int
 Network::add_linear(int input, int out_features, std::vector<double> weights,
                     std::vector<double> bias)
 {
+    check_input_id(input, "add_linear");
+    ORION_CHECK(out_features > 0, "add_linear needs positive out_features, "
+                                  "got "
+                                      << out_features);
     const Shape& in = shape_of(input);
     const int in_features = static_cast<int>(in.size());
     ORION_CHECK(weights.size() == static_cast<std::size_t>(out_features) *
                                       static_cast<std::size_t>(in_features),
-                "linear weight count mismatch");
+                "add_linear expects " << out_features << " x " << in_features
+                                      << " = "
+                                      << static_cast<u64>(out_features) *
+                                             static_cast<u64>(in_features)
+                                      << " weights for input "
+                                      << to_string(in) << ", got "
+                                      << weights.size());
     ORION_CHECK(bias.empty() ||
                     bias.size() == static_cast<std::size_t>(out_features),
-                "linear bias size mismatch");
+                "add_linear expects one bias per output feature ("
+                    << out_features << "), got " << bias.size());
     Layer l;
     l.kind = LayerKind::kLinear;
     l.name = "linear";
@@ -192,6 +244,19 @@ Network::add_batchnorm2d(int input, std::vector<double> gamma,
                          std::vector<double> beta, std::vector<double> mean,
                          std::vector<double> var, double eps)
 {
+    check_input_id(input, "add_batchnorm2d");
+    const Shape& in = shape_of(input);
+    ORION_CHECK(!in.flat, "add_batchnorm2d needs a spatial (c, h, w) input, "
+                          "got "
+                              << to_string(in));
+    ORION_CHECK(gamma.size() == beta.size() && gamma.size() == mean.size() &&
+                    gamma.size() == var.size(),
+                "add_batchnorm2d parameter sizes disagree: gamma "
+                    << gamma.size() << ", beta " << beta.size() << ", mean "
+                    << mean.size() << ", var " << var.size());
+    ORION_CHECK(gamma.size() == static_cast<std::size_t>(in.c),
+                "add_batchnorm2d expects one parameter per channel of "
+                    << to_string(in) << ", got " << gamma.size());
     Layer l;
     l.kind = LayerKind::kBatchNorm2d;
     l.name = "batchnorm2d";
@@ -201,18 +266,25 @@ Network::add_batchnorm2d(int input, std::vector<double> gamma,
     l.bn_mean = std::move(mean);
     l.bn_var = std::move(var);
     l.bn_eps = eps;
-    ORION_CHECK(l.bn_gamma.size() == l.bn_beta.size() &&
-                    l.bn_gamma.size() == l.bn_mean.size() &&
-                    l.bn_gamma.size() == l.bn_var.size(),
-                "batchnorm parameter sizes disagree");
     return push(std::move(l));
 }
 
 int
 Network::add_avgpool2d(int input, int kernel, int stride, int pad)
 {
+    check_input_id(input, "add_avgpool2d");
     ORION_CHECK(kernel > 0 && stride > 0 && pad >= 0,
-                "bad pooling geometry");
+                "add_avgpool2d needs positive kernel/stride, got kernel "
+                    << kernel << ", stride " << stride << ", pad " << pad);
+    const Shape& in = shape_of(input);
+    ORION_CHECK(!in.flat, "add_avgpool2d needs a spatial (c, h, w) input, "
+                          "got "
+                              << to_string(in));
+    ORION_CHECK(in.h + 2 * pad >= kernel && in.w + 2 * pad >= kernel,
+                "add_avgpool2d kernel " << kernel
+                                        << " does not fit the input "
+                                        << to_string(in) << " with pad "
+                                        << pad);
     Layer l;
     l.kind = LayerKind::kAvgPool2d;
     l.name = "avgpool2d";
@@ -235,6 +307,10 @@ Network::add_global_avgpool(int input)
 int
 Network::add_activation(int input, const ActivationSpec& spec)
 {
+    check_input_id(input, "add_activation");
+    ORION_CHECK(static_cast<bool>(spec.f),
+                "add_activation: the spec has no cleartext function (use "
+                "the ActivationSpec factories)");
     Layer l;
     l.kind = LayerKind::kActivation;
     l.name = "activation";
@@ -246,6 +322,12 @@ Network::add_activation(int input, const ActivationSpec& spec)
 int
 Network::add_add(int a, int b)
 {
+    check_input_id(a, "add_add");
+    check_input_id(b, "add_add");
+    ORION_CHECK(shape_of(a) == shape_of(b),
+                "add_add operands must have equal shapes: layer "
+                    << a << " is " << to_string(shape_of(a)) << ", layer "
+                    << b << " is " << to_string(shape_of(b)));
     Layer l;
     l.kind = LayerKind::kAdd;
     l.name = "add";
@@ -256,6 +338,7 @@ Network::add_add(int a, int b)
 int
 Network::add_flatten(int input)
 {
+    check_input_id(input, "add_flatten");
     Layer l;
     l.kind = LayerKind::kFlatten;
     l.name = "flatten";
@@ -266,7 +349,7 @@ Network::add_flatten(int input)
 void
 Network::set_output(int id)
 {
-    ORION_CHECK(id >= 0 && id < num_layers(), "bad output id");
+    check_input_id(id, "set_output");
     output_ = id;
 }
 

@@ -76,6 +76,9 @@ struct Shape {
     }
 };
 
+/** "(c, h, w)" or "flat[features]" - for error messages. */
+std::string to_string(const Shape& s);
+
 /** One node of the network graph. */
 struct Layer {
     int id = -1;
@@ -174,6 +177,8 @@ class Network {
   private:
     Shape infer_shape(const Layer& l) const;
     int push(Layer l);
+    /** Throws a precise error when `id` does not name an existing layer. */
+    void check_input_id(int id, const char* who) const;
 
     std::string name_;
     std::vector<Layer> layers_;

@@ -1,0 +1,793 @@
+/**
+ * @file
+ * Frontend/IR equivalence: for every model-zoo network, the module-built
+ * graph must reproduce the pre-frontend hand-threaded builders bit for
+ * bit at the same (golden) seed - identical layers, identical weights,
+ * identical forward() outputs, identical param/flop counts. The legacy
+ * builders are pinned verbatim below as the reference, with their own
+ * copy of the initializer so drift in either side fails the suite.
+ *
+ * Also covers the module API itself: shape inference at construction,
+ * state_dict get/set, initialization rules, and lowering errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "src/nn/models.h"
+#include "src/nn/module.h"
+#include "tests/test_util.h"
+
+namespace orion::test {
+namespace {
+
+using nn::Act;
+using nn::Network;
+
+// =====================================================================
+// legacy:: - verbatim copy of the pre-frontend model builders (PR 3
+// state of src/nn/models.cpp), the golden reference for this suite.
+// =====================================================================
+
+namespace legacy {
+
+class Init {
+  public:
+    explicit Init(u64 seed) : rng_(seed) {}
+
+    std::vector<double>
+    conv(const lin::Conv2dSpec& s)
+    {
+        const u64 fan_in = static_cast<u64>(s.in_channels) / s.groups *
+                           s.kernel_h * s.kernel_w;
+        return gaussian(s.weight_count(),
+                        std::sqrt(2.0 / static_cast<double>(fan_in)));
+    }
+    std::vector<double>
+    linear(int out_features, int in_features)
+    {
+        return gaussian(static_cast<u64>(out_features) * in_features,
+                        std::sqrt(2.0 / static_cast<double>(in_features)));
+    }
+    std::vector<double>
+    bias(int n)
+    {
+        return gaussian(static_cast<u64>(n), 0.01);
+    }
+    void
+    bn(int c, std::vector<double>* gamma, std::vector<double>* beta,
+       std::vector<double>* mean, std::vector<double>* var)
+    {
+        std::uniform_real_distribution<double> g(0.6, 1.4);
+        std::uniform_real_distribution<double> v(0.4, 1.6);
+        gamma->resize(static_cast<std::size_t>(c));
+        beta->resize(static_cast<std::size_t>(c));
+        mean->resize(static_cast<std::size_t>(c));
+        var->resize(static_cast<std::size_t>(c));
+        for (int i = 0; i < c; ++i) {
+            (*gamma)[static_cast<std::size_t>(i)] = g(rng_);
+            (*beta)[static_cast<std::size_t>(i)] = 0.05 * normal_(rng_);
+            (*mean)[static_cast<std::size_t>(i)] = 0.1 * normal_(rng_);
+            (*var)[static_cast<std::size_t>(i)] = v(rng_);
+        }
+    }
+
+  private:
+    std::vector<double>
+    gaussian(u64 n, double std)
+    {
+        std::vector<double> out(n);
+        for (double& x : out) x = std * normal_(rng_);
+        return out;
+    }
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+nn::ActivationSpec
+act_spec(Act act)
+{
+    switch (act) {
+    case Act::kSquare: return nn::ActivationSpec::square();
+    case Act::kRelu: return nn::ActivationSpec::relu({15, 15, 27});
+    case Act::kSilu: return nn::ActivationSpec::silu(127);
+    }
+    ORION_ASSERT(false);
+    return {};
+}
+
+
+// The historical builders passed the weight and bias draws as function
+// arguments; gcc evaluates function arguments right to left, so the
+// seeded model zoo has always drawn bias before weights. These helpers
+// pin that order explicitly, making the golden reference
+// compiler-independent (the module frontend reproduces the same order).
+int
+linear_drawn(Network& net, Init& init, int input, int out, int in)
+{
+    std::vector<double> b = init.bias(out);
+    std::vector<double> w = init.linear(out, in);
+    return net.add_linear(input, out, std::move(w), std::move(b));
+}
+
+int
+conv_drawn(Network& net, Init& init, int input, const lin::Conv2dSpec& spec)
+{
+    std::vector<double> b = init.bias(spec.out_channels);
+    std::vector<double> w = init.conv(spec);
+    return net.add_conv2d(input, spec, std::move(w), std::move(b));
+}
+
+int
+conv_bn_act(Network& net, Init& init, int input, int co, int kernel,
+            int stride, int pad, Act act, int groups = 1)
+{
+    const nn::Shape& in = net.shape_of(input);
+    lin::Conv2dSpec spec;
+    spec.in_channels = in.c;
+    spec.out_channels = co;
+    spec.kernel_h = spec.kernel_w = kernel;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.groups = groups;
+    int id = net.add_conv2d(input, spec, init.conv(spec));
+    std::vector<double> g, b, m, v;
+    init.bn(co, &g, &b, &m, &v);
+    id = net.add_batchnorm2d(id, g, b, m, v);
+    return net.add_activation(id, legacy::act_spec(act));
+}
+
+int
+conv_bn(Network& net, Init& init, int input, int co, int kernel, int stride,
+        int pad, int groups = 1)
+{
+    const nn::Shape& in = net.shape_of(input);
+    lin::Conv2dSpec spec;
+    spec.in_channels = in.c;
+    spec.out_channels = co;
+    spec.kernel_h = spec.kernel_w = kernel;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.groups = groups;
+    int id = net.add_conv2d(input, spec, init.conv(spec));
+    std::vector<double> g, b, m, v;
+    init.bn(co, &g, &b, &m, &v);
+    return net.add_batchnorm2d(id, g, b, m, v);
+}
+
+int
+basic_block(Network& net, Init& init, int input, int co, int stride, Act act)
+{
+    const int ci = net.shape_of(input).c;
+    int out = conv_bn_act(net, init, input, co, 3, stride, 1, act);
+    out = conv_bn(net, init, out, co, 3, 1, 1);
+    int shortcut = input;
+    if (stride != 1 || ci != co) {
+        shortcut = conv_bn(net, init, input, co, 1, stride, 0);
+    }
+    const int sum = net.add_add(out, shortcut);
+    return net.add_activation(sum, legacy::act_spec(act));
+}
+
+int
+bottleneck_block(Network& net, Init& init, int input, int planes, int stride,
+                 Act act)
+{
+    const int ci = net.shape_of(input).c;
+    const int co = planes * 4;
+    int out = conv_bn_act(net, init, input, planes, 1, 1, 0, act);
+    out = conv_bn_act(net, init, out, planes, 3, stride, 1, act);
+    out = conv_bn(net, init, out, co, 1, 1, 0);
+    int shortcut = input;
+    if (stride != 1 || ci != co) {
+        shortcut = conv_bn(net, init, input, co, 1, stride, 0);
+    }
+    const int sum = net.add_add(out, shortcut);
+    return net.add_activation(sum, legacy::act_spec(act));
+}
+
+int
+resnet_trunk(Network& net, Init& init, int input, bool bottleneck,
+             const std::vector<int>& blocks, Act act)
+{
+    int id = conv_bn_act(net, init, input, 64, 7, 2, 3, act);
+    id = net.add_avgpool2d(id, 3, 2, 1);
+    const std::vector<int> widths = {64, 128, 256, 512};
+    for (std::size_t stage = 0; stage < widths.size(); ++stage) {
+        for (int b = 0; b < blocks[stage]; ++b) {
+            const int stride = (stage > 0 && b == 0) ? 2 : 1;
+            id = bottleneck
+                     ? bottleneck_block(net, init, id, widths[stage], stride,
+                                        act)
+                     : basic_block(net, init, id, widths[stage], stride,
+                                   act);
+        }
+    }
+    return id;
+}
+
+Network
+make_micro_mlp(u64 seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> dist(0.0, 0.3);
+    auto weights = [&rng, &dist](u64 n) {
+        std::vector<double> w(n);
+        for (double& x : w) x = dist(rng);
+        return w;
+    };
+    Network net("micro-mlp");
+    int id = net.add_input(1, 8, 8);
+    id = net.add_flatten(id);
+    std::vector<double> b1 = weights(16);  // bias first: see linear_drawn
+    std::vector<double> w1 = weights(16 * 64);
+    id = net.add_linear(id, 16, std::move(w1), std::move(b1));
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    std::vector<double> b2 = weights(5);
+    std::vector<double> w2 = weights(5 * 16);
+    id = net.add_linear(id, 5, std::move(w2), std::move(b2));
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_mlp(u64 seed)
+{
+    Init init(seed);
+    Network net("mlp");
+    int id = net.add_input(1, 28, 28);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 128, 784);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = linear_drawn(net, init, id, 128, 128);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = linear_drawn(net, init, id, 10, 128);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_lola(u64 seed)
+{
+    Init init(seed);
+    Network net("lola");
+    int id = net.add_input(1, 28, 28);
+    lin::Conv2dSpec spec;
+    spec.in_channels = 1;
+    spec.out_channels = 5;
+    spec.kernel_h = spec.kernel_w = 5;
+    spec.stride = 2;
+    spec.pad = 1;
+    id = conv_drawn(net, init, id, spec);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = net.add_flatten(id);  // 5 x 13 x 13 = 845
+    id = linear_drawn(net, init, id, 100, 845);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = linear_drawn(net, init, id, 10, 100);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_lenet5(u64 seed)
+{
+    Init init(seed);
+    Network net("lenet5");
+    int id = net.add_input(1, 28, 28);
+    lin::Conv2dSpec c1;
+    c1.in_channels = 1;
+    c1.out_channels = 32;
+    c1.kernel_h = c1.kernel_w = 5;
+    c1.pad = 2;
+    id = conv_drawn(net, init, id, c1);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = net.add_avgpool2d(id, 2, 2);
+    lin::Conv2dSpec c2;
+    c2.in_channels = 32;
+    c2.out_channels = 64;
+    c2.kernel_h = c2.kernel_w = 5;
+    c2.pad = 2;
+    id = conv_drawn(net, init, id, c2);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = net.add_avgpool2d(id, 2, 2);
+    id = net.add_flatten(id);  // 64 * 7 * 7 = 3136
+    id = linear_drawn(net, init, id, 512, 3136);
+    id = net.add_activation(id, nn::ActivationSpec::square());
+    id = linear_drawn(net, init, id, 10, 512);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_alexnet_cifar(Act act, u64 seed)
+{
+    Init init(seed);
+    Network net(act == Act::kSilu ? "alexnet-silu" : "alexnet-relu");
+    int id = net.add_input(3, 32, 32);
+    id = conv_bn_act(net, init, id, 64, 3, 2, 1, act);
+    id = conv_bn_act(net, init, id, 192, 3, 1, 1, act);
+    id = net.add_avgpool2d(id, 2, 2);
+    id = conv_bn_act(net, init, id, 384, 3, 1, 1, act);
+    id = conv_bn_act(net, init, id, 256, 3, 1, 1, act);
+    id = conv_bn_act(net, init, id, 256, 3, 1, 1, act);
+    id = net.add_avgpool2d(id, 2, 2);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 4096, 4096);
+    id = net.add_activation(id, legacy::act_spec(act));
+    id = linear_drawn(net, init, id, 1024, 4096);
+    id = net.add_activation(id, legacy::act_spec(act));
+    id = linear_drawn(net, init, id, 10, 1024);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_vgg16_cifar(Act act, u64 seed)
+{
+    Init init(seed);
+    Network net(act == Act::kSilu ? "vgg16-silu" : "vgg16-relu");
+    int id = net.add_input(3, 32, 32);
+    const std::vector<std::vector<int>> stages = {
+        {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512},
+        {512, 512, 512}};
+    for (const std::vector<int>& stage : stages) {
+        for (int width : stage) {
+            id = conv_bn_act(net, init, id, width, 3, 1, 1, act);
+        }
+        id = net.add_avgpool2d(id, 2, 2);
+    }
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 512, 512);
+    id = net.add_activation(id, legacy::act_spec(act));
+    id = linear_drawn(net, init, id, 10, 512);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_resnet_cifar(int depth, Act act, u64 seed)
+{
+    const int n = (depth - 2) / 6;
+    Init init(seed);
+    Network net("resnet" + std::to_string(depth) +
+                (act == Act::kSilu ? "-silu" : "-relu"));
+    int id = net.add_input(3, 32, 32);
+    id = conv_bn_act(net, init, id, 16, 3, 1, 1, act);
+    const std::vector<int> widths = {16, 32, 64};
+    for (std::size_t stage = 0; stage < widths.size(); ++stage) {
+        for (int b = 0; b < n; ++b) {
+            const int stride = (stage > 0 && b == 0) ? 2 : 1;
+            id = basic_block(net, init, id, widths[stage], stride, act);
+        }
+    }
+    id = net.add_global_avgpool(id);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 10, 64);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_mobilenet_v1(u64 seed)
+{
+    Init init(seed);
+    Network net("mobilenet");
+    const Act act = Act::kSilu;
+    int id = net.add_input(3, 64, 64);
+    id = conv_bn_act(net, init, id, 32, 3, 2, 1, act);
+    const std::vector<std::pair<int, int>> blocks = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2},
+        {512, 1}, {512, 1}, {512, 1}, {512, 1},  {512, 1},  {1024, 2},
+        {1024, 1}};
+    for (const auto& [co, stride] : blocks) {
+        const int ci = net.shape_of(id).c;
+        id = conv_bn_act(net, init, id, ci, 3, stride, 1, act,
+                         /*groups=*/ci);
+        id = conv_bn_act(net, init, id, co, 1, 1, 0, act);
+    }
+    id = net.add_global_avgpool(id);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 200, 1024);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_resnet18_tiny(u64 seed)
+{
+    Init init(seed);
+    Network net("resnet18");
+    const Act act = Act::kSilu;
+    int id = net.add_input(3, 64, 64);
+    id = conv_bn_act(net, init, id, 64, 3, 1, 1, act);
+    const std::vector<int> widths = {64, 128, 256, 512};
+    const std::vector<int> blocks = {2, 2, 2, 2};
+    for (std::size_t stage = 0; stage < widths.size(); ++stage) {
+        for (int b = 0; b < blocks[stage]; ++b) {
+            const int stride = (stage > 0 && b == 0) ? 2 : 1;
+            id = basic_block(net, init, id, widths[stage], stride, act);
+        }
+    }
+    id = net.add_global_avgpool(id);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 200, 512);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_resnet34_imagenet(u64 seed)
+{
+    Init init(seed);
+    Network net("resnet34");
+    int id = net.add_input(3, 224, 224);
+    id = resnet_trunk(net, init, id, /*bottleneck=*/false, {3, 4, 6, 3},
+                      Act::kSilu);
+    id = net.add_global_avgpool(id);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 1000, 512);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_resnet50_imagenet(u64 seed)
+{
+    Init init(seed);
+    Network net("resnet50");
+    int id = net.add_input(3, 224, 224);
+    id = resnet_trunk(net, init, id, /*bottleneck=*/true, {3, 4, 6, 3},
+                      Act::kSilu);
+    id = net.add_global_avgpool(id);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 1000, 2048);
+    net.set_output(id);
+    return net;
+}
+
+Network
+make_yolo_v1(u64 seed)
+{
+    Init init(seed);
+    Network net("yolo-v1");
+    const Act act = Act::kSilu;
+    int id = net.add_input(3, 448, 448);
+    id = resnet_trunk(net, init, id, /*bottleneck=*/false, {3, 4, 6, 3},
+                      act);
+    id = conv_bn_act(net, init, id, 512, 3, 2, 1, act);
+    id = net.add_flatten(id);
+    id = linear_drawn(net, init, id, 4096, 25088);
+    id = net.add_activation(id, legacy::act_spec(act));
+    id = linear_drawn(net, init, id, 1470, 4096);
+    net.set_output(id);
+    return net;
+}
+
+}  // namespace legacy
+
+// =====================================================================
+// Comparison machinery
+// =====================================================================
+
+u64
+fnv(u64 h, u64 x)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+u64
+fnv_doubles(u64 h, const std::vector<double>& v)
+{
+    u64 bits = 0;
+    h = fnv(h, v.size());
+    for (double x : v) {
+        static_assert(sizeof(double) == sizeof(u64));
+        std::memcpy(&bits, &x, sizeof(bits));
+        h = fnv(h, bits);
+    }
+    return h;
+}
+
+/** Structural + parameter fingerprint of a graph (order-sensitive). */
+u64
+fingerprint(const Network& net)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    h = fnv(h, static_cast<u64>(net.num_layers()));
+    h = fnv(h, static_cast<u64>(net.input_id()));
+    h = fnv(h, static_cast<u64>(net.output_id()));
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const nn::Layer& l = net.layer(id);
+        h = fnv(h, static_cast<u64>(l.kind));
+        for (int in : l.inputs) h = fnv(h, static_cast<u64>(in));
+        h = fnv(h, static_cast<u64>(l.conv.in_channels));
+        h = fnv(h, static_cast<u64>(l.conv.out_channels));
+        h = fnv(h, static_cast<u64>(l.conv.kernel_h));
+        h = fnv(h, static_cast<u64>(l.conv.kernel_w));
+        h = fnv(h, static_cast<u64>(l.conv.stride));
+        h = fnv(h, static_cast<u64>(l.conv.pad));
+        h = fnv(h, static_cast<u64>(l.conv.dilation));
+        h = fnv(h, static_cast<u64>(l.conv.groups));
+        h = fnv(h, static_cast<u64>(l.in_features));
+        h = fnv(h, static_cast<u64>(l.out_features));
+        h = fnv(h, static_cast<u64>(l.pool_kernel));
+        h = fnv(h, static_cast<u64>(l.pool_stride));
+        h = fnv(h, static_cast<u64>(l.pool_pad));
+        h = fnv(h, static_cast<u64>(l.act.kind));
+        for (int d : l.act.relu_degrees) h = fnv(h, static_cast<u64>(d));
+        h = fnv(h, static_cast<u64>(l.act.degree));
+        h = fnv(h, static_cast<u64>(l.out_shape.size()));
+        h = fnv_doubles(h, l.weights);
+        h = fnv_doubles(h, l.bias);
+        h = fnv_doubles(h, l.bn_gamma);
+        h = fnv_doubles(h, l.bn_beta);
+        h = fnv_doubles(h, l.bn_mean);
+        h = fnv_doubles(h, l.bn_var);
+    }
+    return h;
+}
+
+struct Golden {
+    std::string name;
+    u64 params = 0;
+    u64 flops = 0;
+    int layers = 0;
+    u64 fp = 0;
+
+    bool
+    operator==(const Golden& o) const
+    {
+        return name == o.name && params == o.params && flops == o.flops &&
+               layers == o.layers && fp == o.fp;
+    }
+};
+
+std::ostream&
+operator<<(std::ostream& os, const Golden& g)
+{
+    return os << g.name << "{params=" << g.params << ", flops=" << g.flops
+              << ", layers=" << g.layers << ", fp=" << g.fp << "}";
+}
+
+/** Builds via `make`, summarizes, and frees the network immediately. */
+template <typename MakeFn>
+Golden
+summarize(MakeFn make)
+{
+    const Network net = make();
+    return Golden{net.network_name(), net.param_count(), net.flop_count(),
+                  net.num_layers(), fingerprint(net)};
+}
+
+/** Layer-by-layer identity (better failure localization than the hash). */
+void
+expect_identical(const Network& want, const Network& got)
+{
+    ASSERT_EQ(want.num_layers(), got.num_layers());
+    EXPECT_EQ(want.network_name(), got.network_name());
+    EXPECT_EQ(want.input_id(), got.input_id());
+    EXPECT_EQ(want.output_id(), got.output_id());
+    for (int id = 0; id < want.num_layers(); ++id) {
+        const nn::Layer& a = want.layer(id);
+        const nn::Layer& b = got.layer(id);
+        ASSERT_EQ(a.kind, b.kind) << "layer " << id;
+        EXPECT_EQ(a.inputs, b.inputs) << "layer " << id;
+        EXPECT_TRUE(a.out_shape == b.out_shape)
+            << "layer " << id << ": " << to_string(a.out_shape) << " vs "
+            << to_string(b.out_shape);
+        EXPECT_TRUE(a.weights == b.weights)
+            << "layer " << id << " weights differ";
+        EXPECT_TRUE(a.bias == b.bias) << "layer " << id << " bias differs";
+        EXPECT_TRUE(a.bn_gamma == b.bn_gamma) << "layer " << id;
+        EXPECT_TRUE(a.bn_beta == b.bn_beta) << "layer " << id;
+        EXPECT_TRUE(a.bn_mean == b.bn_mean) << "layer " << id;
+        EXPECT_TRUE(a.bn_var == b.bn_var) << "layer " << id;
+        EXPECT_EQ(a.act.kind, b.act.kind) << "layer " << id;
+        EXPECT_EQ(a.act.relu_degrees, b.act.relu_degrees) << "layer " << id;
+        EXPECT_EQ(a.act.degree, b.act.degree) << "layer " << id;
+    }
+    EXPECT_EQ(want.param_count(), got.param_count());
+    EXPECT_EQ(want.flop_count(), got.flop_count());
+}
+
+// =====================================================================
+// Equivalence tests (golden seeds = the zoo's defaults)
+// =====================================================================
+
+TEST(FrontendEquivalence, MicroAndMnistNetsAreIdentical)
+{
+    expect_identical(legacy::make_micro_mlp(51), nn::make_micro_mlp());
+    expect_identical(legacy::make_mlp(1), nn::make_mlp());
+    expect_identical(legacy::make_lola(2), nn::make_lola());
+    expect_identical(legacy::make_lenet5(3), nn::make_lenet5());
+}
+
+TEST(FrontendEquivalence, CifarNetsAreIdentical)
+{
+    expect_identical(legacy::make_alexnet_cifar(Act::kRelu, 4),
+                     nn::make_alexnet_cifar(Act::kRelu));
+    expect_identical(legacy::make_vgg16_cifar(Act::kSilu, 5),
+                     nn::make_vgg16_cifar(Act::kSilu));
+    expect_identical(legacy::make_resnet_cifar(20, Act::kRelu, 6),
+                     nn::make_resnet_cifar(20, Act::kRelu));
+    expect_identical(legacy::make_resnet_cifar(20, Act::kSilu, 6),
+                     nn::make_resnet_cifar(20, Act::kSilu));
+    expect_identical(legacy::make_resnet_cifar(56, Act::kRelu, 6),
+                     nn::make_resnet_cifar(56, Act::kRelu));
+}
+
+TEST(FrontendEquivalence, TinyImagenetNetsAreIdentical)
+{
+    expect_identical(legacy::make_mobilenet_v1(7), nn::make_mobilenet_v1());
+    expect_identical(legacy::make_resnet18_tiny(8),
+                     nn::make_resnet18_tiny());
+}
+
+TEST(FrontendEquivalence, LargeNetFingerprintsMatch)
+{
+    // ImageNet/VOC scale: summarize (params, flops, layer count, FNV over
+    // every weight bit) and free each network before building the next,
+    // bounding peak memory at ~one network.
+    EXPECT_EQ(summarize([] { return legacy::make_resnet_cifar(
+                                 110, Act::kRelu, 6); }),
+              summarize([] {
+                  return nn::make_resnet_cifar(110, Act::kRelu);
+              }));
+    EXPECT_EQ(summarize([] { return legacy::make_resnet34_imagenet(9); }),
+              summarize([] { return nn::make_resnet34_imagenet(); }));
+    EXPECT_EQ(summarize([] { return legacy::make_resnet50_imagenet(10); }),
+              summarize([] { return nn::make_resnet50_imagenet(); }));
+    EXPECT_EQ(summarize([] { return legacy::make_yolo_v1(11); }),
+              summarize([] { return nn::make_yolo_v1(); }));
+}
+
+TEST(FrontendEquivalence, ForwardOutputsAreBitIdentical)
+{
+    struct Case {
+        const char* name;
+        Network want, got;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"micro", legacy::make_micro_mlp(51),
+                     nn::make_micro_mlp()});
+    cases.push_back({"mlp", legacy::make_mlp(1), nn::make_mlp()});
+    cases.push_back({"lenet5", legacy::make_lenet5(3), nn::make_lenet5()});
+    cases.push_back({"resnet20-relu",
+                     legacy::make_resnet_cifar(20, Act::kRelu, 6),
+                     nn::make_resnet_cifar(20, Act::kRelu)});
+    cases.push_back({"resnet20-silu",
+                     legacy::make_resnet_cifar(20, Act::kSilu, 6),
+                     nn::make_resnet_cifar(20, Act::kSilu)});
+    for (const Case& c : cases) {
+        const u64 in_size = c.want.shape_of(c.want.input_id()).size();
+        const std::vector<double> x = random_vector(in_size, 1.0, 77);
+        const std::vector<double> a = c.want.forward(x);
+        const std::vector<double> b = c.got.forward(x);
+        ASSERT_EQ(a.size(), b.size()) << c.name;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i], b[i]) << c.name << " logit " << i;
+        }
+    }
+}
+
+// =====================================================================
+// Module API
+// =====================================================================
+
+TEST(Module, ShapeInferenceCatchesMismatchesAtConstruction)
+{
+    auto bad_channels = nn::Sequential(
+        {nn::Conv2d(3, 8, 3, {.pad = 1}), nn::Conv2d(3, 8, 3, {.pad = 1})});
+    expect_throw_contains<Error>(
+        [&] { bad_channels->infer_shape(nn::Shape{false, 3, 8, 8, 0}); },
+        "Conv2d expects 3 input channels");
+
+    auto bad_features = nn::Sequential({nn::Flatten(), nn::Linear(100, 10)});
+    expect_throw_contains<Error>(
+        [&] { bad_features->infer_shape(nn::Shape{false, 1, 8, 8, 0}); },
+        "Linear expects 100 input features");
+
+    auto bad_residual = nn::Residual(nn::Conv2d(1, 4, 3, {.stride = 2}));
+    expect_throw_contains<Error>(
+        [&] { bad_residual->infer_shape(nn::Shape{false, 1, 8, 8, 0}); },
+        "different shapes");
+
+    auto ok = nn::Sequential({nn::Conv2d(1, 4, 3, {.stride = 2, .pad = 1}),
+                              nn::Flatten(), nn::Linear(64, 10)});
+    const nn::Shape out = ok->infer_shape(nn::Shape{false, 1, 8, 8, 0});
+    EXPECT_TRUE(out.flat);
+    EXPECT_EQ(out.features, 10);
+}
+
+TEST(Module, StateDictRoundTripsAndRebuildsTheSameGraph)
+{
+    auto make_tree = [] {
+        return nn::Sequential(
+            {std::pair<std::string, nn::ModulePtr>{"conv",
+                                                   nn::Conv2d(1, 2, 3)},
+             {"act", nn::Square()},
+             {"flat", nn::Flatten()},
+             {"fc", nn::Linear(2 * 6 * 6, 4)}});
+    };
+    auto a = make_tree();
+    EXPECT_FALSE(a->initialized());
+    a->initialize(123);
+    EXPECT_TRUE(a->initialized());
+
+    const nn::StateDict dict = a->state_dict();
+    EXPECT_EQ(dict.size(), 4u);  // conv w/b + fc w/b
+    EXPECT_TRUE(dict.count("conv.weight") == 1);
+    EXPECT_TRUE(dict.count("conv.bias") == 1);
+    EXPECT_TRUE(dict.count("fc.weight") == 1);
+    EXPECT_TRUE(dict.count("fc.bias") == 1);
+
+    auto b = make_tree();
+    b->load_state_dict(dict);
+    EXPECT_TRUE(b->initialized());
+
+    Network na = nn::lower_to_network(*a, 1, 8, 8, "a");
+    Network nb = nn::lower_to_network(*b, 1, 8, 8, "b");
+    const std::vector<double> x = random_vector(64, 1.0, 9);
+    EXPECT_TRUE(na.forward(x) == nb.forward(x));
+
+    expect_throw_contains<Error>(
+        [&] { b->load_state_dict({{"conv.nope", {1.0}}}); },
+        "unknown parameter");
+    expect_throw_contains<Error>(
+        [&] { b->load_state_dict({{"missing.weight", {1.0}}}); },
+        "unknown parameter");
+    expect_throw_contains<Error>(
+        [&] { b->set_param("0", {}); }, "no parameter");
+}
+
+TEST(Module, UserSetParametersSurviveInitialization)
+{
+    auto fc = nn::Linear(4, 2);
+    const std::vector<double> w = {1, 2, 3, 4, 5, 6, 7, 8};
+    fc->set_param("weight", w);
+    expect_throw_contains<Error>(
+        [&] { fc->set_param("weight", {1.0}); }, "expects 8 values");
+    fc->initialize(u64(7));  // draws only the bias
+    EXPECT_TRUE(fc->param("weight") == w);
+    EXPECT_EQ(fc->param("bias").size(), 2u);
+    EXPECT_EQ(fc->param_count(), 10u);
+}
+
+TEST(Module, LoweringRequiresInitializedParameters)
+{
+    auto m = nn::Sequential({nn::Flatten(), nn::Linear(64, 10)});
+    expect_throw_contains<Error>(
+        [&] { nn::lower_to_network(*m, 1, 8, 8, "x"); },
+        "uninitialized parameters");
+}
+
+TEST(Module, TakeParamsMovesWeightsIntoTheNetwork)
+{
+    auto m = nn::Linear(4, 2);
+    m->initialize(u64(3));
+    Network keep = nn::lower_to_network(*m, 1, 2, 2, "keep",
+                                        /*take_params=*/false);
+    EXPECT_TRUE(m->initialized());
+    Network take = nn::lower_to_network(*m, 1, 2, 2, "take",
+                                        /*take_params=*/true);
+    EXPECT_FALSE(m->initialized());  // weights moved out
+    const std::vector<double> x = random_vector(4, 1.0, 4);
+    EXPECT_TRUE(keep.forward(x) == take.forward(x));
+}
+
+TEST(Module, ParamCountMatchesLoweredNetwork)
+{
+    auto block = nn::BasicBlock(16, 32, 2, Act::kRelu);
+    block->initialize(u64(5));
+    Network net = nn::lower_to_network(*block, 16, 8, 8, "block");
+    EXPECT_EQ(block->param_count(), net.param_count());
+}
+
+}  // namespace
+}  // namespace orion::test

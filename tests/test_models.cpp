@@ -116,6 +116,43 @@ TEST(Models, UnknownModelRejected)
     EXPECT_THROW(nn::make_model("transformer"), Error);
 }
 
+TEST(Models, ModelNamesAreCaseInsensitive)
+{
+    EXPECT_EQ(nn::make_model("MLP").network_name(), "mlp");
+    EXPECT_EQ(nn::make_model("LeNet5").network_name(), "lenet5");
+    EXPECT_EQ(nn::make_model("ResNet20-SiLU").network_name(),
+              "resnet20-silu");
+    EXPECT_EQ(nn::make_model("Micro").network_name(), "micro-mlp");
+}
+
+TEST(Models, UnknownModelErrorListsEveryValidName)
+{
+    // The error must name every valid model so a typo is self-correcting.
+    try {
+        nn::make_model("transformer");
+        FAIL() << "expected an Error";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown model 'transformer'"),
+                  std::string::npos)
+            << msg;
+        for (const std::string& name : nn::model_names()) {
+            EXPECT_NE(msg.find(name), std::string::npos)
+                << "missing '" << name << "' in: " << msg;
+        }
+        EXPECT_NE(msg.find("-relu/-silu"), std::string::npos) << msg;
+    }
+    // Non-numeric or absurd resnet suffixes are unknown names - never
+    // stoi crashes (std::invalid_argument / std::out_of_range).
+    expect_throw_contains<Error>([] { nn::make_model("resnetXL"); },
+                                 "unknown model");
+    expect_throw_contains<Error>([] { nn::make_model("resnet"); },
+                                 "unknown model");
+    expect_throw_contains<Error>(
+        [] { nn::make_model("resnet99999999999999999999"); },
+        "unknown model");
+}
+
 TEST(Models, FlopCountsTrackPaper)
 {
     // Table 2 FLOPS column (multiplies): ResNet-20 41.2M, VGG-16 314M.
@@ -154,6 +191,95 @@ TEST(Network, RejectsMalformedGraphs)
     spec.in_channels = 2;  // mismatched channels
     spec.out_channels = 1;
     EXPECT_THROW(net.add_conv2d(id, spec, {0.0, 0.0}), Error);
+}
+
+TEST(Network, DanglingInputIdsAreRejectedWithPreciseErrors)
+{
+    Network net("validate");
+    const int id = net.add_input(1, 4, 4);
+    lin::Conv2dSpec spec;
+    spec.in_channels = 1;
+    spec.out_channels = 1;
+    spec.kernel_h = spec.kernel_w = 3;
+    spec.pad = 1;
+    const std::vector<double> w(spec.weight_count(), 0.1);
+
+    expect_throw_contains<Error>(
+        [&] { net.add_conv2d(7, spec, w); },
+        "add_conv2d input id 7 does not name an existing layer");
+    expect_throw_contains<Error>(
+        [&] { net.add_linear(-1, 2, {0.0, 0.0}); },
+        "add_linear input id -1 does not name an existing layer");
+    expect_throw_contains<Error>(
+        [&] { net.add_batchnorm2d(3, {1.0}, {0.0}, {0.0}, {1.0}); },
+        "add_batchnorm2d input id 3");
+    expect_throw_contains<Error>([&] { net.add_avgpool2d(2, 2, 2); },
+                                 "add_avgpool2d input id 2");
+    expect_throw_contains<Error>(
+        [&] { net.add_activation(5, nn::ActivationSpec::square()); },
+        "add_activation input id 5");
+    expect_throw_contains<Error>([&] { net.add_add(id, 9); },
+                                 "add_add input id 9");
+    expect_throw_contains<Error>([&] { net.add_flatten(4); },
+                                 "add_flatten input id 4");
+    expect_throw_contains<Error>([&] { net.set_output(6); },
+                                 "set_output input id 6");
+}
+
+TEST(Network, WrongWeightAndBiasSizesAreRejectedWithPreciseErrors)
+{
+    Network net("validate");
+    const int id = net.add_input(2, 4, 4);
+    lin::Conv2dSpec spec;
+    spec.in_channels = 2;
+    spec.out_channels = 3;
+    spec.kernel_h = spec.kernel_w = 3;
+    spec.pad = 1;
+
+    expect_throw_contains<Error>(
+        [&] { net.add_conv2d(id, spec, {0.0, 0.0}); },
+        "add_conv2d expects 54 weights");
+    expect_throw_contains<Error>(
+        [&] {
+            net.add_conv2d(id, spec,
+                           std::vector<double>(spec.weight_count(), 0.1),
+                           {0.0});
+        },
+        "one bias per output channel (3), got 1");
+    expect_throw_contains<Error>(
+        [&] { net.add_linear(id, 2, {0.0, 0.0, 0.0}); },
+        "add_linear expects 2 x 32 = 64 weights");
+    expect_throw_contains<Error>(
+        [&] {
+            net.add_linear(id, 2, std::vector<double>(64, 0.1),
+                           {0.0, 0.0, 0.0});
+        },
+        "one bias per output feature (2), got 3");
+    expect_throw_contains<Error>(
+        [&] { net.add_batchnorm2d(id, {1.0}, {0.0}, {0.0}, {1.0, 1.0}); },
+        "parameter sizes disagree");
+    expect_throw_contains<Error>(
+        [&] { net.add_batchnorm2d(id, {1.0}, {0.0}, {0.0}, {1.0}); },
+        "one parameter per channel of (2, 4, 4), got 1");
+}
+
+TEST(Network, ShapeMismatchedAddOperandsAreRejected)
+{
+    Network net("validate");
+    const int id = net.add_input(1, 8, 8);
+    const int pooled = net.add_avgpool2d(id, 2, 2);
+    expect_throw_contains<Error>(
+        [&] { net.add_add(id, pooled); },
+        "add_add operands must have equal shapes: layer 0 is (1, 8, 8), "
+        "layer 1 is (1, 4, 4)");
+    const int flat = net.add_flatten(id);
+    expect_throw_contains<Error>([&] { net.add_add(id, flat); },
+                                 "flat[64]");
+    // Pool geometry that cannot fit the input is caught at add time.
+    expect_throw_contains<Error>([&] { net.add_avgpool2d(id, 9, 1); },
+                                 "does not fit the input (1, 8, 8)");
+    expect_throw_contains<Error>([&] { net.add_avgpool2d(flat, 2, 2); },
+                                 "needs a spatial");
 }
 
 }  // namespace

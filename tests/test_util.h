@@ -8,9 +8,12 @@
  * generation cost is paid once, plus random-vector helpers.
  */
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "src/ckks/ckks.h"
@@ -55,6 +58,23 @@ struct CkksEnv {
         return env;
     }
 };
+
+/** Asserts fn() throws an E whose message contains `needle`. */
+template <typename E, typename Fn>
+inline void
+expect_throw_contains(Fn&& fn, const std::string& needle)
+{
+    bool threw = false;
+    try {
+        fn();
+    } catch (const E& e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message: " << e.what() << "\nexpected substring: " << needle;
+    }
+    EXPECT_TRUE(threw) << "expected an exception containing '" << needle
+                       << "'";
+}
 
 /** Uniform random doubles in [-range, range]. */
 inline std::vector<double>
