@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Microbenchmark of the public-key bootstrap circuit: the wall-clock
+ * split across ModRaise / CoeffToSlot / EvalMod / SlotToCoeff, the
+ * round-trip precision, key material sizes, and a cross-check of the
+ * measured latency against the cost model's Figure-1c analytic schedule
+ * (the same model bootstrap placement optimizes with).
+ */
+
+#include "bench/bench_util.h"
+
+using namespace orion;
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    bench::print_header(
+        "bench_bootstrap: public-key CtS -> EvalMod -> StC split");
+
+    const int l_eff = 3;
+    const ckks::CkksParams params = ckks::CkksParams::bootstrap_toy(l_eff);
+    const ckks::Context ctx(params);
+    const ckks::Encoder encoder(ctx);
+
+    const double t_plan = bench::time_once([&] {
+        (void)ckks::BootstrapPlan::build(params);
+    });
+    ckks::KeyGenerator keygen(ctx, /*seed=*/7);
+    const ckks::PublicKey pk = keygen.make_public_key();
+    const ckks::KswitchKey relin = keygen.make_relin_key();
+    const ckks::Bootstrapper boot(ctx, encoder, l_eff);
+    const std::vector<ckks::GaloisKeyRequest> requests =
+        boot.galois_requests();
+    ckks::GaloisKeys galois;
+    const double t_keys = bench::time_once([&] {
+        galois = keygen.make_galois_keys(
+            std::span<const ckks::GaloisKeyRequest>(requests), true,
+            boot.conjugation_level());
+    });
+    ckks::Encryptor encryptor(ctx, pk);
+    ckks::Decryptor decryptor(ctx, keygen.secret_key());
+    ckks::Evaluator eval(ctx, encoder);
+    eval.set_relin_key(&relin);
+    eval.set_galois_keys(&galois);
+
+    const ckks::BootstrapPlan& plan = boot.plan();
+    std::printf("\nparameters: N = 2^%d, log Delta = %d, log q0 = %d, "
+                "secret weight %d\n",
+                ctx.log_degree(), params.log_scale, params.first_prime_bits,
+                params.secret_weight);
+    std::printf("circuit: l_boot %d = CtS %d + EvalMod %d + StC %d | "
+                "K = %d, sine degree %d, double angle %d\n",
+                plan.depth, plan.params.cts_levels, plan.eval_depth,
+                plan.params.stc_levels, plan.params.k_range,
+                plan.eval_degree, plan.params.double_angle);
+    std::printf("keys: %zu Galois elements (level-pruned), %.1f MB | "
+                "plan %.0f ms, keygen %.0f ms\n",
+                galois.keys.size(),
+                static_cast<double>(galois.byte_size()) / (1024 * 1024),
+                t_plan * 1e3, t_keys * 1e3);
+    bench::json_metric("l_boot", plan.depth);
+    bench::json_metric("eval_degree", plan.eval_degree);
+    bench::json_metric("galois_mb",
+                       static_cast<double>(galois.byte_size()) /
+                           (1024 * 1024));
+
+    const u64 n = ctx.slot_count();
+    const std::vector<double> input = bench::random_vector(n, 1.0, 5);
+    const ckks::Ciphertext ct =
+        encryptor.encrypt(encoder.encode(input, 0, ctx.scale()));
+
+    const int iters = bench::reps(5);
+    ckks::BootstrapStats split{};
+    ckks::Ciphertext out;
+    const double total = bench::time_median(iters, [&] {
+        out = boot.bootstrap(eval, ct, &split);
+    });
+
+    const std::vector<double> got =
+        encoder.decode(decryptor.decrypt(out));
+    const double bits = bench::precision_bits(got, input);
+
+    std::printf("\n%-14s %10s\n", "stage", "ms");
+    std::printf("%-14s %10.2f\n", "mod raise", split.mod_raise_s * 1e3);
+    std::printf("%-14s %10.2f\n", "coeff-to-slot",
+                split.coeff_to_slot_s * 1e3);
+    std::printf("%-14s %10.2f\n", "eval-mod", split.eval_mod_s * 1e3);
+    std::printf("%-14s %10.2f\n", "slot-to-coeff",
+                split.slot_to_coeff_s * 1e3);
+    std::printf("%-14s %10.2f   (precision %.1f bits)\n", "total",
+                total * 1e3, bits);
+
+    // Figure-1c cross-check: the analytic schedule the placement solver
+    // prices bootstraps with, calibrated like Session::compile does
+    // (measured l_boot from the plan).
+    core::CostModel cost = core::CostModel::for_params(
+        ctx.degree(), params.digit_size, params.digit_size, plan.depth);
+    const double modeled = cost.bootstrap(l_eff);
+    std::printf("\ncost model: %.2f ms modeled vs %.2f ms measured "
+                "(ratio %.2fx; calibrate() closes the constant)\n",
+                modeled * 1e3, total * 1e3,
+                total / std::max(modeled, 1e-12));
+
+    bench::json_metric("mod_raise_ms", split.mod_raise_s * 1e3);
+    bench::json_metric("cts_ms", split.coeff_to_slot_s * 1e3);
+    bench::json_metric("eval_mod_ms", split.eval_mod_s * 1e3);
+    bench::json_metric("stc_ms", split.slot_to_coeff_s * 1e3);
+    bench::json_metric("total_ms", total * 1e3);
+    bench::json_metric("modeled_ms", modeled * 1e3);
+    bench::json_metric("precision_bits", bits);
+
+    if (bits < 15.0) {
+        std::fprintf(stderr, "FAIL: bootstrap precision %.1f bits < 15\n",
+                     bits);
+        return 1;
+    }
+    return 0;
+}

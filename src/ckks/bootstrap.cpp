@@ -2,8 +2,37 @@
 
 namespace orion::ckks {
 
+namespace {
+
+/** The memoized plan for default options; a private build otherwise. */
+std::shared_ptr<const BootstrapPlan>
+resolve_plan(const CkksParams& params, const BootstrapParams& opts)
+{
+    const BootstrapParams defaults;
+    const bool is_default =
+        opts.k_range == defaults.k_range &&
+        opts.double_angle == defaults.double_angle &&
+        opts.sine_degree == defaults.sine_degree &&
+        opts.cts_levels == defaults.cts_levels &&
+        opts.stc_levels == defaults.stc_levels &&
+        opts.fit_tolerance == defaults.fit_tolerance;
+    if (is_default) return BootstrapPlan::cached(params);
+    return std::make_shared<const BootstrapPlan>(
+        BootstrapPlan::build(params, opts));
+}
+
+}  // namespace
+
 Bootstrapper::Bootstrapper(const Context& ctx, const Encoder& encoder,
-                           const SecretKey& sk, const BootstrapConfig& config)
+                           int l_eff, const BootstrapParams& opts)
+    : circuit_(ctx, encoder, resolve_plan(ctx.params(), opts), l_eff)
+{
+}
+
+OracleBootstrapper::OracleBootstrapper(const Context& ctx,
+                                       const Encoder& encoder,
+                                       const SecretKey& sk,
+                                       const OracleBootstrapConfig& config)
     : ctx_(&ctx), encoder_(&encoder), config_(config), decryptor_(ctx, sk),
       encryptor_(ctx, sk, /*seed=*/0x626f6f74ULL),
       noise_(/*seed=*/0x6e6f6973ULL)
@@ -13,7 +42,7 @@ Bootstrapper::Bootstrapper(const Context& ctx, const Encoder& encoder,
 }
 
 Ciphertext
-Bootstrapper::bootstrap(const Ciphertext& ct)
+OracleBootstrapper::bootstrap(const Ciphertext& ct)
 {
     // Accept inputs whose scale drifted (e.g. after a square activation);
     // like a real bootstrapper, the output is always at the canonical
@@ -23,9 +52,10 @@ Bootstrapper::bootstrap(const Ciphertext& ct)
                 "bootstrap input scale implausible: " << ct.scale);
     // The oracle's heavy ops all run on the parallel kernel substrate:
     // decrypt and encrypt fan out per RNS limb, and decode/encode run the
-    // special FFT — the clear-text analogue of a real bootstrap's
+    // special FFT — the clear-text twin of the real circuit's
     // CoeffToSlot/SlotToCoeff stages — with its butterflies fanned out
-    // per stage (see encoder.cpp). Only the noise loop below is serial.
+    // per stage (see special_fft.cpp). Only the noise loop below is
+    // serial.
     const Plaintext pt = decryptor_.decrypt(ct);
     std::vector<std::complex<double>> slots = encoder_->decode_complex(pt);
 

@@ -6,29 +6,84 @@
  * Bootstrapping (Section 2.5.4): raises a level-exhausted ciphertext back
  * to the effective level L_eff = L - L_boot.
  *
- * The paper relies on Lattigo's full CKKS bootstrap (CoeffToSlot, EvalMod,
- * SlotToCoeff). Those subroutines are not the paper's contribution, and the
- * Orion compiler observes only their *semantics* (level reset, a fixed
- * L_boot, bounded added noise, inputs in [-1, 1]) and their *latency*.
- * This module therefore implements a functional re-encryption bootstrap:
- * a trusted oracle holding the secret key decrypts, injects noise matching
- * a configurable bootstrap precision, and re-encrypts at L_eff. The
- * latency of a real bootstrap is modeled analytically in core/cost_model
- * from the op counts of CtS + EvalMod + StC (reproducing the superlinear
- * shape of Figure 1c). See DESIGN.md, "Substitutions".
+ * The default Bootstrapper is a *real* public-key bootstrap: the
+ * CoeffToSlot -> EvalMod -> SlotToCoeff circuit of
+ * src/ckks/bootstrap_circuit.h, evaluated under Galois and
+ * relinearization keys only. It is what the serving path runs on an
+ * untrusted server.
+ *
+ * The decrypt/re-encrypt oracle that earlier revisions used as a
+ * stand-in survives as OracleBootstrapper, an explicit test fixture: it
+ * holds the secret key and reproduces the compiler-visible semantics of
+ * a bootstrap (level reset, canonical output scale, bounded added noise,
+ * inputs in [-1, 1]) without the circuit's level budget, which is what
+ * lets toy parameter sets (6-level chains) exercise bootstrap-bearing
+ * programs in unit tests. See DESIGN.md, "Substitutions".
  */
 
+#include "src/ckks/bootstrap_circuit.h"
 #include "src/ckks/encoder.h"
 #include "src/ckks/encryptor.h"
 
 namespace orion::ckks {
 
-/** Bootstrap behaviour knobs. */
-struct BootstrapConfig {
-    /** Levels consumed by the bootstrap circuit itself (paper: 13-15). */
+/**
+ * The real public-key bootstrapper: a BootstrapPlan bound to a Context,
+ * with the caller's Evaluator supplying every key. Holds no secret.
+ */
+class Bootstrapper {
+  public:
+    /**
+     * Builds the circuit for the context's parameters. `opts` tunes the
+     * circuit; the context must have at least l_eff + plan depth levels.
+     */
+    Bootstrapper(const Context& ctx, const Encoder& encoder, int l_eff,
+                 const BootstrapParams& opts = {});
+
+    /** Maximum achievable level after bootstrapping (Table 1's L_eff). */
+    int l_eff() const { return circuit_.l_eff(); }
+    /** Levels the circuit itself consumes (Table 1's L_boot). */
+    int l_boot() const { return circuit_.l_boot(); }
+    const BootstrapCircuit& circuit() const { return circuit_; }
+    const BootstrapPlan& plan() const { return circuit_.plan(); }
+
+    /**
+     * Rotation keys the evaluator must carry (level-pruned requests plus
+     * conjugation at conjugation_level()).
+     */
+    std::vector<GaloisKeyRequest>
+    galois_requests() const
+    {
+        return plan().galois_requests(l_eff());
+    }
+    int
+    conjugation_level() const
+    {
+        return plan().conjugation_level(l_eff());
+    }
+
+    /**
+     * Bootstraps ct to level l_eff at the canonical scale Delta using
+     * eval's bound keys (Galois for every plan step + conjugation, relin
+     * for EvalMod). The input may be at any level at scale ~Delta.
+     */
+    Ciphertext
+    bootstrap(const Evaluator& eval, const Ciphertext& ct,
+              BootstrapStats* stats = nullptr) const
+    {
+        return circuit_.bootstrap(eval, ct, stats);
+    }
+
+  private:
+    BootstrapCircuit circuit_;
+};
+
+/** Oracle behaviour knobs. */
+struct OracleBootstrapConfig {
+    /** Levels consumed by the modeled bootstrap circuit (paper: 13-15). */
     int l_boot = 3;
     /**
-     * Standard deviation of the noise the bootstrap adds to each slot,
+     * Standard deviation of the noise the oracle adds to each slot,
      * relative to a unit-scaled message (about 20 bits of precision, in
      * line with production CKKS bootstrappers).
      */
@@ -38,17 +93,21 @@ struct BootstrapConfig {
 };
 
 /**
- * Functional bootstrap oracle. Holds the secret key; see file comment for
- * why this substitution preserves the compiler-visible behaviour.
+ * Functional bootstrap oracle — TEST FIXTURE ONLY. Decrypts with the
+ * secret key, injects noise matching a configurable bootstrap precision,
+ * and re-encrypts at L_eff. Kept so toy parameter sets too shallow for
+ * the real circuit can still execute bootstrap-bearing programs in
+ * single-party tests; the serving path never constructs one.
  */
-class Bootstrapper {
+class OracleBootstrapper {
   public:
-    Bootstrapper(const Context& ctx, const Encoder& encoder,
-                 const SecretKey& sk, const BootstrapConfig& config = {});
+    OracleBootstrapper(const Context& ctx, const Encoder& encoder,
+                       const SecretKey& sk,
+                       const OracleBootstrapConfig& config = {});
 
     /** Maximum achievable level after bootstrapping (Table 1's L_eff). */
     int l_eff() const { return ctx_->max_level() - config_.l_boot; }
-    const BootstrapConfig& config() const { return config_; }
+    const OracleBootstrapConfig& config() const { return config_; }
 
     /**
      * Bootstraps ct to level l_eff at the canonical scale Delta. The input
@@ -59,7 +118,7 @@ class Bootstrapper {
   private:
     const Context* ctx_;
     const Encoder* encoder_;
-    BootstrapConfig config_;
+    OracleBootstrapConfig config_;
     Decryptor decryptor_;
     Encryptor encryptor_;
     Sampler noise_;

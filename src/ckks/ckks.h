@@ -7,6 +7,7 @@
  */
 
 #include "src/ckks/bootstrap.h"
+#include "src/ckks/bootstrap_circuit.h"
 #include "src/ckks/ciphertext.h"
 #include "src/ckks/context.h"
 #include "src/ckks/encoder.h"

@@ -19,6 +19,10 @@ Context::Context(const CkksParams& params) : params_(params)
     // to stay small, hence alpha special primes of >= scale-prime size.
     ORION_CHECK(params.special_prime_bits >= params.log_scale,
                 "special primes must be at least as large as scale primes");
+    ORION_CHECK(params.secret_weight >= 0 &&
+                    static_cast<u64>(params.secret_weight) <=
+                        params.poly_degree,
+                "secret_weight must lie in [0, N]");
     n_ = params.poly_degree;
     log_n_ = log2_exact(n_);
     scale_ = std::ldexp(1.0, params.log_scale);

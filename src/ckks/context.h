@@ -91,6 +91,14 @@ struct CkksParams {
     int digit_size = 3;              ///< alpha: limbs per key-switch digit
                                      ///  (also the special prime count)
     u64 seed = 1;                    ///< deterministic RNG seed
+    /**
+     * Hamming weight of the ternary secret; 0 means dense (every
+     * coefficient drawn from {-1, 0, 1}). Bootstrap-capable parameter
+     * sets use a sparse secret: the EvalMod range bound K grows with
+     * sqrt(weight), and a dense secret at these ring sizes would force a
+     * very deep sine approximation (see bootstrap_circuit.h).
+     */
+    int secret_weight = 0;
 
     /** Tiny parameters for fast unit tests (NOT secure). */
     static CkksParams
@@ -117,6 +125,35 @@ struct CkksParams {
         p.num_scale_primes = levels;
         p.special_prime_bits = 46;
         p.digit_size = 4;
+        return p;
+    }
+
+    /**
+     * A bootstrap-capable parameter point (NOT secure): enough scale
+     * primes for the full CtS -> EvalMod -> StC circuit above l_eff
+     * effective levels, a q_0 / Delta message ratio of 2^10 (the
+     * sine-linearization precision budget), and a sparse ternary secret
+     * so the EvalMod range bound K stays small. The literal 13 is the
+     * default-BootstrapParams plan depth (the paper's Table-1 shape) —
+     * it cannot be computed here without a layering cycle, so
+     * tests/test_bootstrap.cpp PlanShapeMatchesThePaper pins the
+     * coupling (the measured BootstrapPlan::depth must fit this chain).
+     */
+    static CkksParams
+    bootstrap_toy(int l_eff = 3, u64 degree = u64(1) << 11)
+    {
+        CkksParams p;
+        p.poly_degree = degree;
+        // 50-bit scale primes: the CtS/StC stage matrices and EvalMod run
+        // near the word-size precision ceiling, which is what pushes the
+        // round-trip past 15 bits (plaintext quantization error scales as
+        // sqrt(N)/2^log_scale and is amplified by q_0/Delta at the end).
+        p.log_scale = 50;
+        p.first_prime_bits = 60;
+        p.num_scale_primes = l_eff + 13;
+        p.special_prime_bits = 60;
+        p.digit_size = 3;
+        p.secret_weight = 32;
         return p;
     }
 };

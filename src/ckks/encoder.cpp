@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 
 #include "src/core/thread_pool.h"
 
@@ -10,26 +9,7 @@ namespace orion::ckks {
 
 namespace {
 
-/** In-place bit-reversal permutation. */
-void
-bit_reverse(std::complex<double>* vals, u64 n)
-{
-    const int log_n = log2_exact(n);
-    for (u64 i = 0; i < n; ++i) {
-        const u64 j = reverse_bits(static_cast<u32>(i), log_n);
-        if (i < j) std::swap(vals[i], vals[j]);
-    }
-}
-
-/**
- * Chunked elementwise fan-out (core::parallel_for_chunked) over u64
- * indices. Each index must be elementwise-independent (no cross-index
- * reads or reductions), which makes the floating-point results
- * bit-identical for any chunking and thread count. This is the op-level
- * parallelism of the special FFT — the clear-text analogue of the
- * CoeffToSlot/SlotToCoeff stages a full bootstrap evaluates, and the
- * dominant cost of the bootstrap oracle's decode/encode round trip.
- */
+/** Elementwise fan-out; see SpecialFft for the bit-identity contract. */
 template <typename F>
 void
 parallel_elementwise(u64 count, F&& fn)
@@ -38,76 +18,27 @@ parallel_elementwise(u64 count, F&& fn)
                                [&](i64 k) { fn(static_cast<u64>(k)); });
 }
 
+/**
+ * Rounds value * scale to an i128. llroundl alone overflows past 2^63,
+ * which deep-circuit scales reach (the bootstrap's EvalMod works at
+ * Delta^2 before its rescale); beyond that range the long double mantissa
+ * already quantizes the product, so floor(x + 0.5) loses nothing more.
+ */
+i128
+round_scaled(long double value, double scale)
+{
+    const long double x = value * static_cast<long double>(scale);
+    if (x >= -9.0e18L && x <= 9.0e18L) {
+        return static_cast<i128>(std::llroundl(x));
+    }
+    return static_cast<i128>(std::floor(x + 0.5L));
+}
+
 }  // namespace
 
-Encoder::Encoder(const Context& ctx) : ctx_(&ctx), slots_(ctx.degree() / 2)
+Encoder::Encoder(const Context& ctx)
+    : ctx_(&ctx), slots_(ctx.degree() / 2), fft_(ctx.degree())
 {
-    const u64 m = 2 * ctx.degree();
-    ksi_pows_.resize(m + 1);
-    for (u64 k = 0; k <= m; ++k) {
-        const double angle =
-            2.0 * std::numbers::pi * static_cast<double>(k) /
-            static_cast<double>(m);
-        ksi_pows_[k] = {std::cos(angle), std::sin(angle)};
-    }
-    rot_group_.resize(slots_);
-    u64 power = 1;
-    for (u64 j = 0; j < slots_; ++j) {
-        rot_group_[j] = power;
-        power = (power * 5) % m;
-    }
-}
-
-void
-Encoder::fft_special(std::complex<double>* vals) const
-{
-    const u64 n = slots_;
-    const u64 m = 2 * ctx_->degree();
-    bit_reverse(vals, n);
-    for (u64 len = 2; len <= n; len <<= 1) {
-        const u64 lenh = len >> 1;
-        const u64 lenq = len << 2;
-        const int log_lenh = log2_exact(lenh);
-        // Butterflies within a stage touch disjoint pairs; fan them out.
-        // lenh is a power of two, so butterfly k decomposes by shift/mask
-        // (a hardware division here would rival the complex multiply).
-        parallel_elementwise(n >> 1, [&](u64 k) {
-            const u64 j = k & (lenh - 1);
-            const u64 top = ((k >> log_lenh) << 1 | 1) << log_lenh;
-            const u64 bot = top - lenh;
-            const u64 idx = (rot_group_[j] % lenq) * (m / lenq);
-            const std::complex<double> u = vals[bot + j];
-            const std::complex<double> v = vals[top + j] * ksi_pows_[idx];
-            vals[bot + j] = u + v;
-            vals[top + j] = u - v;
-        });
-    }
-}
-
-void
-Encoder::fft_special_inv(std::complex<double>* vals) const
-{
-    const u64 n = slots_;
-    const u64 m = 2 * ctx_->degree();
-    for (u64 len = n; len >= 2; len >>= 1) {
-        const u64 lenh = len >> 1;
-        const u64 lenq = len << 2;
-        const int log_lenh = log2_exact(lenh);
-        parallel_elementwise(n >> 1, [&](u64 k) {
-            const u64 j = k & (lenh - 1);
-            const u64 top = ((k >> log_lenh) << 1 | 1) << log_lenh;
-            const u64 bot = top - lenh;
-            const u64 idx = (lenq - (rot_group_[j] % lenq)) * (m / lenq);
-            const std::complex<double> u = vals[bot + j] + vals[top + j];
-            const std::complex<double> v =
-                (vals[bot + j] - vals[top + j]) * ksi_pows_[idx];
-            vals[bot + j] = u;
-            vals[top + j] = v;
-        });
-    }
-    bit_reverse(vals, n);
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (u64 i = 0; i < n; ++i) vals[i] *= inv_n;
 }
 
 Plaintext
@@ -115,7 +46,7 @@ Encoder::from_slots(std::vector<std::complex<double>> slots, int level,
                     double scale) const
 {
     ORION_CHECK(scale > 0, "scale must be positive");
-    fft_special_inv(slots.data());
+    fft_.inverse(slots.data());
 
     const u64 n = ctx_->degree();
     const u64 nh = slots_;
@@ -126,10 +57,10 @@ Encoder::from_slots(std::vector<std::complex<double>> slots, int level,
     // part of embedding slot j; round to integers at the target scale.
     std::vector<i128> coeffs(n);
     for (u64 j = 0; j < nh; ++j) {
-        coeffs[j] = static_cast<i128>(std::llroundl(
-            static_cast<long double>(slots[j].real()) * scale));
-        coeffs[j + nh] = static_cast<i128>(std::llroundl(
-            static_cast<long double>(slots[j].imag()) * scale));
+        coeffs[j] = round_scaled(
+            static_cast<long double>(slots[j].real()), scale);
+        coeffs[j + nh] = round_scaled(
+            static_cast<long double>(slots[j].imag()), scale);
     }
     // Independent per limb: fan the signed reductions out across the pool.
     core::parallel_for(0, pt.poly.num_limbs(), [&](i64 i) {
@@ -175,8 +106,7 @@ Encoder::encode_constant(double value, int level, double scale) const
     Plaintext pt;
     pt.scale = scale;
     pt.poly = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
-    const i128 c = static_cast<i128>(
-        std::llroundl(static_cast<long double>(value) * scale));
+    const i128 c = round_scaled(static_cast<long double>(value), scale);
     const u64 n = ctx_->degree();
     for (int i = 0; i < pt.poly.num_limbs(); ++i) {
         const Modulus& q = pt.poly.limb_modulus(i);
@@ -242,7 +172,7 @@ Encoder::decode_complex(const Plaintext& pt) const
     for (u64 j = 0; j < nh; ++j) {
         slots[j] = {coeffs[j] * inv_scale, coeffs[j + nh] * inv_scale};
     }
-    fft_special(slots.data());
+    fft_.forward(slots.data());
     return slots;
 }
 

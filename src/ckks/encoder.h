@@ -16,6 +16,7 @@
 
 #include "src/ckks/ciphertext.h"
 #include "src/ckks/context.h"
+#include "src/ckks/special_fft.h"
 
 namespace orion::ckks {
 
@@ -46,12 +47,14 @@ class Encoder {
     /** Decodes all slots as complex numbers. */
     std::vector<std::complex<double>> decode_complex(const Plaintext& pt) const;
 
-  private:
-    /** Forward special FFT: polynomial slots evaluation (decode side). */
-    void fft_special(std::complex<double>* vals) const;
-    /** Inverse special FFT (encode side). */
-    void fft_special_inv(std::complex<double>* vals) const;
+    /**
+     * The shared special-FFT stage machinery. The bootstrap circuit builds
+     * its CoeffToSlot/SlotToCoeff matrices from the same stages the
+     * encoder's cleartext butterflies run, so the two paths cannot drift.
+     */
+    const SpecialFft& fft() const { return fft_; }
 
+  private:
     /** Builds a plaintext from scaled slot values. */
     Plaintext from_slots(std::vector<std::complex<double>> slots, int level,
                          double scale) const;
@@ -60,8 +63,7 @@ class Encoder {
 
     const Context* ctx_;
     u64 slots_;
-    std::vector<std::complex<double>> ksi_pows_;  // exp(2*pi*i*k / 2N)
-    std::vector<u64> rot_group_;                  // 5^j mod 2N
+    SpecialFft fft_;
 };
 
 }  // namespace orion::ckks

@@ -199,6 +199,27 @@ Evaluator::conjugate(const Ciphertext& a) const
     return rotate_internal(a, ctx_->galois_elt_conj());
 }
 
+void
+Evaluator::mul_by_i_inplace(Ciphertext& a, bool negative) const
+{
+    // X^{N/2} evaluates to i in every slot of the rot-group ordering
+    // (5^j = 1 mod 4); -X^{N/2} = X^{3N/2} evaluates to -i. A monomial
+    // with a +-1 coefficient is a unit of the ring, so this is an exact
+    // integer operation: no noise growth, no scale change, no level cost.
+    ORION_CHECK(a.c0.is_ntt() && a.c1.is_ntt(),
+                "mul_by_i expects NTT-form ciphertexts");
+    const u64 n = ctx_->degree();
+    RnsPoly monomial(*ctx_, a.level(), /*extended=*/false,
+                     /*ntt_form=*/false);
+    for (int i = 0; i < monomial.num_limbs(); ++i) {
+        const Modulus& q = monomial.limb_modulus(i);
+        monomial.limb(i)[n / 2] = negative ? q.value() - 1 : 1;
+    }
+    monomial.to_ntt();
+    a.c0.mul_pointwise_inplace(monomial);
+    a.c1.mul_pointwise_inplace(monomial);
+}
+
 Evaluator::Hoisted
 Evaluator::hoist(const Ciphertext& a) const
 {

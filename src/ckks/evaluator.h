@@ -75,6 +75,14 @@ class Evaluator {
     /** Complex conjugation of all slots. */
     Ciphertext conjugate(const Ciphertext& a) const;
 
+    /**
+     * Multiplies every slot by the imaginary unit i (or -i): the exact
+     * monomial product X^{N/2} (resp. -X^{N/2}), which is free of noise,
+     * scale, and level cost. Used by the bootstrap's real/imaginary
+     * split and recombination around EvalMod.
+     */
+    void mul_by_i_inplace(Ciphertext& a, bool negative = false) const;
+
     /** A ciphertext with its digit decomposition precomputed (hoisted). */
     struct Hoisted {
         Ciphertext ct;

@@ -32,12 +32,43 @@ GaloisKeys::byte_size() const
     return total;
 }
 
+namespace {
+
+/**
+ * Restricts an extended full-chain polynomial (NTT form) to coefficient
+ * limbs q_0..q_level plus the special limbs — the basis of a level-pruned
+ * key-switching key.
+ */
+RnsPoly
+restrict_extended(const RnsPoly& s, int level)
+{
+    const Context& ctx = s.context();
+    ORION_ASSERT(s.extended() && s.level() == ctx.max_level());
+    if (level == ctx.max_level()) return s;
+    const u64 n = ctx.degree();
+    RnsPoly out(ctx, level, /*extended=*/true, /*ntt_form=*/true);
+    for (int i = 0; i <= level; ++i) {
+        std::copy(s.limb(i), s.limb(i) + n, out.limb(i));
+    }
+    for (int j = 0; j < ctx.special_count(); ++j) {
+        const u64* src = s.limb(ctx.max_level() + 1 + j);
+        std::copy(src, src + n, out.limb(level + 1 + j));
+    }
+    return out;
+}
+
+}  // namespace
+
 KeyGenerator::KeyGenerator(const Context& ctx, u64 seed)
     : ctx_(&ctx), sampler_(seed)
 {
-    // Ternary secret, expressed over the full extended basis.
+    // Ternary secret (dense, or sparse with the configured Hamming
+    // weight), expressed over the full extended basis.
     const u64 n = ctx.degree();
-    const std::vector<i64> coeffs = sampler_.sample_ternary(n);
+    const int weight = ctx.params().secret_weight;
+    const std::vector<i64> coeffs =
+        weight > 0 ? sampler_.sample_ternary_sparse(n, weight)
+                   : sampler_.sample_ternary(n);
     sk_.s = RnsPoly(ctx, ctx.max_level(), /*extended=*/true,
                     /*ntt_form=*/false);
     for (int i = 0; i < sk_.s.num_limbs(); ++i) {
@@ -49,9 +80,9 @@ KeyGenerator::KeyGenerator(const Context& ctx, u64 seed)
 }
 
 RnsPoly
-KeyGenerator::sample_uniform_extended()
+KeyGenerator::sample_uniform_extended(int level)
 {
-    RnsPoly a(*ctx_, ctx_->max_level(), /*extended=*/true, /*ntt_form=*/true);
+    RnsPoly a(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
     const u64 n = ctx_->degree();
     for (int i = 0; i < a.num_limbs(); ++i) {
         const std::vector<u64> vals =
@@ -62,12 +93,11 @@ KeyGenerator::sample_uniform_extended()
 }
 
 RnsPoly
-KeyGenerator::sample_error_extended()
+KeyGenerator::sample_error_extended(int level)
 {
     const u64 n = ctx_->degree();
     const std::vector<i64> coeffs = sampler_.sample_gaussian(n);
-    RnsPoly e(*ctx_, ctx_->max_level(), /*extended=*/true,
-              /*ntt_form=*/false);
+    RnsPoly e(*ctx_, level, /*extended=*/true, /*ntt_form=*/false);
     for (int i = 0; i < e.num_limbs(); ++i) {
         const Modulus& q = e.limb_modulus(i);
         u64* limb = e.limb(i);
@@ -107,28 +137,32 @@ KeyGenerator::make_public_key()
 }
 
 KswitchKey
-KeyGenerator::make_kswitch_key(const RnsPoly& s_old)
+KeyGenerator::make_kswitch_key(const RnsPoly& s_old, int level)
 {
     ORION_ASSERT(s_old.is_ntt() && s_old.extended());
-    const int max_level = ctx_->max_level();
-    const int digits = ctx_->num_digits(max_level);
+    if (level < 0) level = ctx_->max_level();
+    ORION_CHECK(level <= ctx_->max_level(),
+                "key-switch key level " << level << " above the chain");
+    const int digits = ctx_->num_digits(level);
     const int alpha = ctx_->digit_size();
     const u64 n = ctx_->degree();
+    const RnsPoly s_old_r = restrict_extended(s_old, level);
+    const RnsPoly s_new_r = restrict_extended(sk_.s, level);
 
     KswitchKey ksk;
     ksk.b.reserve(static_cast<std::size_t>(digits));
     ksk.a.reserve(static_cast<std::size_t>(digits));
     for (int d = 0; d < digits; ++d) {
-        RnsPoly a = sample_uniform_extended();
-        RnsPoly b = sample_error_extended();
+        RnsPoly a = sample_uniform_extended(level);
+        RnsPoly b = sample_error_extended(level);
         // b += W_d * s_old on the digit's own limbs: W_d = P mod q_j there.
         const int lo = d * alpha;
-        const int hi = std::min((d + 1) * alpha - 1, max_level);
+        const int hi = std::min((d + 1) * alpha - 1, level);
         for (int j = lo; j <= hi; ++j) {
             const Modulus& q = ctx_->q(j);
             const u64 w = ctx_->p_prod_mod_q(j);
             const u64 w_shoup = shoup_precompute(w, q);
-            const u64* s_limb = s_old.limb(j);
+            const u64* s_limb = s_old_r.limb(j);
             u64* b_limb = b.limb(j);
             for (u64 x = 0; x < n; ++x) {
                 b_limb[x] = add_mod(
@@ -137,7 +171,7 @@ KeyGenerator::make_kswitch_key(const RnsPoly& s_old)
         }
         // b -= a * s_new.
         RnsPoly as = a;
-        as.mul_pointwise_inplace(sk_.s);
+        as.mul_pointwise_inplace(s_new_r);
         b.sub_inplace(as);
         ksk.b.push_back(std::move(b));
         ksk.a.push_back(std::move(a));
@@ -154,9 +188,9 @@ KeyGenerator::make_relin_key()
 }
 
 KswitchKey
-KeyGenerator::make_galois_key(u64 elt)
+KeyGenerator::make_galois_key(u64 elt, int level)
 {
-    return make_kswitch_key(sk_.s.galois(elt));
+    return make_kswitch_key(sk_.s.galois(elt), level);
 }
 
 GaloisKeys
@@ -171,6 +205,34 @@ KeyGenerator::make_galois_keys(std::span<const int> steps,
     if (include_conjugation) {
         const u64 elt = ctx_->galois_elt_conj();
         if (!out.has(elt)) out.keys.emplace(elt, make_galois_key(elt));
+    }
+    return out;
+}
+
+GaloisKeys
+KeyGenerator::make_galois_keys(std::span<const GaloisKeyRequest> requests,
+                               bool include_conjugation,
+                               int conjugation_level)
+{
+    // One key per distinct Galois element, pruned to the highest level
+    // any request needs it at (-1 = full chain wins).
+    std::map<u64, int> level_of;
+    auto raise = [&](u64 elt, int level) {
+        auto [it, inserted] = level_of.emplace(elt, level);
+        if (!inserted && it->second >= 0 &&
+            (level < 0 || level > it->second)) {
+            it->second = level;
+        }
+    };
+    for (const GaloisKeyRequest& r : requests) {
+        raise(ctx_->galois_elt(r.step), r.level);
+    }
+    if (include_conjugation) {
+        raise(ctx_->galois_elt_conj(), conjugation_level);
+    }
+    GaloisKeys out;
+    for (const auto& [elt, level] : level_of) {
+        out.keys.emplace(elt, make_galois_key(elt, level));
     }
     return out;
 }

@@ -35,13 +35,23 @@ struct PublicKey {
     RnsPoly a;
 };
 
-/** One key-switching key (digit-decomposed). */
+/**
+ * One key-switching key (digit-decomposed). Keys may be *level-pruned*:
+ * generated over q_0..q_level plus the special primes rather than the
+ * full chain, when every use of the key happens at or below `level`.
+ * Pruning is what keeps per-session Galois bundles small — most rotation
+ * keys of a compiled program are only ever used at the program's (low)
+ * execution levels, while bootstrap-circuit keys span almost the whole
+ * chain.
+ */
 struct KswitchKey {
     std::vector<RnsPoly> b;  ///< per digit: -a_i*s_new + e_i + W_i*s_old
     std::vector<RnsPoly> a;  ///< per digit: uniform
 
     int num_digits() const { return static_cast<int>(b.size()); }
     bool valid() const { return !b.empty(); }
+    /** Highest coefficient level this key can switch at. */
+    int level() const { return b.empty() ? -1 : b.front().level(); }
 };
 
 /** Rotation (and conjugation) keys indexed by Galois element. */
@@ -64,6 +74,16 @@ struct GaloisKeys {
     std::size_t byte_size() const;
 };
 
+/**
+ * One rotation-key requirement: the step and the highest level at which
+ * the compiled program (or bootstrap circuit) rotates by it. Keygen
+ * prunes each key to that level; -1 means "full chain".
+ */
+struct GaloisKeyRequest {
+    int step = 0;
+    int level = -1;
+};
+
 /** Generates all key material from a seeded sampler. */
 class KeyGenerator {
   public:
@@ -72,24 +92,35 @@ class KeyGenerator {
     const SecretKey& secret_key() const { return sk_; }
 
     PublicKey make_public_key();
-    /** Relinearization key: switches s^2 -> s. */
+    /** Relinearization key: switches s^2 -> s (always full chain). */
     KswitchKey make_relin_key();
-    /** Galois key for the automorphism X -> X^elt. */
-    KswitchKey make_galois_key(u64 elt);
+    /** Galois key for X -> X^elt, pruned to `level` (-1 = full chain). */
+    KswitchKey make_galois_key(u64 elt, int level = -1);
     /** Galois keys for a set of rotation steps (plus conjugation if asked). */
     GaloisKeys make_galois_keys(std::span<const int> steps,
                                 bool include_conjugation = false);
+    /**
+     * Level-pruned bundle: one key per distinct Galois element, each at
+     * the highest level requested for it. Conjugation (when asked) is
+     * pruned to conjugation_level.
+     */
+    GaloisKeys make_galois_keys(std::span<const GaloisKeyRequest> requests,
+                                bool include_conjugation = false,
+                                int conjugation_level = -1);
     /** Adds any missing step keys to an existing bundle. */
     void add_galois_keys(GaloisKeys& bundle, std::span<const int> steps);
 
   private:
-    /** KSK encrypting W_i * s_old under the main secret, for all digits. */
-    KswitchKey make_kswitch_key(const RnsPoly& s_old);
+    /**
+     * KSK encrypting W_i * s_old under the main secret, covering
+     * coefficient limbs q_0..q_level (-1 = full chain).
+     */
+    KswitchKey make_kswitch_key(const RnsPoly& s_old, int level = -1);
 
-    /** Uniform polynomial over the full extended basis, NTT form. */
-    RnsPoly sample_uniform_extended();
-    /** Small (Gaussian) polynomial over the full extended basis, NTT form. */
-    RnsPoly sample_error_extended();
+    /** Uniform polynomial over q_0..q_level + specials, NTT form. */
+    RnsPoly sample_uniform_extended(int level);
+    /** Small (Gaussian) polynomial over the same basis, NTT form. */
+    RnsPoly sample_error_extended(int level);
 
     const Context* ctx_;
     Sampler sampler_;

@@ -85,11 +85,19 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
                            const KswitchKey& ksk, RnsPoly* acc0,
                            RnsPoly* acc1) const
 {
-    ORION_CHECK(static_cast<int>(digits.size()) <= ksk.num_digits(),
-                "key-switching key has too few digits");
     const Context& ctx = *ctx_;
     const u64 n = ctx.degree();
     ORION_ASSERT(acc0->extended() && acc1->extended());
+    // Keys may be level-pruned: they must cover at least the operand's
+    // coefficient limbs (plus the specials, which every key carries).
+    const int key_level = ksk.level();
+    const int acc_level = acc0->level();
+    ORION_CHECK(key_level >= acc_level,
+                "key-switching key pruned to level "
+                    << key_level << " cannot switch at level " << acc_level
+                    << " (regenerate the key with a higher level)");
+    ORION_CHECK(static_cast<int>(digits.size()) <= ksk.num_digits(),
+                "key-switching key has too few digits");
 
     for (std::size_t d = 0; d < digits.size(); ++d) {
         ORION_ASSERT(digits[d].is_ntt() && ksk.b[d].is_ntt() &&
@@ -112,10 +120,11 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
     constexpr std::size_t kChunk = 16;
     core::parallel_for(0, acc0->num_limbs(), [&](i64 ti) {
         const int t = static_cast<int>(ti);
-        const int tg = acc0->limb_global_index(t);
-        // Global index within the full-level key polynomial: coefficient
-        // limbs match 1:1; special limbs sit after q_0..q_L.
-        const int key_t = tg;
+        // Limb index within the (possibly level-pruned) key polynomial:
+        // coefficient limbs match 1:1, special limbs sit right after the
+        // key's own coefficient limbs q_0..q_key_level.
+        const int key_t =
+            t <= acc_level ? t : key_level + 1 + (t - acc_level - 1);
         const Modulus& q = acc0->limb_modulus(t);
         u64* o0 = acc0->limb(t);
         u64* o1 = acc1->limb(t);

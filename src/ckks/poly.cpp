@@ -279,6 +279,38 @@ RnsPoly::drop_to_level(int new_level)
     level_ = new_level;
 }
 
+RnsPoly
+RnsPoly::mod_raise(int new_level) const
+{
+    ORION_CHECK(!extended(), "cannot mod-raise an extended polynomial");
+    ORION_CHECK(level_ == 0,
+                "mod_raise expects a level-0 polynomial (drop first), got "
+                    << level_);
+    ORION_CHECK(new_level >= 1 && new_level <= ctx_->max_level(),
+                "invalid mod-raise target level " << new_level);
+    const u64 n = degree();
+
+    RnsPoly base = *this;
+    if (base.is_ntt()) base.to_coeff();
+    const Modulus& q0 = ctx_->q(0);
+    std::vector<i64> centered(n);
+    const u64* src = base.limb(0);
+    for (u64 j = 0; j < n; ++j) centered[j] = to_centered(src[j], q0);
+
+    RnsPoly out(*ctx_, new_level, /*extended=*/false, /*ntt_form=*/false);
+    // Each target limb is an independent signed reduction of the centered
+    // coefficients; fan them out across the pool (bit-identical at any
+    // thread count: no cross-limb reads).
+    core::parallel_for(0, out.num_limbs(), [&](i64 li) {
+        const int i = static_cast<int>(li);
+        const Modulus& q = out.limb_modulus(i);
+        u64* dst = out.limb(i);
+        for (u64 j = 0; j < n; ++j) dst[j] = reduce_signed(centered[j], q);
+    });
+    if (is_ntt()) out.to_ntt();
+    return out;
+}
+
 bool
 RnsPoly::is_zero() const
 {

@@ -118,6 +118,16 @@ class RnsPoly {
     /** Drops limbs above new_level (level adjustment; value mod Q_{l'}). */
     void drop_to_level(int new_level);
 
+    /**
+     * ModRaise (bootstrap step 1): reinterprets a level-0 polynomial as an
+     * element of R_{Q_{new_level}}. Each coefficient c in [0, q_0) is
+     * centered to (-q_0/2, q_0/2] and reduced into every limb of the
+     * larger basis, so the raised value equals m + q_0 * I for the small
+     * integer polynomial I the bootstrap's EvalMod stage removes. The
+     * result is returned in the same form (NTT or coefficient) as *this.
+     */
+    RnsPoly mod_raise(int new_level) const;
+
     /** All-zero check (either form). */
     bool is_zero() const;
 

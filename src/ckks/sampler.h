@@ -36,6 +36,29 @@ class Sampler {
         return out;
     }
 
+    /**
+     * Sparse ternary secret: exactly `weight` nonzero (+-1) coefficients
+     * at positions drawn without replacement (Fisher-Yates over the index
+     * set, so the draw count is deterministic in n and weight).
+     */
+    std::vector<i64>
+    sample_ternary_sparse(std::size_t n, int weight)
+    {
+        ORION_CHECK(weight >= 1 && static_cast<std::size_t>(weight) <= n,
+                    "sparse secret weight out of range: " << weight);
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+        std::vector<i64> out(n, 0);
+        std::uniform_int_distribution<int> sign(0, 1);
+        for (int k = 0; k < weight; ++k) {
+            std::uniform_int_distribution<std::size_t> pick(
+                static_cast<std::size_t>(k), n - 1);
+            std::swap(idx[static_cast<std::size_t>(k)], idx[pick(rng_)]);
+            out[idx[static_cast<std::size_t>(k)]] = sign(rng_) ? 1 : -1;
+        }
+        return out;
+    }
+
     /** Rounded Gaussian error with standard deviation sigma. */
     std::vector<i64>
     sample_gaussian(std::size_t n, double sigma = kErrorStdDev)

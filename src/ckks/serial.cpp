@@ -191,6 +191,7 @@ write_params(ByteWriter& w, const CkksParams& p)
     w.put_u32(static_cast<u32>(p.special_prime_bits));
     w.put_u32(static_cast<u32>(p.digit_size));
     w.put_u64(p.seed);
+    w.put_u32(static_cast<u32>(p.secret_weight));
 }
 
 CkksParams
@@ -204,6 +205,10 @@ read_params(ByteReader& r)
     p.special_prime_bits = static_cast<int>(r.read_u32());
     p.digit_size = static_cast<int>(r.read_u32());
     p.seed = r.read_u64();
+    p.secret_weight = static_cast<int>(r.read_u32());
+    ORION_CHECK(p.secret_weight >= 0 &&
+                    static_cast<u64>(p.secret_weight) <= p.poly_degree,
+                "wire params: secret_weight out of range");
     ORION_CHECK(is_power_of_two(p.poly_degree),
                 "wire params: poly_degree " << p.poly_degree
                                             << " is not a power of two");
@@ -219,11 +224,15 @@ read_params(ByteReader& r)
 bool
 params_compatible(const CkksParams& a, const CkksParams& b)
 {
+    // secret_weight does not change the ring, but it does change the
+    // bootstrap circuit's EvalMod range bound (and hence the rotation-key
+    // set a serving client must provide), so it is part of compatibility.
     return a.poly_degree == b.poly_degree && a.log_scale == b.log_scale &&
            a.first_prime_bits == b.first_prime_bits &&
            a.num_scale_primes == b.num_scale_primes &&
            a.special_prime_bits == b.special_prime_bits &&
-           a.digit_size == b.digit_size;
+           a.digit_size == b.digit_size &&
+           a.secret_weight == b.secret_weight;
 }
 
 // ---------------------------------------------------------------------
@@ -398,17 +407,22 @@ read_kswitch_key(ByteReader& r, const Context& ctx)
         ORION_CHECK(b.extended() && a.extended() && b.is_ntt() && a.is_ntt(),
                     "wire key-switching key: digit " << d
                         << " polynomials must be extended NTT form");
-        // The key switcher indexes key limbs by global modulus index and
-        // assumes full-chain keys; shorter polys would be read out of
-        // bounds, so the level is part of the format contract.
-        ORION_CHECK(b.level() == ctx.max_level() &&
-                        a.level() == ctx.max_level(),
-                    "wire key-switching key: digit " << d << " is at level "
-                        << b.level() << ", keys must span the full chain "
-                        << "(level " << ctx.max_level() << ")");
+        // Keys may be level-pruned, but a key must be internally
+        // consistent: every digit at one shared level, and the digit
+        // count must cover exactly that level. The key switcher then
+        // range-checks the key's level against each use, so a hostile
+        // short key can never be read out of bounds.
+        ORION_CHECK(b.level() == a.level() &&
+                        (d == 0 || b.level() == k.b.front().level()),
+                    "wire key-switching key: digit " << d << " level "
+                        << b.level() << " disagrees with the key's level");
         k.b.push_back(std::move(b));
         k.a.push_back(std::move(a));
     }
+    ORION_CHECK(static_cast<int>(digits) == ctx.num_digits(k.level()),
+                "wire key-switching key: " << digits
+                    << " digits do not cover level " << k.level()
+                    << " (expected " << ctx.num_digits(k.level()) << ")");
     return k;
 }
 

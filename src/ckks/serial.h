@@ -36,7 +36,8 @@ namespace orion::ckks::serial {
 
 using Bytes = std::vector<u8>;
 
-inline constexpr u8 kWireVersion = 1;
+// v2: params carry secret_weight; key-switching keys may be level-pruned.
+inline constexpr u8 kWireVersion = 2;
 inline constexpr u8 kMagic[4] = {'O', 'R', 'N', '1'};
 
 /** Top-level record discriminator (also used by the serve wire layer). */

@@ -838,6 +838,10 @@ emit_instructions(CompilerState& st, const PlacementResult& placement)
             boot.op = Instruction::Op::kBootstrap;
             boot.a = resolve(operand_layer);
             boot.value = next_value++;
+            // Name the originating layer so rejection/validation errors
+            // can point at the offending instruction, not just "a
+            // bootstrap somewhere".
+            boot.layer_id = d.layer_id;
             boot.level = st.opt->l_eff;
             boot.cts = d.boot_cts;
             out.program.push_back(boot);
@@ -943,14 +947,54 @@ emit_instructions(CompilerState& st, const PlacementResult& placement)
 
 }  // namespace
 
-std::vector<int>
-CompiledNetwork::required_steps() const
+std::vector<CompiledNetwork::RotationUse>
+CompiledNetwork::required_rotations() const
 {
-    std::set<int> steps;
-    for (const LinearLayerData& l : linears) {
-        for (int s : l.plan.required_steps()) steps.insert(s);
+    // Every rotation of a linear layer happens at the instruction's
+    // execution level (babies and giants both precede the rescale), so
+    // each step's key only has to cover the highest level any layer
+    // rotates by it.
+    std::map<int, int> level_of;
+    for (const Instruction& ins : program) {
+        if (ins.op != Instruction::Op::kLinear) continue;
+        const LinearLayerData& data =
+            linears[static_cast<std::size_t>(ins.payload)];
+        for (int s : data.plan.required_steps()) {
+            auto [it, inserted] = level_of.emplace(s, ins.level);
+            if (!inserted) it->second = std::max(it->second, ins.level);
+        }
     }
-    return {steps.begin(), steps.end()};
+    std::vector<RotationUse> out;
+    out.reserve(level_of.size());
+    for (const auto& [step, level] : level_of) {
+        out.push_back({step, level});
+    }
+    return out;
+}
+
+const char*
+to_string(Instruction::Op op)
+{
+    switch (op) {
+    case Instruction::Op::kInput: return "kInput";
+    case Instruction::Op::kBootstrap: return "kBootstrap";
+    case Instruction::Op::kLinear: return "kLinear";
+    case Instruction::Op::kActivation: return "kActivation";
+    case Instruction::Op::kMul: return "kMul";
+    case Instruction::Op::kScale: return "kScale";
+    case Instruction::Op::kAdd: return "kAdd";
+    case Instruction::Op::kOutput: return "kOutput";
+    }
+    return "k?";
+}
+
+std::string
+describe_instruction(const Instruction& ins)
+{
+    std::ostringstream oss;
+    oss << to_string(ins.op) << " (layer " << ins.layer_id << ", "
+        << ins.cts << " cts)";
+    return oss.str();
 }
 
 CompiledNetwork

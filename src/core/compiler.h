@@ -159,9 +159,25 @@ struct CompiledNetwork {
     double placement_seconds = 0.0;
     PlacementResult placement;
 
-    /** Rotation steps needed by every linear layer (for key generation). */
-    std::vector<int> required_steps() const;
+    /**
+     * One rotation-key requirement of the program: a step and the highest
+     * level any linear layer rotates by it. Key generation prunes each
+     * Galois key to that level (ckks::GaloisKeyRequest), which is what
+     * keeps per-session key bundles small; the executor layer appends the
+     * bootstrap circuit's (nearly full-chain) requirements.
+     */
+    struct RotationUse {
+        int step = 0;
+        int level = 0;
+    };
+    std::vector<RotationUse> required_rotations() const;
 };
+
+/** "kBootstrap", "kLinear", ... for error messages and reports. */
+const char* to_string(Instruction::Op op);
+
+/** "kBootstrap (layer 12, 2 cts)" — names an instruction precisely. */
+std::string describe_instruction(const Instruction& ins);
 
 /** Compiles a network. The network must outlive nothing (all data copied). */
 CompiledNetwork compile(const nn::Network& net, const CompileOptions& options);

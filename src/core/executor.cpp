@@ -235,7 +235,13 @@ PreparedProgram::PreparedProgram(const CompiledNetwork& cn,
         const Instruction& ins = cn.program[idx];
         switch (ins.op) {
         case Instruction::Op::kInput:
+            scale_of[ins.value] = delta;
+            break;
         case Instruction::Op::kBootstrap:
+            // The operand's exact symbolic scale feeds the circuit's
+            // CoeffToSlot constant (the circuit, like the old oracle,
+            // re-normalizes to the canonical scale).
+            (void)consume(ins.a);
             scale_of[ins.value] = delta;
             break;
         case Instruction::Op::kLinear:
@@ -353,12 +359,71 @@ PreparedProgram::PreparedProgram(const CompiledNetwork& cn,
             break;
         }
         case Instruction::Op::kScale:
+        case Instruction::Op::kBootstrap:
             in_scale_[idx] = scale_of.at(ins.a);
             break;
         default:
             break;
         }
     }
+
+    // ---- Phase C: the public-key bootstrap circuit ----
+    // One plan (a pure function of the parameters), one encoded circuit
+    // per distinct symbolic input scale. A chain too short for the
+    // circuit leaves boot_circuits_ empty: only a self-keyed executor
+    // can then run the program, through the oracle test fixture.
+    if (cn.num_bootstraps > 0) {
+        boot_plan_ = ckks::BootstrapPlan::cached(ctx.params());
+        if (ckks::BootstrapCircuit::supported(ctx, *boot_plan_, cn.l_eff)) {
+            boot_circuit_of_.assign(cn.program.size(), -1);
+            for (std::size_t idx = 0; idx < cn.program.size(); ++idx) {
+                if (cn.program[idx].op != Instruction::Op::kBootstrap) {
+                    continue;
+                }
+                const double s_in = in_scale_[idx];
+                int found = -1;
+                for (std::size_t c = 0; c < boot_circuits_.size(); ++c) {
+                    if (ckks::scales_match(boot_circuits_[c]->input_scale(),
+                                           s_in)) {
+                        found = static_cast<int>(c);
+                        break;
+                    }
+                }
+                if (found < 0) {
+                    boot_circuits_.push_back(
+                        std::make_unique<const ckks::BootstrapCircuit>(
+                            ctx, encoder, boot_plan_, cn.l_eff, s_in));
+                    found = static_cast<int>(boot_circuits_.size()) - 1;
+                }
+                boot_circuit_of_[idx] = found;
+            }
+        }
+    }
+}
+
+const ckks::BootstrapCircuit*
+PreparedProgram::circuit_for(std::size_t idx) const
+{
+    ORION_ASSERT(idx < boot_circuit_of_.size() &&
+                 boot_circuit_of_[idx] >= 0);
+    return boot_circuits_[static_cast<std::size_t>(boot_circuit_of_[idx])]
+        .get();
+}
+
+std::vector<ckks::GaloisKeyRequest>
+PreparedProgram::galois_requests() const
+{
+    // One derivation shared with clients: the server validates bundles
+    // against exactly what required_galois() tells a client to generate.
+    return required_galois(*cn_, *ctx_).requests;
+}
+
+int
+PreparedProgram::conjugation_level() const
+{
+    ORION_CHECK(bootstrap_supported(),
+                "conjugation is only needed by the bootstrap circuit");
+    return boot_plan_->conjugation_level(cn_->l_eff);
 }
 
 // ---------------------------------------------------------------------
@@ -380,6 +445,28 @@ input_instruction(const CompiledNetwork& cn)
 }
 
 }  // namespace
+
+GaloisRequirements
+required_galois(const CompiledNetwork& cn, const ckks::Context& ctx)
+{
+    GaloisRequirements out;
+    for (const CompiledNetwork::RotationUse& use : cn.required_rotations()) {
+        out.requests.push_back({use.step, use.level});
+    }
+    if (cn.num_bootstraps > 0) {
+        const std::shared_ptr<const ckks::BootstrapPlan> plan =
+            ckks::BootstrapPlan::cached(ctx.params());
+        if (ckks::BootstrapCircuit::supported(ctx, *plan, cn.l_eff)) {
+            const std::vector<ckks::GaloisKeyRequest> boot =
+                plan->galois_requests(cn.l_eff);
+            out.requests.insert(out.requests.end(), boot.begin(),
+                                boot.end());
+            out.conjugation = true;
+            out.conjugation_level = plan->conjugation_level(cn.l_eff);
+        }
+    }
+    return out;
+}
 
 std::vector<ckks::Ciphertext>
 encrypt_network_input(const CompiledNetwork& cn, const ckks::Context& ctx,
@@ -441,20 +528,34 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
                            std::optional<OrionConfig> cfg,
                            std::shared_ptr<const PreparedProgram> prepared)
     : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
+      prep_(prepared ? std::move(prepared)
+                     : std::make_shared<const PreparedProgram>(cn, ctx)),
       keygen_(std::in_place, ctx, seed),
       pk_(keygen_->make_public_key()),
       own_relin_(keygen_->make_relin_key()),
-      own_galois_(keygen_->make_galois_keys(cn.required_steps())),
       encryptor_(std::in_place, ctx, *pk_),
       decryptor_(std::in_place, ctx, keygen_->secret_key()),
-      boot_(std::in_place, ctx, encoder_, keygen_->secret_key(),
-            ckks::BootstrapConfig{ctx.max_level() - cn.l_eff, 1e-6, 1.0}),
-      eval_(ctx, encoder_),
-      prep_(prepared ? std::move(prepared)
-                     : std::make_shared<const PreparedProgram>(cn, ctx))
+      eval_(ctx, encoder_)
 {
     ORION_CHECK(prep_->cn_ == &cn && prep_->ctx_ == &ctx,
                 "prepared program belongs to a different network or context");
+    // Galois keys: exactly the union of rotation steps the compiled
+    // program and (when present) the bootstrap circuit use, each key
+    // pruned to the highest level it is used at.
+    const std::vector<ckks::GaloisKeyRequest> requests =
+        prep_->galois_requests();
+    own_galois_ = keygen_->make_galois_keys(
+        std::span<const ckks::GaloisKeyRequest>(requests),
+        prep_->needs_conjugation(),
+        prep_->needs_conjugation() ? prep_->conjugation_level() : -1);
+    // Chains too short for the real circuit keep the explicit oracle as
+    // a single-party test fixture (see bootstrap.h).
+    if (cn.num_bootstraps > 0 && !prep_->bootstrap_supported()) {
+        oracle_boot_.emplace(
+            ctx, encoder_, keygen_->secret_key(),
+            ckks::OracleBootstrapConfig{ctx.max_level() - cn.l_eff, 1e-6,
+                                        1.0});
+    }
     bind_session_keys(&*own_relin_, &*own_galois_);
 }
 
@@ -463,15 +564,31 @@ CkksExecutor::CkksExecutor(const CompiledNetwork& cn,
                            std::shared_ptr<const PreparedProgram> prepared,
                            std::optional<OrionConfig> cfg)
     : cn_(&cn), ctx_(&ctx), cfg_(std::move(cfg)), encoder_(ctx),
-      eval_(ctx, encoder_), prep_(std::move(prepared))
+      prep_(std::move(prepared)), eval_(ctx, encoder_)
 {
     ORION_CHECK(prep_ != nullptr,
                 "external-key executor requires a prepared program");
     ORION_CHECK(prep_->cn_ == &cn && prep_->ctx_ == &ctx,
                 "prepared program belongs to a different network or context");
-    ORION_CHECK(cn.num_bootstraps == 0,
-                "external-key executors cannot run programs with bootstraps "
-                "(the bootstrapper is a secret-key oracle)");
+    if (cn.num_bootstraps > 0 && !prep_->bootstrap_supported()) {
+        const Instruction* boot_ins = nullptr;
+        for (const Instruction& ins : cn.program) {
+            if (ins.op == Instruction::Op::kBootstrap) {
+                boot_ins = &ins;
+                break;
+            }
+        }
+        ORION_ASSERT(boot_ins != nullptr);
+        const ckks::BootstrapPlan* plan = prep_->bootstrap_plan();
+        ORION_CHECK(false,
+                    "cannot serve "
+                        << describe_instruction(*boot_ins)
+                        << ": the public-key bootstrap circuit needs l_eff "
+                        << cn.l_eff << " + l_boot "
+                        << (plan ? plan->depth : 0) << " levels, but the "
+                        << "context chain tops out at level "
+                        << ctx.max_level());
+    }
 }
 
 void
@@ -551,13 +668,26 @@ CkksExecutor::execute_program(const std::vector<ckks::Ciphertext>& input)
             break;
         }
         case Instruction::Op::kBootstrap: {
-            ORION_CHECK(boot_.has_value(),
-                        "bootstrap instruction requires a self-keyed "
-                        "executor (the bootstrapper is a secret-key "
-                        "oracle)");
             Value v;
-            for (const ckks::Ciphertext& ct : values.at(ins.a).cts) {
-                v.cts.push_back(boot_->bootstrap(ct));
+            if (prep_->bootstrap_supported()) {
+                // The real public-key circuit, under whatever evaluation
+                // keys are bound (a serving session's, or our own).
+                const ckks::BootstrapCircuit* circuit =
+                    prep_->circuit_for(idx);
+                for (const ckks::Ciphertext& ct : values.at(ins.a).cts) {
+                    v.cts.push_back(circuit->bootstrap(eval_, ct));
+                }
+            } else {
+                ORION_CHECK(oracle_boot_.has_value(),
+                            "cannot execute "
+                                << describe_instruction(ins)
+                                << ": the chain is too short for the "
+                                << "public-key bootstrap circuit and only "
+                                << "self-keyed executors may fall back to "
+                                << "the oracle fixture");
+                for (const ckks::Ciphertext& ct : values.at(ins.a).cts) {
+                    v.cts.push_back(oracle_boot_->bootstrap(ct));
+                }
             }
             values[ins.value] = std::move(v);
             result.bootstraps += ins.cts;

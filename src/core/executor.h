@@ -79,10 +79,13 @@ class SimExecutor {
 /**
  * Key-independent prepared payloads of a compiled program: every linear
  * layer's matrix diagonals encoded at their assigned levels and repair
- * scales (Figure 7), bias plaintexts, and the symbolic scale resolution.
- * Immutable after construction and safe to share (read-only) across any
- * number of concurrently running executors; the program must have been
- * compiled with matrices (structural_only = false).
+ * scales (Figure 7), bias plaintexts, the symbolic scale resolution, and
+ * — when the program bootstraps and the context has the levels for it —
+ * the public-key bootstrap circuit (ckks::BootstrapCircuit), one encoded
+ * variant per distinct symbolic input scale. Immutable after
+ * construction and safe to share (read-only) across any number of
+ * concurrently running executors; the program must have been compiled
+ * with matrices (structural_only = false).
  */
 class PreparedProgram {
   public:
@@ -91,8 +94,36 @@ class PreparedProgram {
     const CompiledNetwork& network() const { return *cn_; }
     const ckks::Context& context() const { return *ctx_; }
 
+    /** The bootstrap circuit structure; null for bootstrap-free programs. */
+    const ckks::BootstrapPlan* bootstrap_plan() const
+    {
+        return boot_plan_.get();
+    }
+    /**
+     * True when every bootstrap instruction can run as the real circuit
+     * (the context has l_eff + l_boot levels). False either because the
+     * program is bootstrap-free or because the chain is too short — in
+     * the latter case only a self-keyed executor can run the program,
+     * via the oracle test fixture.
+     */
+    bool bootstrap_supported() const { return !boot_circuits_.empty(); }
+
+    /**
+     * Rotation-key requirements of the whole program: the linear layers'
+     * level-pruned steps plus (when bootstrapping) the circuit's steps.
+     * With needs_conjugation()/conjugation_level(), exactly the bundle a
+     * client must provide — nothing more is ever generated.
+     */
+    std::vector<ckks::GaloisKeyRequest> galois_requests() const;
+    bool needs_conjugation() const { return bootstrap_supported(); }
+    int conjugation_level() const;
+
   private:
     friend class CkksExecutor;
+
+    /** The prepared circuit for program instruction idx (never null for
+     *  bootstrap instructions when bootstrap_supported()). */
+    const ckks::BootstrapCircuit* circuit_for(std::size_t idx) const;
 
     const CompiledNetwork* cn_;
     const ckks::Context* ctx_;
@@ -101,7 +132,30 @@ class PreparedProgram {
     std::vector<std::vector<ckks::Plaintext>> bias_;
     std::vector<double> in_scale_;    ///< per-instruction input scale
     std::vector<double> act_target_;  ///< per-activation target scale
+    // Bootstrap support (empty / null for bootstrap-free programs). The
+    // plan is the process-wide memoized one (BootstrapPlan::cached);
+    // circuit variants share it rather than copying its stage matrices.
+    std::shared_ptr<const ckks::BootstrapPlan> boot_plan_;
+    std::vector<std::unique_ptr<const ckks::BootstrapCircuit>>
+        boot_circuits_;               ///< one per distinct input scale
+    std::vector<int> boot_circuit_of_;  ///< per-instruction index, or -1
 };
+
+/**
+ * The Galois-key requirements of serving a compiled program on a given
+ * context: the program's level-pruned rotation steps plus, for
+ * bootstrap-bearing programs the context can support, the bootstrap
+ * circuit's steps and conjugation. A pure function of (cn, ctx.params),
+ * so a client and a server derive identical sets independently — and
+ * keygen generates *only* this union, nothing speculative.
+ */
+struct GaloisRequirements {
+    std::vector<ckks::GaloisKeyRequest> requests;
+    bool conjugation = false;
+    int conjugation_level = -1;
+};
+GaloisRequirements required_galois(const CompiledNetwork& cn,
+                                   const ckks::Context& ctx);
 
 /**
  * Packs and encrypts a network input exactly as the program's kInput
@@ -154,9 +208,11 @@ class CkksExecutor {
 
     /**
      * External-key (serving) mode: no key material of its own; callers
-     * bind a session's evaluation keys before each run_encrypted(). Only
-     * bootstrap-free programs can run in this mode (the repo's
-     * bootstrapper is a secret-key oracle).
+     * bind a session's evaluation keys before each run_encrypted().
+     * Bootstrap instructions run as the real public-key circuit under
+     * the bound Galois/relinearization keys; the context must therefore
+     * have l_eff + l_boot levels (construction fails otherwise, naming
+     * the offending instruction).
      */
     CkksExecutor(const CompiledNetwork& cn, const ckks::Context& ctx,
                  std::shared_ptr<const PreparedProgram> prepared,
@@ -228,6 +284,7 @@ class CkksExecutor {
     const ckks::Context* ctx_;
     std::optional<OrionConfig> cfg_;
     ckks::Encoder encoder_;
+    std::shared_ptr<const PreparedProgram> prep_;
     // Self-key material; absent in external-key (serving) mode.
     std::optional<ckks::KeyGenerator> keygen_;
     std::optional<ckks::PublicKey> pk_;
@@ -235,12 +292,13 @@ class CkksExecutor {
     std::optional<ckks::GaloisKeys> own_galois_;
     std::optional<ckks::Encryptor> encryptor_;
     std::optional<ckks::Decryptor> decryptor_;
-    std::optional<ckks::Bootstrapper> boot_;
+    // Oracle fallback: only for self-keyed executors on chains too short
+    // for the real circuit (toy test parameters); see bootstrap.h.
+    std::optional<ckks::OracleBootstrapper> oracle_boot_;
     // Bound evaluation keys (own keys, or a session's external keys).
     const ckks::KswitchKey* relin_ = nullptr;
     const ckks::GaloisKeys* galois_ = nullptr;
     ckks::Evaluator eval_;
-    std::shared_ptr<const PreparedProgram> prep_;
 };
 
 }  // namespace orion::core

@@ -55,9 +55,27 @@ Session::compile(const nn::Network& net, core::CompileOptions opt)
     opt.l_eff = opts_.l_eff;
     if (ctx_ != nullptr) {
         opt.slots = ctx_->slot_count();
+        // The cost model's l_boot is the *measured* depth of the real
+        // bootstrap circuit at this parameter point (the plan is a pure
+        // function of the parameters), so placement prices bootstraps
+        // with the same schedule the executor will actually run.
+        // Dense secrets at large rings make the EvalMod fit diverge —
+        // such parameter sets cannot run the circuit at all (executors
+        // fall back to the oracle fixture), so compilation of
+        // bootstrap-free programs must not die here: keep the
+        // paper-default l_boot for pricing.
+        if (!l_boot_.has_value()) {
+            try {
+                l_boot_ =
+                    ckks::BootstrapPlan::cached(ctx_->params())->depth;
+            } catch (const Error&) {
+                l_boot_ = core::CostModel::paper_scale().l_boot();
+            }
+        }
         opt.cost = core::CostModel::for_params(ctx_->degree(),
                                                opts_.params->digit_size,
-                                               opts_.params->digit_size, 2);
+                                               opts_.params->digit_size,
+                                               *l_boot_);
     } else {
         opt.slots = opts_.sim_slots;
     }
@@ -107,11 +125,18 @@ Session::require_context(const char* verb) const
 void
 Session::require_matrices(const char* verb) const
 {
-    for (const core::LinearLayerData& l : compiled_->linears) {
+    // Name the first offending instruction (kind + layer id), not just
+    // "the program": a 100-layer net with one structural-only conv should
+    // point the user at that conv.
+    for (const core::Instruction& ins : compiled_->program) {
+        if (ins.op != core::Instruction::Op::kLinear) continue;
+        const core::LinearLayerData& l =
+            compiled_->linears[static_cast<std::size_t>(ins.payload)];
         ORION_CHECK(l.matrix != nullptr,
                     "Session::" << verb
-                                << " needs materialized matrices, but the "
-                                   "program was compiled structural_only; "
+                                << " needs materialized matrices, but "
+                                << core::describe_instruction(ins)
+                                << " was compiled structural_only; "
                                    "re-compile without structural_only");
     }
 }

@@ -157,6 +157,7 @@ class Session {
 
     SessionOptions opts_;
     std::unique_ptr<ckks::Context> ctx_;  ///< null when simulation-only
+    std::optional<int> l_boot_;  ///< measured bootstrap-circuit depth
     std::vector<std::vector<double>> calibration_;
     std::optional<nn::Network> lowered_;  ///< module-compile() keeps the IR
     std::optional<core::CompiledNetwork> compiled_;

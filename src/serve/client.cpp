@@ -2,11 +2,32 @@
 
 namespace orion::serve {
 
+namespace {
+
+/**
+ * Exactly the Galois keys serving this program needs — the program's
+ * level-pruned rotation steps plus the bootstrap circuit's (and its
+ * conjugation) when the program bootstraps. The server validates the
+ * registered bundle against the same derivation.
+ */
+ckks::GaloisKeys
+make_serving_galois(ckks::KeyGenerator& keygen,
+                    const core::CompiledNetwork& cn,
+                    const ckks::Context& ctx)
+{
+    const core::GaloisRequirements req = core::required_galois(cn, ctx);
+    return keygen.make_galois_keys(
+        std::span<const ckks::GaloisKeyRequest>(req.requests),
+        req.conjugation, req.conjugation_level);
+}
+
+}  // namespace
+
 ServeClient::ServeClient(const core::CompiledNetwork& cn,
                          const ckks::Context& ctx, u64 seed)
     : cn_(&cn), ctx_(&ctx), encoder_(ctx), keygen_(ctx, seed),
       pk_(keygen_.make_public_key()), relin_(keygen_.make_relin_key()),
-      galois_(keygen_.make_galois_keys(cn.required_steps())),
+      galois_(make_serving_galois(keygen_, cn, ctx)),
       encryptor_(ctx, pk_), decryptor_(ctx, keygen_.secret_key())
 {
 }

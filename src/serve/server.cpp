@@ -26,11 +26,11 @@ InferenceServer::InferenceServer(
                                               : defaults.queue_capacity;
     ORION_CHECK(max_inflight_ >= 1 && queue_capacity_ >= 1,
                 "server needs at least one worker and one queue slot");
-    ORION_CHECK(cn.num_bootstraps == 0,
-                "serving requires a bootstrap-free program: this repo's "
-                "bootstrapper is a secret-key oracle and cannot run on an "
-                "untrusted server (see ROADMAP)");
 
+    // Bootstrap-bearing programs are served through the public-key
+    // CoeffToSlot -> EvalMod -> SlotToCoeff circuit prepared here; the
+    // external-key executor constructor rejects programs the context
+    // cannot support, naming the offending instruction.
     prepared_ = prepared ? std::move(prepared)
                          : std::make_shared<const core::PreparedProgram>(
                                cn, ctx);
@@ -75,7 +75,42 @@ InferenceServer::~InferenceServer()
 u64
 InferenceServer::register_session(std::span<const u8> key_bundle)
 {
-    return sessions_.register_session(key_bundle);
+    // Reject incomplete bundles at registration (with the exact missing
+    // step) rather than mid-request: the client derives the same
+    // requirement set from the compiled program + bootstrap plan, so a
+    // well-behaved client never trips this.
+    const auto validate = [this](const KeyBundle& bundle) {
+        ORION_CHECK(bundle.relin.valid() &&
+                        bundle.relin.level() == ctx_->max_level(),
+                    "key bundle: relinearization key missing or pruned "
+                    "below the full chain");
+        for (const ckks::GaloisKeyRequest& req :
+             prepared_->galois_requests()) {
+            const u64 elt = ctx_->galois_elt(req.step);
+            ORION_CHECK(bundle.galois.has(elt),
+                        "key bundle: missing Galois key for rotation step "
+                            << req.step << " (element " << elt << ")");
+            ORION_CHECK(bundle.galois.at(elt).level() >= req.level,
+                        "key bundle: Galois key for step "
+                            << req.step << " pruned to level "
+                            << bundle.galois.at(elt).level()
+                            << " but the program rotates at level "
+                            << req.level);
+        }
+        if (prepared_->needs_conjugation()) {
+            const u64 conj = ctx_->galois_elt_conj();
+            ORION_CHECK(bundle.galois.has(conj),
+                        "key bundle: missing conjugation key (element "
+                            << conj << "), required by the bootstrap "
+                            << "circuit's real/imaginary split");
+            ORION_CHECK(bundle.galois.at(conj).level() >=
+                            prepared_->conjugation_level(),
+                        "key bundle: conjugation key pruned below the "
+                        "bootstrap circuit's CoeffToSlot level "
+                            << prepared_->conjugation_level());
+        }
+    };
+    return sessions_.register_session(key_bundle, validate);
 }
 
 void

@@ -3,11 +3,14 @@
 namespace orion::serve {
 
 u64
-SessionManager::register_session(std::span<const u8> key_bundle)
+SessionManager::register_session(
+    std::span<const u8> key_bundle,
+    const std::function<void(const KeyBundle&)>& validate)
 {
     // Decode outside the lock: key bundles are megabytes and decode cost
     // should not serialize against concurrent lookups.
     KeyBundle bundle = decode_key_bundle(key_bundle, *ctx_);
+    if (validate) validate(bundle);
     auto session = std::make_shared<Session>();
     session->relin = std::move(bundle.relin);
     session->galois = std::move(bundle.galois);

@@ -10,6 +10,7 @@
  * under an in-flight request.
  */
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,9 +37,14 @@ class SessionManager {
     /**
      * Decodes and validates a serialized KeyBundle (parameters must be
      * ring-compatible with the server context) and registers it under a
-     * fresh session id.
+     * fresh session id. `validate`, when given, runs on the decoded
+     * bundle before registration (the server checks key coverage against
+     * the compiled program there); a throw propagates and nothing is
+     * registered.
      */
-    u64 register_session(std::span<const u8> key_bundle);
+    u64 register_session(
+        std::span<const u8> key_bundle,
+        const std::function<void(const KeyBundle&)>& validate = {});
 
     /** Removes a session; in-flight requests keep their shared_ptr. */
     void unregister(u64 id);

@@ -26,6 +26,12 @@ TEST(Serial, ParamsRoundTrip)
     EXPECT_EQ(back.digit_size, p.digit_size);
     EXPECT_EQ(back.seed, p.seed);
     EXPECT_TRUE(serial::params_compatible(back, p));
+
+    // Bootstrap-relevant fields survive the wire too (v2).
+    const ckks::CkksParams boot = ckks::CkksParams::bootstrap_toy();
+    const ckks::CkksParams boot_back =
+        serial::deserialize_params(serial::serialize(boot));
+    EXPECT_EQ(boot_back.secret_weight, boot.secret_weight);
 }
 
 TEST(Serial, ParamsCompatibilityIgnoresSeedOnly)
@@ -36,6 +42,11 @@ TEST(Serial, ParamsCompatibilityIgnoresSeedOnly)
     EXPECT_TRUE(serial::params_compatible(a, b));
     b = a;
     b.num_scale_primes += 1;
+    EXPECT_FALSE(serial::params_compatible(a, b));
+    // The secret's Hamming weight changes the bootstrap circuit (range
+    // bound K), so it is part of compatibility.
+    b = a;
+    b.secret_weight = 32;
     EXPECT_FALSE(serial::params_compatible(a, b));
 }
 
@@ -291,19 +302,47 @@ TEST(Serial, RejectsLevelAboveContext)
         Error);
 }
 
-TEST(Serial, RejectsKswitchKeyBelowFullChain)
+TEST(Serial, LevelPrunedKswitchKeyRoundTripsAndIsLevelChecked)
 {
-    // The key switcher indexes key limbs assuming full-chain (max level)
-    // keys; a hostile bundle with shorter digit polys would be read out
-    // of bounds, so the decoder must reject it outright.
+    // Keys may be level-pruned (one digit covering level 0 here); the
+    // decoder accepts internally-consistent keys and the key switcher
+    // range-checks the level at use, so a hostile short key can never be
+    // read out of bounds.
     CkksEnv& env = CkksEnv::shared();
-    ckks::KswitchKey low;
-    low.b.emplace_back(env.ctx, /*level=*/0, /*extended=*/true,
+    const ckks::KswitchKey pruned =
+        env.keygen.make_galois_key(env.ctx.galois_elt(1), /*level=*/0);
+    const Bytes bytes = serial::serialize(pruned);
+    const ckks::KswitchKey back =
+        serial::deserialize_kswitch_key(bytes, env.ctx);
+    EXPECT_EQ(back.level(), 0);
+    EXPECT_EQ(back.num_digits(), pruned.num_digits());
+
+    ckks::GaloisKeys keys;
+    keys.keys.emplace(env.ctx.galois_elt(1), back);
+    ckks::Evaluator eval(env.ctx, env.encoder);
+    eval.set_galois_keys(&keys);
+    const ckks::Plaintext pt = env.encoder.encode(
+        std::vector<double>{1.0, 2.0}, /*level=*/2, env.ctx.scale());
+    const ckks::Ciphertext high = env.encryptor.encrypt(pt);
+    expect_throw_contains<Error>([&] { (void)eval.rotate(high, 1); },
+                                 "pruned to level");
+}
+
+TEST(Serial, RejectsKswitchKeyWithInconsistentDigits)
+{
+    // A key's digit count must cover exactly its level: a single level-2
+    // digit (toy alpha = 3 needs one digit per 3 limbs, so level 5 needs
+    // 2) must be rejected, as must digits at disagreeing levels.
+    CkksEnv& env = CkksEnv::shared();
+    ckks::KswitchKey bad;
+    bad.b.emplace_back(env.ctx, /*level=*/5, /*extended=*/true,
                        /*ntt_form=*/true);
-    low.a.emplace_back(env.ctx, /*level=*/0, /*extended=*/true,
+    bad.a.emplace_back(env.ctx, /*level=*/5, /*extended=*/true,
                        /*ntt_form=*/true);
-    const Bytes bytes = serial::serialize(low);
-    EXPECT_THROW(serial::deserialize_kswitch_key(bytes, env.ctx), Error);
+    const Bytes bytes = serial::serialize(bad);
+    expect_throw_contains<Error>(
+        [&] { (void)serial::deserialize_kswitch_key(bytes, env.ctx); },
+        "digits do not cover");
 }
 
 TEST(Serial, RejectsForeignContext)

@@ -352,5 +352,133 @@ TEST(Serve, ConcurrentMixedSessionsUnderLoad)
     EXPECT_LE(stats.peak_inflight, 2u);
 }
 
+// ---------------------------------------------------------------------
+// Serving bootstrap programs (the public-key circuit)
+// ---------------------------------------------------------------------
+
+/**
+ * A bootstrap-capable serving environment: the micro MLP compiled at
+ * l_eff = 2, which is one level short of its depth, so placement is
+ * forced to insert a bootstrap — served through the real public-key
+ * CoeffToSlot -> EvalMod -> SlotToCoeff circuit.
+ */
+struct BootServeEnv {
+    static constexpr int kLeff = 2;
+
+    ckks::CkksParams params;
+    ckks::Context ctx;
+    Network net;
+    CompiledNetwork cn;
+    std::shared_ptr<const core::PreparedProgram> prepared;
+
+    BootServeEnv()
+        : params(ckks::CkksParams::bootstrap_toy(kLeff)), ctx(params),
+          net(nn::make_micro_mlp())
+    {
+        core::CompileOptions opt;
+        opt.slots = ctx.slot_count();
+        opt.l_eff = kLeff;
+        opt.cost = core::CostModel::for_params(ctx.degree(), 3, 3, 13);
+        opt.calibration_samples = 3;
+        opt.structural_only = false;
+        cn = core::compile(net, opt);
+        prepared = std::make_shared<const core::PreparedProgram>(cn, ctx);
+    }
+
+    static BootServeEnv&
+    shared()
+    {
+        static BootServeEnv env;
+        return env;
+    }
+};
+
+TEST(ServeBootstrap, BootstrapProgramServedUnderClientKeysOnly)
+{
+    // The ISSUE's acceptance test: an InferenceServer executes a program
+    // containing a bootstrap using only the client's evaluation-key
+    // bundle — no SecretKey is reachable from the serving path — and the
+    // decrypted logits argmax-match the cleartext execution.
+    BootServeEnv& senv = BootServeEnv::shared();
+    ASSERT_GE(senv.cn.num_bootstraps, 1u);
+    ASSERT_TRUE(senv.prepared->bootstrap_supported());
+
+    InferenceServer server(senv.cn, senv.ctx, opts(1, 4), senv.prepared);
+    ServeClient client(senv.cn, senv.ctx, /*seed=*/300);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    const std::vector<double> x = random_vector(64, 1.0, 91);
+    std::future<serve::ServeReply> fut = server.submit(client.make_request(x));
+    const serve::ServeReply reply = fut.get();
+    EXPECT_GE(reply.stats.bootstraps, 1u);
+
+    const std::vector<double> got = client.decrypt_response(reply.response);
+    const std::vector<double> clear = senv.net.forward(x);
+    ASSERT_EQ(got.size(), clear.size());
+    std::size_t ig = 0, ic = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] > got[ig]) ig = i;
+        if (clear[i] > clear[ic]) ic = i;
+    }
+    EXPECT_EQ(ig, ic) << "served argmax diverges from cleartext";
+    EXPECT_LT(max_abs_diff(got, clear), 5e-2);
+
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.total_bootstraps, senv.cn.num_bootstraps);
+}
+
+TEST(ServeBootstrap, RegistrationRejectsBundleMissingBootstrapKeys)
+{
+    // A bundle holding only the linear layers' rotation keys (no
+    // bootstrap-circuit steps, no conjugation) must be rejected at
+    // registration, naming what is missing.
+    BootServeEnv& senv = BootServeEnv::shared();
+    InferenceServer server(senv.cn, senv.ctx, opts(1, 4), senv.prepared);
+
+    ckks::KeyGenerator keygen(senv.ctx, /*seed=*/77);
+    serve::KeyBundle bundle;
+    bundle.params = senv.params;
+    bundle.relin = keygen.make_relin_key();
+    std::vector<ckks::GaloisKeyRequest> program_only;
+    for (const CompiledNetwork::RotationUse& use :
+         senv.cn.required_rotations()) {
+        program_only.push_back({use.step, use.level});
+    }
+    bundle.galois = keygen.make_galois_keys(
+        std::span<const ckks::GaloisKeyRequest>(program_only), false);
+    // Rejection names the offending step — either outright missing, or
+    // present for a program rotation but pruned below the (nearly
+    // full-chain) level the bootstrap circuit rotates at.
+    const ckks::serial::Bytes bytes = serve::encode_key_bundle(bundle);
+    expect_throw_contains<Error>(
+        [&] { (void)server.register_session(bytes); },
+        "Galois key for");
+}
+
+TEST(ServeBootstrap, ShallowContextRejectionNamesTheInstruction)
+{
+    // A bootstrap-bearing program on a chain too short for the circuit
+    // must be rejected at server construction with the offending
+    // instruction kind and layer id in the message.
+    CkksEnv& env = CkksEnv::shared();
+    core::CompileOptions opt;
+    opt.slots = env.ctx.slot_count();
+    opt.l_eff = 2;  // depth-3 micro MLP: forces a bootstrap
+    opt.cost = core::CostModel::for_params(env.ctx.degree(), 3, 3, 3);
+    opt.calibration_samples = 3;
+    opt.structural_only = false;
+    const Network net = nn::make_micro_mlp();
+    const CompiledNetwork cn = core::compile(net, opt);
+    ASSERT_GE(cn.num_bootstraps, 1u);
+
+    auto prepared =
+        std::make_shared<const core::PreparedProgram>(cn, env.ctx);
+    EXPECT_FALSE(prepared->bootstrap_supported());
+    expect_throw_contains<Error>(
+        [&] { InferenceServer server(cn, env.ctx, opts(1, 4), prepared); },
+        "kBootstrap (layer");
+}
+
 }  // namespace
 }  // namespace orion::test

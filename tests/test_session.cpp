@@ -142,6 +142,10 @@ TEST(Session, StructuralProgramsRefuseTheCkksBackend)
     EXPECT_EQ(session.simulate(x).output.size(), 5u);
     expect_throw_contains<Error>([&] { session.run(x); },
                                  "structural_only");
+    // The rejection names the offending instruction, not just "the
+    // program": kind plus originating layer id.
+    expect_throw_contains<Error>([&] { session.run(x); },
+                                 "kLinear (layer");
 }
 
 TEST(Session, RecompileInvalidatesDerivedState)

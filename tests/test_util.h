@@ -36,7 +36,9 @@ struct CkksEnv {
     ckks::Encryptor encryptor;
     ckks::Decryptor decryptor;
     ckks::Evaluator eval;
-    ckks::Bootstrapper boot;
+    /** The toy chain (6 levels) is too short for the real circuit, so
+     *  the shared environment carries the explicit oracle fixture. */
+    ckks::OracleBootstrapper boot;
 
     CkksEnv()
         : params(ckks::CkksParams::toy()), ctx(params), encoder(ctx),
