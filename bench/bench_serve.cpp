@@ -6,11 +6,21 @@
  * latency per concurrency level, with `--json` metrics for the CI perf
  * trajectory. Two sessions with distinct keys keep the executor pool's
  * key rebinding on the measured path.
+ *
+ * `--churn` switches to the key-cache churn workload instead: S
+ * registered sessions (64 in smoke mode, 1000 otherwise) with a
+ * Zipf-distributed request mix, run twice — once all-resident
+ * (key_cache_mb = 0) and once under a cap sized to the hot working set —
+ * reporting RSS, hit rate, eviction count, and p50/p95 for each pass
+ * (CI uploads this as BENCH_serve_churn.json).
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -30,14 +40,215 @@ percentile(std::vector<double> v, double p)
     return v[std::min(idx, v.size() - 1)];
 }
 
+/** Process resident set size in MiB (/proc/self/status; 0 off Linux). */
+double
+rss_mb()
+{
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return 0.0;
+    char line[256];
+    double mb = 0.0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        long kb = 0;
+        if (std::sscanf(line, "VmRSS: %ld", &kb) == 1) {
+            mb = static_cast<double>(kb) / 1024.0;
+            break;
+        }
+    }
+    std::fclose(f);
+    return mb;
+}
+
+/**
+ * The key-cache churn workload: many sessions, few distinct bundles
+ * (registration reuses kBundles key bundles round-robin — the cache
+ * treats every session independently, so this measures session scaling
+ * without paying S keygens), Zipf-skewed request mix.
+ */
+void
+run_churn(const core::CompiledNetwork& cn, const ckks::Context& ctx,
+          const std::shared_ptr<const core::PreparedProgram>& prepared)
+{
+    const int sessions = bench::smoke() ? 64 : 1000;
+    const int requests = bench::smoke() ? 16 : 200;
+    constexpr int kBundles = 4;
+
+    std::vector<std::unique_ptr<serve::ServeClient>> clients;
+    std::vector<ckks::serial::Bytes> bundles;
+    for (int i = 0; i < kBundles; ++i) {
+        clients.push_back(std::make_unique<serve::ServeClient>(
+            cn, ctx, /*seed=*/5000 + static_cast<u64>(i)));
+        bundles.push_back(clients.back()->key_bundle());
+    }
+    const serve::KeyBundle decoded =
+        serve::decode_key_bundle(bundles[0], ctx);
+    const std::size_t per_bundle =
+        decoded.relin.byte_size() + decoded.galois.byte_size();
+
+    constexpr int kHotSet = 8;
+    const int cap_mb =
+        static_cast<int>((static_cast<std::size_t>(kHotSet) * per_bundle) >>
+                         20) +
+        2;
+
+    std::printf("\nchurn: %d sessions (%d distinct bundles, %.1f KiB "
+                "expanded each), %d Zipf requests, capped pass at %d MiB\n",
+                sessions, kBundles,
+                static_cast<double>(per_bundle) / 1024.0, requests, cap_mb);
+    std::printf("%-10s %10s %10s %10s %10s %10s %12s %10s\n", "pass",
+                "reg/s", "p50 ms", "p95 ms", "hit rate", "evictions",
+                "resident MB", "RSS MB");
+
+    struct Pass {
+        const char* name;
+        int cache_mb;
+        int sessions;  ///< the all-resident baseline stays small on purpose:
+                       ///< S expanded bundles resident at once is the very
+                       ///< RSS blow-up the capped store exists to prevent
+    };
+    double allres_p95 = 0.0;
+    double capped_p95 = 0.0;
+    for (const Pass pass : {Pass{"allres", 0, std::min(sessions, 64)},
+                            Pass{"capped", cap_mb, sessions}}) {
+        serve::ServeOptions sopts;
+        sopts.max_inflight = 2;
+        sopts.queue_capacity = 256;
+        sopts.key_cache_mb = pass.cache_mb;
+        serve::InferenceServer server(cn, ctx, sopts, prepared);
+
+        const auto reg_t0 = std::chrono::steady_clock::now();
+        std::vector<u64> ids;
+        ids.reserve(static_cast<std::size_t>(pass.sessions));
+        for (int s = 0; s < pass.sessions; ++s) {
+            ids.push_back(server.register_session(
+                bundles[static_cast<std::size_t>(s % kBundles)]));
+        }
+        const double reg_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - reg_t0)
+                                 .count();
+
+        // Zipf(1.1) over this pass's session ranks: most requests hit a
+        // handful of hot sessions. The capped pass sizes its cache to
+        // that hot set, so a well-behaved LRU serves mostly hits despite
+        // S >> cache.
+        std::vector<double> cum;
+        cum.reserve(ids.size());
+        double total = 0.0;
+        for (std::size_t r = 1; r <= ids.size(); ++r) {
+            total += 1.0 / std::pow(static_cast<double>(r), 1.1);
+            cum.push_back(total);
+        }
+        std::mt19937_64 rng(99);
+        std::uniform_real_distribution<double> uni(0.0, total);
+        std::vector<std::future<serve::ServeReply>> futs;
+        std::vector<std::chrono::steady_clock::time_point> at;
+        for (int r = 0; r < requests; ++r) {
+            const auto rank = static_cast<std::size_t>(
+                std::lower_bound(cum.begin(), cum.end(), uni(rng)) -
+                cum.begin());
+            serve::ServeClient& c = *clients[rank % kBundles];
+            c.set_session_id(ids[rank]);
+            const std::vector<double> input = bench::random_vector(
+                64, 1.0, 7000 + static_cast<u64>(r));
+            at.push_back(std::chrono::steady_clock::now());
+            futs.push_back(server.submit(c.make_request(input)));
+        }
+        std::vector<double> latency_ms;
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            (void)futs[i].get();
+            latency_ms.push_back(
+                1e3 * std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - at[i])
+                          .count());
+        }
+
+        const serve::ServerStats stats = server.stats();
+        ORION_CHECK(stats.completed == static_cast<u64>(requests) &&
+                        stats.failed == 0,
+                    "churn requests failed");
+        const std::size_t cap_bytes =
+            static_cast<std::size_t>(pass.cache_mb) << 20;
+        ORION_CHECK(cap_bytes == 0 || stats.key_resident_bytes <= cap_bytes,
+                    "resident key bytes " << stats.key_resident_bytes
+                                          << " exceed the " << pass.cache_mb
+                                          << " MiB cap");
+
+        const double p50 = percentile(latency_ms, 0.50);
+        const double p95 = percentile(latency_ms, 0.95);
+        const u64 lookups =
+            std::max<u64>(stats.key_cache_hits + stats.key_cache_misses, 1);
+        const double hit_rate =
+            static_cast<double>(stats.key_cache_hits) /
+            static_cast<double>(lookups);
+        const double rss = rss_mb();
+        std::printf("%-10s %10.1f %10.1f %10.1f %10.3f %10llu %12.1f "
+                    "%10.1f\n",
+                    pass.name, static_cast<double>(sessions) / reg_s, p50,
+                    p95, hit_rate,
+                    static_cast<unsigned long long>(
+                        stats.key_cache_evictions),
+                    static_cast<double>(stats.key_resident_bytes) /
+                        (1024.0 * 1024.0),
+                    rss);
+
+        const std::string prefix = std::string(pass.name) + "/";
+        bench::json_metric(prefix + "register_per_s",
+                           static_cast<double>(sessions) / reg_s);
+        bench::json_metric(prefix + "p50_ms", p50);
+        bench::json_metric(prefix + "p95_ms", p95);
+        bench::json_metric(prefix + "hit_rate", hit_rate);
+        bench::json_metric(prefix + "evictions",
+                           static_cast<double>(stats.key_cache_evictions));
+        bench::json_metric(prefix + "resident_mb",
+                           static_cast<double>(stats.key_resident_bytes) /
+                               (1024.0 * 1024.0));
+        bench::json_metric(prefix + "disk_mb",
+                           static_cast<double>(stats.key_disk_bytes) /
+                               (1024.0 * 1024.0));
+        bench::json_metric(prefix + "rss_mb", rss);
+        if (pass.cache_mb == 0) {
+            allres_p95 = p95;
+        } else {
+            capped_p95 = p95;
+        }
+
+        // Unregister/re-register churn tail: drop every other session and
+        // prove the survivors (including the hot set) still serve.
+        for (std::size_t i = 1; i < ids.size(); i += 2) {
+            ORION_CHECK(server.unregister_session(ids[i]),
+                        "churn unregister failed");
+        }
+        clients[0]->set_session_id(ids[0]);
+        (void)server
+            .submit(clients[0]->make_request(bench::random_vector(64, 1.0,
+                                                                  8001)))
+            .get();
+    }
+    bench::json_metric("churn/sessions", static_cast<double>(sessions));
+    bench::json_metric("churn/bundle_kib",
+                       static_cast<double>(per_bundle) / 1024.0);
+    if (allres_p95 > 0.0) {
+        // The acceptance ratio: with the hot set fitting in cache, the
+        // capped pass should stay within ~2x of all-resident.
+        bench::json_metric("churn/p95_vs_allres", capped_p95 / allres_p95);
+        std::printf("churn: capped p95 is %.2fx the all-resident p95\n",
+                    capped_p95 / allres_p95);
+    }
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bench::init(argc, argv);
+    bool churn = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+    }
     bench::print_header(
-        "bench_serve: encrypted-inference throughput vs concurrency");
+        churn ? "bench_serve: session key-cache churn (--churn)"
+              : "bench_serve: encrypted-inference throughput vs concurrency");
 
     const ckks::CkksParams params = ckks::CkksParams::toy();
     const ckks::Context ctx(params);
@@ -52,6 +263,11 @@ main(int argc, char** argv)
     const core::CompiledNetwork cn = core::compile(net, opt);
     const auto prepared =
         std::make_shared<const core::PreparedProgram>(cn, ctx);
+
+    if (churn) {
+        run_churn(cn, ctx, prepared);
+        return 0;
+    }
 
     // Two sessions: half the requests go through each key bundle.
     serve::ServeClient alice(cn, ctx, /*seed=*/1001);

@@ -17,19 +17,48 @@ SecretKey::at_level(int level) const
 }
 
 std::size_t
+KswitchKey::byte_size() const
+{
+    std::size_t total = 0;
+    for (const RnsPoly& p : b) {
+        total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
+    }
+    for (const RnsPoly& p : a) {
+        total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
+    }
+    return total;
+}
+
+std::size_t
 GaloisKeys::byte_size() const
 {
     std::size_t total = 0;
     for (const auto& [elt, ksk] : keys) {
         (void)elt;
-        for (const RnsPoly& p : ksk.b) {
-            total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
-        }
-        for (const RnsPoly& p : ksk.a) {
-            total += static_cast<std::size_t>(p.num_limbs()) * p.degree() * 8;
-        }
+        total += ksk.byte_size();
     }
     return total;
+}
+
+std::vector<RnsPoly>
+expand_kswitch_a(const Context& ctx, u64 seed, int level)
+{
+    ORION_CHECK(level >= 0 && level <= ctx.max_level(),
+                "key-switch expansion level " << level
+                                              << " outside the chain");
+    const int digits = ctx.num_digits(level);
+    const u64 n = ctx.degree();
+    Sampler sampler(seed);
+    std::vector<RnsPoly> out;
+    out.reserve(static_cast<std::size_t>(digits));
+    for (int d = 0; d < digits; ++d) {
+        RnsPoly a(ctx, level, /*extended=*/true, /*ntt_form=*/true);
+        for (int i = 0; i < a.num_limbs(); ++i) {
+            sampler.sample_uniform_into(a.limb(i), n, a.limb_modulus(i));
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
 }
 
 namespace {
@@ -77,19 +106,6 @@ KeyGenerator::KeyGenerator(const Context& ctx, u64 seed)
         for (u64 j = 0; j < n; ++j) limb[j] = reduce_signed(coeffs[j], q);
     }
     sk_.s.to_ntt();
-}
-
-RnsPoly
-KeyGenerator::sample_uniform_extended(int level)
-{
-    RnsPoly a(*ctx_, level, /*extended=*/true, /*ntt_form=*/true);
-    const u64 n = ctx_->degree();
-    for (int i = 0; i < a.num_limbs(); ++i) {
-        const std::vector<u64> vals =
-            sampler_.sample_uniform(n, a.limb_modulus(i));
-        std::copy(vals.begin(), vals.end(), a.limb(i));
-    }
-    return a;
 }
 
 RnsPoly
@@ -150,10 +166,15 @@ KeyGenerator::make_kswitch_key(const RnsPoly& s_old, int level)
     const RnsPoly s_new_r = restrict_extended(sk_.s, level);
 
     KswitchKey ksk;
+    // The uniform digits come from a dedicated per-key seed (not the main
+    // sampler stream), so the a-component is reproducible from 8 bytes:
+    // serial v3 ships {a_seed, b digits} and re-expands on decode.
+    ksk.a_seed = sampler_.rng()();
+    ksk.seeded = true;
+    ksk.a = expand_kswitch_a(*ctx_, ksk.a_seed, level);
     ksk.b.reserve(static_cast<std::size_t>(digits));
-    ksk.a.reserve(static_cast<std::size_t>(digits));
     for (int d = 0; d < digits; ++d) {
-        RnsPoly a = sample_uniform_extended(level);
+        const RnsPoly& a = ksk.a[static_cast<std::size_t>(d)];
         RnsPoly b = sample_error_extended(level);
         // b += W_d * s_old on the digit's own limbs: W_d = P mod q_j there.
         const int lo = d * alpha;
@@ -174,7 +195,6 @@ KeyGenerator::make_kswitch_key(const RnsPoly& s_old, int level)
         as.mul_pointwise_inplace(s_new_r);
         b.sub_inplace(as);
         ksk.b.push_back(std::move(b));
-        ksk.a.push_back(std::move(a));
     }
     return ksk;
 }

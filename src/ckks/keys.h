@@ -43,16 +43,38 @@ struct PublicKey {
  * keys of a compiled program are only ever used at the program's (low)
  * execution levels, while bootstrap-circuit keys span almost the whole
  * chain.
+ *
+ * Seed compression: the a-components are uniform, so KeyGenerator derives
+ * them from a per-key PRNG seed (expand_kswitch_a). A seeded key travels
+ * as {seed, b-digits} on the wire and on disk (serial format v3) —
+ * roughly half the bytes of the explicit form — and is re-expanded into
+ * the full (b, a) pair on decode. `a` is always materialized in memory;
+ * `seeded`/`a_seed` only record that it CAN be regenerated.
  */
 struct KswitchKey {
     std::vector<RnsPoly> b;  ///< per digit: -a_i*s_new + e_i + W_i*s_old
     std::vector<RnsPoly> a;  ///< per digit: uniform
+    u64 a_seed = 0;          ///< PRNG seed the a digits expand from
+    bool seeded = false;     ///< true when expand_kswitch_a(a_seed) == a
 
     int num_digits() const { return static_cast<int>(b.size()); }
     bool valid() const { return !b.empty(); }
     /** Highest coefficient level this key can switch at. */
     int level() const { return b.empty() ? -1 : b.front().level(); }
+    /** Resident bytes of the expanded key (both components). */
+    std::size_t byte_size() const;
 };
+
+/**
+ * Deterministically expands the uniform a-component of a key-switching
+ * key over coefficient limbs q_0..q_level plus the special primes: one
+ * extended NTT-form polynomial per digit, drawn from a Sampler seeded
+ * with `seed`. A pure function of (ctx basis, seed, level) — KeyGenerator
+ * and the serial v3 decoder both call it, which is what lets the wire
+ * format carry the seed instead of half the key's residues.
+ */
+std::vector<RnsPoly> expand_kswitch_a(const Context& ctx, u64 seed,
+                                      int level);
 
 /** Rotation (and conjugation) keys indexed by Galois element. */
 struct GaloisKeys {
@@ -113,13 +135,13 @@ class KeyGenerator {
   private:
     /**
      * KSK encrypting W_i * s_old under the main secret, covering
-     * coefficient limbs q_0..q_level (-1 = full chain).
+     * coefficient limbs q_0..q_level (-1 = full chain). The a digits are
+     * expanded from a per-key seed drawn here, so the returned key is
+     * seed-compressible (KswitchKey::seeded).
      */
     KswitchKey make_kswitch_key(const RnsPoly& s_old, int level = -1);
 
-    /** Uniform polynomial over q_0..q_level + specials, NTT form. */
-    RnsPoly sample_uniform_extended(int level);
-    /** Small (Gaussian) polynomial over the same basis, NTT form. */
+    /** Small (Gaussian) polynomial over q_0..q_level + specials, NTT. */
     RnsPoly sample_error_extended(int level);
 
     const Context* ctx_;

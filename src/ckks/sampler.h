@@ -73,10 +73,24 @@ class Sampler {
     std::vector<u64>
     sample_uniform(std::size_t n, const Modulus& q)
     {
-        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
         std::vector<u64> out(n);
-        for (auto& x : out) x = dist(rng_);
+        sample_uniform_into(out.data(), n, q);
         return out;
+    }
+
+    /**
+     * Uniform residues modulo q written straight into `dst` (no
+     * allocation). This is the primitive behind seed-expanded
+     * key-switching keys (keys.h expand_kswitch_a): the a-component of
+     * every key digit is a pure function of (seed, basis), so the wire
+     * format ships the seed instead of the residues and both ends expand
+     * limb by limb through this call.
+     */
+    void
+    sample_uniform_into(u64* dst, std::size_t n, const Modulus& q)
+    {
+        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+        for (std::size_t i = 0; i < n; ++i) dst[i] = dist(rng_);
     }
 
     /** A single double drawn from N(0, sigma^2). */

@@ -118,12 +118,14 @@ ByteReader::expect_done(const char* what) const
 // ---------------------------------------------------------------------
 
 Bytes
-finish_record(RecordKind kind, ByteWriter payload)
+finish_record(RecordKind kind, ByteWriter payload, u8 version)
 {
+    ORION_CHECK(version >= kMinWireVersion && version <= kWireVersion,
+                "cannot write wire version " << int(version));
     const Bytes body = payload.take();
     ByteWriter w;
     w.put_raw(kMagic, sizeof(kMagic));
-    w.put_u8(kWireVersion);
+    w.put_u8(version);
     w.put_u8(static_cast<u8>(kind));
     w.put_u64(body.size());
     w.put_raw(body.data(), body.size());
@@ -134,7 +136,7 @@ namespace {
 
 /** Frame validation shared by open_record and peek_kind. */
 RecordKind
-check_frame(std::span<const u8> bytes)
+check_frame(std::span<const u8> bytes, u8* version_out = nullptr)
 {
     ORION_CHECK(bytes.size() >= kFrameBytes,
                 "wire record too short for its header ("
@@ -145,9 +147,12 @@ check_frame(std::span<const u8> bytes)
     ORION_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
                 "bad wire magic (not an Orion record)");
     const u8 version = r.read_u8();
-    ORION_CHECK(version == kWireVersion,
-                "unsupported wire version " << int(version) << " (expected "
-                                            << int(kWireVersion) << ")");
+    ORION_CHECK(version >= kMinWireVersion && version <= kWireVersion,
+                "unsupported wire version "
+                    << int(version) << " (supported: "
+                    << int(kMinWireVersion) << ".." << int(kWireVersion)
+                    << ")");
+    if (version_out != nullptr) *version_out = version;
     const u8 kind = r.read_u8();
     const u64 payload_len = r.read_u64();
     ORION_CHECK(payload_len == r.remaining(),
@@ -162,13 +167,14 @@ check_frame(std::span<const u8> bytes)
 ByteReader
 open_record(std::span<const u8> bytes, RecordKind expected)
 {
-    const RecordKind kind = check_frame(bytes);
+    u8 version = kWireVersion;
+    const RecordKind kind = check_frame(bytes, &version);
     ORION_CHECK(kind == expected,
                 "wire record kind " << int(static_cast<u8>(kind))
                                     << " where kind "
                                     << int(static_cast<u8>(expected))
                                     << " was expected");
-    return ByteReader(bytes.subspan(kFrameBytes));
+    return ByteReader(bytes.subspan(kFrameBytes), version);
 }
 
 RecordKind
@@ -379,10 +385,22 @@ read_public_key(ByteReader& r, const Context& ctx)
 }
 
 void
-write_kswitch_key(ByteWriter& w, const KswitchKey& k)
+write_kswitch_key(ByteWriter& w, const KswitchKey& k, u8 version)
 {
     ORION_CHECK(k.valid(), "cannot serialize an empty key-switching key");
     w.put_u64(static_cast<u64>(k.num_digits()));
+    const bool compact = version >= 3 && k.seeded;
+    if (version >= 3) w.put_u8(compact ? 1 : 0);
+    if (compact) {
+        // Seed-compressed form: the uniform a digits are a pure function
+        // of (a_seed, level), so only b travels — half the key bytes.
+        w.put_u64(k.a_seed);
+        w.put_u32(static_cast<u32>(k.level()));
+        for (int d = 0; d < k.num_digits(); ++d) {
+            write_poly(w, k.b[static_cast<std::size_t>(d)]);
+        }
+        return;
+    }
     for (int d = 0; d < k.num_digits(); ++d) {
         write_poly(w, k.b[static_cast<std::size_t>(d)]);
         write_poly(w, k.a[static_cast<std::size_t>(d)]);
@@ -399,6 +417,36 @@ read_kswitch_key(ByteReader& r, const Context& ctx)
                 "wire key-switching key: digit count "
                     << digits << " outside [1, " << max_digits << "]");
     KswitchKey k;
+    // v2 records predate the seed flag: always explicit (b, a) pairs.
+    const bool compact = r.version() >= 3 && r.read_u8() != 0;
+    if (compact) {
+        k.a_seed = r.read_u64();
+        k.seeded = true;
+        const u32 level = r.read_u32();
+        ORION_CHECK(level <= static_cast<u32>(ctx.max_level()),
+                    "wire key-switching key: level " << level
+                        << " above the context maximum " << ctx.max_level());
+        ORION_CHECK(static_cast<int>(digits) ==
+                        ctx.num_digits(static_cast<int>(level)),
+                    "wire key-switching key: " << digits
+                        << " digits do not cover level " << level
+                        << " (expected "
+                        << ctx.num_digits(static_cast<int>(level)) << ")");
+        k.b.reserve(digits);
+        for (u64 d = 0; d < digits; ++d) {
+            RnsPoly b = read_poly(r, ctx);
+            ORION_CHECK(b.extended() && b.is_ntt() &&
+                            b.level() == static_cast<int>(level),
+                        "wire key-switching key: digit " << d
+                            << " must be extended NTT form at the key's "
+                            << "level " << level);
+            k.b.push_back(std::move(b));
+        }
+        // Cold-path expansion: regenerate the uniform digits limb by limb
+        // from the 8-byte seed (the other half of the key's bytes).
+        k.a = expand_kswitch_a(ctx, k.a_seed, static_cast<int>(level));
+        return k;
+    }
     k.b.reserve(digits);
     k.a.reserve(digits);
     for (u64 d = 0; d < digits; ++d) {
@@ -427,12 +475,12 @@ read_kswitch_key(ByteReader& r, const Context& ctx)
 }
 
 void
-write_galois_keys(ByteWriter& w, const GaloisKeys& g)
+write_galois_keys(ByteWriter& w, const GaloisKeys& g, u8 version)
 {
     w.put_u64(g.keys.size());
     for (const auto& [elt, key] : g.keys) {
         w.put_u64(elt);
-        write_kswitch_key(w, key);
+        write_kswitch_key(w, key, version);
     }
 }
 

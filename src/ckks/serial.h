@@ -37,7 +37,12 @@ namespace orion::ckks::serial {
 using Bytes = std::vector<u8>;
 
 // v2: params carry secret_weight; key-switching keys may be level-pruned.
-inline constexpr u8 kWireVersion = 2;
+// v3: key-switching keys may be seed-compressed — a seeded key travels as
+//     {a_seed, b digits} and the decoder re-expands the uniform a digits
+//     via expand_kswitch_a, roughly halving key bundle bytes. Decoders
+//     accept v2 records unchanged (explicit a digits, no seed flag).
+inline constexpr u8 kWireVersion = 3;
+inline constexpr u8 kMinWireVersion = 2;
 inline constexpr u8 kMagic[4] = {'O', 'R', 'N', '1'};
 
 /** Top-level record discriminator (also used by the serve wire layer). */
@@ -75,7 +80,17 @@ class ByteWriter {
 /** Bounds-checked reads over a byte span; throws orion::Error on overrun. */
 class ByteReader {
   public:
-    explicit ByteReader(std::span<const u8> data) : data_(data) {}
+    /**
+     * `version` is the wire version the payload was written at (stamped
+     * by open_record from the record frame); nested decoders branch on it
+     * for backward-compatible layouts.
+     */
+    explicit ByteReader(std::span<const u8> data, u8 version = kWireVersion)
+        : data_(data), version_(version)
+    {
+    }
+
+    u8 version() const { return version_; }
 
     u8 read_u8();
     u32 read_u32();
@@ -98,15 +113,24 @@ class ByteReader {
   private:
     std::span<const u8> data_;
     std::size_t pos_ = 0;
+    u8 version_ = kWireVersion;
 };
 
 // ---- record framing (shared with the serve layer) ----
 
-/** Wraps a finished payload in the magic/version/kind/length frame. */
-Bytes finish_record(RecordKind kind, ByteWriter payload);
 /**
- * Validates the frame (magic, version, kind, exact payload length) and
- * returns a reader positioned at the payload.
+ * Wraps a finished payload in the magic/version/kind/length frame.
+ * `version` defaults to the current writer version; passing an older
+ * supported version is how tests (and migration tooling) produce
+ * backward-compatibility fixtures — the payload must of course have been
+ * written in that version's layout.
+ */
+Bytes finish_record(RecordKind kind, ByteWriter payload,
+                    u8 version = kWireVersion);
+/**
+ * Validates the frame (magic, supported version, kind, exact payload
+ * length) and returns a reader positioned at the payload, carrying the
+ * record's version for nested decoders.
  */
 ByteReader open_record(std::span<const u8> bytes, RecordKind expected);
 /** The kind of a framed record (validates magic/version/length only). */
@@ -129,10 +153,20 @@ Ciphertext read_ciphertext(ByteReader& r, const Context& ctx);
 void write_public_key(ByteWriter& w, const PublicKey& pk);
 PublicKey read_public_key(ByteReader& r, const Context& ctx);
 
-void write_kswitch_key(ByteWriter& w, const KswitchKey& k);
+/**
+ * v3 layout: digit count, a seed flag byte, then — seeded — the a seed,
+ * the key level, and only the b digits; or — explicit — interleaved
+ * (b, a) digit pairs as in v2. `version` = 2 forces the legacy explicit
+ * layout (the record frame must then also be finished at version 2).
+ */
+void write_kswitch_key(ByteWriter& w, const KswitchKey& k,
+                       u8 version = kWireVersion);
+/** Decodes either layout (branching on r.version()); seeded keys are
+ *  re-expanded to the full (b, a) pair via expand_kswitch_a. */
 KswitchKey read_kswitch_key(ByteReader& r, const Context& ctx);
 
-void write_galois_keys(ByteWriter& w, const GaloisKeys& g);
+void write_galois_keys(ByteWriter& w, const GaloisKeys& g,
+                       u8 version = kWireVersion);
 GaloisKeys read_galois_keys(ByteReader& r, const Context& ctx);
 
 // ---- top-level records ----

@@ -28,6 +28,10 @@ config_from_env()
         const int n = std::atoi(env);
         if (n >= 1) cfg.queue_capacity = n;
     }
+    if (const char* env = std::getenv("ORION_KEY_CACHE_MB")) {
+        const int n = std::atoi(env);
+        if (n >= 0) cfg.key_cache_mb = n;
+    }
     return cfg;
 }
 

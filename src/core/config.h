@@ -39,6 +39,15 @@ struct OrionConfig {
      */
     int queue_capacity = 16;
 
+    /**
+     * Serving defaults: cap (in MiB) on evaluation-key bytes an
+     * InferenceServer keeps resident across sessions; least-recently-used
+     * sessions beyond it are spilled to disk and reloaded on demand.
+     * 0 = unbounded (every registered key stays resident). Initialized
+     * from $ORION_KEY_CACHE_MB when set.
+     */
+    int key_cache_mb = 0;
+
     /** Resolves num_threads = 0 to the hardware concurrency. */
     int resolved_num_threads() const;
     /** Resolves max_inflight = 0 to the hardware concurrency. */

@@ -11,6 +11,7 @@ constexpr char kSentinel = 'Z';
 constexpr char kTagDoubles = 'D';
 constexpr char kTagU64 = 'U';
 constexpr char kTagMatrix = 'M';  // composite: stored as sub-records
+constexpr char kTagBytes = 'B';   // opaque blob (serialized wire records)
 
 }  // namespace
 
@@ -75,6 +76,12 @@ DiskStoreWriter::put_u64s(const std::string& name, const std::vector<u64>& v)
 }
 
 void
+DiskStoreWriter::put_bytes(const std::string& name, const std::vector<u8>& v)
+{
+    write_record(name, kTagBytes, v.data(), v.size());
+}
+
+void
 DiskStoreWriter::put_matrix(const std::string& name,
                             const lin::DiagonalMatrix& m)
 {
@@ -127,7 +134,8 @@ DiskStoreReader::DiskStoreReader(const std::string& path)
                                          << "sentinel");
             break;
         }
-        ORION_CHECK(tag == kTagDoubles || tag == kTagU64 || tag == kTagMatrix,
+        ORION_CHECK(tag == kTagDoubles || tag == kTagU64 ||
+                        tag == kTagMatrix || tag == kTagBytes,
                     "corrupt store " << path << ": unknown record tag '"
                                      << static_cast<char>(tag) << "'");
         u64 name_len = 0;
@@ -212,6 +220,18 @@ DiskStoreReader::get_u64s(const std::string& name)
                                         << " bytes is not a whole number "
                                         << "of u64s");
     std::vector<u64> out(e.bytes / sizeof(u64));
+    in_.seekg(e.offset);
+    in_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(e.bytes));
+    ORION_CHECK(in_.good(), "store read failed: " << name);
+    return out;
+}
+
+std::vector<u8>
+DiskStoreReader::get_bytes(const std::string& name)
+{
+    const Entry& e = entry(name, kTagBytes);
+    std::vector<u8> out(e.bytes);
     in_.seekg(e.offset);
     in_.read(reinterpret_cast<char*>(out.data()),
              static_cast<std::streamsize>(e.bytes));

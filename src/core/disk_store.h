@@ -37,6 +37,8 @@ class DiskStoreWriter {
 
     void put_doubles(const std::string& name, const std::vector<double>& v);
     void put_u64s(const std::string& name, const std::vector<u64>& v);
+    /** Stores an opaque byte blob (e.g. a serialized wire record). */
+    void put_bytes(const std::string& name, const std::vector<u8>& v);
     /** Stores a diagonal matrix as (indices, per-diagonal values). */
     void put_matrix(const std::string& name, const lin::DiagonalMatrix& m);
 
@@ -64,6 +66,7 @@ class DiskStoreReader {
 
     std::vector<double> get_doubles(const std::string& name);
     std::vector<u64> get_u64s(const std::string& name);
+    std::vector<u8> get_bytes(const std::string& name);
     lin::DiagonalMatrix get_matrix(const std::string& name);
 
   private:

@@ -9,6 +9,7 @@
  */
 
 #include "src/serve/client.h"
+#include "src/serve/key_store.h"
 #include "src/serve/server.h"
 #include "src/serve/session.h"
 #include "src/serve/wire.h"

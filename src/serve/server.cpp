@@ -13,10 +13,27 @@ seconds_between(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
+namespace {
+
+std::size_t
+resolved_key_cache_bytes(const ServeOptions& opts,
+                         const core::OrionConfig& defaults)
+{
+    const int mb =
+        opts.key_cache_mb >= 0 ? opts.key_cache_mb : defaults.key_cache_mb;
+    return static_cast<std::size_t>(mb) * (std::size_t{1} << 20);
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(
     const core::CompiledNetwork& cn, const ckks::Context& ctx,
     ServeOptions opts, std::shared_ptr<const core::PreparedProgram> prepared)
-    : cn_(&cn), ctx_(&ctx), sessions_(ctx), paused_(opts.start_paused)
+    : cn_(&cn),
+      ctx_(&ctx),
+      sessions_(ctx, resolved_key_cache_bytes(opts, core::config()),
+                opts.key_spill_dir),
+      paused_(opts.start_paused)
 {
     const core::OrionConfig defaults = core::config();
     core::OrionConfig resolved = defaults;
@@ -113,17 +130,18 @@ InferenceServer::register_session(std::span<const u8> key_bundle)
     return sessions_.register_session(key_bundle, validate);
 }
 
-void
+bool
 InferenceServer::unregister_session(u64 id)
 {
-    sessions_.unregister(id);
+    return sessions_.unregister(id);
 }
 
-u64
+std::optional<u64>
 InferenceServer::session_requests(u64 id) const
 {
-    const std::shared_ptr<Session> session = sessions_.find(id);
-    return session ? session->requests_served.value() : 0;
+    const std::shared_ptr<Session> session = sessions_.peek(id);
+    if (session == nullptr) return std::nullopt;
+    return session->requests_served.value();
 }
 
 std::future<ServeReply>
@@ -133,6 +151,17 @@ InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
     Pending p;
     p.bytes = std::move(request);
     std::future<ServeReply> fut = p.promise.get_future();
+    // Peek the session id (frame check + one u64, no ciphertext decode)
+    // so the key cache can warm while the request waits in the queue.
+    // Malformed bytes are not an error here — they fail properly, with a
+    // descriptive exception, when execute() decodes the full request.
+    u64 prefetch_id = 0;
+    bool have_prefetch_id = false;
+    try {
+        prefetch_id = peek_request_session(p.bytes);
+        have_prefetch_id = true;
+    } catch (...) {
+    }
     {
         std::unique_lock<std::mutex> lk(mu_);
         if (blocking) {
@@ -143,6 +172,9 @@ InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
             });
         }
         ORION_CHECK(!stop_, "inference server is shutting down");
+        // Every submission attempt counts, so the ledger balances:
+        // completed + failed + rejected == submitted once idle.
+        stats_.submitted += 1;
         if (queue_.size() >= static_cast<std::size_t>(queue_capacity_)) {
             stats_.rejected += 1;
             accepted = false;
@@ -150,12 +182,12 @@ InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
         }
         p.enqueued = std::chrono::steady_clock::now();
         queue_.push_back(std::move(p));
-        stats_.submitted += 1;
         stats_.peak_queue_depth =
             std::max<u64>(stats_.peak_queue_depth, queue_.size());
         accepted = true;
     }
     queue_cv_.notify_one();
+    if (have_prefetch_id) sessions_.prefetch(prefetch_id);
     return fut;
 }
 
@@ -185,15 +217,24 @@ InferenceServer::execute(Pending& p,
                          std::size_t worker_index)
 {
     Request req = decode_request(p.bytes, *ctx_);
-    const std::shared_ptr<Session> session = sessions_.find(req.session_id);
-    ORION_CHECK(session != nullptr,
+    // A pinned lease: the keys cannot be evicted (or freed by a racing
+    // unregister) until it goes out of scope, and acquiring it reloads
+    // them from the spill file if they were evicted.
+    const SessionLease session = sessions_.find(req.session_id);
+    ORION_CHECK(static_cast<bool>(session),
                 "unknown session id " << req.session_id
                                       << " (register a key bundle first)");
 
     core::CkksExecutor& exec = *executors_[worker_index];
-    exec.bind_session_keys(&session->relin, &session->galois);
+    // Unbind on every exit path (including throw): the executor outlives
+    // the lease, and a later request must never see stale key pointers.
+    struct BindGuard {
+        core::CkksExecutor* exec;
+        ~BindGuard() { exec->bind_session_keys(nullptr, nullptr); }
+    } unbind{&exec};
+    exec.bind_session_keys(&session.keys.relin(), &session.keys.galois());
     core::EncryptedResult er = exec.run_encrypted(req.inputs);
-    session->requests_served += 1;
+    session.session->requests_served += 1;
 
     ServeReply reply;
     reply.stats.session_id = req.session_id;
@@ -270,8 +311,21 @@ InferenceServer::resume()
 ServerStats
 InferenceServer::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    ServerStats s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s = stats_;
+        s.inflight = inflight_;
+    }
+    const KeyStoreStats ks = sessions_.key_stats();
+    s.key_cache_hits = ks.hits;
+    s.key_cache_misses = ks.misses;
+    s.key_cache_evictions = ks.evictions;
+    s.key_cache_prefetches = ks.prefetches;
+    s.key_resident_bytes = ks.resident_bytes;
+    s.key_resident_sessions = ks.resident_sessions;
+    s.key_disk_bytes = ks.disk_bytes;
+    return s;
 }
 
 }  // namespace orion::serve

@@ -11,9 +11,11 @@
  *  - One compiled network + one shared PreparedProgram (the expensive
  *    key-independent encodings, built once).
  *  - A pool of `max_inflight` worker threads, each owning one
- *    external-key CkksExecutor. Per request, the worker binds the
- *    session's evaluation keys into its executor and runs the encrypted
- *    program; an executor therefore serves every session in turn, which
+ *    external-key CkksExecutor. Per request, the worker takes a pinned
+ *    lease on the session's evaluation keys (loading them from the spill
+ *    file if the LRU key cache evicted them; see key_store.h), binds them
+ *    into its executor, runs the encrypted program, and unbinds on every
+ *    exit path; an executor therefore serves every session in turn, which
  *    is why CkksExecutor must be safely re-runnable.
  *  - A bounded submission queue (`queue_capacity` waiting requests).
  *    submit() applies backpressure by blocking; try_submit() rejects
@@ -31,6 +33,8 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -58,6 +62,15 @@ struct ServeOptions {
      * backlog deterministically.
      */
     bool start_paused = false;
+    /**
+     * Cap (MiB) on evaluation-key bytes kept resident across sessions;
+     * least-recently-used sessions beyond it spill to disk and reload on
+     * demand (see key_store.h). 0 = unbounded (all keys stay resident);
+     * -1 = take the core config's default ($ORION_KEY_CACHE_MB).
+     */
+    int key_cache_mb = -1;
+    /** Spill directory for evicted keys (empty = private temp dir). */
+    std::string key_spill_dir;
 };
 
 /** Per-request statistics (also echoed to the client in the Response). */
@@ -76,18 +89,31 @@ struct ServeReply {
     RequestStats stats;
 };
 
-/** Aggregate server counters (snapshot via InferenceServer::stats()). */
+/**
+ * Aggregate server counters (snapshot via InferenceServer::stats()).
+ * Every submit()/try_submit() call bumps `submitted`, so once the server
+ * is idle the ledger balances: completed + failed + rejected == submitted.
+ */
 struct ServerStats {
     u64 submitted = 0;
     u64 completed = 0;
     u64 failed = 0;    ///< bad session / malformed request / exec error
     u64 rejected = 0;  ///< try_submit refusals on a full queue
+    u64 inflight = 0;  ///< executing right now (snapshot gauge)
     double total_queue_wait_s = 0.0;
     double total_execute_s = 0.0;
     u64 total_rotations = 0;
     u64 total_bootstraps = 0;
     u64 peak_inflight = 0;
     u64 peak_queue_depth = 0;
+    // Evaluation-key cache counters (see KeyStoreStats).
+    u64 key_cache_hits = 0;
+    u64 key_cache_misses = 0;
+    u64 key_cache_evictions = 0;
+    u64 key_cache_prefetches = 0;
+    u64 key_resident_bytes = 0;
+    u64 key_resident_sessions = 0;
+    u64 key_disk_bytes = 0;
 };
 
 /** A multi-session encrypted-inference server over one compiled network. */
@@ -110,10 +136,14 @@ class InferenceServer {
 
     /** Registers a client's serialized KeyBundle; returns the session id. */
     u64 register_session(std::span<const u8> key_bundle);
-    void unregister_session(u64 id);
+    /** Idempotent; false when the id is unknown (never an error). */
+    bool unregister_session(u64 id);
     std::size_t session_count() const { return sessions_.session_count(); }
-    /** Requests completed under one session (0 for unknown ids). */
-    u64 session_requests(u64 id) const;
+    /**
+     * Requests completed under one session; nullopt for unknown ids (a
+     * live session that has served nothing yet reports 0, not nullopt).
+     */
+    std::optional<u64> session_requests(u64 id) const;
 
     /**
      * Enqueues a serialized Request. Blocks while the queue is at

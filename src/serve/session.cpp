@@ -12,24 +12,44 @@ SessionManager::register_session(
     KeyBundle bundle = decode_key_bundle(key_bundle, *ctx_);
     if (validate) validate(bundle);
     auto session = std::make_shared<Session>();
-    session->relin = std::move(bundle.relin);
-    session->galois = std::move(bundle.galois);
-
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        session->id = next_id_++;
+    }
+    // Keys first, session second: find() resolves the session map before
+    // the key store, so this order means a published session always has
+    // its keys registered.
+    keys_.put(session->id, std::move(bundle.relin), std::move(bundle.galois));
     std::lock_guard<std::mutex> lk(mu_);
-    session->id = next_id_++;
     sessions_.emplace(session->id, session);
     return session->id;
 }
 
-void
+bool
 SessionManager::unregister(u64 id)
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    ORION_CHECK(sessions_.erase(id) == 1, "unknown session id " << id);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (sessions_.erase(id) == 0) return false;
+    }
+    keys_.erase(id);
+    return true;
+}
+
+SessionLease
+SessionManager::find(u64 id) const
+{
+    SessionLease lease;
+    lease.session = peek(id);
+    if (lease.session == nullptr) return {};
+    lease.keys = keys_.acquire(id);
+    // Raced an unregister between the two lookups: uniformly unknown.
+    if (!lease.keys) return {};
+    return lease;
 }
 
 std::shared_ptr<Session>
-SessionManager::find(u64 id) const
+SessionManager::peek(u64 id) const
 {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = sessions_.find(id);

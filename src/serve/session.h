@@ -4,10 +4,10 @@
 /**
  * @file
  * Per-client session state. Each client registers a KeyBundle once; the
- * server keeps the deserialized evaluation keys alive for the lifetime of
- * the session and binds them into a pooled executor per request. Sessions
- * are handed out as shared_ptr so an unregister cannot pull keys out from
- * under an in-flight request.
+ * decoded evaluation keys live in a KeyStore (disk-backed, LRU-bounded)
+ * and are handed to request execution as pinned leases, so neither an
+ * unregister nor a cache eviction can pull keys out from under an
+ * in-flight request.
  */
 
 #include <functional>
@@ -15,24 +15,48 @@
 #include <memory>
 #include <mutex>
 
+#include "src/serve/key_store.h"
 #include "src/serve/wire.h"
 
 namespace orion::serve {
 
-/** One client's server-side state: evaluation keys + counters. */
+/** One client's server-side state (keys live in the KeyStore). */
 struct Session {
     u64 id = 0;
-    ckks::KswitchKey relin;
-    ckks::GaloisKeys galois;
 
     /** Requests completed under this session (relaxed; informational). */
     ckks::OpCounter requests_served;
 };
 
+/**
+ * What a request executes against: the session record plus a pinned
+ * lease on its evaluation keys. Both stay valid for the lease's lifetime
+ * even if the session is unregistered or its keys evicted concurrently.
+ */
+struct SessionLease {
+    std::shared_ptr<Session> session;
+    KeyStore::Lease keys;
+
+    explicit operator bool() const
+    {
+        return session != nullptr && static_cast<bool>(keys);
+    }
+};
+
 /** Thread-safe registry of sessions, keyed by server-assigned id. */
 class SessionManager {
   public:
-    explicit SessionManager(const ckks::Context& ctx) : ctx_(&ctx) {}
+    /**
+     * `key_cache_bytes` bounds resident evaluation-key bytes across all
+     * sessions (0 = unbounded, keys never spill); `key_spill_dir` is
+     * forwarded to the KeyStore (empty = private temp directory).
+     */
+    explicit SessionManager(const ckks::Context& ctx,
+                            std::size_t key_cache_bytes = 0,
+                            std::string key_spill_dir = {})
+        : ctx_(&ctx), keys_(ctx, key_cache_bytes, std::move(key_spill_dir))
+    {
+    }
 
     /**
      * Decodes and validates a serialized KeyBundle (parameters must be
@@ -46,16 +70,31 @@ class SessionManager {
         std::span<const u8> key_bundle,
         const std::function<void(const KeyBundle&)>& validate = {});
 
-    /** Removes a session; in-flight requests keep their shared_ptr. */
-    void unregister(u64 id);
+    /**
+     * Removes a session; in-flight requests keep their leases. Idempotent:
+     * false when the id is unknown (never registered or already removed).
+     */
+    bool unregister(u64 id);
 
-    /** The session, or nullptr when the id is unknown. */
-    std::shared_ptr<Session> find(u64 id) const;
+    /**
+     * The session plus a pinned key lease, or an empty lease when the id
+     * is unknown. Blocks while evicted keys reload from the spill file.
+     */
+    SessionLease find(u64 id) const;
+
+    /** The session record only — never touches the key cache. */
+    std::shared_ptr<Session> peek(u64 id) const;
+
+    /** Hints the key cache to pre-load a session's keys. Never blocks. */
+    void prefetch(u64 id) const { keys_.prefetch(id); }
 
     std::size_t session_count() const;
+    KeyStoreStats key_stats() const { return keys_.stats(); }
+    const KeyStore& key_store() const { return keys_; }
 
   private:
     const ckks::Context* ctx_;
+    mutable KeyStore keys_;  ///< find() loads on miss, hence mutable
     mutable std::mutex mu_;
     u64 next_id_ = 1;
     std::map<u64, std::shared_ptr<Session>> sessions_;

@@ -66,6 +66,13 @@ decode_request(std::span<const u8> bytes, const ckks::Context& ctx)
     return req;
 }
 
+u64
+peek_request_session(std::span<const u8> bytes)
+{
+    ByteReader r = open_record(bytes, RecordKind::kRequest);
+    return r.read_u64();
+}
+
 Bytes
 encode_response(const Response& resp)
 {

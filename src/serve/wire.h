@@ -53,6 +53,13 @@ KeyBundle decode_key_bundle(std::span<const u8> bytes,
 
 ckks::serial::Bytes encode_request(const Request& r);
 Request decode_request(std::span<const u8> bytes, const ckks::Context& ctx);
+/**
+ * The session id of a framed Request without decoding its ciphertexts —
+ * cheap enough to call at submit time (the server uses it to prefetch the
+ * session's keys while the request waits in the queue). Validates the
+ * frame only; the payload beyond the id may still be malformed.
+ */
+u64 peek_request_session(std::span<const u8> bytes);
 
 ckks::serial::Bytes encode_response(const Response& r);
 Response decode_response(std::span<const u8> bytes, const ckks::Context& ctx);

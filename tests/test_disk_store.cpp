@@ -38,6 +38,29 @@ TEST(DiskStore, RoundTripsArrays)
     std::remove(path.c_str());
 }
 
+TEST(DiskStore, RoundTripsByteBlobs)
+{
+    // Opaque byte records (tag 'B') carry serialized wire records — the
+    // key cache's spill format. Empty blobs are legal too.
+    const std::string path = temp_path("bytes");
+    std::vector<u8> blob(300);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        blob[i] = static_cast<u8>(i * 7 + 1);
+    }
+    const std::vector<u8> empty;
+    {
+        DiskStoreWriter w(path);
+        w.put_bytes("keys/relin", blob);
+        w.put_bytes("keys/none", empty);
+    }
+    DiskStoreReader r(path);
+    EXPECT_EQ(r.get_bytes("keys/relin"), blob);
+    EXPECT_EQ(r.get_bytes("keys/none"), empty);
+    // Typed accessors must refuse the blob and vice versa.
+    EXPECT_THROW(r.get_u64s("keys/relin"), Error);
+    std::remove(path.c_str());
+}
+
 TEST(DiskStore, RoundTripsDiagonalMatrices)
 {
     const std::string path = temp_path("matrix");

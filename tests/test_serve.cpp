@@ -140,10 +140,11 @@ TEST(Serve, TwoSessionsEndToEndMatchDirectExecution)
     EXPECT_EQ(parsed.rotations, ra.stats.rotations);
     EXPECT_EQ(parsed.request_id, ra.stats.request_id);
 
-    // Aggregates, server-level and per-session.
+    // Aggregates, server-level and per-session. Unknown ids report
+    // nullopt, distinct from a live session that has served nothing.
     EXPECT_EQ(server.session_requests(alice.session_id()), 1u);
     EXPECT_EQ(server.session_requests(bob.session_id()), 1u);
-    EXPECT_EQ(server.session_requests(999), 0u);
+    EXPECT_EQ(server.session_requests(999), std::nullopt);
     const serve::ServerStats stats = server.stats();
     EXPECT_EQ(stats.submitted, 2u);
     EXPECT_EQ(stats.completed, 2u);
@@ -206,12 +207,17 @@ TEST(Serve, TrySubmitRejectsWhenQueueFull)
     EXPECT_TRUE(f2.has_value());
     EXPECT_FALSE(f3.has_value());  // capacity 2: third is rejected
     EXPECT_EQ(server.stats().rejected, 1u);
+    // A rejected attempt still counts as submitted, so the ledger
+    // balances: completed + failed + rejected == submitted.
+    EXPECT_EQ(server.stats().submitted, 3u);
     EXPECT_EQ(server.stats().peak_queue_depth, 2u);
 
     server.resume();
     EXPECT_NO_THROW(f1->get());
     EXPECT_NO_THROW(f2->get());
-    EXPECT_EQ(server.stats().completed, 2u);
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.completed + s.failed + s.rejected, s.submitted);
 }
 
 TEST(Serve, BlockingSubmitAppliesBackpressure)
@@ -282,8 +288,56 @@ TEST(Serve, MismatchedParameterBundleRejected)
     EXPECT_THROW(server.register_session(serve::encode_key_bundle(bundle)),
                  Error);
 
-    // Unregistering a never-registered id is also an error.
-    EXPECT_THROW(server.unregister_session(42), Error);
+    // Unregistering a never-registered id is not an error, just false.
+    EXPECT_FALSE(server.unregister_session(42));
+}
+
+TEST(Serve, LegacyV2KeyBundleStillRegistersAndServes)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+
+    // Re-encode a current client's bundle in the v2 layout (explicit key
+    // digits, version-2 frame) — what a pre-seed-compression client sent.
+    ServeClient client(senv.cn, env.ctx, /*seed=*/402);
+    const ckks::serial::Bytes v3 = client.key_bundle();
+    const serve::KeyBundle bundle = serve::decode_key_bundle(v3, env.ctx);
+    ckks::serial::ByteWriter w;
+    ckks::serial::write_params(w, bundle.params);
+    ckks::serial::write_kswitch_key(w, bundle.relin, /*version=*/2);
+    ckks::serial::write_galois_keys(w, bundle.galois, /*version=*/2);
+    const ckks::serial::Bytes v2 = ckks::serial::finish_record(
+        ckks::serial::RecordKind::kKeyBundle, std::move(w), /*version=*/2);
+    // The seed-compressed bundle is the acceptance win: <= 60% of v2.
+    EXPECT_LE(v3.size() * 10, v2.size() * 6)
+        << "v3 " << v3.size() << " bytes vs v2 " << v2.size();
+
+    client.set_session_id(server.register_session(v2));
+    const std::vector<double> x = random_vector(64, 1.0, 83);
+    const std::vector<double> want = direct.run(x).output;
+    auto fut = server.submit(client.make_request(x));
+    EXPECT_LT(max_abs_diff(client.decrypt_response(fut.get().response),
+                           want),
+              1e-3);
+}
+
+TEST(Serve, UnregisterIsIdempotent)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/107);
+    const u64 id = server.register_session(client.key_bundle());
+
+    EXPECT_EQ(server.session_count(), 1u);
+    EXPECT_TRUE(server.unregister_session(id));
+    EXPECT_EQ(server.session_count(), 0u);
+    // A duplicate unregister (client retry, double-close) is a no-op.
+    EXPECT_FALSE(server.unregister_session(id));
+    EXPECT_EQ(server.session_requests(id), std::nullopt);
 }
 
 TEST(Serve, ServerShutdownFailsPendingRequests)
@@ -350,6 +404,161 @@ TEST(Serve, ConcurrentMixedSessionsUnderLoad)
               static_cast<u64>(kClients * kRequestsEach));
     EXPECT_EQ(stats.failed, 0u);
     EXPECT_LE(stats.peak_inflight, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Bounded key cache: eviction + churn through the full serving path
+// ---------------------------------------------------------------------
+
+TEST(Serve, BoundedKeyCacheEvictsAndReloadsUnderChurn)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+
+    ServeOptions o = opts(2, 32);
+    o.key_cache_mb = 1;
+    InferenceServer server(senv.cn, env.ctx, o, senv.prepared);
+
+    // One client, many sessions: registering the same bundle bytes under
+    // fresh ids is exactly what a reconnecting client does, and it keeps
+    // the test cheap (one keygen). Size the session count so the
+    // registered total overflows the 1 MiB cap.
+    ServeClient client(senv.cn, env.ctx, /*seed=*/400);
+    const ckks::serial::Bytes bundle = client.key_bundle();
+    const serve::KeyBundle decoded =
+        serve::decode_key_bundle(bundle, env.ctx);
+    const std::size_t per_bundle =
+        decoded.relin.byte_size() + decoded.galois.byte_size();
+    const std::size_t cap = std::size_t{1} << 20;
+    const int overflow = static_cast<int>(cap / per_bundle) + 2;
+    ASSERT_LE(overflow, 64) << "toy bundles grew too small for this test";
+
+    std::vector<u64> ids;
+    for (int i = 0; i < overflow; ++i) {
+        ids.push_back(server.register_session(bundle));
+    }
+    // Registration alone must already have spilled: more key bytes were
+    // put than the cache may keep resident.
+    {
+        const serve::ServerStats s = server.stats();
+        EXPECT_GE(s.key_cache_evictions, 1u);
+        EXPECT_LE(s.key_resident_bytes, cap);
+        EXPECT_GT(s.key_disk_bytes, 0u);
+    }
+
+    // Round-robin requests over every session: the worst case for LRU,
+    // so evicted sessions reload from their spill files mid-request.
+    const std::vector<double> x = random_vector(64, 1.0, 81);
+    const std::vector<double> want = direct.run(x).output;
+    std::vector<ckks::serial::Bytes> requests;
+    for (const u64 id : ids) {
+        client.set_session_id(id);
+        requests.push_back(client.make_request(x));
+    }
+    std::vector<std::future<serve::ServeReply>> futs;
+    for (ckks::serial::Bytes& r : requests) {
+        futs.push_back(server.submit(std::move(r)));
+    }
+    for (std::future<serve::ServeReply>& f : futs) {
+        EXPECT_LT(max_abs_diff(client.decrypt_response(f.get().response),
+                               want),
+                  1e-3);
+    }
+
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.completed, static_cast<u64>(overflow));
+    // Every completed request acquired its keys exactly once.
+    EXPECT_EQ(s.key_cache_hits + s.key_cache_misses, s.completed);
+    // Reloaded keys decrypted correctly above, so the spill round-trip is
+    // bit-compatible; residency stayed within the cap throughout.
+    EXPECT_GE(s.key_cache_misses, 1u);
+    EXPECT_LE(s.key_resident_bytes, cap);
+
+    // Unregister half the sessions; their spill bytes go away, the rest
+    // keep serving.
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+        EXPECT_TRUE(server.unregister_session(ids[i]));
+    }
+    client.set_session_id(ids[1]);
+    EXPECT_NO_THROW(server.submit(client.make_request(x)).get());
+}
+
+TEST(Serve, ConcurrentChurnKeepsInFlightRequestsSafe)
+{
+    // Register/unregister churn racing in-flight requests: an in-flight
+    // request that already resolved its session must complete even if the
+    // session is unregistered under it (pinned lease), later requests for
+    // the dead id fail cleanly, and the stats ledger balances. Run under
+    // ASan this also proves the executor never sees dangling key
+    // pointers (they are unbound on every exit path).
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+
+    ServeOptions o = opts(2, 64);
+    o.key_cache_mb = 1;
+    InferenceServer server(senv.cn, env.ctx, o, senv.prepared);
+
+    ServeClient client(senv.cn, env.ctx, /*seed=*/401);
+    const ckks::serial::Bytes bundle = client.key_bundle();
+    const u64 stable = server.register_session(bundle);
+    const u64 victim = server.register_session(bundle);
+
+    const std::vector<double> x = random_vector(64, 1.0, 82);
+    client.set_session_id(stable);
+    const ckks::serial::Bytes stable_req = client.make_request(x);
+    client.set_session_id(victim);
+    const ckks::serial::Bytes victim_req = client.make_request(x);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2;
+    std::vector<std::future<serve::ServeReply>> stable_futs(
+        kThreads * kPerThread);
+    std::vector<std::future<serve::ServeReply>> victim_futs(
+        kThreads * kPerThread);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const int slot = t * kPerThread + i;
+                stable_futs[static_cast<std::size_t>(slot)] =
+                    server.submit(ckks::serial::Bytes(stable_req));
+                victim_futs[static_cast<std::size_t>(slot)] =
+                    server.submit(ckks::serial::Bytes(victim_req));
+            }
+        });
+    }
+    // Churn the victim session while submissions and executions race.
+    EXPECT_TRUE(server.unregister_session(victim));
+    EXPECT_FALSE(server.unregister_session(victim));
+    for (std::thread& t : submitters) t.join();
+
+    // Stable-session requests all succeed; victim requests either ran
+    // before the unregister (pinned lease) or failed as unknown — both
+    // are correct, crashing or corrupting is not.
+    u64 victim_ok = 0, victim_failed = 0;
+    for (std::future<serve::ServeReply>& f : stable_futs) {
+        EXPECT_NO_THROW(f.get());
+    }
+    for (std::future<serve::ServeReply>& f : victim_futs) {
+        try {
+            f.get();
+            victim_ok += 1;
+        } catch (const Error&) {
+            victim_failed += 1;
+        }
+    }
+    EXPECT_EQ(victim_ok + victim_failed,
+              static_cast<u64>(kThreads * kPerThread));
+
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed + s.failed + s.rejected, s.submitted);
+    EXPECT_EQ(s.completed,
+              static_cast<u64>(kThreads * kPerThread) + victim_ok);
+    EXPECT_EQ(s.failed, victim_failed);
+    EXPECT_EQ(server.session_count(), 1u);
 }
 
 // ---------------------------------------------------------------------
