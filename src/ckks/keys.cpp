@@ -88,8 +88,17 @@ restrict_extended(const RnsPoly& s, int level)
 
 }  // namespace
 
+namespace {
+
+/** Domain separator for the published-a_seed chain ("orion.ks"). */
+constexpr u64 kKswitchSeedDomain = 0x6f72696f6e2e6b73ULL;
+
+}  // namespace
+
 KeyGenerator::KeyGenerator(const Context& ctx, u64 seed)
-    : ctx_(&ctx), sampler_(seed)
+    : ctx_(&ctx),
+      sampler_(seed),
+      kswitch_seed_state_(splitmix64(seed ^ kKswitchSeedDomain))
 {
     // Ternary secret (dense, or sparse with the configured Hamming
     // weight), expressed over the full extended basis.
@@ -168,8 +177,11 @@ KeyGenerator::make_kswitch_key(const RnsPoly& s_old, int level)
     KswitchKey ksk;
     // The uniform digits come from a dedicated per-key seed (not the main
     // sampler stream), so the a-component is reproducible from 8 bytes:
-    // serial v3 ships {a_seed, b digits} and re-expands on decode.
-    ksk.a_seed = sampler_.rng()();
+    // serial v3 ships {a_seed, b digits} and re-expands on decode. The
+    // seed itself is published, so it comes from the domain-separated
+    // splitmix64 chain — never a raw output of the generator that samples
+    // the secret and errors, whose state those outputs would expose.
+    ksk.a_seed = splitmix64(kswitch_seed_state_++);
     ksk.seeded = true;
     ksk.a = expand_kswitch_a(*ctx_, ksk.a_seed, level);
     ksk.b.reserve(static_cast<std::size_t>(digits));

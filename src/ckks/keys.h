@@ -147,6 +147,13 @@ class KeyGenerator {
     const Context* ctx_;
     Sampler sampler_;
     SecretKey sk_;
+    /**
+     * Private counter behind the published a_seeds: each key-switch key
+     * gets splitmix64(state++), a chain domain-separated from (and never
+     * exposing outputs of) the mt19937_64 stream that samples the secret
+     * and the RLWE errors.
+     */
+    u64 kswitch_seed_state_ = 0;
 };
 
 }  // namespace orion::ckks

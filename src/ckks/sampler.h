@@ -10,6 +10,7 @@
  * a production deployment would seed from a CSPRNG.
  */
 
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -20,6 +21,23 @@ namespace orion::ckks {
 
 /** Default standard deviation of the RLWE error distribution. */
 inline constexpr double kErrorStdDev = 3.2;
+
+/**
+ * SplitMix64: a fixed bijective finalizer over u64. Used to derive the
+ * *published* per-key seeds (KswitchKey::a_seed) from a private,
+ * domain-separated counter chain. Unlike raw mt19937_64 outputs — whose
+ * untempered state is recoverable and whose stream also produces the
+ * secret and the RLWE errors — these values carry no state of any
+ * secret-bearing generator, so shipping them on the wire is safe.
+ */
+inline u64
+splitmix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
 
 /** Seeded source of the secret / error / uniform distributions of RLWE. */
 class Sampler {
@@ -85,12 +103,29 @@ class Sampler {
      * every key digit is a pure function of (seed, basis), so the wire
      * format ships the seed instead of the residues and both ends expand
      * limb by limb through this call.
+     *
+     * Because that seed-to-residue mapping is part of the serial-v3 wire
+     * contract, it must be bit-identical across compilers and standard
+     * libraries: mt19937_64 is fully specified by the C++ standard, but
+     * std::uniform_int_distribution's algorithm is implementation-defined
+     * (libstdc++ and libc++ disagree). So this rejection-samples raw
+     * engine output instead — draw a u64, retry on the sliver above the
+     * largest multiple of q, reduce — which every conforming stdlib
+     * expands identically.
      */
     void
     sample_uniform_into(u64* dst, std::size_t n, const Modulus& q)
     {
-        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
-        for (std::size_t i = 0; i < n; ++i) dst[i] = dist(rng_);
+        const u64 qv = q.value();
+        // 2^64 mod q; accepting r <= 2^64 - rem - 1 leaves an exact
+        // multiple of q outcomes, so r % q is unbiased.
+        const u64 rem = (std::numeric_limits<u64>::max() % qv + 1) % qv;
+        const u64 accept_max = std::numeric_limits<u64>::max() - rem;
+        for (std::size_t i = 0; i < n; ++i) {
+            u64 r = rng_();
+            while (r > accept_max) r = rng_();
+            dst[i] = r % qv;
+        }
     }
 
     /** A single double drawn from N(0, sigma^2). */

@@ -10,12 +10,21 @@
 
 namespace orion::serve {
 
+namespace {
+
+/** Cap on queued prefetch hints; overflow hints are dropped (best-effort). */
+constexpr std::size_t kPrefetchQueueCap = 1024;
+
+}  // namespace
+
 /**
  * One session's cache slot. The struct outlives its map entry: erase()
  * removes it from the index but outstanding leases hold the shared_ptr,
  * so an in-flight request keeps valid key references. `counted` tracks
- * whether `bytes` is currently included in stats_.resident_bytes — the
- * two are updated together under mu_ on every transition.
+ * whether `bytes` is currently included in stats_.resident_bytes, and
+ * `zombie_counted` whether it is in stats_.zombie_bytes instead (erased
+ * while pinned) — each flag is updated together with its gauge under mu_,
+ * and at most one is set at a time.
  */
 struct KeyStore::Entry {
     u64 id = 0;
@@ -27,6 +36,7 @@ struct KeyStore::Entry {
     int pins = 0;
     bool resident = false;
     bool counted = false;
+    bool zombie_counted = false;
     bool loading = false;
     bool erased = false;
 };
@@ -150,14 +160,23 @@ KeyStore::erase(u64 id)
         e->erased = true;
         if (e->resident) stats_.resident_sessions -= 1;
         stats_.disk_bytes -= e->disk_bytes;
-        if (e->counted && e->pins == 0) {
-            // No lease outstanding: free the expanded keys now. Pinned
-            // entries are released by the last lease instead.
+        if (e->counted) {
+            // The entry leaves both resident gauges (and the eviction
+            // budget) together. With no lease outstanding the expanded
+            // keys are freed now; a pinned entry's bytes move to the
+            // zombie gauge until the last lease releases, so they can
+            // neither be mistaken for live working set nor push the LRU
+            // into evicting sessions that still exist.
             stats_.resident_bytes -= e->bytes;
             e->counted = false;
-            e->resident = false;
-            e->relin = ckks::KswitchKey{};
-            e->galois = ckks::GaloisKeys{};
+            if (e->pins == 0) {
+                e->resident = false;
+                e->relin = ckks::KswitchKey{};
+                e->galois = ckks::GaloisKeys{};
+            } else {
+                stats_.zombie_bytes += e->bytes;
+                e->zombie_counted = true;
+            }
         }
     }
     if (spill_enabled_) {
@@ -183,6 +202,18 @@ KeyStore::prefetch(u64 id)
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (stop_) return;
+        // A hint only helps for a known, cold, not-yet-queued entry;
+        // everything else is dropped here so the single loader thread
+        // never re-loads spill files nobody is waiting for. The bound
+        // keeps a burst of cold submissions from piling up work that
+        // outlives the requests that asked for it.
+        const auto it = entries_.find(id);
+        if (it == entries_.end() || it->second->resident ||
+            it->second->loading) {
+            return;
+        }
+        if (prefetch_queue_.size() >= kPrefetchQueueCap) return;
+        if (!prefetch_pending_.insert(id).second) return;  // already queued
         prefetch_queue_.push_back(id);
     }
     prefetch_cv_.notify_one();
@@ -254,6 +285,11 @@ KeyStore::acquire_impl(u64 id, bool pin, bool is_prefetch)
             e->counted = true;
             stats_.resident_bytes += e->bytes;
             stats_.resident_sessions += 1;
+        } else if (pin) {
+            // An erase raced the load: the keys exist only for this
+            // lease, so they are zombie bytes from the start.
+            stats_.zombie_bytes += e->bytes;
+            e->zombie_counted = true;
         }
         if (is_prefetch) {
             stats_.prefetches += 1;
@@ -314,9 +350,12 @@ KeyStore::release(Entry* e)
     ORION_ASSERT(e->pins > 0);
     e->pins -= 1;
     if (e->pins > 0) return;
-    if (e->erased && e->counted) {
-        stats_.resident_bytes -= e->bytes;
-        e->counted = false;
+    if (e->erased) {
+        // Last lease on an erased entry: its zombie bytes are done.
+        if (e->zombie_counted) {
+            stats_.zombie_bytes -= e->bytes;
+            e->zombie_counted = false;
+        }
         e->resident = false;
         e->relin = ckks::KswitchKey{};
         e->galois = ckks::GaloisKeys{};
@@ -334,6 +373,7 @@ KeyStore::prefetch_loop()
         if (stop_) return;
         const u64 id = prefetch_queue_.front();
         prefetch_queue_.pop_front();
+        prefetch_pending_.erase(id);
         lk.unlock();
         try {
             acquire_impl(id, /*pin=*/false, /*is_prefetch=*/true);

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "src/ckks/context.h"
 #include "src/ckks/keys.h"
@@ -45,6 +46,13 @@ struct KeyStoreStats {
     u64 resident_bytes = 0;     ///< expanded key bytes currently in memory
     u64 resident_sessions = 0;  ///< registered sessions with resident keys
     u64 disk_bytes = 0;         ///< serialized bytes across spill files
+    /**
+     * Expanded bytes of erased-but-still-pinned entries, kept alive only
+     * for in-flight leases. Counted here — not in resident_bytes — so an
+     * unregister leaves both resident gauges consistent immediately and
+     * zombie bytes never push the LRU into evicting live sessions.
+     */
+    u64 zombie_bytes = 0;
 };
 
 /** LRU-bounded, disk-backed store of per-session evaluation keys. */
@@ -135,7 +143,12 @@ class KeyStore {
      */
     Lease acquire(u64 id);
 
-    /** Hints the background loader to make `id` resident. Never blocks. */
+    /**
+     * Hints the background loader to make `id` resident. Never blocks.
+     * Best-effort: hints for unknown/resident/already-queued ids are
+     * dropped, and the hint queue is bounded, so a burst of cold
+     * submissions cannot pile up loads that outlive their requests.
+     */
     void prefetch(u64 id);
 
     /** True when the entry exists and its keys are in memory (test hook). */
@@ -169,6 +182,7 @@ class KeyStore {
 
     std::condition_variable prefetch_cv_;
     std::deque<u64> prefetch_queue_;
+    std::unordered_set<u64> prefetch_pending_;  ///< dedup of queued hints
     bool stop_ = false;
     std::thread prefetch_thread_;
 };

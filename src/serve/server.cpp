@@ -187,7 +187,9 @@ InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
         accepted = true;
     }
     queue_cv_.notify_one();
-    if (have_prefetch_id) sessions_.prefetch(prefetch_id);
+    // Only warm keys for requests that actually entered the queue — a
+    // rejected submission has no upcoming execution to warm for.
+    if (accepted && have_prefetch_id) sessions_.prefetch(prefetch_id);
     return fut;
 }
 
@@ -325,6 +327,7 @@ InferenceServer::stats() const
     s.key_resident_bytes = ks.resident_bytes;
     s.key_resident_sessions = ks.resident_sessions;
     s.key_disk_bytes = ks.disk_bytes;
+    s.key_zombie_bytes = ks.zombie_bytes;
     return s;
 }
 

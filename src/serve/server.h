@@ -114,6 +114,8 @@ struct ServerStats {
     u64 key_resident_bytes = 0;
     u64 key_resident_sessions = 0;
     u64 key_disk_bytes = 0;
+    /** Bytes of unregistered-but-still-leased keys (in-flight requests). */
+    u64 key_zombie_bytes = 0;
 };
 
 /** A multi-session encrypted-inference server over one compiled network. */

@@ -178,11 +178,43 @@ TEST(KeyStore, EraseIsIdempotentAndHonorsOutstandingLeases)
     EXPECT_FALSE(static_cast<bool>(store.acquire(1)));
 
     // The outstanding lease still sees valid keys (the in-flight-request
-    // guarantee); the bytes are only released when the pin drops.
+    // guarantee). At erase the bytes leave both resident gauges together
+    // and sit in the zombie gauge until the pin drops.
     EXPECT_TRUE(lease.relin().valid());
-    EXPECT_EQ(store.stats().resident_bytes, keys.bytes);
-    lease.reset();
     EXPECT_EQ(store.stats().resident_bytes, 0u);
+    EXPECT_EQ(store.stats().resident_sessions, 0u);
+    EXPECT_EQ(store.stats().zombie_bytes, keys.bytes);
+    lease.reset();
+    EXPECT_EQ(store.stats().zombie_bytes, 0u);
+    EXPECT_EQ(store.stats().resident_bytes, 0u);
+}
+
+TEST(KeyStore, ErasedPinnedBytesDoNotEvictLiveSessions)
+{
+    CkksEnv& env = CkksEnv::shared();
+    KeyFixture& keys = KeyFixture::shared();
+    // Room for exactly one entry.
+    KeyStore store(env.ctx, keys.bytes);
+
+    keys.put(store, 1);
+    KeyStore::Lease lease = store.acquire(1);
+    ASSERT_TRUE(static_cast<bool>(lease));
+    EXPECT_TRUE(store.erase(1));
+
+    // 1's bytes are zombie (kept alive only for the lease) and excluded
+    // from the eviction budget, so registering 2 keeps it resident
+    // instead of evicting the only live session.
+    keys.put(store, 2);
+    EXPECT_TRUE(store.resident(2));
+    const KeyStoreStats s = store.stats();
+    EXPECT_EQ(s.zombie_bytes, keys.bytes);
+    EXPECT_EQ(s.resident_bytes, keys.bytes);
+    EXPECT_EQ(s.resident_sessions, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+
+    lease.reset();
+    EXPECT_EQ(store.stats().zombie_bytes, 0u);
+    EXPECT_TRUE(store.resident(2));
 }
 
 TEST(KeyStore, PrefetchWarmsEvictedEntries)
@@ -215,6 +247,33 @@ TEST(KeyStore, PrefetchWarmsEvictedEntries)
     const KeyStoreStats after = store.stats();
     EXPECT_EQ(after.hits, before.hits + 1);
     EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(KeyStore, PrefetchDropsResidentUnknownAndDuplicateHints)
+{
+    CkksEnv& env = CkksEnv::shared();
+    KeyFixture& keys = KeyFixture::shared();
+    KeyStore store(env.ctx, keys.bytes);
+
+    keys.put(store, 1);
+    keys.put(store, 2);  // evicts 1
+    ASSERT_FALSE(store.resident(1));
+
+    // Useless hints are dropped at enqueue time, so the loader thread
+    // only ever sees the one cold entry.
+    store.prefetch(2);   // resident: dropped
+    store.prefetch(99);  // unknown id: dropped
+    store.prefetch(1);   // cold: queued
+    store.prefetch(1);   // duplicate (queued or already loading): dropped
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!store.resident(1) &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(store.resident(1));
+    EXPECT_EQ(store.stats().prefetches, 1u);
 }
 
 TEST(KeyStore, ConcurrentAcquireReleaseChurn)

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <random>
+
 #include "src/ckks/serial.h"
 #include "tests/test_util.h"
 
@@ -250,6 +253,45 @@ TEST(Serial, SeededKeyRoundTripPreservesSeedAndExpansion)
     // the generator's, digit for digit, which the v2 encodings (explicit
     // residues for both components) compare bit-exactly.
     EXPECT_EQ(encode_kswitch_v2(back), encode_kswitch_v2(env.relin));
+}
+
+TEST(Serial, SeedExpansionIsFullySpecified)
+{
+    // The seed-to-residue mapping is wire contract: a client may encode a
+    // v3 record under one standard library and the server decode it under
+    // another, so the expansion must depend only on constructs the C++
+    // standard pins down. std::mt19937_64 is fully specified;
+    // std::uniform_int_distribution is NOT (libstdc++ and libc++
+    // disagree), so expand_kswitch_a rejection-samples raw engine output.
+    // This re-implements that specified algorithm independently and
+    // checks every residue, guarding against any stdlib-dependent
+    // primitive sneaking back into the expansion path.
+    CkksEnv& env = CkksEnv::shared();
+    const u64 seed = 0x5eedc0ffeeULL;
+    const int level = env.ctx.max_level();
+    const std::vector<ckks::RnsPoly> digits =
+        ckks::expand_kswitch_a(env.ctx, seed, level);
+    ASSERT_FALSE(digits.empty());
+
+    std::mt19937_64 ref(seed);
+    const auto next = [&ref](u64 q) {
+        const u64 rem = (std::numeric_limits<u64>::max() % q + 1) % q;
+        const u64 accept_max = std::numeric_limits<u64>::max() - rem;
+        u64 r = ref();
+        while (r > accept_max) r = ref();
+        return r % q;
+    };
+    for (const ckks::RnsPoly& a : digits) {
+        for (int i = 0; i < a.num_limbs(); ++i) {
+            const u64 q = a.limb_modulus(i).value();
+            const u64* limb = a.limb(i);
+            for (u64 j = 0; j < env.ctx.degree(); ++j) {
+                ASSERT_EQ(limb[j], next(q))
+                    << "digit residue diverges at limb " << i
+                    << " coefficient " << j;
+            }
+        }
+    }
 }
 
 TEST(Serial, LegacyV2KeyRecordsStillDecode)
