@@ -10,13 +10,130 @@
 
 #include "bench/bench_util.h"
 
+#include "src/ckks/kernels.h"
+
 using namespace orion;
+
+namespace {
+
+namespace k = ckks::kernels;
+
+/**
+ * Per-ISA size sweep over the raw kernels: NTT forward/inverse on a
+ * single limb and the key-switch inner product, each at ring sizes up to
+ * N = 2^16 and (for the inner product) several digit counts. One row and
+ * one JSON metric per (kernel, ISA, size) cell — this is what
+ * check_regression.py diffs across commits, with the scalar rows pinning
+ * the no-vectorization-regression bar and the vector rows the speedup.
+ */
+void
+sweep_isas()
+{
+    std::vector<k::Isa> isas;
+    for (k::Isa isa : {k::Isa::kScalar, k::Isa::kAvx2, k::Isa::kAvx512}) {
+        if (k::isa_supported(isa)) isas.push_back(isa);
+    }
+    const std::vector<u64> sizes = bench::smoke()
+                                       ? std::vector<u64>{u64(1) << 10}
+                                       : std::vector<u64>{u64(1) << 12,
+                                                          u64(1) << 14,
+                                                          u64(1) << 16};
+    const std::vector<u64> digit_counts =
+        bench::smoke() ? std::vector<u64>{2} : std::vector<u64>{2, 4, 8};
+
+    std::printf("\nper-ISA kernel sweep (single limb, 61-bit prime)\n");
+    std::printf("%-8s %8s %14s %14s\n", "isa", "n", "ntt fwd ms",
+                "ntt inv ms");
+    for (u64 n : sizes) {
+        const ckks::Modulus q(ckks::generate_ntt_primes(61, 1, n)[0]);
+        const ckks::NttTables tables(n, q);
+        const k::NttView view = tables.view();
+        std::mt19937_64 rng(13 + n);
+        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+        std::vector<u64> poly(n);
+        for (u64& x : poly) x = dist(rng);
+
+        // Iteration count scaled so each cell times ~2^21 butterflies.
+        const int iters =
+            bench::smoke() ? 2 : static_cast<int>((u64(1) << 21) / n);
+        for (k::Isa isa : isas) {
+            const k::KernelTable& t = k::table(isa);
+            const double t_fwd = bench::time_median(bench::reps(5), [&] {
+                for (int i = 0; i < iters; ++i) {
+                    t.ntt_forward(view, poly.data());
+                }
+            }) / iters;
+            const double t_inv = bench::time_median(bench::reps(5), [&] {
+                for (int i = 0; i < iters; ++i) {
+                    t.ntt_inverse(view, poly.data());
+                }
+            }) / iters;
+            std::printf("%-8s %8llu %14.4f %14.4f\n", k::isa_name(isa),
+                        static_cast<unsigned long long>(n), t_fwd * 1e3,
+                        t_inv * 1e3);
+            const std::string tag =
+                std::string(k::isa_name(isa)) + "_n" + std::to_string(n);
+            bench::json_metric("sweep_ntt_fwd_" + tag + "_ms", t_fwd * 1e3);
+            bench::json_metric("sweep_ntt_inv_" + tag + "_ms", t_inv * 1e3);
+        }
+    }
+
+    std::printf("\n%-8s %8s %8s %16s\n", "isa", "n", "digits",
+                "ks inner ms");
+    for (u64 n : sizes) {
+        const ckks::Modulus q(ckks::generate_ntt_primes(61, 1, n)[0]);
+        std::mt19937_64 rng(17 + n);
+        std::uniform_int_distribution<u64> dist(0, q.value() - 1);
+        for (u64 nd : digit_counts) {
+            std::vector<std::vector<u64>> xs_s(nd), bs_s(nd), as_s(nd);
+            std::vector<const u64*> xs(nd), bs(nd), as(nd);
+            for (u64 d = 0; d < nd; ++d) {
+                xs_s[d].resize(n);
+                bs_s[d].resize(n);
+                as_s[d].resize(n);
+                for (u64 j = 0; j < n; ++j) {
+                    xs_s[d][j] = dist(rng);
+                    bs_s[d][j] = dist(rng);
+                    as_s[d][j] = dist(rng);
+                }
+                xs[d] = xs_s[d].data();
+                bs[d] = bs_s[d].data();
+                as[d] = as_s[d].data();
+            }
+            std::vector<u64> o0(n, 0), o1(n, 0);
+            const int iters =
+                bench::smoke() ? 2
+                               : static_cast<int>((u64(1) << 22) / (n * nd));
+            for (k::Isa isa : isas) {
+                const k::KernelTable& t = k::table(isa);
+                const double t_ip = bench::time_median(bench::reps(5), [&] {
+                    for (int i = 0; i < iters; ++i) {
+                        t.ks_inner_product(o0.data(), o1.data(), xs.data(),
+                                           bs.data(), as.data(), nd, n, q);
+                    }
+                }) / iters;
+                std::printf("%-8s %8llu %8llu %16.4f\n", k::isa_name(isa),
+                            static_cast<unsigned long long>(n),
+                            static_cast<unsigned long long>(nd),
+                            t_ip * 1e3);
+                const std::string tag = std::string(k::isa_name(isa)) +
+                                        "_n" + std::to_string(n) + "_d" +
+                                        std::to_string(nd);
+                bench::json_metric("sweep_ks_ip_" + tag + "_ms", t_ip * 1e3);
+            }
+        }
+    }
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
 {
     bench::init(argc, argv);
     bench::print_header("Kernel microbenchmark: NTT / key switch / rotation");
+    std::printf("[simd dispatch: %s]\n", k::isa_name(k::active_isa()));
+    bench::json_metric("simd_isa", static_cast<double>(k::active_isa()));
 
     // ---- raw NTT on one limb ----------------------------------------
     const u64 n = bench::smoke() ? (u64(1) << 11) : (u64(1) << 13);
@@ -110,6 +227,22 @@ main(int argc, char** argv)
     std::printf("\nrotation accumulate (2 rotations + step 0 + finalize)\n");
     std::printf("  accumulate: %10.4f ms\n", t_acc * 1e3);
     bench::json_metric("rotation_accumulate_ms", t_acc * 1e3);
+
+    // Arena effectiveness over the timed section: every RnsPoly buffer
+    // after warmup should have come from the pool, not the heap.
+    const ckks::OpCounters& c = ctx.counters();
+    std::printf("\narena: %llu poly acquisitions, %llu pool hits (%.1f%%)\n",
+                static_cast<unsigned long long>(c.poly_alloc.value()),
+                static_cast<unsigned long long>(c.poly_arena_hit.value()),
+                100.0 * static_cast<double>(c.poly_arena_hit.value()) /
+                    static_cast<double>(
+                        std::max<u64>(c.poly_alloc.value(), 1)));
+    bench::json_metric("poly_alloc",
+                       static_cast<double>(c.poly_alloc.value()));
+    bench::json_metric("poly_arena_hit",
+                       static_cast<double>(c.poly_arena_hit.value()));
+
+    sweep_isas();
 
     return 0;
 }

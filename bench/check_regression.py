@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fails when a benchmark JSON regresses against a checked-in baseline.
+
+Usage:
+    check_regression.py BASELINE.json CURRENT.json [--max-regress 0.10]
+                        [--prefix sweep_] [--verbose]
+
+Both files are the --json reports the bench binaries write. Every metric
+key present in BOTH files whose name ends in `_ms` (a latency) is
+compared; CURRENT may be at most (1 + max_regress) times the BASELINE
+value. Non-latency keys (counters, sizes, ISA ids) are ignored — they
+describe the run rather than its speed. Keys only present on one side are
+reported but never fail the check, so adding new metrics (or running a
+sweep on a host without AVX-512) does not break CI.
+
+Exit status: 0 when no compared metric regresses, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: 'metrics' is not an object")
+    return doc, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="allowed fractional slowdown (default 0.10 = 10%%)")
+    ap.add_argument("--prefix", default="",
+                    help="only compare metric keys with this prefix")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared metric, not just failures")
+    args = ap.parse_args()
+
+    base_doc, base = load_metrics(args.baseline)
+    cur_doc, cur = load_metrics(args.current)
+
+    if base_doc.get("smoke") or cur_doc.get("smoke"):
+        print("note: comparing smoke-mode runs; timings are unreliable",
+              file=sys.stderr)
+
+    compared = 0
+    failures = []
+    for key in sorted(set(base) & set(cur)):
+        if not key.endswith("_ms"):
+            continue
+        if args.prefix and not key.startswith(args.prefix):
+            continue
+        old, new = float(base[key]), float(cur[key])
+        if old <= 0.0:
+            continue  # degenerate baseline cell; nothing to compare against
+        compared += 1
+        ratio = new / old
+        regressed = ratio > 1.0 + args.max_regress
+        if regressed:
+            failures.append((key, old, new, ratio))
+        if args.verbose or regressed:
+            mark = "FAIL" if regressed else "ok"
+            print(f"{mark:4s} {key}: {old:.4f} -> {new:.4f} ms "
+                  f"({ratio:.2f}x)")
+
+    only_base = sorted(k for k in base if k not in cur and k.endswith("_ms"))
+    only_cur = sorted(k for k in cur if k not in base and k.endswith("_ms"))
+    if only_base:
+        print(f"note: {len(only_base)} baseline metric(s) missing from "
+              f"current run: {', '.join(only_base[:5])}"
+              f"{' ...' if len(only_base) > 5 else ''}")
+    if only_cur:
+        print(f"note: {len(only_cur)} new metric(s) not in baseline: "
+              f"{', '.join(only_cur[:5])}"
+              f"{' ...' if len(only_cur) > 5 else ''}")
+
+    if compared == 0:
+        print("error: no comparable metrics between the two reports",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)}/{compared} metric(s) regressed more than "
+              f"{args.max_regress:.0%}:")
+        for key, old, new, ratio in failures:
+            print(f"  {key}: {old:.4f} -> {new:.4f} ms ({ratio:.2f}x)")
+        return 1
+    print(f"all {compared} compared metrics within {args.max_regress:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/ckks/poly.h"
 #include "src/ckks/primes.h"
 
 namespace orion::ckks {
@@ -130,6 +131,19 @@ Context::galois_elt(int step) const
     u64 elt = 1;
     for (i64 i = 0; i < s; ++i) elt = (elt * 5) % m;
     return elt;
+}
+
+const std::vector<u32>&
+Context::galois_permutation(u64 elt) const
+{
+    std::lock_guard<std::mutex> lk(galois_perm_mu_);
+    auto it = galois_perm_cache_.find(elt);
+    if (it == galois_perm_cache_.end()) {
+        it = galois_perm_cache_
+                 .emplace(elt, make_galois_ntt_permutation(*this, elt))
+                 .first;
+    }
+    return it->second;
 }
 
 int

@@ -18,7 +18,9 @@
  */
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common.h"
@@ -72,6 +74,12 @@ struct OpCounters {
     OpCounter rescale;
     OpCounter bootstrap;
     OpCounter ntt;          ///< individual limb-sized (I)NTT invocations
+    OpCounter decompose;    ///< key-switch digit decompositions (hoist once,
+                            ///  reuse across rotations)
+    OpCounter poly_alloc;     ///< RnsPoly buffer acquisitions (pool or heap)
+    OpCounter poly_arena_hit; ///< acquisitions served by the arena pool —
+                              ///  poly_alloc == poly_arena_hit over a window
+                              ///  means zero heap allocations in it
 
     void
     reset()
@@ -155,6 +163,18 @@ struct CkksParams {
         p.digit_size = 3;
         p.secret_weight = 32;
         return p;
+    }
+
+    /**
+     * The paper-scale bootstrap point (Table 2's ring degree, NOT secure —
+     * primes are still generated by the toy search): N = 2^16 with the
+     * same chain shape as bootstrap_toy. This is the parameter set behind
+     * the BENCH_bootstrap.json full-bootstrap wall-clock row.
+     */
+    static CkksParams
+    bootstrap_full(int l_eff = 4)
+    {
+        return bootstrap_toy(l_eff, u64(1) << 16);
     }
 };
 
@@ -278,6 +298,15 @@ class Context {
     /** Mutable operation counters (shared across all evaluators). */
     OpCounters& counters() const { return counters_; }
 
+    /**
+     * Cached NTT-form permutation table of the Galois automorphism
+     * X -> X^elt. Building one is an O(N) pass with two bit reversals per
+     * slot; every rotation by the same step across the whole bootstrap
+     * circuit (and any BSGS matvec) shares one table. The reference stays
+     * valid for the Context's lifetime (node-stable map under a mutex).
+     */
+    const std::vector<u32>& galois_permutation(u64 elt) const;
+
     /** Sum of bit sizes of q_0..q_level (the log Q_l of Table 1). */
     int log_q(int level) const;
 
@@ -294,6 +323,8 @@ class Context {
     std::vector<u64> p_prod_mod_q_;
     std::vector<std::vector<DigitConsts>> digit_consts_;  // [digit][len-1]
     mutable OpCounters counters_;
+    mutable std::mutex galois_perm_mu_;
+    mutable std::map<u64, std::vector<u32>> galois_perm_cache_;
 };
 
 }  // namespace orion::ckks

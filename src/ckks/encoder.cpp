@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/arena.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::ckks {
@@ -55,7 +56,7 @@ Encoder::from_slots(std::vector<std::complex<double>> slots, int level,
     pt.poly = RnsPoly(*ctx_, level, /*extended=*/false, /*ntt_form=*/false);
     // Coefficient j holds the real part, coefficient j + N/2 the imaginary
     // part of embedding slot j; round to integers at the target scale.
-    std::vector<i128> coeffs(n);
+    core::ScratchVec<i128> coeffs(n);
     for (u64 j = 0; j < nh; ++j) {
         coeffs[j] = round_scaled(
             static_cast<long double>(slots[j].real()), scale);

@@ -166,7 +166,7 @@ Evaluator::rotate_internal(const Ciphertext& a, u64 elt) const
 {
     ORION_CHECK(galois_ != nullptr, "Galois keys not set");
     const KswitchKey& key = galois_->at(elt);
-    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+    const std::vector<u32>& perm = ctx_->galois_permutation(elt);
 
     RnsPoly c1r = a.c1.galois_with_permutation(perm);
     RnsPoly ks0, ks1;
@@ -240,7 +240,7 @@ Evaluator::rotate_hoisted(const Hoisted& h, int step) const
     ORION_CHECK(galois_ != nullptr, "Galois keys not set");
     const u64 elt = ctx_->galois_elt(step);
     const KswitchKey& key = galois_->at(elt);
-    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+    const std::vector<u32>& perm = ctx_->galois_permutation(elt);
 
     // Permute the precomputed digits (decomposition commutes with the
     // automorphism coefficient-wise), then inner-product and mod-down.
@@ -301,7 +301,7 @@ Evaluator::accumulate_rotation(RotationAccumulator& acc, const Ciphertext& ct,
     ORION_CHECK(galois_ != nullptr, "Galois keys not set");
     const u64 elt = ctx_->galois_elt(step);
     const KswitchKey& key = galois_->at(elt);
-    const std::vector<u32> perm = make_galois_ntt_permutation(*ctx_, elt);
+    const std::vector<u32>& perm = ctx_->galois_permutation(elt);
 
     std::vector<RnsPoly> digits = switcher_.decompose(ct.c1);
     core::parallel_for(0, static_cast<i64>(digits.size()), [&](i64 i) {

@@ -1,0 +1,134 @@
+#ifndef ORION_SRC_CKKS_KERNELS_H_
+#define ORION_SRC_CKKS_KERNELS_H_
+
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the RNS-CKKS hot loops.
+ *
+ * Every limb-sized inner loop of the library — the Harvey lazy NTT
+ * butterflies, the whole-limb lazy modarith passes, and the
+ * u128-accumulated key-switch inner product — routes through the function
+ * table returned by active(). Three implementations exist: portable
+ * scalar (the PR-2 code, verbatim), AVX2, and AVX-512; the best one the
+ * CPU supports is selected once at startup by CPUID, overridable with
+ * ORION_SIMD=scalar|avx2|avx512 (requests above what the host supports
+ * clamp down) or set_isa() from tests.
+ *
+ * Dispatch contract (see DESIGN.md "Vectorized kernels & memory arenas"):
+ * every vector kernel is BIT-IDENTICAL to the scalar reference on every
+ * input — not just congruent mod q. This falls out of two facts. First,
+ * the vector code performs exactly the same u64 mod-2^64 operations per
+ * element as the scalar code (the 128-bit intermediates of Barrett and
+ * Shoup reduction are decomposed into explicit mulhi/mullo/carry words
+ * whose values match the scalar u128 arithmetic word for word), and no
+ * kernel has cross-element dependencies that could reorder. Second, the
+ * lazy-range invariants chosen in PR 2 guarantee no lane ever overflows:
+ * with q < 2^61, lazy residues live in [0, 2q) (Shoup products) or
+ * [0, 4q) (butterfly sums), so every u64 addition of two lane values
+ * stays below 2^63, and the 16-term chunks of the key-switch digit sum
+ * keep the 128-bit lane accumulators below 2^127 — exactly the scalar
+ * bounds, so wraparound behavior is identical too (there is none).
+ */
+
+#include "src/ckks/modarith.h"
+
+namespace orion::ckks::kernels {
+
+/** Instruction sets a kernel table can be built for, weakest first. */
+enum class Isa : int {
+    kScalar = 0,
+    kAvx2 = 1,
+    kAvx512 = 2,  ///< requires F, DQ, VL, and BW
+};
+
+/**
+ * Borrowed view of one NttTables instance — everything a kernel needs to
+ * run the transform without depending on the ntt.h class layout.
+ */
+struct NttView {
+    u64 n = 0;
+    Modulus q;
+    const u64* roots = nullptr;        ///< bit-reversed psi powers
+    const u64* roots_shoup = nullptr;
+    const u64* inv_roots = nullptr;
+    const u64* inv_roots_shoup = nullptr;
+    u64 n_inv = 0;
+    u64 n_inv_shoup = 0;
+    u64 inv_root_last_scaled = 0;  ///< inv_roots[1] * n_inv (fused stage)
+    u64 inv_root_last_scaled_shoup = 0;
+};
+
+/**
+ * One ISA's implementations. All array kernels accept arbitrary n
+ * (vector bodies process full lanes, scalar tails finish the rest) and
+ * allow dst == src aliasing where a src pointer exists; distinct arrays
+ * must not otherwise overlap.
+ */
+struct KernelTable {
+    /** In-place forward negacyclic NTT (lazy butterflies + normalize). */
+    void (*ntt_forward)(const NttView& v, u64* a);
+    /** In-place inverse negacyclic NTT (fused 1/N scaling). */
+    void (*ntt_inverse)(const NttView& v, u64* a);
+
+    /** a[j] = (a[j] + b[j]) mod q over n residues in [0, q). */
+    void (*add_mod_n)(u64* a, const u64* b, u64 n, const Modulus& q);
+    /** a[j] = (a[j] - b[j]) mod q over n residues in [0, q). */
+    void (*sub_mod_n)(u64* a, const u64* b, u64 n, const Modulus& q);
+    /** a[j] = a[j] * b[j] mod q (Barrett) over n residues. */
+    void (*mul_mod_n)(u64* a, const u64* b, u64 n, const Modulus& q);
+    /** a[j] = (a[j] + x[j] * y[j]) mod q — one Barrett per element. */
+    void (*add_product_n)(u64* a, const u64* x, const u64* y, u64 n,
+                          const Modulus& q);
+    /**
+     * a[j] = src[j] * w mod q via Shoup (w_shoup = shoup_precompute(w)).
+     * a == src is allowed (the in-place scalar-multiply case).
+     */
+    void (*mul_scalar_shoup_n)(u64* a, const u64* src, u64 n, u64 w,
+                               u64 w_shoup, const Modulus& q);
+    /** Maps n lazy residues in [0, 4q) to canonical [0, q). */
+    void (*normalize_lazy_n)(u64* a, u64 n, const Modulus& q);
+
+    /**
+     * The key-switch digit inner product over one limb:
+     *   o0[j] = (o0[j] + sum_d xs[d][j] * bs[d][j]) mod q
+     *   o1[j] = (o1[j] + sum_d xs[d][j] * as[d][j]) mod q
+     * accumulated in 128 bits with a Barrett reduction between 16-term
+     * chunks (and one at the end), exactly the PR-2 lazy schedule.
+     */
+    void (*ks_inner_product)(u64* o0, u64* o1, const u64* const* xs,
+                             const u64* const* bs, const u64* const* as,
+                             u64 num_digits, u64 n, const Modulus& q);
+    /**
+     * Fast-base-conversion accumulation for one target limb:
+     *   dst[x] = (sum_j lams[j][x] * hats[j]) mod q,
+     * len <= 32 terms summed in 128 bits, one Barrett per element.
+     */
+    void (*base_conv_acc)(u64* dst, const u64* const* lams, const u64* hats,
+                          int len, u64 n, const Modulus& q);
+};
+
+/** True when this build and CPU can run the given ISA's table. */
+bool isa_supported(Isa isa);
+/** The strongest supported ISA (what dispatch picks sans override). */
+Isa best_supported_isa();
+/** The currently selected ISA. */
+Isa active_isa();
+/**
+ * Forces dispatch to `isa` (test hook behind the ORION_SIMD env override).
+ * The ISA must be supported on this host.
+ */
+void set_isa(Isa isa);
+const char* isa_name(Isa isa);
+
+/** The kernel table dispatch selected (what all hot paths call). */
+const KernelTable& active();
+/**
+ * A specific ISA's table, for cross-checking kernels against each other.
+ * Calling into an unsupported ISA's table is undefined (SIGILL); guard
+ * with isa_supported().
+ */
+const KernelTable& table(Isa isa);
+
+}  // namespace orion::ckks::kernels
+
+#endif  // ORION_SRC_CKKS_KERNELS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/ckks/kernels.h"
+#include "src/core/arena.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::ckks {
@@ -19,6 +21,7 @@ KeySwitcher::decompose(const RnsPoly& c) const
     // Work from the coefficient representation of c.
     RnsPoly c_coeff = c;
     if (c_coeff.is_ntt()) c_coeff.to_coeff();
+    ctx.counters().decompose += 1;
 
     std::vector<RnsPoly> out;
     out.reserve(static_cast<std::size_t>(digits));
@@ -34,20 +37,25 @@ KeySwitcher::decompose(const RnsPoly& c) const
         // and (D/q_j mod m_t) constants live in precomputed Context tables
         // (digit_consts), so this stage is pure Shoup multiplications.
         const Context::DigitConsts& dc = ctx.digit_consts(d, digit_len);
-        std::vector<std::vector<u64>> lambdas(
+        // One contiguous arena block for all digit_len lambda rows (row j
+        // at lambda_block[j * n]) instead of digit_len vector allocations.
+        core::ScratchVec<u64> lambda_block(static_cast<std::size_t>(digit_len) *
+                                           n);
+        core::ScratchVec<const u64*> lam_ptrs(
             static_cast<std::size_t>(digit_len));
+        for (int j = 0; j < digit_len; ++j) {
+            lam_ptrs[static_cast<std::size_t>(j)] =
+                lambda_block.data() + static_cast<std::size_t>(j) * n;
+        }
         core::parallel_for(0, digit_len, [&](i64 ji) {
             const int j = lo + static_cast<int>(ji);
             const Modulus& qj = ctx.q(j);
             const u64 hat_inv = dc.hat_inv[static_cast<std::size_t>(ji)];
             const u64 hat_inv_shoup =
                 dc.hat_inv_shoup[static_cast<std::size_t>(ji)];
-            std::vector<u64>& lam = lambdas[static_cast<std::size_t>(ji)];
-            lam.resize(n);
-            const u64* src = c_coeff.limb(j);
-            for (u64 x = 0; x < n; ++x) {
-                lam[x] = mul_mod_shoup(src[x], hat_inv, hat_inv_shoup, qj);
-            }
+            kernels::active().mul_scalar_shoup_n(
+                lambda_block.data() + static_cast<std::size_t>(ji) * n,
+                c_coeff.limb(j), n, hat_inv, hat_inv_shoup, qj);
         });
 
         // Fill every target limb: digit limbs copy c directly; other limbs
@@ -65,14 +73,9 @@ KeySwitcher::decompose(const RnsPoly& c) const
             const Modulus& mt = ext.limb_modulus(t);
             const std::vector<u64>& hat_mod_t =
                 dc.hat_mod[static_cast<std::size_t>(tg)];
-            for (u64 x = 0; x < n; ++x) {
-                u128 acc = 0;
-                for (int j = 0; j < digit_len; ++j) {
-                    acc += u128(lambdas[static_cast<std::size_t>(j)][x]) *
-                           hat_mod_t[static_cast<std::size_t>(j)];
-                }
-                dst[x] = mt.reduce_128(acc);
-            }
+            kernels::active().base_conv_acc(dst, lam_ptrs.data(),
+                                            hat_mod_t.data(), digit_len, n,
+                                            mt);
         });
         ext.to_ntt();
         out.push_back(std::move(ext));
@@ -117,7 +120,6 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
     // deeper digit counts overflow-free. The result is the same residue
     // the eager loop produces, bit for bit.
     const std::size_t num_digits = digits.size();
-    constexpr std::size_t kChunk = 16;
     core::parallel_for(0, acc0->num_limbs(), [&](i64 ti) {
         const int t = static_cast<int>(ti);
         // Limb index within the (possibly level-pruned) key polynomial:
@@ -126,35 +128,17 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
         const int key_t =
             t <= acc_level ? t : key_level + 1 + (t - acc_level - 1);
         const Modulus& q = acc0->limb_modulus(t);
-        u64* o0 = acc0->limb(t);
-        u64* o1 = acc1->limb(t);
         // Gather the per-digit limb pointers once.
-        std::vector<const u64*> xs(num_digits), bs(num_digits),
+        core::ScratchVec<const u64*> xs(num_digits), bs(num_digits),
             as(num_digits);
         for (std::size_t d = 0; d < num_digits; ++d) {
             xs[d] = digits[d].limb(t);
             bs[d] = ksk.b[d].limb(key_t);
             as[d] = ksk.a[d].limb(key_t);
         }
-        for (u64 j = 0; j < n; ++j) {
-            u128 s0 = o0[j];  // carried-in partial sums (double-hoisting)
-            u128 s1 = o1[j];
-            std::size_t d = 0;
-            while (d < num_digits) {
-                const std::size_t end = std::min(d + kChunk, num_digits);
-                for (; d < end; ++d) {
-                    const u128 x = xs[d][j];
-                    s0 += x * bs[d][j];
-                    s1 += x * as[d][j];
-                }
-                if (d < num_digits) {
-                    s0 = q.reduce_128(s0);
-                    s1 = q.reduce_128(s1);
-                }
-            }
-            o0[j] = q.reduce_128(s0);
-            o1[j] = q.reduce_128(s1);
-        }
+        kernels::active().ks_inner_product(acc0->limb(t), acc1->limb(t),
+                                           xs.data(), bs.data(), as.data(),
+                                           num_digits, n, q);
     });
     ctx.counters().keyswitch += 1;
 }

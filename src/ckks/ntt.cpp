@@ -38,81 +38,15 @@ NttTables::NttTables(u64 n, const Modulus& q) : n_(n), q_(q)
 void
 NttTables::forward(u64* a) const
 {
-    // Cooley-Tukey, decimation in time, with merged psi twiddles. After the
-    // pass with span t, block b holds the residues mod (X^t - roots_[m+b]).
-    //
-    // Harvey lazy butterflies: every stage takes inputs in [0, 4q) and
-    // produces outputs in [0, 4q) — the top input is pre-reduced to
-    // [0, 2q), the Shoup product of the bottom input lands in [0, 2q),
-    // and their lazy sum/difference stays below 4q. One vector
-    // normalization pass at the end restores canonical [0, q) residues,
-    // bit-identical to reducing inside every butterfly.
-    const u64 two_q = 2 * q_.value();
-    u64 t = n_;
-    for (u64 m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (u64 i = 0; i < m; ++i) {
-            const u64 w = roots_[m + i];
-            const u64 ws = roots_shoup_[m + i];
-            u64* x = a + 2 * i * t;
-            u64* y = x + t;
-            for (u64 j = 0; j < t; ++j) {
-                u64 u = x[j];
-                if (u >= two_q) u -= two_q;  // [0, 2q)
-                const u64 v = mul_mod_shoup_lazy(y[j], w, ws, q_);  // [0, 2q)
-                x[j] = u + v;                // [0, 4q)
-                y[j] = u + two_q - v;        // [0, 4q)
-            }
-        }
-    }
-    normalize_lazy(a, n_, q_);
+    // Butterfly loops live in kernels.cpp (scalar reference + AVX2/AVX-512
+    // variants, all bit-identical); dispatch picks the ISA once at startup.
+    kernels::active().ntt_forward(view(), a);
 }
 
 void
 NttTables::inverse(u64* a) const
 {
-    // Gentleman-Sande, decimation in frequency, inverse twiddles.
-    //
-    // Lazy variant: stage inputs and outputs stay in [0, 2q) (the sum is
-    // conditionally reduced from [0, 4q), the difference goes through a
-    // lazy Shoup product). The final stage (m == 1) folds the 1/N scaling
-    // into its twiddles — n_inv on the sum side, inv_roots_[1] * n_inv on
-    // the difference side — replacing the separate scaling pass, and the
-    // closing normalization is a single conditional subtraction.
-    const u64 two_q = 2 * q_.value();
-    u64 t = 1;
-    for (u64 m = n_ >> 1; m > 1; m >>= 1) {
-        for (u64 i = 0; i < m; ++i) {
-            const u64 w = inv_roots_[m + i];
-            const u64 ws = inv_roots_shoup_[m + i];
-            u64* x = a + 2 * i * t;
-            u64* y = x + t;
-            for (u64 j = 0; j < t; ++j) {
-                const u64 u = x[j];
-                const u64 v = y[j];
-                u64 s = u + v;               // [0, 4q)
-                if (s >= two_q) s -= two_q;  // [0, 2q)
-                x[j] = s;
-                y[j] = mul_mod_shoup_lazy(u + two_q - v, w, ws, q_);
-            }
-        }
-        t <<= 1;
-    }
-    if (n_ >= 2) {
-        // Last stage (m == 1, span t == n/2) with the fused 1/N scaling.
-        u64* x = a;
-        u64* y = a + t;
-        for (u64 j = 0; j < t; ++j) {
-            const u64 u = x[j];
-            const u64 v = y[j];
-            x[j] = mul_mod_shoup_lazy(u + v, n_inv_, n_inv_shoup_, q_);
-            y[j] = mul_mod_shoup_lazy(u + two_q - v, inv_root_last_scaled_,
-                                      inv_root_last_scaled_shoup_, q_);
-        }
-    }
-    for (u64 j = 0; j < n_; ++j) {
-        if (a[j] >= q_.value()) a[j] -= q_.value();
-    }
+    kernels::active().ntt_inverse(view(), a);
 }
 
 }  // namespace orion::ckks

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common.h"
+#include "src/ckks/kernels.h"
 #include "src/ckks/modarith.h"
 
 namespace orion::ckks {
@@ -43,6 +44,24 @@ class NttTables {
 
     u64 degree() const { return n_; }
     const Modulus& modulus() const { return q_; }
+
+    /** Borrowed kernel view of these tables (valid while *this lives). */
+    kernels::NttView
+    view() const
+    {
+        kernels::NttView v;
+        v.n = n_;
+        v.q = q_;
+        v.roots = roots_.data();
+        v.roots_shoup = roots_shoup_.data();
+        v.inv_roots = inv_roots_.data();
+        v.inv_roots_shoup = inv_roots_shoup_.data();
+        v.n_inv = n_inv_;
+        v.n_inv_shoup = n_inv_shoup_;
+        v.inv_root_last_scaled = inv_root_last_scaled_;
+        v.inv_root_last_scaled_shoup = inv_root_last_scaled_shoup_;
+        return v;
+    }
 
   private:
     u64 n_ = 0;

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/ckks/kernels.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::ckks {
+
+void
+RnsPoly::count_acquire(core::ArenaAcquire how) const
+{
+    // Capacity reuse touches no allocator at all, so it counts as neither
+    // an allocation nor a pool hit.
+    if (how == core::ArenaAcquire::kReused) return;
+    ctx_->counters().poly_alloc += 1;
+    if (how == core::ArenaAcquire::kPool) {
+        ctx_->counters().poly_arena_hit += 1;
+    }
+}
 
 RnsPoly::RnsPoly(const Context& ctx, int level, bool extended, bool ntt_form)
     : ctx_(&ctx), level_(level), ntt_(ntt_form),
@@ -13,7 +26,32 @@ RnsPoly::RnsPoly(const Context& ctx, int level, bool extended, bool ntt_form)
 {
     ORION_CHECK(level >= 0 && level <= ctx.max_level(),
                 "level out of range: " << level);
-    data_.assign(static_cast<std::size_t>(num_limbs()) * ctx.degree(), 0);
+    count_acquire(data_.acquire_zero(
+        static_cast<std::size_t>(num_limbs()) * ctx.degree()));
+}
+
+RnsPoly::RnsPoly(const RnsPoly& o)
+    : ctx_(o.ctx_), level_(o.level_), ntt_(o.ntt_),
+      special_limbs_(o.special_limbs_)
+{
+    if (o.data_.empty()) return;  // invalid/default polys own no storage
+    count_acquire(data_.copy_from(o.data_));
+}
+
+RnsPoly&
+RnsPoly::operator=(const RnsPoly& o)
+{
+    if (this == &o) return *this;
+    ctx_ = o.ctx_;
+    level_ = o.level_;
+    ntt_ = o.ntt_;
+    special_limbs_ = o.special_limbs_;
+    if (o.data_.empty()) {
+        data_.release();
+    } else {
+        count_acquire(data_.copy_from(o.data_));
+    }
+    return *this;
 }
 
 void
@@ -23,11 +61,9 @@ RnsPoly::add_inplace(const RnsPoly& other)
                  special_limbs_ == other.special_limbs_ &&
                  ntt_ == other.ntt_);
     const u64 n = degree();
+    const kernels::KernelTable& k = kernels::active();
     for (int i = 0; i < num_limbs(); ++i) {
-        const Modulus& q = limb_modulus(i);
-        u64* a = limb(i);
-        const u64* b = other.limb(i);
-        for (u64 j = 0; j < n; ++j) a[j] = add_mod(a[j], b[j], q);
+        k.add_mod_n(limb(i), other.limb(i), n, limb_modulus(i));
     }
 }
 
@@ -38,11 +74,9 @@ RnsPoly::sub_inplace(const RnsPoly& other)
                  special_limbs_ == other.special_limbs_ &&
                  ntt_ == other.ntt_);
     const u64 n = degree();
+    const kernels::KernelTable& k = kernels::active();
     for (int i = 0; i < num_limbs(); ++i) {
-        const Modulus& q = limb_modulus(i);
-        u64* a = limb(i);
-        const u64* b = other.limb(i);
-        for (u64 j = 0; j < n; ++j) a[j] = sub_mod(a[j], b[j], q);
+        k.sub_mod_n(limb(i), other.limb(i), n, limb_modulus(i));
     }
 }
 
@@ -64,11 +98,9 @@ RnsPoly::mul_pointwise_inplace(const RnsPoly& other)
     ORION_ASSERT(ctx_ == other.ctx_ && level_ == other.level_ &&
                  special_limbs_ == other.special_limbs_);
     const u64 n = degree();
+    const kernels::KernelTable& k = kernels::active();
     for (int i = 0; i < num_limbs(); ++i) {
-        const Modulus& q = limb_modulus(i);
-        u64* a = limb(i);
-        const u64* b = other.limb(i);
-        for (u64 j = 0; j < n; ++j) a[j] = mul_mod(a[j], b[j], q);
+        k.mul_mod_n(limb(i), other.limb(i), n, limb_modulus(i));
     }
 }
 
@@ -80,17 +112,9 @@ RnsPoly::add_product_inplace(const RnsPoly& b, const RnsPoly& c)
                  special_limbs_ == b.special_limbs_ &&
                  special_limbs_ == c.special_limbs_);
     const u64 n = degree();
+    const kernels::KernelTable& k = kernels::active();
     for (int i = 0; i < num_limbs(); ++i) {
-        const Modulus& q = limb_modulus(i);
-        u64* a = limb(i);
-        const u64* x = b.limb(i);
-        const u64* y = c.limb(i);
-        for (u64 j = 0; j < n; ++j) {
-            // Lazy: one Barrett reduction for the whole a + x*y term
-            // (x*y < 2^122 and a < 2^61, so the u128 sum cannot overflow);
-            // same canonical residue as mul_mod followed by add_mod.
-            a[j] = q.reduce_128(u128(a[j]) + u128(x[j]) * y[j]);
-        }
+        k.add_product_n(limb(i), b.limb(i), c.limb(i), n, limb_modulus(i));
     }
 }
 
@@ -100,14 +124,12 @@ RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalar_per_limb)
     ORION_ASSERT(scalar_per_limb.size() >=
                  static_cast<std::size_t>(num_limbs()));
     const u64 n = degree();
+    const kernels::KernelTable& k = kernels::active();
     for (int i = 0; i < num_limbs(); ++i) {
         const Modulus& q = limb_modulus(i);
         const u64 s = scalar_per_limb[static_cast<std::size_t>(i)];
-        const u64 s_shoup = shoup_precompute(s, q);
-        u64* a = limb(i);
-        for (u64 j = 0; j < n; ++j) {
-            a[j] = mul_mod_shoup(a[j], s, s_shoup, q);
-        }
+        k.mul_scalar_shoup_n(limb(i), limb(i), n, s, shoup_precompute(s, q),
+                             q);
     }
 }
 
@@ -185,7 +207,7 @@ RnsPoly::galois(u64 elt) const
 {
     const u64 n = degree();
     if (ntt_) {
-        return galois_with_permutation(make_galois_ntt_permutation(*ctx_, elt));
+        return galois_with_permutation(ctx_->galois_permutation(elt));
     }
     RnsPoly out(*ctx_, level_, extended(), /*ntt_form=*/false);
     const u64 m_mask = 2 * n - 1;
@@ -215,13 +237,14 @@ RnsPoly::divide_and_drop_last()
     const int last_global = limb_global_index(last);
 
     // Bring the last limb to coefficient form for cross-modulus reduction.
-    std::vector<u64> last_coeffs(limb(last), limb(last) + n);
+    core::ScratchVec<u64> last_coeffs(n);
+    std::memcpy(last_coeffs.data(), limb(last), n * sizeof(u64));
     if (ntt_) {
         limb_tables(last).inverse(last_coeffs.data());
         ctx_->counters().ntt += 1;
     }
     // Center so the rounding error is at most q_last/2 per coefficient.
-    std::vector<i64> centered(n);
+    core::ScratchVec<i64> centered(n);
     for (u64 j = 0; j < n; ++j) {
         centered[j] = to_centered(last_coeffs[j], q_last);
     }
@@ -230,7 +253,7 @@ RnsPoly::divide_and_drop_last()
     core::parallel_for(0, remaining, [&](i64 li) {
         const int i = static_cast<int>(li);
         const Modulus& q = limb_modulus(i);
-        std::vector<u64> tmp(n);
+        core::ScratchVec<u64> tmp(n);
         for (u64 j = 0; j < n; ++j) {
             tmp[j] = reduce_signed(centered[j], q);
         }
@@ -239,14 +262,16 @@ RnsPoly::divide_and_drop_last()
         }
         const u64 inv = ctx_->inv_mod_global(last_global, limb_global_index(i));
         const u64 inv_shoup = shoup_precompute(inv, q);
+        // Two whole-limb kernel passes; per element this is the same op
+        // sequence as the fused mul_mod_shoup(sub_mod(...)) loop.
+        const kernels::KernelTable& k = kernels::active();
         u64* a = limb(i);
-        for (u64 j = 0; j < n; ++j) {
-            a[j] = mul_mod_shoup(sub_mod(a[j], tmp[j], q), inv, inv_shoup, q);
-        }
+        k.sub_mod_n(a, tmp.data(), n, q);
+        k.mul_scalar_shoup_n(a, a, n, inv, inv_shoup, q);
     });
     if (ntt_) ctx_->counters().ntt += static_cast<u64>(remaining);
 
-    data_.resize(static_cast<std::size_t>(remaining) * n);
+    data_.resize_down(static_cast<std::size_t>(remaining) * n);
     if (special_limbs_ > 0) {
         --special_limbs_;
     } else {
@@ -275,7 +300,7 @@ RnsPoly::drop_to_level(int new_level)
     ORION_CHECK(!extended(), "cannot drop levels on an extended polynomial");
     ORION_CHECK(new_level >= 0 && new_level <= level_,
                 "invalid target level " << new_level << " from " << level_);
-    data_.resize(static_cast<std::size_t>(new_level + 1) * degree());
+    data_.resize_down(static_cast<std::size_t>(new_level + 1) * degree());
     level_ = new_level;
 }
 
@@ -293,7 +318,7 @@ RnsPoly::mod_raise(int new_level) const
     RnsPoly base = *this;
     if (base.is_ntt()) base.to_coeff();
     const Modulus& q0 = ctx_->q(0);
-    std::vector<i64> centered(n);
+    core::ScratchVec<i64> centered(n);
     const u64* src = base.limb(0);
     for (u64 j = 0; j < n; ++j) centered[j] = to_centered(src[j], q0);
 
@@ -314,8 +339,8 @@ RnsPoly::mod_raise(int new_level) const
 bool
 RnsPoly::is_zero() const
 {
-    return std::all_of(data_.begin(), data_.end(),
-                       [](u64 v) { return v == 0; });
+    const u64* p = data_.data();
+    return std::all_of(p, p + data_.size(), [](u64 v) { return v == 0; });
 }
 
 }  // namespace orion::ckks

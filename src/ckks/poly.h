@@ -16,6 +16,7 @@
 
 #include "src/common.h"
 #include "src/ckks/context.h"
+#include "src/core/arena.h"
 
 namespace orion::ckks {
 
@@ -27,6 +28,14 @@ class RnsPoly {
     /** Zero polynomial with limbs q_0..q_level (+ specials if extended). */
     RnsPoly(const Context& ctx, int level, bool extended = false,
             bool ntt_form = true);
+
+    // Limb storage lives in the core::Arena pool, so copies and
+    // constructions are counted (OpCounters::poly_alloc / poly_arena_hit)
+    // and steady-state hot loops recycle blocks instead of reallocating.
+    RnsPoly(const RnsPoly& o);
+    RnsPoly& operator=(const RnsPoly& o);
+    RnsPoly(RnsPoly&&) noexcept = default;
+    RnsPoly& operator=(RnsPoly&&) noexcept = default;
 
     const Context& context() const { return *ctx_; }
     bool valid() const { return ctx_ != nullptr; }
@@ -139,11 +148,14 @@ class RnsPoly {
      */
     void divide_and_drop_last();
 
+    /** Books an ArenaVec acquisition into the context's counters. */
+    void count_acquire(core::ArenaAcquire how) const;
+
     const Context* ctx_ = nullptr;
     int level_ = -1;
     bool ntt_ = false;
     int special_limbs_ = 0;  // present special limbs (shrinks in mod-down)
-    std::vector<u64> data_;
+    core::ArenaVec<u64> data_;
 };
 
 /** Permutation table for a Galois automorphism in NTT form. */

@@ -90,7 +90,11 @@ ByteReader::read_raw(void* dst, std::size_t bytes)
     ORION_CHECK(bytes <= remaining(),
                 "truncated wire payload: need " << bytes << " bytes, have "
                                                 << remaining());
-    std::memcpy(dst, data_.data() + pos_, bytes);
+    if (src_ != nullptr) {
+        src_->read_at(pos_, dst, bytes);
+    } else {
+        std::memcpy(dst, data_.data() + pos_, bytes);
+    }
     pos_ += bytes;
 }
 
@@ -175,6 +179,41 @@ open_record(std::span<const u8> bytes, RecordKind expected)
                                     << int(static_cast<u8>(expected))
                                     << " was expected");
     return ByteReader(bytes.subspan(kFrameBytes), version);
+}
+
+ByteReader
+open_record(ByteSource& src, RecordKind expected)
+{
+    // Pull just the frame header; the payload stays on the source and is
+    // streamed by the returned reader.
+    u8 head[kFrameBytes];
+    ORION_CHECK(src.size() >= kFrameBytes,
+                "wire record too short for its header (" << src.size()
+                                                         << " bytes)");
+    src.read_at(0, head, sizeof(head));
+    ORION_CHECK(std::memcmp(head, kMagic, sizeof(kMagic)) == 0,
+                "bad wire magic (not an Orion record)");
+    const u8 version = head[4];
+    ORION_CHECK(version >= kMinWireVersion && version <= kWireVersion,
+                "unsupported wire version "
+                    << int(version) << " (supported: "
+                    << int(kMinWireVersion) << ".." << int(kWireVersion)
+                    << ")");
+    const RecordKind kind = static_cast<RecordKind>(head[5]);
+    ORION_CHECK(kind == expected,
+                "wire record kind " << int(static_cast<u8>(kind))
+                                    << " where kind "
+                                    << int(static_cast<u8>(expected))
+                                    << " was expected");
+    u64 payload_len = 0;
+    for (int i = 0; i < 8; ++i) {
+        payload_len |= static_cast<u64>(head[6 + i]) << (8 * i);
+    }
+    ORION_CHECK(payload_len == src.size() - kFrameBytes,
+                "wire length prefix (" << payload_len
+                                       << ") does not match payload size ("
+                                       << src.size() - kFrameBytes << ")");
+    return ByteReader(src, kFrameBytes, version);
 }
 
 RecordKind
@@ -615,6 +654,15 @@ deserialize_kswitch_key(std::span<const u8> bytes, const Context& ctx)
     return k;
 }
 
+KswitchKey
+deserialize_kswitch_key(ByteSource& src, const Context& ctx)
+{
+    ByteReader r = open_record(src, RecordKind::kKswitchKey);
+    KswitchKey k = read_kswitch_key(r, ctx);
+    r.expect_done("key-switching key");
+    return k;
+}
+
 Bytes
 serialize(const GaloisKeys& g)
 {
@@ -626,6 +674,15 @@ GaloisKeys
 deserialize_galois_keys(std::span<const u8> bytes, const Context& ctx)
 {
     ByteReader r = open_record(bytes, RecordKind::kGaloisKeys);
+    GaloisKeys g = read_galois_keys(r, ctx);
+    r.expect_done("Galois key set");
+    return g;
+}
+
+GaloisKeys
+deserialize_galois_keys(ByteSource& src, const Context& ctx)
+{
+    ByteReader r = open_record(src, RecordKind::kGaloisKeys);
     GaloisKeys g = read_galois_keys(r, ctx);
     r.expect_done("Galois key set");
     return g;

@@ -77,7 +77,24 @@ class ByteWriter {
     Bytes buf_;
 };
 
-/** Bounds-checked reads over a byte span; throws orion::Error on overrun. */
+/**
+ * Pull interface over record bytes that are NOT resident in memory (e.g. a
+ * DiskStore record). A ByteReader over a ByteSource streams payload chunks
+ * straight into their destination buffers (RnsPoly limbs), so decoding a
+ * multi-gigabyte key set never holds the raw record alongside the decoded
+ * keys — the cold-load path stays at ~1x the key bytes instead of 2x.
+ */
+class ByteSource {
+  public:
+    virtual ~ByteSource() = default;
+    /** Copies `bytes` starting at `offset` into dst (bounds pre-checked). */
+    virtual void read_at(u64 offset, void* dst, std::size_t bytes) = 0;
+    /** Total byte count of the record. */
+    virtual u64 size() const = 0;
+};
+
+/** Bounds-checked reads over a byte span (or a streaming ByteSource);
+ *  throws orion::Error on overrun. */
 class ByteReader {
   public:
     /**
@@ -86,7 +103,14 @@ class ByteReader {
      * for backward-compatible layouts.
      */
     explicit ByteReader(std::span<const u8> data, u8 version = kWireVersion)
-        : data_(data), version_(version)
+        : data_(data), size_(data.size()), version_(version)
+    {
+    }
+
+    /** Streaming reader over src, starting at byte `start` of the record. */
+    ByteReader(ByteSource& src, std::size_t start, u8 version)
+        : src_(&src), pos_(start),
+          size_(static_cast<std::size_t>(src.size())), version_(version)
     {
     }
 
@@ -105,14 +129,16 @@ class ByteReader {
      */
     u64 read_count(std::size_t elem_bytes, const char* what);
 
-    std::size_t remaining() const { return data_.size() - pos_; }
-    bool done() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
     /** Fails unless every payload byte was consumed. */
     void expect_done(const char* what) const;
 
   private:
     std::span<const u8> data_;
+    ByteSource* src_ = nullptr;
     std::size_t pos_ = 0;
+    std::size_t size_ = 0;
     u8 version_ = kWireVersion;
 };
 
@@ -133,6 +159,9 @@ Bytes finish_record(RecordKind kind, ByteWriter payload,
  * record's version for nested decoders.
  */
 ByteReader open_record(std::span<const u8> bytes, RecordKind expected);
+/** Streaming open_record: validates the frame from the source's head and
+ *  returns a reader positioned at the payload that pulls on demand. */
+ByteReader open_record(ByteSource& src, RecordKind expected);
 /** The kind of a framed record (validates magic/version/length only). */
 RecordKind peek_kind(std::span<const u8> bytes);
 
@@ -191,10 +220,14 @@ PublicKey deserialize_public_key(std::span<const u8> bytes,
 Bytes serialize(const KswitchKey& k);
 KswitchKey deserialize_kswitch_key(std::span<const u8> bytes,
                                    const Context& ctx);
+/** Streaming variant: limbs are pulled straight into the key's polys. */
+KswitchKey deserialize_kswitch_key(ByteSource& src, const Context& ctx);
 
 Bytes serialize(const GaloisKeys& g);
 GaloisKeys deserialize_galois_keys(std::span<const u8> bytes,
                                    const Context& ctx);
+/** Streaming variant: limbs are pulled straight into the keys' polys. */
+GaloisKeys deserialize_galois_keys(ByteSource& src, const Context& ctx);
 
 /**
  * True when two parameter sets derive the same moduli chain (and hence

@@ -1,0 +1,225 @@
+#include "src/core/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace orion::core {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;  // cache line; also the size-class step
+
+/** Blocks a thread keeps privately per size class before spilling. */
+constexpr std::size_t kTlsBlocksPerClass = 4;
+
+std::size_t
+default_cache_bound()
+{
+    // Cached-free bytes the global pool may hold before releases fall
+    // through to the heap. Generous by default (paper-scale key switching
+    // wants several extended-poly blocks of ~10 MB each); override with
+    // ORION_ARENA_MB (0 disables caching entirely — every release frees).
+    constexpr std::size_t kDefaultMb = 512;
+    const char* env = std::getenv("ORION_ARENA_MB");
+    if (env == nullptr || *env == '\0') return kDefaultMb << 20;
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end == env) return kDefaultMb << 20;
+    return static_cast<std::size_t>(mb) << 20;
+}
+
+void*
+aligned_new(std::size_t bytes)
+{
+    return ::operator new(bytes, std::align_val_t(kAlign));
+}
+
+void
+aligned_delete(void* p)
+{
+    ::operator delete(p, std::align_val_t(kAlign));
+}
+
+// Set by ~TlsCache. Statics holding pooled buffers can destruct after the
+// thread-local cache is already gone (exit-time destructor ordering);
+// their releases must bypass the dead cache and go straight to the global
+// pool. Trivially destructible, so reading it stays valid through exit.
+thread_local bool g_tls_cache_dead = false;
+
+}  // namespace
+
+struct Arena::Impl {
+    mutable std::mutex mu;
+    // Free lists keyed by exact size class; the pointer vectors are tiny
+    // next to the blocks they index.
+    std::unordered_map<std::size_t, std::vector<void*>> free_lists;
+    std::size_t cache_bound = default_cache_bound();
+    std::size_t cached_bytes = 0;
+
+    // Counters are relaxed atomics so the thread-local fast paths never
+    // take the mutex just to count.
+    std::atomic<u64> acquires{0};
+    std::atomic<u64> pool_hits{0};
+    std::atomic<u64> live_bytes{0};
+
+    /** One thread's private front cache for a single size class. */
+    struct TlsClass {
+        void* blocks[kTlsBlocksPerClass];
+        std::size_t count = 0;
+    };
+    struct TlsCache {
+        std::unordered_map<std::size_t, TlsClass> classes;
+        Impl* owner = nullptr;
+
+        ~TlsCache()
+        {
+            // Thread exit: hand every cached block back to the global
+            // pool so nothing strands with the thread. The singleton is
+            // leaked, so `owner` is always still alive here.
+            g_tls_cache_dead = true;
+            if (owner == nullptr) return;
+            std::lock_guard<std::mutex> lk(owner->mu);
+            for (auto& [bytes, cls] : classes) {
+                for (std::size_t i = 0; i < cls.count; ++i) {
+                    owner->release_locked(cls.blocks[i], bytes);
+                }
+                cls.count = 0;
+            }
+        }
+    };
+
+    TlsCache&
+    tls()
+    {
+        thread_local TlsCache cache;
+        cache.owner = this;
+        return cache;
+    }
+
+    /** Parks a block in the global pool, or frees it past the bound. */
+    void
+    release_locked(void* p, std::size_t bytes)
+    {
+        if (cached_bytes + bytes > cache_bound) {
+            aligned_delete(p);
+            return;
+        }
+        free_lists[bytes].push_back(p);
+        cached_bytes += bytes;
+    }
+};
+
+Arena::Arena() : impl_(new Impl) {}
+
+Arena&
+Arena::instance()
+{
+    // Leaked: thread-local cache destructors may run at any point during
+    // process teardown and must always find a live pool to flush into.
+    static Arena* const arena = new Arena();
+    return *arena;
+}
+
+std::size_t
+Arena::size_class(std::size_t bytes)
+{
+    if (bytes == 0) return kAlign;
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+}
+
+void*
+Arena::acquire(std::size_t bytes, bool* pool_hit)
+{
+    const std::size_t cls = size_class(bytes);
+
+    impl_->acquires.fetch_add(1, std::memory_order_relaxed);
+    impl_->live_bytes.fetch_add(cls, std::memory_order_relaxed);
+
+    // Fast path: this thread's own cache, no lock.
+    if (!g_tls_cache_dead) {
+        Impl::TlsCache& tls = impl_->tls();
+        if (auto it = tls.classes.find(cls);
+            it != tls.classes.end() && it->second.count > 0) {
+            void* p = it->second.blocks[--it->second.count];
+            impl_->pool_hits.fetch_add(1, std::memory_order_relaxed);
+            *pool_hit = true;
+            return p;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        auto it = impl_->free_lists.find(cls);
+        if (it != impl_->free_lists.end() && !it->second.empty()) {
+            void* p = it->second.back();
+            it->second.pop_back();
+            impl_->cached_bytes -= cls;
+            impl_->pool_hits.fetch_add(1, std::memory_order_relaxed);
+            *pool_hit = true;
+            return p;
+        }
+    }
+    *pool_hit = false;
+    return aligned_new(cls);
+}
+
+void
+Arena::release(void* p, std::size_t bytes)
+{
+    const std::size_t cls = size_class(bytes);
+    impl_->live_bytes.fetch_sub(cls, std::memory_order_relaxed);
+    // Prefer the thread-local cache; spill to the global pool when full
+    // so long-lived producer/consumer imbalances still recirculate.
+    if (!g_tls_cache_dead) {
+        Impl::TlsClass& cls_cache = impl_->tls().classes[cls];
+        if (cls_cache.count < kTlsBlocksPerClass) {
+            cls_cache.blocks[cls_cache.count++] = p;
+            return;
+        }
+    }
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->release_locked(p, cls);
+}
+
+ArenaStats
+Arena::stats() const
+{
+    ArenaStats s;
+    s.acquires = impl_->acquires.load(std::memory_order_relaxed);
+    s.pool_hits = impl_->pool_hits.load(std::memory_order_relaxed);
+    s.live_bytes = impl_->live_bytes.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        s.cached_bytes = impl_->cached_bytes;
+    }
+    return s;
+}
+
+void
+Arena::trim()
+{
+    // This thread's cache first (other threads' caches flush on their own
+    // exit), then the global pool.
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (!g_tls_cache_dead) {
+        Impl::TlsCache& tls = impl_->tls();
+        for (auto& [bytes, cls] : tls.classes) {
+            for (std::size_t i = 0; i < cls.count; ++i) {
+                impl_->release_locked(cls.blocks[i], bytes);
+            }
+            cls.count = 0;
+        }
+    }
+    for (auto& [bytes, list] : impl_->free_lists) {
+        (void)bytes;
+        for (void* p : list) aligned_delete(p);
+        list.clear();
+    }
+    impl_->cached_bytes = 0;
+}
+
+}  // namespace orion::core

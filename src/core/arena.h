@@ -1,0 +1,222 @@
+#ifndef ORION_SRC_CORE_ARENA_H_
+#define ORION_SRC_CORE_ARENA_H_
+
+/**
+ * @file
+ * Pooled scratch memory for the RNS hot paths.
+ *
+ * Key switching, BSGS accumulation, and encoding allocate the same few
+ * buffer shapes over and over: an RnsPoly at (level, extended) is always
+ * exactly num_limbs * N residues, and the per-call temporaries (lambda
+ * rows, centered-coefficient buffers, digit pointer tables) repeat the
+ * same sizes every operation. Paying a fresh std::vector allocation (and
+ * its page faults) per call is measurable churn at paper-scale N = 2^16,
+ * where one extended polynomial is ~10 MB.
+ *
+ * The Arena is a process-wide pool of 64-byte-aligned blocks kept on
+ * exact-size free lists: a small thread-local cache in front (lock-free
+ * for the per-task temporaries the thread pool's workers burn through) and
+ * a mutex-protected global pool behind it (so a block released on one
+ * thread can be reacquired on another — steady-state hot loops allocate
+ * on workers and free on the caller, which pure thread-local lists would
+ * leak). Cached-but-free bytes are bounded by $ORION_ARENA_MB (global
+ * pool; the per-thread caches are a few blocks per size on top); beyond
+ * the bound, released blocks go back to the heap.
+ *
+ * Ownership rules (see DESIGN.md "Vectorized kernels & memory arenas"):
+ * blocks are owned by exactly one ArenaVec at a time, returned on
+ * destruction, and never shared; the pool never hands out a block smaller
+ * than the request; acquisition order is unobservable in results, so
+ * pooling cannot affect bit-identity.
+ */
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "src/common.h"
+
+namespace orion::core {
+
+/** Pool effectiveness counters (monotonic except the byte gauges). */
+struct ArenaStats {
+    u64 acquires = 0;      ///< block acquisitions (pool hit or fresh heap)
+    u64 pool_hits = 0;     ///< acquisitions served from a free list
+    u64 live_bytes = 0;    ///< bytes currently handed out
+    u64 cached_bytes = 0;  ///< free bytes parked in the global pool
+};
+
+/** How an ArenaVec::acquire was satisfied. */
+enum class ArenaAcquire {
+    kReused,  ///< existing capacity was enough; no block changed hands
+    kPool,    ///< served from a free list (no heap allocation)
+    kHeap,    ///< fresh heap allocation (pool miss)
+};
+
+/** Process-wide block pool. All methods are thread-safe. */
+class Arena {
+  public:
+    /** The singleton (never destroyed, so thread-exit flushes stay safe). */
+    static Arena& instance();
+
+    /**
+     * A 64-byte-aligned block of at least `bytes` (rounded up to the
+     * 64-byte size class that keys the free lists). Returns the block and
+     * sets `*pool_hit` when it came from a free list.
+     */
+    void* acquire(std::size_t bytes, bool* pool_hit);
+    /** Returns a block to the pool (or the heap, past the byte bound). */
+    void release(void* p, std::size_t bytes);
+
+    /** Rounded size class of a request (the `bytes` release expects). */
+    static std::size_t size_class(std::size_t bytes);
+
+    ArenaStats stats() const;
+    /** Drops every cached free block (global pool + this thread's cache). */
+    void trim();
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+  private:
+    Arena();
+    struct Impl;
+    Impl* impl_;  // leaked with the singleton
+};
+
+/**
+ * A pool-backed buffer of trivially-copyable elements. Move-only; RnsPoly
+ * and the kernel scratch paths build on it. Unlike std::vector, shrinking
+ * keeps the block (released only on destruction, under its original size
+ * class), and growth never copies old contents — callers own the
+ * initialization.
+ */
+template <typename T>
+class ArenaVec {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ArenaVec elements must be trivially copyable");
+
+  public:
+    ArenaVec() = default;
+    ~ArenaVec() { release(); }
+
+    ArenaVec(ArenaVec&& o) noexcept
+        : ptr_(o.ptr_), size_(o.size_), cap_bytes_(o.cap_bytes_)
+    {
+        o.ptr_ = nullptr;
+        o.size_ = 0;
+        o.cap_bytes_ = 0;
+    }
+    ArenaVec&
+    operator=(ArenaVec&& o) noexcept
+    {
+        if (this != &o) {
+            release();
+            ptr_ = o.ptr_;
+            size_ = o.size_;
+            cap_bytes_ = o.cap_bytes_;
+            o.ptr_ = nullptr;
+            o.size_ = 0;
+            o.cap_bytes_ = 0;
+        }
+        return *this;
+    }
+    // Copying is explicit (acquire + copy_from) so RnsPoly can count it.
+    ArenaVec(const ArenaVec&) = delete;
+    ArenaVec& operator=(const ArenaVec&) = delete;
+
+    /**
+     * Makes the buffer hold exactly n elements, UNINITIALIZED unless the
+     * existing capacity was reused (then old contents up to n survive).
+     * Reports how the storage was obtained, for allocation accounting.
+     */
+    ArenaAcquire
+    acquire(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (ptr_ != nullptr && bytes <= cap_bytes_) {
+            size_ = n;
+            return ArenaAcquire::kReused;
+        }
+        release();
+        bool hit = false;
+        ptr_ = static_cast<T*>(Arena::instance().acquire(bytes, &hit));
+        cap_bytes_ = Arena::size_class(bytes);
+        size_ = n;
+        return hit ? ArenaAcquire::kPool : ArenaAcquire::kHeap;
+    }
+
+    /** acquire(n) followed by zero fill. */
+    ArenaAcquire
+    acquire_zero(std::size_t n)
+    {
+        const ArenaAcquire how = acquire(n);
+        std::memset(ptr_, 0, n * sizeof(T));
+        return how;
+    }
+
+    /** acquire(o.size()) followed by a copy of o's contents. */
+    ArenaAcquire
+    copy_from(const ArenaVec& o)
+    {
+        const ArenaAcquire how = acquire(o.size_);
+        std::memcpy(ptr_, o.ptr_, o.size_ * sizeof(T));
+        return how;
+    }
+
+    /** Shrinks the element count; capacity (and the block) stay put. */
+    void
+    resize_down(std::size_t n)
+    {
+        ORION_ASSERT(n <= size_);
+        size_ = n;
+    }
+
+    void
+    release()
+    {
+        if (ptr_ != nullptr) {
+            Arena::instance().release(ptr_, cap_bytes_);
+            ptr_ = nullptr;
+        }
+        size_ = 0;
+        cap_bytes_ = 0;
+    }
+
+    T* data() { return ptr_; }
+    const T* data() const { return ptr_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    T& operator[](std::size_t i) { return ptr_[i]; }
+    const T& operator[](std::size_t i) const { return ptr_[i]; }
+
+  private:
+    T* ptr_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_bytes_ = 0;
+};
+
+/**
+ * Function-scope scratch buffer: an ArenaVec acquired (uninitialized) for
+ * n elements at construction. The drop-in replacement for the hot loops'
+ * per-call `std::vector<T> tmp(n)` — minus the allocation after warmup
+ * and minus the zero fill (every user overwrites its scratch fully).
+ */
+template <typename T>
+class ScratchVec {
+  public:
+    explicit ScratchVec(std::size_t n) { buf_.acquire(n); }
+
+    T* data() { return buf_.data(); }
+    const T* data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    T& operator[](std::size_t i) { return buf_[i]; }
+    const T& operator[](std::size_t i) const { return buf_[i]; }
+
+  private:
+    ArenaVec<T> buf_;
+};
+
+}  // namespace orion::core
+
+#endif  // ORION_SRC_CORE_ARENA_H_

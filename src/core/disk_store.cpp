@@ -239,6 +239,27 @@ DiskStoreReader::get_bytes(const std::string& name)
     return out;
 }
 
+u64
+DiskStoreReader::bytes_size(const std::string& name)
+{
+    return entry(name, kTagBytes).bytes;
+}
+
+void
+DiskStoreReader::get_bytes_at(const std::string& name, u64 offset, void* dst,
+                              std::size_t bytes)
+{
+    const Entry& e = entry(name, kTagBytes);
+    ORION_CHECK(offset <= e.bytes && bytes <= e.bytes - offset,
+                "ranged store read past the end of record "
+                    << name << ": [" << offset << ", " << offset + bytes
+                    << ") in a " << e.bytes << "-byte payload");
+    in_.seekg(e.offset + static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char*>(dst),
+             static_cast<std::streamsize>(bytes));
+    ORION_CHECK(in_.good(), "store read failed: " << name);
+}
+
 lin::DiagonalMatrix
 DiskStoreReader::get_matrix(const std::string& name)
 {

@@ -69,6 +69,17 @@ class DiskStoreReader {
     std::vector<u8> get_bytes(const std::string& name);
     lin::DiagonalMatrix get_matrix(const std::string& name);
 
+    /** Payload size of a bytes record, without reading it. */
+    u64 bytes_size(const std::string& name);
+    /**
+     * Ranged read from a bytes record: copies `bytes` starting at
+     * `offset` within the record's payload into dst. Lets callers stream
+     * a large blob (e.g. a serialized Galois key set) chunk by chunk
+     * instead of materializing the whole record next to its decoded form.
+     */
+    void get_bytes_at(const std::string& name, u64 offset, void* dst,
+                      std::size_t bytes);
+
   private:
     struct Entry {
         char tag;

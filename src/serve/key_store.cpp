@@ -303,18 +303,47 @@ KeyStore::acquire_impl(u64 id, bool pin, bool is_prefetch)
     }
 }
 
+namespace {
+
+/** Streams one spill record's bytes straight off disk, so deserialization
+ *  never holds the raw record alongside the decoded keys. */
+class SpillRecordSource final : public ckks::serial::ByteSource {
+  public:
+    SpillRecordSource(core::DiskStoreReader& reader, std::string name)
+        : reader_(&reader), name_(std::move(name)),
+          size_(reader.bytes_size(name_))
+    {
+    }
+
+    void read_at(u64 offset, void* dst, std::size_t bytes) override
+    {
+        reader_->get_bytes_at(name_, offset, dst, bytes);
+    }
+
+    u64 size() const override { return size_; }
+
+  private:
+    core::DiskStoreReader* reader_;
+    std::string name_;
+    u64 size_;
+};
+
+}  // namespace
+
 void
 KeyStore::load_from_disk(const Entry& e, ckks::KswitchKey& relin,
                          ckks::GaloisKeys& galois) const
 {
     // Deserialization re-expands seeded a-digits limb by limb via
     // expand_kswitch_a, so the loaded keys are bit-identical to the
-    // originally registered ones.
+    // originally registered ones. Limbs stream straight from the spill
+    // file into the decoded polys: a cold Galois-key load peaks at ~1x
+    // the key bytes instead of transiently doubling resident memory.
     core::DiskStoreReader reader(entry_path(e.id));
-    relin = ckks::serial::deserialize_kswitch_key(reader.get_bytes("relin"),
-                                                  *ctx_);
-    galois = ckks::serial::deserialize_galois_keys(reader.get_bytes("galois"),
-                                                   *ctx_);
+    SpillRecordSource relin_src(reader, "relin");
+    relin = ckks::serial::deserialize_kswitch_key(relin_src, *ctx_);
+    SpillRecordSource galois_src(reader, "galois");
+    galois = ckks::serial::deserialize_galois_keys(galois_src, *ctx_);
 }
 
 void
