@@ -8,6 +8,7 @@
  */
 
 #include "bench/bench_util.h"
+#include "src/core/telemetry.h"
 
 using namespace orion;
 
@@ -133,6 +134,20 @@ main(int argc, char** argv)
     bench::json_metric("total_ms", total * 1e3);
     bench::json_metric("modeled_ms", modeled * 1e3);
     bench::json_metric("precision_bits", bits);
+
+    // The same stage split from the process registry's always-on stage
+    // histograms (every bootstrap observes them), the schema a live
+    // server's metrics_text() scrape exposes.
+    telemetry::Registry& reg = telemetry::Registry::global();
+    bench::json_metric("cts_p50_ms",
+                       1e3 * reg.histogram("boot.cts.seconds")
+                                 .percentile(50.0));
+    bench::json_metric("eval_mod_p50_ms",
+                       1e3 * reg.histogram("boot.eval_mod.seconds")
+                                 .percentile(50.0));
+    bench::json_metric("stc_p50_ms",
+                       1e3 * reg.histogram("boot.stc.seconds")
+                                 .percentile(50.0));
 
     if (bits < 15.0) {
         std::fprintf(stderr, "FAIL: bootstrap precision %.1f bits < 15\n",

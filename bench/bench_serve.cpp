@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/telemetry.h"
 #include "src/serve/serve.h"
 
 using namespace orion;
@@ -206,6 +207,12 @@ run_churn(const core::CompiledNetwork& cn, const ckks::Context& ctx,
                            static_cast<double>(stats.key_disk_bytes) /
                                (1024.0 * 1024.0));
         bench::json_metric(prefix + "rss_mb", rss);
+        // The server-side latency view from its own registry (one schema
+        // with metrics_text(); client-side percentiles above stay the
+        // headline numbers since they include queueing).
+        const auto snap = server.metrics().snapshot();
+        bench::json_metric(prefix + "server_exec_p95_ms",
+                           1e3 * snap.at("serve.execute.seconds.p95"));
         if (pass.cache_mb == 0) {
             allres_p95 = p95;
         } else {
@@ -339,6 +346,15 @@ main(int argc, char** argv)
             prefix + "mean_exec_ms",
             1e3 * stats.total_execute_s /
                 static_cast<double>(std::max<u64>(stats.completed, 1)));
+        // Server-registry view of the same pass: the execute-latency
+        // histogram and the ledger, as metrics_text() would expose them.
+        const auto snap = server.metrics().snapshot();
+        bench::json_metric(prefix + "server_exec_p50_ms",
+                           1e3 * snap.at("serve.execute.seconds.p50"));
+        bench::json_metric(prefix + "server_exec_p95_ms",
+                           1e3 * snap.at("serve.execute.seconds.p95"));
+        bench::json_metric(prefix + "server_completed",
+                           snap.at("serve.completed"));
     }
     std::printf("\n(two sessions with distinct key bundles; kernel threads "
                 "per request = 1,\n scaling comes from request-level "

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/orion.h"
+#include "src/core/telemetry.h"
 
 namespace orion::bench {
 
@@ -124,6 +125,17 @@ write_json_report()
                      json_escape(report.metrics[i].first).c_str(),
                      report.metrics[i].second);
     }
+    // The process registry's snapshot rides along, so BENCH_*.json and a
+    // live server's metrics_text() share one schema (op counters, arena,
+    // stage histograms, and the bench.* mirrors of the rows above).
+    std::fprintf(f, "\n  },\n  \"telemetry\": {");
+    const std::map<std::string, double> snap =
+        telemetry::Registry::global().snapshot();
+    std::size_t t = 0;
+    for (const auto& [name, value] : snap) {
+        std::fprintf(f, "%s\n    \"%s\": %.9g", t++ == 0 ? "" : ",",
+                     json_escape(name).c_str(), value);
+    }
     std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("[json report: %s]\n", opts.json_path.c_str());
@@ -139,6 +151,9 @@ write_json_report()
 inline void
 json_metric(const std::string& name, double value)
 {
+    // Mirror every bench metric into the process registry under bench.*:
+    // the registry is the shared schema, the JSON report a view of it.
+    telemetry::Registry::global().gauge("bench." + name).set(value);
     if (options().json_path.empty()) return;
     for (auto& [k, v] : detail::json_report().metrics) {
         if (k == name) {

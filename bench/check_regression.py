@@ -3,17 +3,27 @@
 
 Usage:
     check_regression.py BASELINE.json CURRENT.json [--max-regress 0.10]
-                        [--prefix sweep_] [--verbose]
+                        [--prefix sweep_] [--allow-missing SUBSTR]...
 
 Both files are the --json reports the bench binaries write. Every metric
-key present in BOTH files whose name ends in `_ms` (a latency) is
+key present in the BASELINE whose name ends in `_ms` (a latency) is
 compared; CURRENT may be at most (1 + max_regress) times the BASELINE
 value. Non-latency keys (counters, sizes, ISA ids) are ignored — they
-describe the run rather than its speed. Keys only present on one side are
-reported but never fail the check, so adding new metrics (or running a
-sweep on a host without AVX-512) does not break CI.
+describe the run rather than its speed.
 
-Exit status: 0 when no compared metric regresses, 1 otherwise.
+A baseline `_ms` key that is absent from CURRENT is an error: a silently
+vanished metric would otherwise let a regression hide behind a renamed or
+dropped measurement. When the absence is expected (e.g. the baseline was
+recorded on an AVX-512 host and CI is not), pass
+`--allow-missing avx512`; the flag is repeatable and matches keys by
+substring. Keys only present in CURRENT never fail the check, so adding
+new metrics does not break CI.
+
+A per-metric summary table (baseline vs current vs ratio) is printed on
+every run, success included, so CI logs always show the actual numbers.
+
+Exit status: 0 when no compared metric regresses and no required baseline
+metric is missing, 1 otherwise.
 """
 
 import argparse
@@ -38,8 +48,13 @@ def main():
                     help="allowed fractional slowdown (default 0.10 = 10%%)")
     ap.add_argument("--prefix", default="",
                     help="only compare metric keys with this prefix")
+    ap.add_argument("--allow-missing", action="append", default=[],
+                    metavar="SUBSTR",
+                    help="baseline keys containing SUBSTR may be absent "
+                         "from the current run (repeatable)")
     ap.add_argument("--verbose", action="store_true",
-                    help="print every compared metric, not just failures")
+                    help="kept for compatibility; the summary table is "
+                         "now always printed")
     args = ap.parse_args()
 
     base_doc, base = load_metrics(args.baseline)
@@ -49,50 +64,73 @@ def main():
         print("note: comparing smoke-mode runs; timings are unreliable",
               file=sys.stderr)
 
-    compared = 0
-    failures = []
-    for key in sorted(set(base) & set(cur)):
+    def in_scope(key):
         if not key.endswith("_ms"):
-            continue
+            return False
         if args.prefix and not key.startswith(args.prefix):
+            return False
+        return True
+
+    rows = []      # (mark, key, old, new, ratio)
+    failures = []
+    missing = []   # baseline keys absent from current and not allowed
+    skipped_missing = 0
+    for key in sorted(k for k in base if in_scope(k)):
+        if key not in cur:
+            if any(sub in key for sub in args.allow_missing):
+                skipped_missing += 1
+                continue
+            missing.append(key)
             continue
         old, new = float(base[key]), float(cur[key])
         if old <= 0.0:
             continue  # degenerate baseline cell; nothing to compare against
-        compared += 1
         ratio = new / old
         regressed = ratio > 1.0 + args.max_regress
+        mark = "FAIL" if regressed else "ok"
+        rows.append((mark, key, old, new, ratio))
         if regressed:
             failures.append((key, old, new, ratio))
-        if args.verbose or regressed:
-            mark = "FAIL" if regressed else "ok"
-            print(f"{mark:4s} {key}: {old:.4f} -> {new:.4f} ms "
-                  f"({ratio:.2f}x)")
 
-    only_base = sorted(k for k in base if k not in cur and k.endswith("_ms"))
-    only_cur = sorted(k for k in cur if k not in base and k.endswith("_ms"))
-    if only_base:
-        print(f"note: {len(only_base)} baseline metric(s) missing from "
-              f"current run: {', '.join(only_base[:5])}"
-              f"{' ...' if len(only_base) > 5 else ''}")
+    if rows:
+        width = max(len(r[1]) for r in rows)
+        print(f"{'':4s} {'metric':{width}s} {'baseline':>12s} "
+              f"{'current':>12s} {'ratio':>7s}")
+        for mark, key, old, new, ratio in rows:
+            print(f"{mark:4s} {key:{width}s} {old:>9.4f} ms {new:>9.4f} ms "
+                  f"{ratio:>6.2f}x")
+
+    only_cur = sorted(k for k in cur if k not in base and in_scope(k))
     if only_cur:
         print(f"note: {len(only_cur)} new metric(s) not in baseline: "
               f"{', '.join(only_cur[:5])}"
               f"{' ...' if len(only_cur) > 5 else ''}")
+    if skipped_missing:
+        print(f"note: {skipped_missing} baseline metric(s) absent from the "
+              f"current run but matched --allow-missing")
 
-    if compared == 0:
+    ok = True
+    if missing:
+        print(f"\nerror: {len(missing)} baseline metric(s) missing from "
+              f"{args.current} (pass --allow-missing SUBSTR if expected):",
+              file=sys.stderr)
+        for key in missing:
+            print(f"  {key}", file=sys.stderr)
+        ok = False
+    if not rows and not missing:
         print("error: no comparable metrics between the two reports",
               file=sys.stderr)
-        return 1
+        ok = False
     if failures:
-        print(f"\n{len(failures)}/{compared} metric(s) regressed more than "
+        print(f"\n{len(failures)}/{len(rows)} metric(s) regressed more than "
               f"{args.max_regress:.0%}:")
         for key, old, new, ratio in failures:
             print(f"  {key}: {old:.4f} -> {new:.4f} ms ({ratio:.2f}x)")
-        return 1
-    print(f"all {compared} compared metrics within {args.max_regress:.0%} "
-          f"of baseline")
-    return 0
+        ok = False
+    if ok:
+        print(f"all {len(rows)} compared metrics within "
+              f"{args.max_regress:.0%} of baseline")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -133,5 +133,10 @@ main()
                     static_cast<double>(std::max<u64>(stats.completed, 1)));
     std::printf("argmax agreement with direct execution: %d/%d\n", agree,
                 total);
+
+    // The scrape surface, printed last so `ORION_TRACE=... ./serve_mnist`
+    // leaves both a trace file and a parseable /metrics dump behind (the
+    // CI telemetry smoke step greps this).
+    std::printf("\n--- metrics ---\n%s", server->metrics_text().c_str());
     return agree == total ? 0 : 1;
 }

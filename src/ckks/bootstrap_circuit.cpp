@@ -6,6 +6,7 @@
 #include <numbers>
 #include <set>
 
+#include "src/core/telemetry.h"
 #include "src/core/thread_pool.h"
 #include "src/linalg/bsgs_detail.h"
 
@@ -365,56 +366,90 @@ Ciphertext
 BootstrapCircuit::bootstrap(const Evaluator& eval, const Ciphertext& ct,
                             BootstrapStats* stats) const
 {
+    TELEM_SPAN("boot.bootstrap");
     ORION_CHECK(ct.valid(), "cannot bootstrap an empty ciphertext");
     ORION_CHECK(scales_match(ct.scale, input_scale_),
                 "bootstrap circuit prepared for input scale "
                     << input_scale_ << ", got " << ct.scale);
     const double delta = ctx_->scale();
 
+    // Per-stage wall clocks always run (they cost four clock reads per
+    // bootstrap) and feed the process-wide stage histograms; `stats`
+    // keeps the caller-visible split of BootstrapStats.
+    static telemetry::Histogram& h_mod_raise =
+        telemetry::Registry::global().histogram("boot.mod_raise.seconds");
+    static telemetry::Histogram& h_cts =
+        telemetry::Registry::global().histogram("boot.cts.seconds");
+    static telemetry::Histogram& h_eval_mod =
+        telemetry::Registry::global().histogram("boot.eval_mod.seconds");
+    static telemetry::Histogram& h_stc =
+        telemetry::Registry::global().histogram("boot.stc.seconds");
+
     // ModRaise: everything the ciphertext knows lives mod q_0.
     auto t0 = std::chrono::steady_clock::now();
-    Ciphertext low = ct;
-    if (low.level() > 0) eval.drop_to_level_inplace(low, 0);
     Ciphertext cur;
-    cur.scale = input_scale_;
-    cur.c0 = low.c0.mod_raise(top_level());
-    cur.c1 = low.c1.mod_raise(top_level());
-    if (stats != nullptr) stats->mod_raise_s = seconds_since(t0);
+    {
+        TELEM_SPAN("boot.mod_raise");
+        Ciphertext low = ct;
+        if (low.level() > 0) eval.drop_to_level_inplace(low, 0);
+        cur.scale = input_scale_;
+        cur.c0 = low.c0.mod_raise(top_level());
+        cur.c1 = low.c1.mod_raise(top_level());
+    }
+    const double mod_raise_s = seconds_since(t0);
+    h_mod_raise.observe(mod_raise_s);
+    if (stats != nullptr) stats->mod_raise_s = mod_raise_s;
 
     // CoeffToSlot, then one conjugation to split real/imaginary halves
     // (the matrices already carry the 1/2).
     t0 = std::chrono::steady_clock::now();
-    for (const HeComplexMatrix& stage : cts_) {
-        cur = stage.apply(eval, cur);
-        ORION_ASSERT(scales_match(cur.scale, delta));
-        cur.scale = delta;
+    Ciphertext re, im;
+    {
+        TELEM_SPAN("boot.cts");
+        for (const HeComplexMatrix& stage : cts_) {
+            cur = stage.apply(eval, cur);
+            ORION_ASSERT(scales_match(cur.scale, delta));
+            cur.scale = delta;
+        }
+        const Ciphertext conj = eval.conjugate(cur);
+        re = eval.add(cur, conj);
+        im = std::move(cur);
+        eval.sub_inplace(im, conj);
+        eval.mul_by_i_inplace(im, /*negative=*/true);
     }
-    const Ciphertext conj = eval.conjugate(cur);
-    Ciphertext re = eval.add(cur, conj);
-    Ciphertext im = std::move(cur);
-    eval.sub_inplace(im, conj);
-    eval.mul_by_i_inplace(im, /*negative=*/true);
-    if (stats != nullptr) stats->coeff_to_slot_s = seconds_since(t0);
+    const double cts_s = seconds_since(t0);
+    h_cts.observe(cts_s);
+    if (stats != nullptr) stats->coeff_to_slot_s = cts_s;
 
     // EvalMod on both halves, then recombine re + i * im.
     t0 = std::chrono::steady_clock::now();
-    re = eval_mod(eval, re);
-    im = eval_mod(eval, im);
-    ORION_ASSERT(scales_match(re.scale, post_eval_scale_));
-    eval.mul_by_i_inplace(im);
-    re.scale = post_eval_scale_;
-    im.scale = post_eval_scale_;
-    eval.add_inplace(re, im);
-    if (stats != nullptr) stats->eval_mod_s = seconds_since(t0);
+    {
+        TELEM_SPAN("boot.eval_mod");
+        re = eval_mod(eval, re);
+        im = eval_mod(eval, im);
+        ORION_ASSERT(scales_match(re.scale, post_eval_scale_));
+        eval.mul_by_i_inplace(im);
+        re.scale = post_eval_scale_;
+        im.scale = post_eval_scale_;
+        eval.add_inplace(re, im);
+    }
+    const double eval_mod_s = seconds_since(t0);
+    h_eval_mod.observe(eval_mod_s);
+    if (stats != nullptr) stats->eval_mod_s = eval_mod_s;
 
     // SlotToCoeff back to coefficient packing.
     t0 = std::chrono::steady_clock::now();
-    for (const HeComplexMatrix& stage : stc_) {
-        re = stage.apply(eval, re);
-        ORION_ASSERT(scales_match(re.scale, delta));
-        re.scale = delta;
+    {
+        TELEM_SPAN("boot.stc");
+        for (const HeComplexMatrix& stage : stc_) {
+            re = stage.apply(eval, re);
+            ORION_ASSERT(scales_match(re.scale, delta));
+            re.scale = delta;
+        }
     }
-    if (stats != nullptr) stats->slot_to_coeff_s = seconds_since(t0);
+    const double stc_s = seconds_since(t0);
+    h_stc.observe(stc_s);
+    if (stats != nullptr) stats->slot_to_coeff_s = stc_s;
 
     ORION_ASSERT(re.level() == l_eff_);
     ctx_->counters().bootstrap += 1;

@@ -5,6 +5,7 @@
 
 #include "src/ckks/poly.h"
 #include "src/ckks/primes.h"
+#include "src/core/telemetry.h"
 
 namespace orion::ckks {
 
@@ -116,6 +117,36 @@ Context::Context(const CkksParams& params) : params_(params)
             }
         }
     }
+
+    // Publish this Context's op counters into the process registry. The
+    // hot loops keep bumping the per-Context relaxed atomics (snapshot /
+    // delta semantics for benches and tests are unchanged); the registry
+    // reads them only at scrape time and sums across live Contexts.
+    telem_collector_ = telemetry::Registry::global().add_collector(
+        [this](std::vector<telemetry::Sample>& out) {
+            const OpCounters& c = counters_;
+            const auto counter = [&out](const char* name, u64 v) {
+                out.push_back({name, static_cast<double>(v),
+                               telemetry::Sample::Kind::kCounter});
+            };
+            counter("ckks.op.pmult", c.pmult);
+            counter("ckks.op.hmult", c.hmult);
+            counter("ckks.op.hadd", c.hadd);
+            counter("ckks.op.hrot", c.hrot);
+            counter("ckks.op.hrot_hoisted", c.hrot_hoisted);
+            counter("ckks.op.keyswitch", c.keyswitch);
+            counter("ckks.op.rescale", c.rescale);
+            counter("ckks.op.bootstrap", c.bootstrap);
+            counter("ckks.op.ntt", c.ntt);
+            counter("ckks.op.decompose", c.decompose);
+            counter("ckks.op.poly_alloc", c.poly_alloc);
+            counter("ckks.op.poly_arena_hit", c.poly_arena_hit);
+        });
+}
+
+Context::~Context()
+{
+    telemetry::Registry::global().remove_collector(telem_collector_);
 }
 
 u64

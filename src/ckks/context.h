@@ -182,6 +182,7 @@ struct CkksParams {
 class Context {
   public:
     explicit Context(const CkksParams& params);
+    ~Context();
 
     Context(const Context&) = delete;
     Context& operator=(const Context&) = delete;
@@ -325,6 +326,8 @@ class Context {
     mutable OpCounters counters_;
     mutable std::mutex galois_perm_mu_;
     mutable std::map<u64, std::vector<u32>> galois_perm_cache_;
+    /** telemetry::Registry::global() collector handle (ckks.op.*). */
+    u64 telem_collector_ = 0;
 };
 
 }  // namespace orion::ckks

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/core/telemetry.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::ckks {
@@ -97,6 +98,7 @@ Evaluator::mul_plain_inplace(Ciphertext& a, const Plaintext& p) const
 Ciphertext
 Evaluator::mul(const Ciphertext& a, const Ciphertext& b) const
 {
+    TELEM_SPAN("eval.mul");
     ORION_CHECK(relin_ != nullptr, "relinearization key not set");
     ORION_CHECK(a.level() == b.level(), "level mismatch in mul");
 
@@ -139,6 +141,7 @@ Evaluator::mul_constant_inplace(Ciphertext& a, double v, double scale) const
 void
 Evaluator::rescale_inplace(Ciphertext& a) const
 {
+    TELEM_SPAN("eval.rescale");
     const double q_last =
         static_cast<double>(ctx_->q(a.level()).value());
     a.c0.rescale_drop_last();
@@ -164,6 +167,7 @@ Evaluator::galois_key_for_step(int step) const
 Ciphertext
 Evaluator::rotate_internal(const Ciphertext& a, u64 elt) const
 {
+    TELEM_SPAN("eval.rotate");
     ORION_CHECK(galois_ != nullptr, "Galois keys not set");
     const KswitchKey& key = galois_->at(elt);
     const std::vector<u32>& perm = ctx_->galois_permutation(elt);
@@ -223,6 +227,7 @@ Evaluator::mul_by_i_inplace(Ciphertext& a, bool negative) const
 Evaluator::Hoisted
 Evaluator::hoist(const Ciphertext& a) const
 {
+    TELEM_SPAN("eval.hoist");
     Hoisted h;
     h.ct = a;
     h.digits = switcher_.decompose(a.c1);
@@ -237,6 +242,7 @@ Evaluator::rotate_hoisted(const Hoisted& h, int step) const
         0) {
         return h.ct;
     }
+    TELEM_SPAN("eval.rotate_hoisted");
     ORION_CHECK(galois_ != nullptr, "Galois keys not set");
     const u64 elt = ctx_->galois_elt(step);
     const KswitchKey& key = galois_->at(elt);
@@ -333,6 +339,7 @@ Evaluator::merge_accumulator(RotationAccumulator& into,
 Ciphertext
 Evaluator::finalize_accumulator(RotationAccumulator& acc) const
 {
+    TELEM_SPAN("eval.finalize_accumulator");
     Ciphertext out;
     out.scale = acc.scale_;
     out.c0 = std::move(acc.base0_);

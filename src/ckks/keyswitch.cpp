@@ -4,6 +4,7 @@
 
 #include "src/ckks/kernels.h"
 #include "src/core/arena.h"
+#include "src/core/telemetry.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::ckks {
@@ -11,6 +12,7 @@ namespace orion::ckks {
 std::vector<RnsPoly>
 KeySwitcher::decompose(const RnsPoly& c) const
 {
+    TELEM_SPAN("keyswitch.decompose");
     ORION_CHECK(!c.extended(), "decompose expects coefficient limbs only");
     const Context& ctx = *ctx_;
     const int level = c.level();
@@ -88,6 +90,7 @@ KeySwitcher::inner_product(const std::vector<RnsPoly>& digits,
                            const KswitchKey& ksk, RnsPoly* acc0,
                            RnsPoly* acc1) const
 {
+    TELEM_SPAN("keyswitch.inner_product");
     const Context& ctx = *ctx_;
     const u64 n = ctx.degree();
     ORION_ASSERT(acc0->extended() && acc1->extended());
@@ -147,6 +150,7 @@ void
 KeySwitcher::apply(const RnsPoly& c, const KswitchKey& ksk, RnsPoly* out0,
                    RnsPoly* out1) const
 {
+    TELEM_SPAN("ckks.keyswitch");
     const std::vector<RnsPoly> digits = decompose(c);
     RnsPoly acc0(*ctx_, c.level(), /*extended=*/true, /*ntt_form=*/true);
     RnsPoly acc1(*ctx_, c.level(), /*extended=*/true, /*ntt_form=*/true);

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/telemetry.h"
+
 namespace orion::core {
 
 namespace {
@@ -113,7 +115,28 @@ struct Arena::Impl {
     }
 };
 
-Arena::Arena() : impl_(new Impl) {}
+Arena::Arena() : impl_(new Impl)
+{
+    // The singleton is leaked, so the collector is never removed; it
+    // publishes the pool counters/gauges at every registry scrape.
+    telemetry::Registry::global().add_collector(
+        [this](std::vector<telemetry::Sample>& out) {
+            const ArenaStats s = stats();
+            using Kind = telemetry::Sample::Kind;
+            out.push_back({"arena.acquires",
+                           static_cast<double>(s.acquires),
+                           Kind::kCounter});
+            out.push_back({"arena.pool_hits",
+                           static_cast<double>(s.pool_hits),
+                           Kind::kCounter});
+            out.push_back({"arena.live_bytes",
+                           static_cast<double>(s.live_bytes),
+                           Kind::kGauge});
+            out.push_back({"arena.cached_bytes",
+                           static_cast<double>(s.cached_bytes),
+                           Kind::kGauge});
+        });
+}
 
 Arena&
 Arena::instance()

@@ -49,6 +49,13 @@ class CostModel {
 
     /** Calibrates seconds_per_word_op from a measured rotation latency. */
     void calibrate(double measured_rotation_seconds, int at_level);
+    /**
+     * Calibrates seconds_per_word_op so bootstrap(l_eff) equals a measured
+     * full-bootstrap wall-clock. The scaling is uniform across every
+     * primitive, so relative costs (and therefore bootstrap placements)
+     * are unchanged; only the absolute latency scale moves.
+     */
+    void calibrate_bootstrap(double measured_seconds, int l_eff);
 
     // ---- primitive latencies (seconds), as functions of level ----
 
@@ -92,7 +99,14 @@ class CostModel {
     int alpha_ = 3;
     int num_special_ = 3;
     int l_boot_ = 14;
-    double seconds_per_word_op_ = 2.0e-9;
+    /**
+     * Default constant calibrated against the measured N = 2^16 paper-scale
+     * bootstrap (bench/baselines/BENCH_bootstrap.json: 37851.07 ms measured
+     * vs 20325.99 ms that this model priced at the previous 2.0e-9) —
+     * 2.0e-9 * 37851.0701 / 20325.9923. The registry's boot.*.seconds
+     * stage histograms are the data source for future refits.
+     */
+    double seconds_per_word_op_ = 3.7244e-9;
 };
 
 }  // namespace orion::core

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/approx/polyeval.h"
+#include "src/core/telemetry.h"
 #include "src/core/thread_pool.h"
 
 namespace orion::core {
@@ -20,6 +21,34 @@ struct ValueMeta {
 struct Value {
     std::vector<ckks::Ciphertext> cts;
 };
+
+/** Static span label of one program instruction kind. */
+const char*
+op_span_name(Instruction::Op op)
+{
+    switch (op) {
+    case Instruction::Op::kInput: return "exec.input";
+    case Instruction::Op::kBootstrap: return "exec.bootstrap";
+    case Instruction::Op::kLinear: return "exec.linear";
+    case Instruction::Op::kActivation: return "exec.activation";
+    case Instruction::Op::kMul: return "exec.mul";
+    case Instruction::Op::kScale: return "exec.scale";
+    case Instruction::Op::kAdd: return "exec.add";
+    case Instruction::Op::kOutput: return "exec.output";
+    }
+    return "exec.unknown";
+}
+
+/** Merges one instruction's wall time into the per-layer breakdown. */
+void
+charge_layer(std::vector<LayerTiming>& times, int layer_id, double seconds)
+{
+    if (!times.empty() && times.back().layer_id == layer_id) {
+        times.back().seconds += seconds;
+        return;
+    }
+    times.push_back({layer_id, seconds});
+}
 
 }  // namespace
 
@@ -645,6 +674,8 @@ CkksExecutor::execute_program(const std::vector<ckks::Ciphertext>& input)
 
     for (std::size_t idx = 0; idx < cn_->program.size(); ++idx) {
         const Instruction& ins = cn_->program[idx];
+        const auto ins_t0 = std::chrono::steady_clock::now();
+        telemetry::SpanGuard ins_span(op_span_name(ins.op), ins.layer_id);
         switch (ins.op) {
         case Instruction::Op::kInput: {
             ORION_CHECK(input.size() == ins.cts,
@@ -786,6 +817,12 @@ CkksExecutor::execute_program(const std::vector<ckks::Ciphertext>& input)
             break;
         }
         }
+        // Per-layer attribution covers the op itself, not the inspect
+        // callback below (which decrypts and only runs in tests).
+        charge_layer(result.layer_times, ins.layer_id,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - ins_t0)
+                         .count());
         if (inspect && ins.op != Instruction::Op::kOutput) {
             ORION_CHECK(decryptor_.has_value(),
                         "inspect requires a self-keyed executor");
@@ -829,6 +866,7 @@ CkksExecutor::run(const std::vector<double>& input)
     result.bootstraps = er.bootstraps;
     result.rotations = er.rotations;
     result.pmults = er.pmults;
+    result.layer_times = std::move(er.layer_times);
     result.modeled_latency = cn_->modeled_latency;
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -33,6 +33,18 @@
 
 namespace orion::core {
 
+/**
+ * Wall-clock attribution of one network layer: consecutive program
+ * instructions with the same Instruction::layer_id merge into one entry
+ * (execution order is preserved), so the vector reads as the paper's
+ * Table-4-style per-layer breakdown. layer_id -1 is compiler glue
+ * (scales, residual adds) outside any frontend layer.
+ */
+struct LayerTiming {
+    int layer_id = -1;
+    double seconds = 0.0;
+};
+
 /** Outcome of one inference. */
 struct ExecutionResult {
     std::vector<double> output;    ///< logical network output (de-normalized)
@@ -41,6 +53,7 @@ struct ExecutionResult {
     u64 bootstraps = 0;
     u64 rotations = 0;
     u64 pmults = 0;
+    std::vector<LayerTiming> layer_times;
 };
 
 /** Outcome of one encrypted-domain inference (serving path). */
@@ -50,6 +63,7 @@ struct EncryptedResult {
     u64 bootstraps = 0;
     u64 rotations = 0;
     u64 pmults = 0;
+    std::vector<LayerTiming> layer_times;
 };
 
 /**

@@ -1,0 +1,440 @@
+#include "src/core/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+namespace orion::telemetry {
+
+// ---------------------------------------------------------------- metrics
+
+namespace {
+
+/** Bucket index for a value: smallest i with bucket_upper(i) >= v. */
+int
+bucket_index(double v)
+{
+    if (!(v > Histogram::kMinValue)) return 0;
+    const double f =
+        Histogram::kSubBuckets * std::log2(v / Histogram::kMinValue);
+    const int i = static_cast<int>(std::ceil(f)) - 1;
+    if (i < 0) return 0;
+    if (i >= Histogram::kBuckets) return Histogram::kBuckets - 1;
+    return i;
+}
+
+}  // namespace
+
+void
+Histogram::observe(double v)
+{
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double
+Histogram::bucket_upper(int i)
+{
+    return kMinValue *
+           std::exp2(static_cast<double>(i + 1) / kSubBuckets);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const u64 n = count();
+    if (n == 0) return 0.0;
+    const double rank = std::max(1.0, p / 100.0 * static_cast<double>(n));
+    u64 cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const u64 in_bucket = bucket_count(i);
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(cum + in_bucket) >= rank) {
+            // Interpolate inside the bucket: geometrically (buckets are
+            // log-spaced) except the first, which starts at 0.
+            const double lo = (i == 0) ? 0.0 : bucket_upper(i - 1);
+            const double hi = bucket_upper(i);
+            const double frac = (rank - static_cast<double>(cum)) /
+                                static_cast<double>(in_bucket);
+            if (lo <= 0.0) return hi * frac;
+            return lo * std::pow(hi / lo, frac);
+        }
+        cum += in_bucket;
+    }
+    return bucket_upper(kBuckets - 1);
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+}
+
+Gauge&
+Registry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+}
+
+u64
+Registry::add_collector(Collector fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const u64 handle = next_collector_++;
+    collectors_[handle] = std::move(fn);
+    return handle;
+}
+
+void
+Registry::remove_collector(u64 handle)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors_.erase(handle);
+}
+
+void
+Registry::collect(std::vector<Sample>& out) const
+{
+    // Callers hold mu_. Collectors may take their owners' locks; the lock
+    // order is therefore always registry -> owner, and owners must never
+    // call by-name registry lookups while holding their own lock (capture
+    // instrument references up front instead).
+    for (const auto& [name, c] : counters_) {
+        out.push_back({name, static_cast<double>(c.value()),
+                       Sample::Kind::kCounter});
+    }
+    for (const auto& [name, g] : gauges_) {
+        out.push_back({name, g.value(), Sample::Kind::kGauge});
+    }
+    for (const auto& [handle, fn] : collectors_) fn(out);
+}
+
+namespace {
+
+/** Merged scrape output: same-name samples sum (N contexts -> one row). */
+std::map<std::string, Sample>
+merge(const std::vector<Sample>& samples)
+{
+    std::map<std::string, Sample> merged;
+    for (const Sample& s : samples) {
+        auto [it, fresh] = merged.emplace(s.name, s);
+        if (!fresh) it->second.value += s.value;
+    }
+    return merged;
+}
+
+/** `ckks.op.hmult` -> `orion_ckks_op_hmult` (Prometheus-legal). */
+std::string
+prom_name(const std::string& name)
+{
+    std::string out = "orion_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+fmt_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::map<std::string, double>
+Registry::snapshot() const
+{
+    std::vector<Sample> samples;
+    std::map<std::string, double> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        collect(samples);
+        for (const auto& [name, h] : histograms_) {
+            out[name + ".count"] = static_cast<double>(h.count());
+            out[name + ".sum"] = h.sum();
+            out[name + ".p50"] = h.percentile(50.0);
+            out[name + ".p95"] = h.percentile(95.0);
+            out[name + ".p99"] = h.percentile(99.0);
+        }
+    }
+    for (const auto& [name, s] : merge(samples)) out[name] = s.value;
+    return out;
+}
+
+std::string
+Registry::text() const
+{
+    std::vector<Sample> samples;
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(mu_);
+    collect(samples);
+    for (const auto& [name, s] : merge(samples)) {
+        const bool is_counter = s.kind == Sample::Kind::kCounter;
+        const std::string prom =
+            prom_name(name) + (is_counter ? "_total" : "");
+        os << "# TYPE " << prom << (is_counter ? " counter" : " gauge")
+           << "\n";
+        os << prom << " " << fmt_double(s.value) << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+        const std::string prom = prom_name(name);
+        os << "# TYPE " << prom << " histogram\n";
+        u64 cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            const u64 in_bucket = h.bucket_count(i);
+            if (in_bucket == 0) continue;
+            cum += in_bucket;
+            os << prom << "_bucket{le=\""
+               << fmt_double(Histogram::bucket_upper(i)) << "\"} " << cum
+               << "\n";
+        }
+        os << prom << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        os << prom << "_sum " << fmt_double(h.sum()) << "\n";
+        os << prom << "_count " << h.count() << "\n";
+    }
+    return os.str();
+}
+
+Registry&
+Registry::global()
+{
+    // Leaked: instrument references handed to static-lifetime callers must
+    // outlive every atexit handler.
+    static Registry* registry = new Registry;
+    return *registry;
+}
+
+// ----------------------------------------------------------------- tracer
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+u64
+now_ns()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+namespace {
+
+/** One thread's span buffer; overwrites oldest when full. */
+struct TraceRing {
+    std::mutex mu;
+    std::vector<TraceEvent> buf;
+    std::size_t capacity = 0;
+    std::size_t head = 0;  ///< oldest event once the ring has wrapped
+    u64 dropped = 0;
+    int tid = 0;
+};
+
+struct TraceState {
+    std::mutex mu;
+    // shared_ptrs keep rings alive past thread exit so their events
+    // still appear in the trace.
+    std::vector<std::shared_ptr<TraceRing>> rings;
+    std::size_t ring_capacity = std::size_t(1) << 15;
+    int next_tid = 1;
+};
+
+TraceState&
+state()
+{
+    static TraceState* s = new TraceState;  // leaked, like the registry
+    return *s;
+}
+
+thread_local std::shared_ptr<TraceRing> t_ring;
+
+TraceRing&
+ring()
+{
+    if (t_ring == nullptr) {
+        auto r = std::make_shared<TraceRing>();
+        TraceState& s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        r->capacity = std::max<std::size_t>(1, s.ring_capacity);
+        r->buf.reserve(r->capacity);
+        r->tid = s.next_tid++;
+        s.rings.push_back(r);
+        t_ring = std::move(r);
+    }
+    return *t_ring;
+}
+
+}  // namespace
+
+void
+record_span(const char* name, u64 t0_ns, u64 t1_ns, i64 arg)
+{
+    TraceRing& r = ring();
+    const TraceEvent e{name, t0_ns, t1_ns - t0_ns, arg};
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.buf.size() < r.capacity) {
+        r.buf.push_back(e);
+    } else {
+        r.buf[r.head] = e;
+        r.head = (r.head + 1) % r.capacity;
+        ++r.dropped;
+    }
+}
+
+}  // namespace detail
+
+void
+set_tracing(bool on)
+{
+    detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void
+set_trace_ring_capacity(std::size_t events)
+{
+    detail::TraceState& s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.ring_capacity = std::max<std::size_t>(1, events);
+}
+
+void
+clear_trace()
+{
+    detail::TraceState& s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& r : s.rings) {
+        std::lock_guard<std::mutex> ring_lock(r->mu);
+        r->buf.clear();
+        r->head = 0;
+        r->dropped = 0;
+    }
+}
+
+u64
+trace_dropped()
+{
+    detail::TraceState& s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    u64 total = 0;
+    for (const auto& r : s.rings) {
+        std::lock_guard<std::mutex> ring_lock(r->mu);
+        total += r->dropped;
+    }
+    return total;
+}
+
+std::vector<TraceRecord>
+collect_trace_events()
+{
+    detail::TraceState& s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::vector<TraceRecord> out;
+    for (const auto& r : s.rings) {
+        std::lock_guard<std::mutex> ring_lock(r->mu);
+        const std::size_t n = r->buf.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            // head is the oldest entry once the ring has wrapped.
+            const std::size_t i = (r->head + k) % n;
+            out.push_back({r->buf[i], r->tid});
+        }
+    }
+    return out;
+}
+
+std::string
+trace_json()
+{
+    const std::vector<TraceRecord> records = collect_trace_events();
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceRecord& rec : records) {
+        if (!first) os << ",";
+        first = false;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "\n{\"name\":\"%s\",\"cat\":\"orion\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                      rec.event.name,
+                      static_cast<double>(rec.event.t0_ns) / 1e3,
+                      static_cast<double>(rec.event.dur_ns) / 1e3, rec.tid);
+        os << buf;
+        if (rec.event.arg >= 0) {
+            os << ",\"args\":{\"id\":" << rec.event.arg << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+write_trace(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "[telemetry] cannot write trace to %s\n",
+                     path.c_str());
+        return false;
+    }
+    const std::string json = trace_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+namespace {
+
+/** $ORION_TRACE=path: enable tracing now, dump the trace at exit. */
+struct TraceEnvInit {
+    TraceEnvInit()
+    {
+        const char* path = std::getenv("ORION_TRACE");
+        if (path == nullptr || path[0] == '\0') return;
+        trace_path() = path;
+        set_tracing(true);
+        std::atexit(+[] {
+            if (write_trace(trace_path())) {
+                std::fprintf(stderr, "[telemetry] trace written to %s\n",
+                             trace_path().c_str());
+            }
+        });
+    }
+    static std::string&
+    trace_path()
+    {
+        static std::string* p = new std::string;
+        return *p;
+    }
+};
+
+const TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+}  // namespace orion::telemetry

@@ -1,0 +1,274 @@
+#ifndef ORION_SRC_CORE_TELEMETRY_H_
+#define ORION_SRC_CORE_TELEMETRY_H_
+
+/**
+ * @file
+ * Process-wide telemetry: one metrics registry + one span tracer for every
+ * layer of the stack (ckks kernels, the executor, the serving path, and
+ * the benches), replacing the per-subsystem stat islands.
+ *
+ * Metrics registry
+ * ----------------
+ * Three instrument kinds, all safe to update from any thread:
+ *  - Counter: monotonic u64 (relaxed fetch_add).
+ *  - Gauge: last-written double (relaxed store; add() for accumulating
+ *    gauges like byte totals).
+ *  - Histogram: fixed log-spaced buckets (8 per octave from 1e-6), with
+ *    p50/p95/p99 extraction by log interpolation inside the bucket. Built
+ *    for latencies in seconds but unit-agnostic.
+ * Instruments are created on first use by name and live for the process
+ * (references returned by the registry never dangle). Hot paths must
+ * capture the reference once — the by-name lookup takes the registry
+ * mutex.
+ *
+ * Registries also accept *collectors*: scrape-time callbacks that emit
+ * samples from stats the owner already maintains (per-Context OpCounters,
+ * the Arena pool). Collector samples merge into text()/snapshot() output
+ * by name (summed), so N live Contexts read as one process-wide op
+ * ledger without any double-counting in the hot loops.
+ *
+ * `Registry::global()` is the process registry; `InferenceServer` keeps a
+ * private one per instance so its request metrics are not polluted by
+ * other servers in the same process, and concatenates both in
+ * metrics_text().
+ *
+ * Naming convention: `subsystem.verb[.qualifier]` (e.g. `ckks.op.hmult`,
+ * `boot.cts.seconds`, `serve.failed.decode_error`). text() renders
+ * Prometheus-style exposition: dots become underscores, everything is
+ * prefixed `orion_`, counters gain `_total`.
+ *
+ * Span tracer
+ * -----------
+ * RAII spans (`TELEM_SPAN("ckks.keyswitch")`) record into per-thread ring
+ * buffers; a full ring overwrites its oldest event (drop count kept).
+ * Tracing is disabled by default: a disabled span is one relaxed atomic
+ * load and two pointer writes — cheap enough for per-op granularity.
+ * `ORION_TRACE=path` (read at process start) enables tracing and writes
+ * chrome://tracing JSON ("Load" in chrome://tracing or ui.perfetto.dev)
+ * at exit; tests drive the same machinery via set_tracing() /
+ * collect_trace_events().
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common.h"
+
+namespace orion::telemetry {
+
+// ---------------------------------------------------------------- metrics
+
+/** Monotonic counter. add()/value() are wait-free relaxed atomics. */
+class Counter {
+  public:
+    void add(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<u64> v_{0};
+};
+
+/** Last-written (or accumulated) double value. */
+class Gauge {
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    void
+    add(double d)
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket latency histogram: kSubBuckets log-spaced buckets per
+ * octave starting at kMinValue, so bucket widths are a constant ~9% of
+ * their value and percentiles are accurate to that resolution from 1us to
+ * ~19 hours (for values in seconds). ~2.3 KB per instrument.
+ */
+class Histogram {
+  public:
+    static constexpr int kSubBuckets = 8;    ///< buckets per octave
+    static constexpr int kOctaves = 36;      ///< kMinValue .. kMinValue*2^36
+    static constexpr int kBuckets = kSubBuckets * kOctaves;
+    static constexpr double kMinValue = 1e-6;
+
+    void observe(double v);
+
+    u64 count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    /** Percentile in [0, 100]; 0 when the histogram is empty. */
+    double percentile(double p) const;
+
+    /** Inclusive upper bound of bucket i (the Prometheus `le` label). */
+    static double bucket_upper(int i);
+    u64
+    bucket_count(int i) const
+    {
+        return buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<u64> buckets_[kBuckets] = {};
+    std::atomic<u64> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** One flattened metric value (snapshot rows, collector emissions). */
+struct Sample {
+    enum class Kind { kCounter, kGauge };
+    std::string name;
+    double value = 0.0;
+    Kind kind = Kind::kCounter;
+};
+
+/**
+ * A named family of instruments plus scrape-time collectors. All methods
+ * are thread-safe; instrument references are stable for the registry's
+ * lifetime (and forever for Registry::global()).
+ */
+class Registry {
+  public:
+    /** Scrape callback: append samples (merged into output by name). */
+    using Collector = std::function<void(std::vector<Sample>&)>;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Registers a scrape collector; returns a handle for removal. */
+    u64 add_collector(Collector fn);
+    void remove_collector(u64 handle);
+
+    /**
+     * Every metric flattened to name -> value: counters and gauges by
+     * name (collector samples summed in), histograms as `<name>.count`,
+     * `.sum`, `.p50`, `.p95`, `.p99`.
+     */
+    std::map<std::string, double> snapshot() const;
+
+    /**
+     * Prometheus-style text exposition: `# TYPE` comments, `orion_`
+     * prefix, dots -> underscores, `_total` on counters, cumulative
+     * `_bucket{le="..."}` rows (only buckets that grow, plus `+Inf`) with
+     * `_sum`/`_count` for histograms.
+     */
+    std::string text() const;
+
+    /** The process-wide registry. */
+    static Registry& global();
+
+  private:
+    void collect(std::vector<Sample>& out) const;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<u64, Collector> collectors_;
+    u64 next_collector_ = 1;
+};
+
+// ----------------------------------------------------------------- tracer
+
+/** One completed span (timestamps in ns since the process trace epoch). */
+struct TraceEvent {
+    const char* name = nullptr;  ///< static string (macro literal)
+    u64 t0_ns = 0;
+    u64 dur_ns = 0;
+    i64 arg = -1;  ///< optional id (layer_id, request id); -1 = none
+};
+
+/** A collected span: TraceEvent plus the recording thread's trace id. */
+struct TraceRecord {
+    TraceEvent event;
+    int tid = 0;
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_tracing;
+
+u64 now_ns();
+void record_span(const char* name, u64 t0_ns, u64 t1_ns, i64 arg);
+
+}  // namespace detail
+
+/** True when spans are being recorded. The only cost of a disabled span. */
+inline bool
+tracing_enabled()
+{
+    return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on);
+/** Ring size for threads that start tracing after the call (tests). */
+void set_trace_ring_capacity(std::size_t events);
+/** Drops all buffered events and the drop counts; rings stay registered. */
+void clear_trace();
+/** Total events overwritten by ring wrap since the last clear_trace(). */
+u64 trace_dropped();
+/** Every buffered span, oldest-first per thread. */
+std::vector<TraceRecord> collect_trace_events();
+/** chrome://tracing JSON (the "Trace Event Format", ph:"X" events). */
+std::string trace_json();
+/** Writes trace_json() to `path`; false (with a stderr note) on failure. */
+bool write_trace(const std::string& path);
+
+/**
+ * RAII span. Construction takes one relaxed atomic load when tracing is
+ * off; when on, steady_clock timestamps bracket the scope and destruction
+ * pushes into the calling thread's ring buffer.
+ */
+class SpanGuard {
+  public:
+    explicit SpanGuard(const char* name, i64 arg = -1)
+    {
+        if (tracing_enabled()) {
+            name_ = name;
+            arg_ = arg;
+            t0_ = detail::now_ns();
+        }
+    }
+    ~SpanGuard()
+    {
+        if (name_ != nullptr) {
+            detail::record_span(name_, t0_, detail::now_ns(), arg_);
+        }
+    }
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+
+  private:
+    const char* name_ = nullptr;
+    i64 arg_ = -1;
+    u64 t0_ = 0;
+};
+
+#define ORION_TELEM_CONCAT2(a, b) a##b
+#define ORION_TELEM_CONCAT(a, b) ORION_TELEM_CONCAT2(a, b)
+/** Traces the enclosing scope under `name` (a string literal). */
+#define TELEM_SPAN(name)                                                     \
+    ::orion::telemetry::SpanGuard ORION_TELEM_CONCAT(telem_span_,            \
+                                                     __LINE__)(name)
+/** TELEM_SPAN with an integer id rendered into the event's args. */
+#define TELEM_SPAN_ID(name, id)                                              \
+    ::orion::telemetry::SpanGuard ORION_TELEM_CONCAT(telem_span_, __LINE__)( \
+        name, static_cast<::orion::i64>(id))
+
+}  // namespace orion::telemetry
+
+#endif  // ORION_SRC_CORE_TELEMETRY_H_

@@ -26,6 +26,18 @@ resolved_key_cache_bytes(const ServeOptions& opts,
 
 }  // namespace
 
+const char*
+to_string(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kBadSession: return "bad_session";
+    case ErrorKind::kDecodeError: return "decode_error";
+    case ErrorKind::kExecError: return "exec_error";
+    }
+    return "unknown";
+}
+
 InferenceServer::InferenceServer(
     const core::CompiledNetwork& cn, const ckks::Context& ctx,
     ServeOptions opts, std::shared_ptr<const core::PreparedProgram> prepared)
@@ -65,6 +77,50 @@ InferenceServer::InferenceServer(
         executors_.push_back(std::make_unique<core::CkksExecutor>(
             cn, ctx, prepared_, exec_cfg));
     }
+    // Scrape-time gauges: queue/inflight snapshots and the key cache.
+    // Lock order is registry -> mu_ (nothing under mu_ touches the
+    // registry by name; the instrument references are cached members).
+    metrics_.add_collector([this](std::vector<telemetry::Sample>& out) {
+        using Kind = telemetry::Sample::Kind;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            out.push_back({"serve.queue_depth",
+                           static_cast<double>(queue_.size()),
+                           Kind::kGauge});
+            out.push_back({"serve.inflight",
+                           static_cast<double>(inflight_), Kind::kGauge});
+            out.push_back({"serve.peak_queue_depth",
+                           static_cast<double>(stats_.peak_queue_depth),
+                           Kind::kGauge});
+            out.push_back({"serve.peak_inflight",
+                           static_cast<double>(stats_.peak_inflight),
+                           Kind::kGauge});
+        }
+        const KeyStoreStats ks = sessions_.key_stats();
+        out.push_back({"serve.key_cache.hits",
+                       static_cast<double>(ks.hits), Kind::kCounter});
+        out.push_back({"serve.key_cache.misses",
+                       static_cast<double>(ks.misses), Kind::kCounter});
+        out.push_back({"serve.key_cache.evictions",
+                       static_cast<double>(ks.evictions), Kind::kCounter});
+        out.push_back({"serve.key_cache.prefetches",
+                       static_cast<double>(ks.prefetches),
+                       Kind::kCounter});
+        out.push_back({"serve.key_cache.resident_bytes",
+                       static_cast<double>(ks.resident_bytes),
+                       Kind::kGauge});
+        out.push_back({"serve.key_cache.resident_sessions",
+                       static_cast<double>(ks.resident_sessions),
+                       Kind::kGauge});
+        out.push_back({"serve.key_cache.disk_bytes",
+                       static_cast<double>(ks.disk_bytes), Kind::kGauge});
+        out.push_back({"serve.key_cache.zombie_bytes",
+                       static_cast<double>(ks.zombie_bytes), Kind::kGauge});
+        out.push_back({"serve.sessions",
+                       static_cast<double>(sessions_.session_count()),
+                       Kind::kGauge});
+    });
+
     workers_.reserve(static_cast<std::size_t>(max_inflight_));
     for (int i = 0; i < max_inflight_; ++i) {
         workers_.emplace_back(
@@ -175,8 +231,10 @@ InferenceServer::enqueue(ckks::serial::Bytes request, bool blocking,
         // Every submission attempt counts, so the ledger balances:
         // completed + failed + rejected == submitted once idle.
         stats_.submitted += 1;
+        m_submitted_.add();
         if (queue_.size() >= static_cast<std::size_t>(queue_capacity_)) {
             stats_.rejected += 1;
+            m_rejected_.add();
             accepted = false;
             return fut;
         }
@@ -218,14 +276,23 @@ InferenceServer::execute(Pending& p,
                          std::chrono::steady_clock::time_point picked_up,
                          std::size_t worker_index)
 {
-    Request req = decode_request(p.bytes, *ctx_);
+    Request req;
+    try {
+        TELEM_SPAN("serve.decode");
+        req = decode_request(p.bytes, *ctx_);
+    } catch (const std::exception& e) {
+        throw RequestError(ErrorKind::kDecodeError, e.what());
+    }
     // A pinned lease: the keys cannot be evicted (or freed by a racing
     // unregister) until it goes out of scope, and acquiring it reloads
     // them from the spill file if they were evicted.
     const SessionLease session = sessions_.find(req.session_id);
-    ORION_CHECK(static_cast<bool>(session),
-                "unknown session id " << req.session_id
-                                      << " (register a key bundle first)");
+    if (!session) {
+        std::ostringstream oss;
+        oss << "unknown session id " << req.session_id
+            << " (register a key bundle first)";
+        throw RequestError(ErrorKind::kBadSession, oss.str());
+    }
 
     core::CkksExecutor& exec = *executors_[worker_index];
     // Unbind on every exit path (including throw): the executor outlives
@@ -235,7 +302,13 @@ InferenceServer::execute(Pending& p,
         ~BindGuard() { exec->bind_session_keys(nullptr, nullptr); }
     } unbind{&exec};
     exec.bind_session_keys(&session.keys.relin(), &session.keys.galois());
-    core::EncryptedResult er = exec.run_encrypted(req.inputs);
+    core::EncryptedResult er;
+    try {
+        TELEM_SPAN_ID("serve.execute", req.request_id);
+        er = exec.run_encrypted(req.inputs);
+    } catch (const std::exception& e) {
+        throw RequestError(ErrorKind::kExecError, e.what());
+    }
     session.session->requests_served += 1;
 
     ServeReply reply;
@@ -245,6 +318,7 @@ InferenceServer::execute(Pending& p,
     reply.stats.execute_s = er.wall_seconds;
     reply.stats.rotations = er.rotations;
     reply.stats.bootstraps = er.bootstraps;
+    reply.stats.layer_times = std::move(er.layer_times);
 
     Response resp;
     resp.request_id = req.request_id;
@@ -288,12 +362,40 @@ InferenceServer::worker_loop(std::size_t worker_index)
                 stats_.total_rotations += reply.stats.rotations;
                 stats_.total_bootstraps += reply.stats.bootstraps;
             }
+            m_completed_.add();
+            m_queue_wait_.observe(reply.stats.queue_wait_s);
+            m_execute_.observe(reply.stats.execute_s);
             p.promise.set_value(std::move(reply));
         } catch (...) {
+            // Unclassified exceptions (never thrown by execute() today)
+            // count as execution errors so the per-kind split still sums
+            // to `failed`.
+            ErrorKind kind = ErrorKind::kExecError;
+            try {
+                throw;
+            } catch (const RequestError& e) {
+                kind = e.kind();
+            } catch (...) {
+            }
             {
                 std::lock_guard<std::mutex> lk(mu_);
                 inflight_ -= 1;
                 stats_.failed += 1;
+                switch (kind) {
+                case ErrorKind::kBadSession:
+                    stats_.failed_bad_session += 1;
+                    break;
+                case ErrorKind::kDecodeError:
+                    stats_.failed_decode += 1;
+                    break;
+                default: stats_.failed_exec += 1; break;
+                }
+            }
+            m_failed_.add();
+            switch (kind) {
+            case ErrorKind::kBadSession: m_failed_bad_session_.add(); break;
+            case ErrorKind::kDecodeError: m_failed_decode_.add(); break;
+            default: m_failed_exec_.add(); break;
             }
             p.promise.set_exception(std::current_exception());
         }
@@ -329,6 +431,14 @@ InferenceServer::stats() const
     s.key_disk_bytes = ks.disk_bytes;
     s.key_zombie_bytes = ks.zombie_bytes;
     return s;
+}
+
+std::string
+InferenceServer::metrics_text() const
+{
+    // This server's request metrics first, then the process-wide registry
+    // (ckks.op.* summed over live Contexts, arena.*, boot.* histograms).
+    return metrics_.text() + telemetry::Registry::global().text();
 }
 
 }  // namespace orion::serve

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/core/executor.h"
+#include "src/core/telemetry.h"
 #include "src/serve/session.h"
 
 namespace orion::serve {
@@ -73,6 +74,32 @@ struct ServeOptions {
     std::string key_spill_dir;
 };
 
+/** Failure classification of one request (ledger + RequestStats). */
+enum class ErrorKind {
+    kNone = 0,
+    kBadSession,   ///< unknown / unregistered session id
+    kDecodeError,  ///< malformed request bytes
+    kExecError,    ///< execution failure under valid keys
+};
+const char* to_string(ErrorKind kind);
+
+/**
+ * The exception a failed request resolves to: an orion::Error carrying
+ * its ErrorKind so the server ledger (and callers) can attribute the
+ * failure instead of collapsing everything into one opaque bucket.
+ */
+class RequestError : public Error {
+  public:
+    RequestError(ErrorKind kind, const std::string& msg)
+        : Error(msg), kind_(kind)
+    {
+    }
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
 /** Per-request statistics (also echoed to the client in the Response). */
 struct RequestStats {
     u64 session_id = 0;
@@ -81,6 +108,10 @@ struct RequestStats {
     double execute_s = 0.0;     ///< encrypted program wall time
     u64 rotations = 0;
     u64 bootstraps = 0;
+    /** kNone on success; failed requests carry theirs in RequestError. */
+    ErrorKind error_kind = ErrorKind::kNone;
+    /** Table-4-style per-layer wall-clock split of execute_s. */
+    std::vector<core::LayerTiming> layer_times;
 };
 
 /** One finished request: the serialized Response plus its statistics. */
@@ -97,8 +128,13 @@ struct ServeReply {
 struct ServerStats {
     u64 submitted = 0;
     u64 completed = 0;
-    u64 failed = 0;    ///< bad session / malformed request / exec error
+    u64 failed = 0;    ///< sum of the three failed_* kinds below
     u64 rejected = 0;  ///< try_submit refusals on a full queue
+    // Failure attribution: failed == failed_bad_session + failed_decode +
+    // failed_exec once the server is idle.
+    u64 failed_bad_session = 0;
+    u64 failed_decode = 0;
+    u64 failed_exec = 0;
     u64 inflight = 0;  ///< executing right now (snapshot gauge)
     double total_queue_wait_s = 0.0;
     double total_execute_s = 0.0;
@@ -163,6 +199,15 @@ class InferenceServer {
     void resume();
 
     ServerStats stats() const;
+    /**
+     * Prometheus-style text exposition: this server's ledger counters,
+     * queue/key-cache gauges, and request-latency histograms, followed by
+     * the process-wide registry (ckks.op.*, arena.*, boot.* stage
+     * histograms). One scrape surface for everything stats() reports.
+     */
+    std::string metrics_text() const;
+    /** This server's private registry (request metrics only). */
+    const telemetry::Registry& metrics() const { return metrics_; }
     int max_inflight() const { return max_inflight_; }
     int queue_capacity() const { return queue_capacity_; }
     const ckks::Context& context() const { return *ctx_; }
@@ -203,6 +248,26 @@ class InferenceServer {
     bool paused_ = false;
     u64 inflight_ = 0;
     ServerStats stats_;
+
+    // Per-server registry: the ledger and latency histograms live here so
+    // one server's scrape is not polluted by another's requests. The
+    // instrument references are captured once (registry lookups lock) and
+    // mirrored by the same code paths that maintain stats_.
+    telemetry::Registry metrics_;
+    telemetry::Counter& m_submitted_ = metrics_.counter("serve.submitted");
+    telemetry::Counter& m_completed_ = metrics_.counter("serve.completed");
+    telemetry::Counter& m_failed_ = metrics_.counter("serve.failed");
+    telemetry::Counter& m_rejected_ = metrics_.counter("serve.rejected");
+    telemetry::Counter& m_failed_bad_session_ =
+        metrics_.counter("serve.failed.bad_session");
+    telemetry::Counter& m_failed_decode_ =
+        metrics_.counter("serve.failed.decode_error");
+    telemetry::Counter& m_failed_exec_ =
+        metrics_.counter("serve.failed.exec_error");
+    telemetry::Histogram& m_queue_wait_ =
+        metrics_.histogram("serve.queue_wait.seconds");
+    telemetry::Histogram& m_execute_ =
+        metrics_.histogram("serve.execute.seconds");
 
     std::vector<std::thread> workers_;
 };

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <map>
+#include <sstream>
 #include <thread>
+
+#include "src/core/telemetry.h"
 
 #include "src/core/executor.h"
 #include "src/nn/models.h"
@@ -687,6 +691,208 @@ TEST(ServeBootstrap, ShallowContextRejectionNamesTheInstruction)
     expect_throw_contains<Error>(
         [&] { InferenceServer server(cn, env.ctx, opts(1, 4), prepared); },
         "kBootstrap (layer");
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: failure attribution, /metrics exposition, span accounting
+// ---------------------------------------------------------------------
+
+/** The ErrorKind a failed future resolves to (kNone if it succeeded). */
+serve::ErrorKind
+failure_kind(std::future<serve::ServeReply>& fut)
+{
+    try {
+        fut.get();
+        return serve::ErrorKind::kNone;
+    } catch (const serve::RequestError& e) {
+        return e.kind();
+    }
+}
+
+TEST(Serve, FailureKindsAttributedInLedger)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 8), senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/500);
+    client.set_session_id(server.register_session(client.key_bundle()));
+    const std::vector<double> x = random_vector(64, 1.0, 95);
+
+    // decode_error: bytes that are not a Request frame at all.
+    auto f_decode = server.submit(ckks::serial::Bytes{9, 9, 9, 9});
+    // bad_session: a well-formed request naming an unregistered id.
+    serve::Request bad = serve::decode_request(client.make_request(x),
+                                               env.ctx);
+    bad.session_id = 4242;
+    auto f_session = server.submit(serve::encode_request(bad));
+    // exec_error: valid session, decodable frame, but an input-ciphertext
+    // count the program rejects at execution time.
+    serve::Request empty = serve::decode_request(client.make_request(x),
+                                                 env.ctx);
+    empty.inputs.clear();
+    auto f_exec = server.submit(serve::encode_request(empty));
+    // And one success to prove the ledger splits cleanly.
+    auto f_ok = server.submit(client.make_request(x));
+
+    EXPECT_EQ(failure_kind(f_decode), serve::ErrorKind::kDecodeError);
+    EXPECT_EQ(failure_kind(f_session), serve::ErrorKind::kBadSession);
+    EXPECT_EQ(failure_kind(f_exec), serve::ErrorKind::kExecError);
+    EXPECT_EQ(failure_kind(f_ok), serve::ErrorKind::kNone);
+
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.failed, 3u);
+    EXPECT_EQ(s.failed_bad_session, 1u);
+    EXPECT_EQ(s.failed_decode, 1u);
+    EXPECT_EQ(s.failed_exec, 1u);
+    EXPECT_EQ(s.failed,
+              s.failed_bad_session + s.failed_decode + s.failed_exec);
+    EXPECT_EQ(s.completed + s.failed + s.rejected, s.submitted);
+    EXPECT_STREQ(serve::to_string(serve::ErrorKind::kBadSession),
+                 "bad_session");
+}
+
+/** Parses `name value` exposition lines (skipping # comments). */
+std::map<std::string, double>
+parse_prometheus(const std::string& text)
+{
+    std::map<std::string, double> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t sp = line.rfind(' ');
+        EXPECT_NE(sp, std::string::npos) << line;
+        out[line.substr(0, sp)] = std::stod(line.substr(sp + 1));
+    }
+    return out;
+}
+
+TEST(Serve, MetricsTextCrossChecksAgainstStats)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 8), senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/501);
+    client.set_session_id(server.register_session(client.key_bundle()));
+    const std::vector<double> x = random_vector(64, 1.0, 96);
+
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_NO_THROW(server.submit(client.make_request(x)).get());
+    }
+    auto bad = server.submit(ckks::serial::Bytes{1, 2, 3});
+    EXPECT_THROW(bad.get(), Error);
+
+    const serve::ServerStats s = server.stats();
+    const std::map<std::string, double> m =
+        parse_prometheus(server.metrics_text());
+
+    // The registry mirrors the ledger exactly.
+    EXPECT_EQ(m.at("orion_serve_submitted_total"),
+              static_cast<double>(s.submitted));
+    EXPECT_EQ(m.at("orion_serve_completed_total"),
+              static_cast<double>(s.completed));
+    EXPECT_EQ(m.at("orion_serve_failed_total"),
+              static_cast<double>(s.failed));
+    EXPECT_EQ(m.at("orion_serve_rejected_total"),
+              static_cast<double>(s.rejected));
+    EXPECT_EQ(m.at("orion_serve_failed_decode_error_total"),
+              static_cast<double>(s.failed_decode));
+    EXPECT_EQ(m.at("orion_serve_failed_bad_session_total"),
+              static_cast<double>(s.failed_bad_session));
+    EXPECT_EQ(m.at("orion_serve_failed_exec_error_total"),
+              static_cast<double>(s.failed_exec));
+    // Ledger identity holds inside the exposition itself.
+    EXPECT_EQ(m.at("orion_serve_completed_total") +
+                  m.at("orion_serve_failed_total") +
+                  m.at("orion_serve_rejected_total"),
+              m.at("orion_serve_submitted_total"));
+    // Scrape-time gauges and the latency histograms.
+    EXPECT_EQ(m.at("orion_serve_sessions"), 1.0);
+    EXPECT_EQ(m.at("orion_serve_queue_depth"), 0.0);
+    EXPECT_EQ(m.at("orion_serve_execute_seconds_count"),
+              static_cast<double>(s.completed));
+    EXPECT_NEAR(m.at("orion_serve_execute_seconds_sum"), s.total_execute_s,
+                1e-6 + 0.01 * s.total_execute_s);
+    EXPECT_EQ(m.at("orion_serve_queue_wait_seconds_count"),
+              static_cast<double>(s.completed));
+    // The process-wide section rides along: op counters from the live
+    // Context (this binary has executed many programs by now).
+    EXPECT_GT(m.at("orion_ckks_op_keyswitch_total"), 0.0);
+    EXPECT_GT(m.at("orion_arena_acquires_total"), 0.0);
+}
+
+TEST(Serve, ReplyCarriesPerLayerTimings)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(senv.cn, env.ctx, opts(1, 4), senv.prepared);
+    ServeClient client(senv.cn, env.ctx, /*seed=*/502);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    const std::vector<double> x = random_vector(64, 1.0, 97);
+    const serve::ServeReply reply =
+        server.submit(client.make_request(x)).get();
+    ASSERT_FALSE(reply.stats.layer_times.empty());
+    double sum = 0.0;
+    bool saw_model_layer = false;
+    for (const core::LayerTiming& lt : reply.stats.layer_times) {
+        EXPECT_GE(lt.seconds, 0.0);
+        if (lt.layer_id >= 0) saw_model_layer = true;
+        sum += lt.seconds;
+    }
+    EXPECT_TRUE(saw_model_layer);
+    // The per-instruction charges partition execute_s up to loop overhead.
+    EXPECT_LE(sum, reply.stats.execute_s * 1.05 + 1e-3);
+    EXPECT_GE(sum, reply.stats.execute_s * 0.5);
+}
+
+TEST(ServeBootstrap, BootStageSpansAccountForServedExecuteTime)
+{
+    // The acceptance criterion: with tracing on, a served bootstrap
+    // request's stage spans (ModRaise + CtS + EvalMod + StC) sum to
+    // within 10% of the whole-bootstrap span, and the bootstrap span
+    // dominates the request's execute_s (the program is one micro MLP
+    // around one bootstrap).
+    BootServeEnv& senv = BootServeEnv::shared();
+    InferenceServer server(senv.cn, senv.ctx, opts(1, 4), senv.prepared);
+    ServeClient client(senv.cn, senv.ctx, /*seed=*/503);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    telemetry::set_tracing(true);
+    telemetry::clear_trace();
+    const std::vector<double> x = random_vector(64, 1.0, 98);
+    const serve::ServeReply reply =
+        server.submit(client.make_request(x)).get();
+    telemetry::set_tracing(false);
+
+    double stage_sum = 0.0, whole_boot = 0.0, exec_span = 0.0;
+    for (const telemetry::TraceRecord& r :
+         telemetry::collect_trace_events()) {
+        const std::string name = r.event.name;
+        const double dur_s = static_cast<double>(r.event.dur_ns) / 1e9;
+        if (name == "boot.mod_raise" || name == "boot.cts" ||
+            name == "boot.eval_mod" || name == "boot.stc") {
+            stage_sum += dur_s;
+        } else if (name == "boot.bootstrap") {
+            whole_boot += dur_s;
+        } else if (name == "serve.execute") {
+            exec_span += dur_s;
+            EXPECT_EQ(r.event.arg,
+                      static_cast<i64>(reply.stats.request_id));
+        }
+    }
+    telemetry::clear_trace();
+
+    ASSERT_GT(whole_boot, 0.0) << "no bootstrap span was traced";
+    // The four stages tile the bootstrap span (within 10%).
+    EXPECT_GE(stage_sum, 0.9 * whole_boot);
+    EXPECT_LE(stage_sum, 1.01 * whole_boot);
+    // And the traced serve.execute span brackets the reported wall time.
+    EXPECT_GE(exec_span, reply.stats.execute_s * 0.9);
+    // Bootstrap dominates this program, so the stage spans also land
+    // within 10% of the served execute time (the ISSUE's acceptance bar).
+    EXPECT_GE(stage_sum, 0.9 * reply.stats.execute_s);
 }
 
 }  // namespace

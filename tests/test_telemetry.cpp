@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/telemetry.h"
+
+namespace orion::telemetry {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsAllLand)
+{
+    Registry reg;
+    Counter& c = reg.counter("test.hits");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) c.add();
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(c.value(), u64(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndConcurrentAdd)
+{
+    Registry reg;
+    Gauge& g = reg.gauge("test.level");
+    g.set(41.5);
+    EXPECT_DOUBLE_EQ(g.value(), 41.5);
+    g.set(2.0);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&g] {
+            for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(g.value(), 2.0 + kThreads * kPerThread);
+}
+
+TEST(Histogram, CountSumAndPercentileResolution)
+{
+    Registry reg;
+    Histogram& h = reg.histogram("test.latency");
+    // 100 observations of 1 ms, 10 of 100 ms: p50 must sit near 1 ms and
+    // p95/p99 near 100 ms, within the ~9% log-bucket resolution.
+    for (int i = 0; i < 100; ++i) h.observe(1e-3);
+    for (int i = 0; i < 10; ++i) h.observe(0.1);
+    EXPECT_EQ(h.count(), 110u);
+    EXPECT_NEAR(h.sum(), 100 * 1e-3 + 10 * 0.1, 1e-9);
+    EXPECT_NEAR(h.percentile(50.0), 1e-3, 0.10 * 1e-3);
+    EXPECT_NEAR(h.percentile(95.0), 0.1, 0.10 * 0.1);
+    EXPECT_NEAR(h.percentile(99.0), 0.1, 0.10 * 0.1);
+    // Percentiles are monotone in p.
+    EXPECT_LE(h.percentile(50.0), h.percentile(95.0));
+    EXPECT_LE(h.percentile(95.0), h.percentile(99.0));
+}
+
+TEST(Histogram, EmptyAndOutOfRangeValues)
+{
+    Registry reg;
+    Histogram& h = reg.histogram("test.edges");
+    EXPECT_EQ(h.percentile(50.0), 0.0);  // empty
+    h.observe(0.0);                       // below kMinValue -> bucket 0
+    h.observe(-1.0);                      // negative clamps to bucket 0 too
+    EXPECT_EQ(h.bucket_count(0), 2u);
+    h.observe(1e12);  // far above the range: clamps to the last bucket
+    EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, ConcurrentObservationsAllCounted)
+{
+    Registry reg;
+    Histogram& h = reg.histogram("test.mt");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i) h.observe(1e-3);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(h.count(), u64(kThreads) * kPerThread);
+    EXPECT_NEAR(h.sum(), kThreads * kPerThread * 1e-3, 1e-6);
+}
+
+TEST(Registry, SnapshotFlattensAndMergesCollectors)
+{
+    Registry reg;
+    reg.counter("a.ops").add(7);
+    reg.gauge("a.depth").set(3.0);
+    reg.histogram("a.lat").observe(2e-3);
+    // Two collectors emitting the same name: scrape output sums them (the
+    // N-live-Contexts case).
+    const u64 h1 = reg.add_collector([](std::vector<Sample>& out) {
+        out.push_back({"a.collected", 5.0, Sample::Kind::kCounter});
+    });
+    reg.add_collector([](std::vector<Sample>& out) {
+        out.push_back({"a.collected", 2.0, Sample::Kind::kCounter});
+    });
+    std::map<std::string, double> snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("a.ops"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.at("a.depth"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("a.collected"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.at("a.lat.count"), 1.0);
+    EXPECT_NEAR(snap.at("a.lat.sum"), 2e-3, 1e-12);
+    EXPECT_NEAR(snap.at("a.lat.p50"), 2e-3, 0.10 * 2e-3);
+    // Removal works by handle.
+    reg.remove_collector(h1);
+    snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("a.collected"), 2.0);
+}
+
+TEST(Registry, InstrumentReferencesAreStable)
+{
+    Registry reg;
+    Counter& c = reg.counter("stable.counter");
+    // Creating many more instruments must not invalidate `c` (node-based
+    // storage is part of the contract — hot paths cache these references).
+    for (int i = 0; i < 100; ++i) {
+        reg.counter("filler." + std::to_string(i));
+    }
+    c.add(3);
+    EXPECT_EQ(reg.counter("stable.counter").value(), 3u);
+}
+
+/** Parses `name value` exposition lines (skipping # comments). */
+std::map<std::string, double>
+parse_prometheus(const std::string& text)
+{
+    std::map<std::string, double> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t sp = line.rfind(' ');
+        EXPECT_NE(sp, std::string::npos) << line;
+        out[line.substr(0, sp)] = std::stod(line.substr(sp + 1));
+    }
+    return out;
+}
+
+TEST(Registry, TextIsPrometheusParseable)
+{
+    Registry reg;
+    reg.counter("serve.completed").add(4);
+    reg.gauge("serve.queue_depth").set(2.0);
+    Histogram& h = reg.histogram("serve.lat.seconds");
+    h.observe(1e-3);
+    h.observe(1e-3);
+    h.observe(0.5);
+    const std::string text = reg.text();
+
+    // Type comments and the orion_/underscore/_total naming conventions.
+    EXPECT_NE(text.find("# TYPE orion_serve_completed_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE orion_serve_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE orion_serve_lat_seconds histogram"),
+              std::string::npos);
+
+    const std::map<std::string, double> vals = parse_prometheus(text);
+    EXPECT_DOUBLE_EQ(vals.at("orion_serve_completed_total"), 4.0);
+    EXPECT_DOUBLE_EQ(vals.at("orion_serve_queue_depth"), 2.0);
+    EXPECT_DOUBLE_EQ(vals.at("orion_serve_lat_seconds_count"), 3.0);
+    EXPECT_NEAR(vals.at("orion_serve_lat_seconds_sum"), 0.502, 1e-9);
+    // The +Inf bucket equals _count, and cumulative buckets are monotone.
+    EXPECT_DOUBLE_EQ(vals.at("orion_serve_lat_seconds_bucket{le=\"+Inf\"}"),
+                     3.0);
+    double prev = 0.0;
+    std::istringstream is(text);
+    std::string line;
+    int bucket_lines = 0;
+    while (std::getline(is, line)) {
+        if (line.rfind("orion_serve_lat_seconds_bucket{le=\"+Inf", 0) == 0) {
+            continue;
+        }
+        if (line.rfind("orion_serve_lat_seconds_bucket", 0) == 0) {
+            const double cum = std::stod(line.substr(line.rfind(' ') + 1));
+            EXPECT_GE(cum, prev) << line;
+            prev = cum;
+            ++bucket_lines;
+        }
+    }
+    EXPECT_EQ(bucket_lines, 2);  // two distinct non-empty buckets
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledByDefaultRecordsNothing)
+{
+    ASSERT_FALSE(tracing_enabled());
+    clear_trace();
+    {
+        TELEM_SPAN("test.disabled");
+    }
+    for (const TraceRecord& r : collect_trace_events()) {
+        EXPECT_STRNE(r.event.name, "test.disabled");
+    }
+}
+
+TEST(Tracer, NestedSpansStayWithinParent)
+{
+    set_tracing(true);
+    clear_trace();
+    {
+        TELEM_SPAN("test.parent");
+        {
+            TELEM_SPAN_ID("test.child", 42);
+            volatile int sink = 0;
+            for (int i = 0; i < 1000; ++i) sink = sink + i;
+        }
+    }
+    set_tracing(false);
+
+    const TraceEvent* parent = nullptr;
+    const TraceEvent* child = nullptr;
+    int parent_tid = -1, child_tid = -2;
+    const std::vector<TraceRecord> records = collect_trace_events();
+    for (const TraceRecord& r : records) {
+        if (std::string(r.event.name) == "test.parent") {
+            parent = &r.event;
+            parent_tid = r.tid;
+        } else if (std::string(r.event.name) == "test.child") {
+            child = &r.event;
+            child_tid = r.tid;
+        }
+    }
+    ASSERT_NE(parent, nullptr);
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(parent_tid, child_tid);
+    EXPECT_EQ(child->arg, 42);
+    EXPECT_EQ(parent->arg, -1);
+    // The child's interval nests inside the parent's.
+    EXPECT_GE(child->t0_ns, parent->t0_ns);
+    EXPECT_LE(child->t0_ns + child->dur_ns, parent->t0_ns + parent->dur_ns);
+}
+
+TEST(Tracer, RingOverflowDropsOldestAndCounts)
+{
+    set_trace_ring_capacity(4);
+    set_tracing(true);
+    clear_trace();
+    // A fresh thread gets a fresh ring at the new (tiny) capacity; the
+    // main thread's ring was sized at its first span and is unaffected.
+    std::thread([] {
+        for (int i = 0; i < 10; ++i) {
+            TELEM_SPAN_ID("test.overflow", i);
+        }
+    }).join();
+    set_tracing(false);
+    set_trace_ring_capacity(std::size_t(1) << 15);
+
+    std::vector<i64> ids;
+    for (const TraceRecord& r : collect_trace_events()) {
+        if (std::string(r.event.name) == "test.overflow") {
+            ids.push_back(r.event.arg);
+        }
+    }
+    // 10 spans through a 4-slot ring: the last 4 survive, oldest first.
+    EXPECT_EQ(ids, (std::vector<i64>{6, 7, 8, 9}));
+    EXPECT_EQ(trace_dropped(), 6u);
+    clear_trace();
+    EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST(Tracer, TraceJsonIsWellFormed)
+{
+    set_tracing(true);
+    clear_trace();
+    {
+        TELEM_SPAN("test.json_span");
+        TELEM_SPAN_ID("test.json_arg", 7);
+    }
+    set_tracing(false);
+    const std::string json = trace_json();
+
+    // Structural checks: balanced braces/brackets, the Trace Event Format
+    // envelope, and our events with complete-event phase markers.
+    long depth_obj = 0, depth_arr = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+        if (in_string) continue;
+        depth_obj += (c == '{') - (c == '}');
+        depth_arr += (c == '[') - (c == ']');
+        EXPECT_GE(depth_obj, 0);
+        EXPECT_GE(depth_arr, 0);
+    }
+    EXPECT_EQ(depth_obj, 0);
+    EXPECT_EQ(depth_arr, 0);
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"name\":\"test.json_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"id\":7}"), std::string::npos);
+    clear_trace();
+}
+
+TEST(Tracer, WriteTraceProducesReadableFile)
+{
+    set_tracing(true);
+    clear_trace();
+    {
+        TELEM_SPAN("test.file_span");
+    }
+    set_tracing(false);
+    const std::string path =
+        testing::TempDir() + "/orion_telemetry_trace.json";
+    ASSERT_TRUE(write_trace(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string contents;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        contents.append(buf, n);
+    }
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(contents, trace_json());
+    EXPECT_NE(contents.find("test.file_span"), std::string::npos);
+    clear_trace();
+}
+
+}  // namespace
+}  // namespace orion::telemetry
