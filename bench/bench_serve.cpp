@@ -8,23 +8,39 @@
  * key rebinding on the measured path.
  *
  * `--churn` switches to the key-cache churn workload instead: S
- * registered sessions (64 in smoke mode, 1000 otherwise) with a
+ * registered sessions (64 in smoke mode, 10,000 otherwise) with a
  * Zipf-distributed request mix, run twice — once all-resident
  * (key_cache_mb = 0) and once under a cap sized to the hot working set —
  * reporting RSS, hit rate, eviction count, and p50/p95 for each pass
  * (CI uploads this as BENCH_serve_churn.json).
+ *
+ * `--shards N` switches to the multi-process serving topology instead:
+ * N forked shard processes (each an InferenceServer behind a net::
+ * ServeEndpoint on a pre-forked listener) behind an in-parent
+ * net::Router, driven by concurrent NetClients over TCP loopback.
+ * Reports end-to-end p50/p95 and aggregate throughput, plus the
+ * router's forwarding counters (CI uploads BENCH_serve_shards.json).
+ * Children are forked before any CKKS state (and thus any thread)
+ * exists; listeners are created pre-fork so both sides know the ports.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <random>
+#include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "bench/bench_util.h"
 #include "src/core/telemetry.h"
+#include "src/net/net.h"
 #include "src/serve/serve.h"
 
 using namespace orion;
@@ -61,6 +77,190 @@ rss_mb()
 }
 
 /**
+ * The full serving substrate, built identically in the parent and every
+ * forked shard child (deterministic toy params + micro MLP compile, so a
+ * client bundle from one process is compatible with any other's server).
+ */
+struct Stack {
+    ckks::CkksParams params;
+    ckks::Context ctx;
+    nn::Network net;
+    core::CompiledNetwork cn;
+    std::shared_ptr<const core::PreparedProgram> prepared;
+
+    Stack()
+        : params(ckks::CkksParams::toy()), ctx(params),
+          net(nn::make_micro_mlp())
+    {
+        core::CompileOptions opt;
+        opt.slots = ctx.slot_count();
+        opt.l_eff = 4;
+        opt.cost = core::CostModel::for_params(
+            ctx.degree(), params.digit_size, params.digit_size, 3);
+        opt.calibration_samples = 3;
+        cn = core::compile(net, opt);
+        prepared = std::make_shared<const core::PreparedProgram>(cn, ctx);
+    }
+};
+
+volatile std::sig_atomic_t g_child_stop = 0;
+
+void
+child_on_term(int)
+{
+    g_child_stop = 1;
+}
+
+/** A forked shard: one endpoint on the inherited listener until SIGTERM. */
+[[noreturn]] void
+run_shard_child(net::Listener listener)
+{
+    std::signal(SIGTERM, child_on_term);
+    Stack st;
+    serve::ServeOptions sopts;
+    sopts.max_inflight = 2;
+    sopts.queue_capacity = 64;
+    serve::InferenceServer server(st.cn, st.ctx, sopts, st.prepared);
+    net::ServeEndpoint endpoint(server, std::move(listener));
+    while (!g_child_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    endpoint.stop();
+    // _exit: the parent registered the atexit JSON writer before forking;
+    // only the parent may run it.
+    _exit(0);
+}
+
+/** The multi-process sharded topology (--shards N). */
+void
+run_shards(int nshards)
+{
+    ORION_CHECK(nshards >= 1, "--shards needs at least 1");
+    const int n_clients = bench::smoke() ? 2 : 4;
+    const int per_client = bench::smoke() ? 3 : 25;
+
+    // Listeners first (no threads exist yet), so ports are known to both
+    // sides of the fork and nobody has to parse a child's stdout.
+    std::vector<net::Listener> listeners;
+    std::vector<int> ports;
+    for (int i = 0; i < nshards; ++i) {
+        listeners.emplace_back(0);
+        ports.push_back(listeners.back().port());
+    }
+
+    std::vector<pid_t> pids;
+    for (int i = 0; i < nshards; ++i) {
+        const pid_t pid = fork();
+        ORION_CHECK(pid >= 0, "fork failed");
+        if (pid == 0) {
+            for (int j = 0; j < nshards; ++j) {
+                if (j != i) listeners[static_cast<std::size_t>(j)].close();
+            }
+            run_shard_child(
+                std::move(listeners[static_cast<std::size_t>(i)]));
+        }
+        pids.push_back(pid);
+    }
+    for (net::Listener& l : listeners) l.close();
+
+    Stack st;
+    std::vector<std::string> backends;
+    for (const int p : ports) {
+        backends.push_back("127.0.0.1:" + std::to_string(p));
+    }
+    net::Router router(backends, net::Listener(0));
+    // Children pay their compile before their endpoint listens; give the
+    // slowest one ample time on a loaded CI box.
+    ORION_CHECK(router.wait_for_shards(static_cast<std::size_t>(nshards),
+                                       120.0),
+                "not all shard processes came up");
+    std::printf("\nshards: %d backend processes up, router on port %d, "
+                "%d clients x %d requests\n",
+                nshards, router.port(), n_clients, per_client);
+
+    net::ClientOptions copts;
+    copts.max_attempts = 20;
+    copts.backoff_base_s = 0.02;
+    copts.backoff_cap_s = 0.5;
+
+    std::mutex agg_mu;
+    std::vector<double> latency_ms;
+    u64 total_retries = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < n_clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::ServeClient crypto(st.cn, st.ctx,
+                                      /*seed=*/9000 + static_cast<u64>(c));
+            net::NetClient client(crypto, "127.0.0.1", router.port(),
+                                  /*session_token=*/0x9000 +
+                                      static_cast<u64>(c),
+                                  copts);
+            std::vector<double> local;
+            for (int r = 0; r < per_client; ++r) {
+                const std::vector<double> input = bench::random_vector(
+                    64, 1.0, 600 + static_cast<u64>(c * 1000 + r));
+                const auto rt0 = std::chrono::steady_clock::now();
+                const std::vector<double> out = client.infer(input);
+                ORION_CHECK(!out.empty(), "empty inference result");
+                local.push_back(1e3 *
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - rt0)
+                                    .count());
+            }
+            client.close();
+            std::lock_guard<std::mutex> lk(agg_mu);
+            latency_ms.insert(latency_ms.end(), local.begin(),
+                              local.end());
+            total_retries += client.retry_stats().retries;
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    const int requests = n_clients * per_client;
+    const double p50 = percentile(latency_ms, 0.50);
+    const double p95 = percentile(latency_ms, 0.95);
+    const double rps = static_cast<double>(requests) / wall;
+    const auto snap = router.metrics().snapshot();
+    std::printf("%-8s %10s %10s %10s %12s %10s %10s\n", "shards",
+                "requests", "p50 ms", "p95 ms", "req/s", "retries",
+                "failover");
+    std::printf("%-8d %10d %10.1f %10.1f %12.2f %10llu %10.0f\n", nshards,
+                requests, p50, p95, rps,
+                static_cast<unsigned long long>(total_retries),
+                snap.at("router.shard.failover"));
+    ORION_CHECK(snap.at("router.requests.replied") >=
+                    static_cast<double>(requests),
+                "router replied to fewer requests than were sent");
+
+    bench::json_metric("shards/backends", static_cast<double>(nshards));
+    bench::json_metric("shards/requests", static_cast<double>(requests));
+    bench::json_metric("shards/throughput_rps", rps);
+    bench::json_metric("shards/p50_ms", p50);
+    bench::json_metric("shards/p95_ms", p95);
+    bench::json_metric("shards/client_retries",
+                       static_cast<double>(total_retries));
+    bench::json_metric("shards/router_forwarded",
+                       snap.at("router.requests.forwarded"));
+    bench::json_metric("shards/router_failover",
+                       snap.at("router.shard.failover"));
+    bench::json_metric("shards/router_forward_p95_ms",
+                       1e3 * snap.at("router.forward.seconds.p95"));
+
+    router.stop();
+    for (const pid_t pid : pids) kill(pid, SIGTERM);
+    for (const pid_t pid : pids) {
+        int status = 0;
+        (void)waitpid(pid, &status, 0);
+        ORION_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    "shard process exited abnormally");
+    }
+}
+
+/**
  * The key-cache churn workload: many sessions, few distinct bundles
  * (registration reuses kBundles key bundles round-robin — the cache
  * treats every session independently, so this measures session scaling
@@ -70,7 +270,7 @@ void
 run_churn(const core::CompiledNetwork& cn, const ckks::Context& ctx,
           const std::shared_ptr<const core::PreparedProgram>& prepared)
 {
-    const int sessions = bench::smoke() ? 64 : 1000;
+    const int sessions = bench::smoke() ? 64 : 10000;
     const int requests = bench::smoke() ? 16 : 200;
     constexpr int kBundles = 4;
 
@@ -250,26 +450,32 @@ main(int argc, char** argv)
 {
     bench::init(argc, argv);
     bool churn = false;
+    int nshards = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--churn") == 0) churn = true;
+        if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+            nshards = std::atoi(argv[i + 1]);
+        }
     }
     bench::print_header(
-        churn ? "bench_serve: session key-cache churn (--churn)"
-              : "bench_serve: encrypted-inference throughput vs concurrency");
+        nshards > 0
+            ? "bench_serve: multi-process sharded serving (--shards)"
+            : (churn ? "bench_serve: session key-cache churn (--churn)"
+                     : "bench_serve: encrypted-inference throughput vs "
+                       "concurrency"));
 
-    const ckks::CkksParams params = ckks::CkksParams::toy();
-    const ckks::Context ctx(params);
+    if (nshards > 0) {
+        // Fork-before-threads: run_shards builds the CKKS stack only
+        // after the shard children exist.
+        run_shards(nshards);
+        return 0;
+    }
+
     // The same micro model the serving tests validate (src/nn/models.h).
-    const nn::Network net = nn::make_micro_mlp();
-    core::CompileOptions opt;
-    opt.slots = ctx.slot_count();
-    opt.l_eff = 4;
-    opt.cost = core::CostModel::for_params(ctx.degree(), params.digit_size,
-                                           params.digit_size, 3);
-    opt.calibration_samples = 3;
-    const core::CompiledNetwork cn = core::compile(net, opt);
-    const auto prepared =
-        std::make_shared<const core::PreparedProgram>(cn, ctx);
+    const Stack st;
+    const ckks::Context& ctx = st.ctx;
+    const core::CompiledNetwork& cn = st.cn;
+    const auto& prepared = st.prepared;
 
     if (churn) {
         run_churn(cn, ctx, prepared);

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The sharded serving front-end as its own process: clients connect here
+ * exactly as they would to a single orion_served shard; sessions are
+ * rendezvous-hashed across the backends, and a dead backend's sessions
+ * fail over to the survivors (see DESIGN.md "Networking & sharding").
+ *
+ *   ./orion_router --port 7100 --backend 127.0.0.1:7000 \
+ *                  --backend 127.0.0.1:7001
+ *
+ * --port 0 binds an ephemeral port, announced as "listening on port N".
+ * Backends may come up after the router: the health loop keeps dialing.
+ * SIGINT / SIGTERM shut down cleanly and print router.* + net.* metrics.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/net/net.h"
+
+using namespace orion;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+on_signal(int)
+{
+    g_stop = 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    int port = 0;
+    std::vector<std::string> backends;
+    net::RouterOptions ropts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = std::atoi(next("--port"));
+        } else if (arg == "--backend") {
+            backends.emplace_back(next("--backend"));
+        } else {
+            std::fprintf(stderr,
+                         "usage: orion_router [--port N] "
+                         "--backend host:port [--backend host:port ...]\n");
+            return 2;
+        }
+    }
+    if (backends.empty()) {
+        std::fprintf(stderr, "orion_router: at least one --backend "
+                             "host:port is required\n");
+        return 2;
+    }
+
+    net::Router router(backends, net::Listener(port), ropts);
+    std::printf("listening on port %d (%zu backends)\n", router.port(),
+                backends.size());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::printf("shutting down (%zu sessions, %zu/%zu shards alive)\n",
+                router.session_count(), router.alive_shards(),
+                backends.size());
+    router.stop();
+    std::printf("\n--- metrics ---\n%s", router.metrics_text().c_str());
+    return 0;
+}

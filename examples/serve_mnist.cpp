@@ -10,19 +10,113 @@
  * and each result is validated against a direct in-process CkksExecutor
  * run of the same compiled program (the paper's Section 6 deployment
  * model: the server computes on ciphertexts it cannot read).
+ *
+ * With `--connect host:port` the same two-client workload runs over TCP
+ * instead: the peer is an orion_served shard or an orion_router front
+ * (the wire is identical), requests travel through net::NetClient with
+ * its retry/failover machinery, and the acceptance bar is unchanged —
+ * served argmax must equal the direct in-process argmax.
  */
 
 #include <cstdio>
 #include <random>
 
 #include "src/core/orion.h"
+#include "src/net/net.h"
 #include "src/serve/serve.h"
 
 using namespace orion;
 
-int
-main()
+namespace {
+
+std::size_t
+argmax(const std::vector<double>& v)
 {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        if (v[i] > v[best]) best = i;
+    }
+    return best;
+}
+
+/** The --connect mode: both clients' traffic over Orion-Net frames. */
+int
+run_connected(Session& session, const std::string& host, int port)
+{
+    serve::ServeClient alice = session.serve_client(/*seed=*/1001);
+    serve::ServeClient bob = session.serve_client(/*seed=*/2002);
+    net::NetClient alice_net(alice, host, port, /*session_token=*/0xA11CE);
+    net::NetClient bob_net(bob, host, port, /*session_token=*/0xB0B);
+    std::printf("connected to %s:%d (key bundle %.1f MB each)\n",
+                host.c_str(), port,
+                static_cast<double>(alice.key_bundle().size()) / 1e6);
+
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const int rounds = 2;
+    int agree = 0, total = 0;
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<double> image_a(784), image_b(784);
+        for (double& x : image_a) x = dist(rng);
+        for (double& x : image_b) x = dist(rng);
+        const std::vector<double> want_a = session.run(image_a).output;
+        const std::vector<double> want_b = session.run(image_b).output;
+        const std::vector<double> got_a = alice_net.infer(image_a);
+        const std::vector<double> got_b = bob_net.infer(image_b);
+        auto report = [&](const char* who, const std::vector<double>& got,
+                          const std::vector<double>& want) {
+            double err = 0.0;
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                err = std::max(err, std::abs(got[i] - want[i]));
+            }
+            agree += argmax(got) == argmax(want) ? 1 : 0;
+            ++total;
+            std::printf("  %s: served argmax %zu, direct argmax %zu, "
+                        "max err %.2e\n",
+                        who, argmax(got), argmax(want), err);
+        };
+        std::printf("round %d (over TCP):\n", round);
+        report("alice", got_a, want_a);
+        report("bob  ", got_b, want_b);
+    }
+
+    const net::RetryStats& rs = alice_net.retry_stats();
+    std::printf("\nalice retry stats: %llu connects, %llu reconnects, "
+                "%llu retries, %llu reregisters\n",
+                static_cast<unsigned long long>(rs.connects),
+                static_cast<unsigned long long>(rs.reconnects),
+                static_cast<unsigned long long>(rs.retries),
+                static_cast<unsigned long long>(rs.reregisters));
+    std::printf("argmax agreement with direct execution: %d/%d\n", agree,
+                total);
+
+    // The peer's scrape surface (router.* series when the peer is a
+    // router, serve.* + net.* when it is a shard) — the CI multi-process
+    // smoke greps this.
+    std::printf("\n--- peer metrics ---\n%s",
+                alice_net.fetch_metrics().c_str());
+    alice_net.close();
+    bob_net.close();
+    return agree == total ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string connect;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--connect" && i + 1 < argc) {
+            connect = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: serve_mnist [--connect host:port]\n");
+            return 2;
+        }
+    }
+
     const nn::Network net = nn::make_model("mlp");
     std::printf("MLP: %.2fM parameters\n", net.param_count() / 1e6);
 
@@ -40,6 +134,13 @@ main()
                 static_cast<unsigned long long>(compiled.total_rotations),
                 compiled.activation_depth,
                 static_cast<unsigned long long>(compiled.num_bootstraps));
+
+    if (!connect.empty()) {
+        std::string host;
+        int port = 0;
+        net::parse_host_port(connect, host, port);
+        return run_connected(session, host, port);
+    }
 
     serve::ServeOptions sopts;
     sopts.max_inflight = 2;

@@ -1,0 +1,93 @@
+#ifndef ORION_SRC_NET_ENDPOINT_H_
+#define ORION_SRC_NET_ENDPOINT_H_
+
+/**
+ * @file
+ * net::ServeEndpoint — an InferenceServer behind a TCP listener, so a
+ * serving backend runs standalone in its own process (examples/
+ * orion_served.cpp) and clients/routers reach it over Orion-Net frames.
+ *
+ * Session identity across processes: clients name their session with a
+ * self-chosen globally unique 64-bit *token* (the session id field of
+ * every Request record they send). The endpoint maps token -> the local
+ * id its InferenceServer assigned at registration and rewrites the id in
+ * place before submission (serve::rewrite_request_session), so the
+ * in-process serving stack is completely unaware of the transport. The
+ * token is what makes router failover work: any backend the router picks
+ * can adopt a session under the same name once the client re-sends its
+ * bundle.
+ *
+ * Threading: the FrameServer loop thread handles frames. Registration
+ * decodes the bundle inline (blocking the loop for its duration — large
+ * bundles gate other conns' progress, acceptable for a registration-rare
+ * workload). Requests are submitted with try_submit — never blocking the
+ * loop — and queue-full rejections go back as the typed retryable
+ * `overloaded` wire error. Completion threads wait on the server futures
+ * and write responses back through the loop's send queue.
+ */
+
+#include <condition_variable>
+#include <future>
+#include <unordered_map>
+
+#include "src/net/frame_loop.h"
+#include "src/serve/server.h"
+
+namespace orion::net {
+
+struct EndpointOptions {
+    FrameServer::Options net;
+    /** Threads draining server futures (0 = the server's max_inflight). */
+    int completion_threads = 0;
+};
+
+class ServeEndpoint {
+  public:
+    /** Serves `server` on `listener`; starts immediately. The server
+     *  must outlive the endpoint. */
+    ServeEndpoint(serve::InferenceServer& server, Listener listener,
+                  EndpointOptions opts = {});
+    ~ServeEndpoint();
+
+    ServeEndpoint(const ServeEndpoint&) = delete;
+    ServeEndpoint& operator=(const ServeEndpoint&) = delete;
+
+    int port() const { return fs_.port(); }
+    /** Stops accepting/replying and joins all threads (idempotent). */
+    void stop();
+
+    serve::InferenceServer& server() { return server_; }
+    /** The wrapped server's exposition (includes global net.* series). */
+    std::string metrics_text() const { return server_.metrics_text(); }
+    std::size_t open_conns() const { return fs_.open_conns(); }
+
+  private:
+    struct Done {
+        u64 conn_id = 0;
+        u64 corr = 0;
+        std::future<serve::ServeReply> fut;
+    };
+
+    void on_frame(u64 conn_id, Frame&& f);
+    void handle_register(u64 conn_id, const Frame& f);
+    void handle_request(u64 conn_id, Frame&& f);
+    void completion_loop();
+    void send_error(u64 conn_id, u64 corr, ErrCode code,
+                    const std::string& message);
+
+    serve::InferenceServer& server_;
+    FrameServer fs_;
+
+    std::mutex mu_;
+    std::unordered_map<u64, u64> token_to_local_;
+
+    std::mutex done_mu_;
+    std::condition_variable done_cv_;
+    std::deque<Done> done_;
+    bool stop_ = false;
+    std::vector<std::thread> completion_;
+};
+
+}  // namespace orion::net
+
+#endif  // ORION_SRC_NET_ENDPOINT_H_

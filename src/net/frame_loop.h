@@ -1,0 +1,124 @@
+#ifndef ORION_SRC_NET_FRAME_LOOP_H_
+#define ORION_SRC_NET_FRAME_LOOP_H_
+
+/**
+ * @file
+ * FrameServer: the poll-based accept/read/write loop shared by
+ * net::ServeEndpoint (serving backends) and net::Router (the client-facing
+ * front). One thread multiplexes the listening socket and every accepted
+ * connection:
+ *
+ *  - non-blocking accept of new connections (each gets a stable u64 id),
+ *  - incremental frame assembly per connection (a peer may dribble a
+ *    frame byte-by-byte; state is kept per conn, the loop never blocks on
+ *    a slow sender),
+ *  - hostile-input rejection: a malformed header (bad magic/version/type,
+ *    payload above the cap) closes the connection immediately — the
+ *    stream position can't be trusted after it,
+ *  - slow-loris defense: a connection sitting on a *partial* frame
+ *    longer than `read_timeout_s` is dropped (idle conns with no bytes
+ *    buffered may idle forever — clients keep conns open between
+ *    requests),
+ *  - buffered non-blocking writes with a progress timeout, so one
+ *    stalled receiver cannot wedge the loop.
+ *
+ * Completed frames are handed to the owner's callback *off* the internal
+ * lock, so handlers may call send()/close_conn() re-entrantly. Handlers
+ * run on the loop thread: anything slow (program execution) must be
+ * punted to other threads (the endpoint submits to the InferenceServer
+ * worker pool and replies from completion threads).
+ *
+ * Transport metrics land in telemetry::Registry::global():
+ * net.conn.{accepted,closed,read_timeout,write_timeout,frame_rejected}
+ * counters, a net.conn.open gauge, and net.{bytes,frames}.{rx,tx}.
+ */
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/net/frame.h"
+
+namespace orion::net {
+
+class FrameServer {
+  public:
+    struct Options {
+        u64 max_frame_bytes = kDefaultMaxFrameBytes;
+        /** Max age of a partially received frame before the conn drops. */
+        double read_timeout_s = 30.0;
+        /** Max stall of a pending write before the conn drops. */
+        double write_timeout_s = 30.0;
+    };
+
+    /** Complete frame from `conn_id` (runs on the loop thread). */
+    using FrameHandler = std::function<void(u64 conn_id, Frame&& frame)>;
+    /** `conn_id` disappeared (EOF, error, timeout, or close_conn). */
+    using CloseHandler = std::function<void(u64 conn_id)>;
+
+    FrameServer(Listener listener, Options opts, FrameHandler on_frame,
+                CloseHandler on_close = {});
+    ~FrameServer();
+
+    FrameServer(const FrameServer&) = delete;
+    FrameServer& operator=(const FrameServer&) = delete;
+
+    void start();
+    /** Stops the loop and closes every connection (idempotent). */
+    void stop();
+
+    int port() const { return listener_.port(); }
+
+    /**
+     * Queues one frame for `conn_id` (thread-safe; wakes the loop).
+     * False when the connection is already gone — the caller's reply has
+     * nowhere to go and should be dropped.
+     */
+    bool send(u64 conn_id, MsgType type, u64 corr,
+              std::span<const u8> payload);
+
+    /** Closes after flushing queued writes (thread-safe). */
+    void close_conn(u64 conn_id);
+
+    std::size_t open_conns() const;
+
+  private:
+    struct ConnState {
+        Conn conn;
+        std::vector<u8> rbuf;
+        std::size_t rpos = 0;  ///< consumed prefix of rbuf
+        std::deque<ckks::serial::Bytes> wq;
+        std::size_t wq_off = 0;  ///< sent prefix of wq.front()
+        double partial_since = 0.0;  ///< 0 = no partial frame pending
+        double write_stalled_since = 0.0;  ///< 0 = no pending write
+        bool close_after_flush = false;
+    };
+
+    void loop();
+    void wake();
+    /** Drains readable bytes and appends completed frames to `out`.
+     *  Returns false when the conn must close (EOF/garbage/overrun). */
+    bool pump_reads(ConnState& cs, std::vector<std::pair<u64, Frame>>& out,
+                    u64 id);
+    /** Flushes queued writes; false when the conn must close. */
+    bool pump_writes(ConnState& cs);
+
+    Listener listener_;
+    Options opts_;
+    FrameHandler on_frame_;
+    CloseHandler on_close_;
+
+    mutable std::mutex mu_;
+    std::map<u64, ConnState> conns_;
+    u64 next_conn_id_ = 1;
+    bool stop_ = false;
+    int wake_pipe_[2] = {-1, -1};
+    std::thread thread_;
+    u64 open_gauge_collector_ = 0;  ///< global-registry collector handle
+};
+
+}  // namespace orion::net
+
+#endif  // ORION_SRC_NET_FRAME_LOOP_H_

@@ -1,0 +1,19 @@
+#ifndef ORION_SRC_NET_NET_H_
+#define ORION_SRC_NET_NET_H_
+
+/**
+ * @file
+ * Umbrella header for the Orion-Net subsystem (ISSUE 9): TCP framing over
+ * the transport-agnostic serve::wire records, standalone serving
+ * endpoints, the sharded front-end router, and the retrying socket
+ * client. See DESIGN.md "Networking & sharding".
+ */
+
+#include "src/net/client.h"
+#include "src/net/endpoint.h"
+#include "src/net/frame.h"
+#include "src/net/frame_loop.h"
+#include "src/net/router.h"
+#include "src/net/socket.h"
+
+#endif  // ORION_SRC_NET_NET_H_

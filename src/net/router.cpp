@@ -1,0 +1,457 @@
+#include "src/net/router.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/ckks/sampler.h"
+#include "src/serve/wire.h"
+
+namespace orion::net {
+
+namespace {
+
+/**
+ * Rendezvous score of (token, shard): a deterministic 64-bit mix. The
+ * shard's identity enters through its index *and* address hash so two
+ * routers over the same backend list agree on placement.
+ */
+u64
+rendezvous_score(u64 token, std::size_t shard_idx,
+                 const std::string& addr)
+{
+    u64 h = 1469598103934665603ull;  // FNV-1a over the address
+    for (const char c : addr) {
+        h ^= static_cast<u8>(c);
+        h *= 1099511628211ull;
+    }
+    return ckks::splitmix64(token ^ ckks::splitmix64(h + shard_idx));
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> backends, Listener listener,
+               RouterOptions opts)
+    : opts_(opts),
+      fs_(std::move(listener), opts.net,
+          [this](u64 id, Frame&& f) { on_front_frame(id, std::move(f)); })
+{
+    ORION_CHECK(!backends.empty(), "router needs at least one backend");
+    shards_.reserve(backends.size());
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        auto s = std::make_unique<Shard>();
+        s->addr = backends[i];
+        parse_host_port(s->addr, s->host, s->port);
+        shards_.push_back(std::move(s));
+    }
+    metrics_.add_collector([this](std::vector<telemetry::Sample>& out) {
+        using Kind = telemetry::Sample::Kind;
+        out.push_back({"router.sessions",
+                       static_cast<double>(session_count()), Kind::kGauge});
+        out.push_back({"router.shards.alive",
+                       static_cast<double>(alive_shards()), Kind::kGauge});
+        out.push_back({"router.shards.total",
+                       static_cast<double>(shards_.size()), Kind::kGauge});
+    });
+    health_ = std::thread([this] { health_loop(); });
+    fs_.start();
+}
+
+Router::~Router() { stop(); }
+
+void
+Router::stop()
+{
+    if (stop_.exchange(true)) return;
+    fs_.stop();
+    if (health_.joinable()) health_.join();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& s = *shards_[i];
+        s.alive.store(false);
+        {
+            std::lock_guard<std::mutex> lk(s.wmu);
+            s.conn.shutdown_both();
+        }
+        if (s.reader.joinable()) s.reader.join();
+        std::lock_guard<std::mutex> lk(s.wmu);
+        s.conn.close();
+    }
+}
+
+std::size_t
+Router::alive_shards() const
+{
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+        if (s->alive.load()) ++n;
+    }
+    return n;
+}
+
+std::size_t
+Router::session_count() const
+{
+    std::lock_guard<std::mutex> lk(smu_);
+    return sessions_.size();
+}
+
+bool
+Router::wait_for_shards(std::size_t n, double timeout_s) const
+{
+    const double deadline = mono_seconds() + timeout_s;
+    while (alive_shards() < n) {
+        if (mono_seconds() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return true;
+}
+
+std::string
+Router::metrics_text() const
+{
+    return metrics_.text() + telemetry::Registry::global().text();
+}
+
+void
+Router::send_front_error(u64 conn_id, u64 corr, ErrCode code,
+                         const std::string& message)
+{
+    (void)fs_.send(conn_id, MsgType::kError, corr,
+                   encode_error(code, message));
+}
+
+int
+Router::pick_shard(u64 token) const
+{
+    int best = -1;
+    u64 best_score = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (!shards_[i]->alive.load()) continue;
+        const u64 score = rendezvous_score(token, i, shards_[i]->addr);
+        if (best < 0 || score > best_score) {
+            best = static_cast<int>(i);
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+bool
+Router::shard_send(std::size_t idx, MsgType type, u64 corr,
+                   std::span<const u8> payload)
+{
+    Shard& s = *shards_[idx];
+    try {
+        std::lock_guard<std::mutex> lk(s.wmu);
+        ORION_CHECK(s.alive.load() && s.conn.valid(),
+                    "shard " << s.addr << " is down");
+        send_frame(s.conn, type, corr, payload, opts_.shard_io_timeout_s);
+        return true;
+    } catch (const std::exception&) {
+        mark_shard_dead(idx, "link write failed");
+        return false;
+    }
+}
+
+void
+Router::on_front_frame(u64 conn_id, Frame&& f)
+{
+    try {
+        switch (f.type) {
+        case MsgType::kRegister:
+            handle_front_register(conn_id, std::move(f));
+            return;
+        case MsgType::kRequest:
+            handle_front_request(conn_id, std::move(f));
+            return;
+        case MsgType::kUnregister:
+            handle_front_unregister(conn_id, std::move(f));
+            return;
+        case MsgType::kPing: {
+            Pong pong;
+            pong.sessions = session_count();
+            pong.queue_depth = 0;
+            pong.inflight = 0;
+            for (const auto& s : shards_) {
+                std::lock_guard<std::mutex> lk(s->pmu);
+                pong.inflight += s->pending.size();
+            }
+            pong.completed = m_replied_.value();
+            (void)fs_.send(conn_id, MsgType::kPong, f.corr,
+                           encode_pong(pong));
+            return;
+        }
+        case MsgType::kMetrics:
+            (void)fs_.send(conn_id, MsgType::kMetricsText, f.corr,
+                           encode_text(metrics_text()));
+            return;
+        default:
+            send_front_error(conn_id, f.corr, ErrCode::kBadFrame,
+                             std::string("unexpected frame type '") +
+                                 to_string(f.type) + "' at a router");
+            return;
+        }
+    } catch (const std::exception& e) {
+        send_front_error(conn_id, f.corr, ErrCode::kDecodeError, e.what());
+    }
+}
+
+void
+Router::forward(std::size_t idx, u64 conn_id, Frame&& f, u64 token)
+{
+    TELEM_SPAN_ID("router.forward", static_cast<i64>(idx));
+    Shard& s = *shards_[idx];
+    const u64 rcorr = next_corr_.fetch_add(1);
+    Pend pend;
+    pend.conn_id = conn_id;
+    pend.corr = f.corr;
+    pend.kind = f.type;
+    pend.token = token;
+    pend.t0 = mono_seconds();
+    {
+        std::lock_guard<std::mutex> lk(s.pmu);
+        s.pending.emplace(rcorr, pend);
+    }
+    if (!shard_send(idx, f.type, rcorr, f.payload)) {
+        // mark_shard_dead already failed every pending entry (including
+        // this one) with shard_down; nothing more to do.
+        return;
+    }
+    if (f.type == MsgType::kRequest) m_forwarded_.add();
+}
+
+void
+Router::handle_front_register(u64 conn_id, Frame&& f)
+{
+    const u64 token = decode_register_token(f.payload);
+    const int idx = pick_shard(token);
+    if (idx < 0) {
+        send_front_error(conn_id, f.corr, ErrCode::kShardDown,
+                         "no alive shards to place the session on");
+        return;
+    }
+    forward(static_cast<std::size_t>(idx), conn_id, std::move(f), token);
+}
+
+void
+Router::handle_front_request(u64 conn_id, Frame&& f)
+{
+    u64 token = 0;
+    try {
+        token = serve::peek_request_session(f.payload);
+    } catch (const std::exception& e) {
+        send_front_error(conn_id, f.corr, ErrCode::kDecodeError, e.what());
+        return;
+    }
+    std::size_t idx = 0;
+    {
+        std::lock_guard<std::mutex> lk(smu_);
+        auto it = sessions_.find(token);
+        if (it == sessions_.end()) {
+            m_unknown_.add();
+            std::ostringstream oss;
+            oss << "session token " << token
+                << " is not placed on any shard; (re-)register its key "
+                   "bundle";
+            send_front_error(conn_id, f.corr, ErrCode::kUnknownSession,
+                             oss.str());
+            return;
+        }
+        idx = it->second;
+    }
+    if (!shards_[idx]->alive.load()) {
+        // Death raced the lookup: forget the placement now; the client's
+        // retry gets unknown_session and re-registers on a survivor.
+        {
+            std::lock_guard<std::mutex> lk(smu_);
+            if (sessions_.erase(token) > 0) m_failover_.add();
+        }
+        send_front_error(conn_id, f.corr, ErrCode::kShardDown,
+                         "the session's shard died; retry to re-place it");
+        return;
+    }
+    forward(idx, conn_id, std::move(f), token);
+}
+
+void
+Router::handle_front_unregister(u64 conn_id, Frame&& f)
+{
+    const u64 token = decode_u64(f.payload);
+    std::optional<std::size_t> idx;
+    {
+        std::lock_guard<std::mutex> lk(smu_);
+        auto it = sessions_.find(token);
+        if (it != sessions_.end()) {
+            idx = it->second;
+            sessions_.erase(it);
+        }
+    }
+    if (!idx.has_value() || !shards_[*idx]->alive.load()) {
+        ckks::serial::ByteWriter w;
+        w.put_u64(token);
+        w.put_u8(0);
+        (void)fs_.send(conn_id, MsgType::kUnregisterOk, f.corr, w.take());
+        return;
+    }
+    forward(*idx, conn_id, std::move(f), token);
+}
+
+void
+Router::shard_reader(std::size_t idx)
+{
+    Shard& s = *shards_[idx];
+    for (;;) {
+        Frame f;
+        try {
+            f = recv_frame(s.conn, opts_.shard_read_timeout_s,
+                           opts_.net.max_frame_bytes);
+        } catch (const std::exception&) {
+            if (s.alive.load()) mark_shard_dead(idx, "link read failed");
+            return;
+        }
+        Pend pend;
+        {
+            std::lock_guard<std::mutex> lk(s.pmu);
+            auto it = s.pending.find(f.corr);
+            if (it == s.pending.end()) continue;  // stale/duplicate reply
+            pend = it->second;
+            s.pending.erase(it);
+        }
+        if (pend.kind == MsgType::kPing) continue;  // liveness proven
+
+        if (pend.kind == MsgType::kRegister &&
+            f.type == MsgType::kRegisterOk) {
+            {
+                std::lock_guard<std::mutex> lk(smu_);
+                sessions_[pend.token] = idx;
+            }
+            m_registered_.add();
+        }
+        if (pend.kind == MsgType::kUnregister) {
+            // Mapping was already dropped at forward time.
+        }
+        if (pend.kind == MsgType::kRequest) {
+            m_replied_.add();
+            m_forward_seconds_.observe(mono_seconds() - pend.t0);
+        }
+        (void)fs_.send(pend.conn_id, f.type, pend.corr, f.payload);
+    }
+}
+
+void
+Router::mark_shard_dead(std::size_t idx, const char* why)
+{
+    Shard& s = *shards_[idx];
+    if (!s.alive.exchange(false)) return;  // one death per connection
+    m_shard_dead_.add();
+    {
+        // Wake the reader (it re-checks alive and exits); the fd stays
+        // allocated until the health thread reconnects, so a concurrent
+        // poll on it is safe.
+        std::lock_guard<std::mutex> lk(s.wmu);
+        s.conn.shutdown_both();
+    }
+    // Drain: answer every in-flight request with the retryable
+    // shard_down error so clients resend instead of hanging.
+    std::map<u64, Pend> pending;
+    {
+        std::lock_guard<std::mutex> lk(s.pmu);
+        pending.swap(s.pending);
+    }
+    std::size_t failed = 0;
+    for (const auto& [corr, pend] : pending) {
+        if (pend.kind == MsgType::kPing) continue;
+        ++failed;
+        std::ostringstream oss;
+        oss << "shard " << s.addr << " died (" << why
+            << ") with this message in flight; retry";
+        send_front_error(pend.conn_id, pend.corr, ErrCode::kShardDown,
+                         oss.str());
+    }
+    // Forget every session placed there; re-registration (driven by the
+    // clients, who own the keys) re-places them on survivors.
+    std::size_t moved = 0;
+    {
+        std::lock_guard<std::mutex> lk(smu_);
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second == idx) {
+                it = sessions_.erase(it);
+                ++moved;
+            } else {
+                ++it;
+            }
+        }
+    }
+    m_failover_.add(moved);
+    (void)failed;
+}
+
+void
+Router::try_connect(std::size_t idx)
+{
+    Shard& s = *shards_[idx];
+    Conn fresh;
+    try {
+        fresh = Conn::connect(s.host, s.port, opts_.connect_timeout_s);
+    } catch (const std::exception&) {
+        return;  // still down; next tick retries
+    }
+    if (s.reader.joinable()) s.reader.join();
+    {
+        std::lock_guard<std::mutex> lk(s.wmu);
+        s.conn = std::move(fresh);
+    }
+    s.alive.store(true);
+    // The first successful dial is a join, not a recovery.
+    if (s.ever_connected.exchange(true)) m_shard_reconnect_.add();
+    s.reader = std::thread([this, idx] { shard_reader(idx); });
+}
+
+void
+Router::health_loop()
+{
+    while (!stop_.load()) {
+        const double now = mono_seconds();
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            Shard& s = *shards_[i];
+            if (!s.alive.load()) {
+                try_connect(i);
+                continue;
+            }
+            // Reap overdue pings, then send a fresh one.
+            bool overdue = false;
+            {
+                std::lock_guard<std::mutex> lk(s.pmu);
+                for (const auto& [corr, pend] : s.pending) {
+                    if (pend.kind == MsgType::kPing &&
+                        pend.deadline < now) {
+                        overdue = true;
+                        break;
+                    }
+                }
+            }
+            if (overdue) {
+                mark_shard_dead(i, "health pong overdue");
+                continue;
+            }
+            const u64 rcorr = next_corr_.fetch_add(1);
+            Pend pend;
+            pend.kind = MsgType::kPing;
+            pend.deadline = now + opts_.pong_timeout_s;
+            {
+                std::lock_guard<std::mutex> lk(s.pmu);
+                s.pending.emplace(rcorr, pend);
+            }
+            if (shard_send(i, MsgType::kPing, rcorr, {})) {
+                m_health_pings_.add();
+            }
+        }
+        const double sleep_s = opts_.health_interval_s;
+        const int slices = std::max(1, static_cast<int>(sleep_s / 0.02));
+        for (int k = 0; k < slices && !stop_.load(); ++k) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                sleep_s / static_cast<double>(slices)));
+        }
+    }
+}
+
+}  // namespace orion::net

@@ -1,0 +1,166 @@
+#ifndef ORION_SRC_NET_ROUTER_H_
+#define ORION_SRC_NET_ROUTER_H_
+
+/**
+ * @file
+ * net::Router — the sharded serving front-end. Clients speak Orion-Net
+ * frames to the router exactly as they would to a single ServeEndpoint;
+ * the router shards sessions across N backend endpoints and hides which
+ * process actually executes.
+ *
+ * Shard placement is rendezvous (highest-random-weight) hashing of the
+ * client's session token over the *currently alive* shard set: each
+ * (token, shard) pair gets a deterministic pseudo-random score and the
+ * session lives on the alive shard with the highest score. Unlike modulo
+ * hashing, a shard death only moves the sessions that lived on the dead
+ * shard — everyone else's placement is unchanged.
+ *
+ * Failure protocol (the contract tests/test_net.cpp pins):
+ *  - A periodic health thread pings every shard; a missed pong deadline,
+ *    a connect failure, or any link-level IO error marks the shard dead.
+ *  - Marking a shard dead *drains* it: every in-flight request forwarded
+ *    to it is answered with the retryable `shard_down` error (clients
+ *    back off and resend), and every session mapped to it is forgotten —
+ *    counted in `router.shard.failover`.
+ *  - The next request for a forgotten session gets `unknown_session`,
+ *    which tells the client to re-send its key bundle; the re-register
+ *    lands on the surviving shard rendezvous hashing now picks. No state
+ *    is lost because the client owns the keys — the router deliberately
+ *    caches no bundles.
+ *  - Dead shards are re-dialed on every health tick; a reconnected shard
+ *    rejoins the rendezvous set empty (sessions return only when clients
+ *    re-register, or naturally as new sessions hash onto it).
+ *
+ * Backpressure propagates end to end: a backend's `overloaded` rejection
+ * (its InferenceServer::try_submit refusing a full queue) flows through
+ * the router to the client unchanged as a typed retryable error.
+ *
+ * Router metrics live in a private registry (router.* counters, the
+ * forward-hop histogram) and metrics_text() appends the process-global
+ * registry (net.* transport counters) — same shape as InferenceServer.
+ */
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/core/telemetry.h"
+#include "src/net/frame_loop.h"
+
+namespace orion::net {
+
+struct RouterOptions {
+    FrameServer::Options net;
+    double health_interval_s = 0.25;  ///< ping cadence per shard
+    double pong_timeout_s = 1.0;      ///< missed-pong death sentence
+    double connect_timeout_s = 1.0;   ///< backend dial timeout
+    double shard_io_timeout_s = 5.0;  ///< backend link write timeout
+    /**
+     * Backend link read timeout. Must comfortably exceed the health
+     * interval (pings keep the link busy even while a multi-second FHE
+     * request executes); a silent link beyond this is dead.
+     */
+    double shard_read_timeout_s = 10.0;
+};
+
+class Router {
+  public:
+    /** Dials every "host:port" in `backends` from the health thread (a
+     *  backend may come up after the router; it joins when reachable). */
+    Router(std::vector<std::string> backends, Listener listener,
+           RouterOptions opts = {});
+    ~Router();
+
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    int port() const { return fs_.port(); }
+    void stop();
+
+    std::size_t alive_shards() const;
+    std::size_t session_count() const;
+    /** Blocks until >= n shards are alive or the deadline passes. */
+    bool wait_for_shards(std::size_t n, double timeout_s) const;
+
+    std::string metrics_text() const;
+    const telemetry::Registry& metrics() const { return metrics_; }
+
+  private:
+    struct Pend {
+        u64 conn_id = 0;  ///< front conn awaiting the reply (0 = ping)
+        u64 corr = 0;     ///< client's correlation id
+        MsgType kind = MsgType::kPing;
+        u64 token = 0;    ///< session token (register/unregister)
+        double t0 = 0.0;
+        double deadline = 0.0;  ///< pings only
+    };
+
+    struct Shard {
+        std::string addr;
+        std::string host;
+        int port = 0;
+        std::atomic<bool> alive{false};
+        std::atomic<bool> ever_connected{false};
+        std::mutex wmu;  ///< serializes writes + conn swap
+        Conn conn;
+        std::thread reader;
+        std::mutex pmu;
+        std::map<u64, Pend> pending;
+    };
+
+    void on_front_frame(u64 conn_id, Frame&& f);
+    void handle_front_register(u64 conn_id, Frame&& f);
+    void handle_front_request(u64 conn_id, Frame&& f);
+    void handle_front_unregister(u64 conn_id, Frame&& f);
+
+    /** Alive-shard index with the max rendezvous score (-1 when none). */
+    int pick_shard(u64 token) const;
+    /** Sends one frame down a shard link; marks it dead on failure. */
+    bool shard_send(std::size_t idx, MsgType type, u64 corr,
+                    std::span<const u8> payload);
+    /** Registers a pending entry and forwards; replies shard_down to the
+     *  client when the link fails. */
+    void forward(std::size_t idx, u64 conn_id, Frame&& f, u64 token);
+    void shard_reader(std::size_t idx);
+    /** The drain protocol: fail in-flight, forget sessions, count. */
+    void mark_shard_dead(std::size_t idx, const char* why);
+    void health_loop();
+    void try_connect(std::size_t idx);
+    void send_front_error(u64 conn_id, u64 corr, ErrCode code,
+                          const std::string& message);
+
+    RouterOptions opts_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    FrameServer fs_;
+
+    mutable std::mutex smu_;  ///< sessions_ map
+    std::map<u64, std::size_t> sessions_;  ///< token -> shard index
+
+    std::atomic<u64> next_corr_{1};
+    std::atomic<bool> stop_{false};
+    std::thread health_;
+
+    telemetry::Registry metrics_;
+    telemetry::Counter& m_forwarded_ =
+        metrics_.counter("router.requests.forwarded");
+    telemetry::Counter& m_replied_ =
+        metrics_.counter("router.requests.replied");
+    telemetry::Counter& m_registered_ =
+        metrics_.counter("router.sessions.registered");
+    telemetry::Counter& m_unknown_ =
+        metrics_.counter("router.requests.unknown_session");
+    telemetry::Counter& m_shard_dead_ =
+        metrics_.counter("router.shard.dead");
+    telemetry::Counter& m_shard_reconnect_ =
+        metrics_.counter("router.shard.reconnected");
+    telemetry::Counter& m_failover_ =
+        metrics_.counter("router.shard.failover");
+    telemetry::Counter& m_health_pings_ =
+        metrics_.counter("router.health.pings");
+    telemetry::Histogram& m_forward_seconds_ =
+        metrics_.histogram("router.forward.seconds");
+};
+
+}  // namespace orion::net
+
+#endif  // ORION_SRC_NET_ROUTER_H_

@@ -1,0 +1,359 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace orion::net {
+
+namespace {
+
+[[noreturn]] void
+throw_errno(const char* what)
+{
+    std::ostringstream oss;
+    oss << what << ": " << std::strerror(errno);
+    throw Error(oss.str());
+}
+
+void
+set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ORION_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+void
+set_nodelay(int fd)
+{
+    // Frames are written whole; Nagle would add 40ms stalls to the
+    // request/response ping-pong.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/**
+ * Polls fd for `events` until the deadline. Returns true when ready,
+ * false when the deadline passed. Throws on poll failure.
+ */
+bool
+poll_until(int fd, short events, double deadline)
+{
+    for (;;) {
+        const double now = mono_seconds();
+        if (now >= deadline) return false;
+        const int ms = static_cast<int>((deadline - now) * 1e3) + 1;
+        struct pollfd pfd = {fd, events, 0};
+        const int rc = ::poll(&pfd, 1, ms);
+        if (rc > 0) return true;
+        if (rc == 0) return false;
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+    }
+}
+
+}  // namespace
+
+double
+mono_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+parse_host_port(const std::string& addr, std::string& host, int& port)
+{
+    const std::size_t colon = addr.rfind(':');
+    ORION_CHECK(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < addr.size(),
+                "address '" << addr << "' is not host:port");
+    host = addr.substr(0, colon);
+    try {
+        port = std::stoi(addr.substr(colon + 1));
+    } catch (const std::exception&) {
+        port = -1;
+    }
+    ORION_CHECK(port > 0 && port < 65536,
+                "address '" << addr << "' has an invalid port");
+}
+
+Conn::Conn(int fd) : fd_(fd)
+{
+    ORION_CHECK(fd >= 0, "Conn adopted an invalid fd");
+    set_nonblocking(fd_);
+    set_nodelay(fd_);
+}
+
+Conn::~Conn() { close(); }
+
+Conn::Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Conn&
+Conn::operator=(Conn&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Conn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Conn::shutdown_both()
+{
+    if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+Conn
+Conn::connect(const std::string& host, int port, double timeout_s)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(port);
+    const int gai = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                  &res);
+    ORION_CHECK(gai == 0 && res != nullptr,
+                "cannot resolve " << host << ": " << ::gai_strerror(gai));
+
+    const int fd = ::socket(res->ai_family, res->ai_socktype,
+                            res->ai_protocol);
+    if (fd < 0) {
+        ::freeaddrinfo(res);
+        throw_errno("socket");
+    }
+    set_nonblocking(fd);
+    const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc != 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        throw_errno("connect");
+    }
+    if (rc != 0) {
+        // Non-blocking connect: wait for writability, then read SO_ERROR.
+        if (!poll_until(fd, POLLOUT, mono_seconds() + timeout_s)) {
+            ::close(fd);
+            std::ostringstream oss;
+            oss << "connect to " << host << ":" << port << " timed out after "
+                << timeout_s << " s";
+            throw TimeoutError(oss.str());
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            ::close(fd);
+            std::ostringstream oss;
+            oss << "connect to " << host << ":" << port
+                << " failed: " << std::strerror(err != 0 ? err : errno);
+            throw Error(oss.str());
+        }
+    }
+    return Conn(fd);
+}
+
+void
+Conn::read_exact(void* dst, std::size_t n, double timeout_s)
+{
+    ORION_CHECK(valid(), "read on a closed connection");
+    const double deadline = mono_seconds() + timeout_s;
+    u8* out = static_cast<u8*>(dst);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t rc = ::recv(fd_, out + got, n - got, 0);
+        if (rc > 0) {
+            got += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc == 0) {
+            throw DisconnectError("peer closed the connection mid-read");
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!poll_until(fd_, POLLIN, deadline)) {
+                std::ostringstream oss;
+                oss << "read timed out after " << timeout_s << " s ("
+                    << got << "/" << n << " bytes)";
+                throw TimeoutError(oss.str());
+            }
+            continue;
+        }
+        if (errno == ECONNRESET) {
+            throw DisconnectError("connection reset by peer");
+        }
+        throw_errno("recv");
+    }
+}
+
+void
+Conn::write_all(const void* src, std::size_t n, double timeout_s)
+{
+    ORION_CHECK(valid(), "write on a closed connection");
+    const double deadline = mono_seconds() + timeout_s;
+    const u8* in = static_cast<const u8*>(src);
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t rc = ::send(fd_, in + put, n - put, MSG_NOSIGNAL);
+        if (rc > 0) {
+            put += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!poll_until(fd_, POLLOUT, deadline)) {
+                std::ostringstream oss;
+                oss << "write timed out after " << timeout_s << " s ("
+                    << put << "/" << n << " bytes)";
+                throw TimeoutError(oss.str());
+            }
+            continue;
+        }
+        if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+            throw DisconnectError("peer closed the connection mid-write");
+        }
+        throw_errno("send");
+    }
+}
+
+Conn::Io
+Conn::read_some(std::vector<u8>& buf, std::size_t max_chunk,
+                std::size_t* done)
+{
+    *done = 0;
+    const std::size_t old = buf.size();
+    buf.resize(old + max_chunk);
+    const ssize_t rc = ::recv(fd_, buf.data() + old, max_chunk, 0);
+    if (rc > 0) {
+        buf.resize(old + static_cast<std::size_t>(rc));
+        *done = static_cast<std::size_t>(rc);
+        return Io::kOk;
+    }
+    buf.resize(old);
+    if (rc == 0) return Io::kEof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return Io::kWouldBlock;
+    }
+    return Io::kClosed;
+}
+
+Conn::Io
+Conn::write_some(const u8* data, std::size_t n, std::size_t* done)
+{
+    *done = 0;
+    const ssize_t rc = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (rc >= 0) {
+        *done = static_cast<std::size_t>(rc);
+        return Io::kOk;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return Io::kWouldBlock;
+    }
+    return Io::kClosed;
+}
+
+Listener::Listener(int port, int backlog)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        std::ostringstream oss;
+        oss << "bind to port " << port << " failed: " << std::strerror(e);
+        throw Error(oss.str());
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        std::ostringstream oss;
+        oss << "listen failed: " << std::strerror(e);
+        throw Error(oss.str());
+    }
+    set_nonblocking(fd_);
+    socklen_t len = sizeof(addr);
+    ORION_CHECK(::getsockname(fd_,
+                              reinterpret_cast<struct sockaddr*>(&addr),
+                              &len) == 0,
+                "getsockname failed: " << std::strerror(errno));
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+    other.port_ = 0;
+}
+
+Listener&
+Listener::operator=(Listener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    return *this;
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Conn
+Listener::accept()
+{
+    ORION_CHECK(valid(), "accept on a closed listener");
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) return Conn(fd);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return Conn();
+        // Transient per-connection failures (the peer gave up between
+        // SYN and accept) are not listener errors.
+        if (errno == ECONNABORTED) continue;
+        throw_errno("accept");
+    }
+}
+
+}  // namespace orion::net

@@ -1,0 +1,132 @@
+#ifndef ORION_SRC_NET_SOCKET_H_
+#define ORION_SRC_NET_SOCKET_H_
+
+/**
+ * @file
+ * Thin RAII layer over POSIX TCP sockets: `Conn` (one established
+ * connection, always non-blocking at the fd level) and `Listener` (a bound
+ * accepting socket). Two usage styles share the same Conn:
+ *
+ *  - deadline IO (`read_exact` / `write_all`): poll-based waits that make
+ *    a non-blocking fd behave like a blocking one with a timeout. Clients
+ *    and the router's backend links use this.
+ *  - event-loop IO (`read_some` / `write_some`): single non-blocking
+ *    syscalls that report would-block explicitly. The FrameServer poll
+ *    loop uses this.
+ *
+ * All failures throw orion::Error with the errno text; timeouts throw
+ * TimeoutError (a distinct type so retry loops can tell a slow peer from
+ * a dead one). SIGPIPE is never raised (sends use MSG_NOSIGNAL).
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/common.h"
+
+namespace orion::net {
+
+/** A deadline expired before the requested IO completed. */
+class TimeoutError : public Error {
+  public:
+    using Error::Error;
+};
+
+/** The peer closed the connection (EOF mid-read, ECONNRESET, EPIPE). */
+class DisconnectError : public Error {
+  public:
+    using Error::Error;
+};
+
+/** Splits "host:port"; throws on a missing/invalid port. */
+void parse_host_port(const std::string& addr, std::string& host, int& port);
+
+/** One established TCP connection (move-only; closes on destruction). */
+class Conn {
+  public:
+    Conn() = default;
+    /** Adopts a connected fd: sets O_NONBLOCK and TCP_NODELAY. */
+    explicit Conn(int fd);
+    ~Conn();
+
+    Conn(Conn&& other) noexcept;
+    Conn& operator=(Conn&& other) noexcept;
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    /**
+     * Connects to host:port, waiting at most `timeout_s` for the TCP
+     * handshake. Throws TimeoutError / Error; never returns an invalid
+     * Conn.
+     */
+    static Conn connect(const std::string& host, int port, double timeout_s);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+    /**
+     * Half-closes both directions without releasing the fd: a thread
+     * blocked reading this Conn wakes with EOF. Unlike close(), safe to
+     * call while another thread is inside read_exact/poll on the same fd
+     * (the fd number cannot be reused until close()).
+     */
+    void shutdown_both();
+
+    // ---- deadline IO (poll until complete or timeout) ----
+
+    /** Reads exactly n bytes; TimeoutError / DisconnectError on failure. */
+    void read_exact(void* dst, std::size_t n, double timeout_s);
+    /** Writes all n bytes; TimeoutError / DisconnectError on failure. */
+    void write_all(const void* src, std::size_t n, double timeout_s);
+
+    // ---- event-loop IO (one non-blocking syscall) ----
+
+    enum class Io {
+        kOk,          ///< made progress (*done bytes)
+        kWouldBlock,  ///< no progress, retry when poll reports readiness
+        kEof,         ///< orderly shutdown by the peer (read only)
+        kClosed,      ///< hard error (reset, pipe); treat as disconnect
+    };
+
+    /** Appends up to `max_chunk` available bytes to buf. */
+    Io read_some(std::vector<u8>& buf, std::size_t max_chunk,
+                 std::size_t* done);
+    /** Writes up to n bytes without blocking. */
+    Io write_some(const u8* data, std::size_t n, std::size_t* done);
+
+  private:
+    int fd_ = -1;
+};
+
+/** A bound, listening TCP socket (loopback-reachable; move-only). */
+class Listener {
+  public:
+    /** Binds to `port` on all interfaces (0 = kernel-assigned). */
+    explicit Listener(int port, int backlog = 64);
+    ~Listener();
+
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    /** The actual bound port (resolves port-0 binds). */
+    int port() const { return port_; }
+    void close();
+
+    /** Non-blocking accept: an invalid Conn when nothing is pending. */
+    Conn accept();
+
+  private:
+    int fd_ = -1;
+    int port_ = 0;
+};
+
+/** Monotonic seconds (steady_clock) for deadline arithmetic. */
+double mono_seconds();
+
+}  // namespace orion::net
+
+#endif  // ORION_SRC_NET_SOCKET_H_

@@ -34,6 +34,7 @@ to_string(ErrorKind kind)
     case ErrorKind::kBadSession: return "bad_session";
     case ErrorKind::kDecodeError: return "decode_error";
     case ErrorKind::kExecError: return "exec_error";
+    case ErrorKind::kOverloaded: return "overloaded";
     }
     return "unknown";
 }

@@ -80,6 +80,15 @@ enum class ErrorKind {
     kBadSession,   ///< unknown / unregistered session id
     kDecodeError,  ///< malformed request bytes
     kExecError,    ///< execution failure under valid keys
+    /**
+     * Backpressure: the submission queue was full (a try_submit
+     * rejection). Distinct from the kinds above because it is
+     * *retryable* — the transport layer (net::ServeEndpoint) surfaces it
+     * as a typed wire error so routers and clients back off and resend
+     * instead of treating it as a permanent failure. Never appears in
+     * the worker-loop ledger (rejected requests never execute).
+     */
+    kOverloaded,
 };
 const char* to_string(ErrorKind kind);
 

@@ -73,6 +73,19 @@ peek_request_session(std::span<const u8> bytes)
     return r.read_u64();
 }
 
+void
+rewrite_request_session(std::span<u8> bytes, u64 session_id)
+{
+    // Validates magic/version/kind/length and that a session id exists.
+    (void)peek_request_session(bytes);
+    // The payload begins right after the frame (magic 4 + version 1 +
+    // kind 1 + length 8) with the session id as its first u64.
+    constexpr std::size_t kFrameBytes = 4 + 1 + 1 + 8;
+    for (std::size_t i = 0; i < sizeof(u64); ++i) {
+        bytes[kFrameBytes + i] = static_cast<u8>(session_id >> (8 * i));
+    }
+}
+
 Bytes
 encode_response(const Response& resp)
 {

@@ -60,6 +60,15 @@ Request decode_request(std::span<const u8> bytes, const ckks::Context& ctx);
  * frame only; the payload beyond the id may still be malformed.
  */
 u64 peek_request_session(std::span<const u8> bytes);
+/**
+ * Overwrites the session id of a framed Request in place (the id sits at
+ * a fixed offset right after the record frame). The transport layer uses
+ * this to translate a client's globally unique session *token* into the
+ * receiving server's local session id without re-encoding the (large)
+ * ciphertext payload. Validates the frame first; throws on non-Request
+ * bytes.
+ */
+void rewrite_request_session(std::span<u8> bytes, u64 session_id);
 
 ckks::serial::Bytes encode_response(const Response& r);
 Response decode_response(std::span<const u8> bytes, const ckks::Context& ctx);
