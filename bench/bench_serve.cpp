@@ -88,7 +88,7 @@ struct Stack {
     core::CompiledNetwork cn;
     std::shared_ptr<const core::PreparedProgram> prepared;
 
-    Stack()
+    explicit Stack(int batch = 1)
         : params(ckks::CkksParams::toy()), ctx(params),
           net(nn::make_micro_mlp())
     {
@@ -98,6 +98,7 @@ struct Stack {
         opt.cost = core::CostModel::for_params(
             ctx.degree(), params.digit_size, params.digit_size, 3);
         opt.calibration_samples = 3;
+        opt.batch = batch;
         cn = core::compile(net, opt);
         prepared = std::make_shared<const core::PreparedProgram>(cn, ctx);
     }
@@ -443,6 +444,145 @@ run_churn(const core::CompiledNetwork& cn, const ckks::Context& ctx,
     }
 }
 
+/**
+ * The slot-batched inference workload (--batch B): the same micro MLP
+ * compiled twice — once single-sample (the exact historical program) and
+ * once with B samples interleaved across batch lanes — and driven through
+ * the server both ways with identical inputs. One batched request runs
+ * the encrypted program ONCE for all B images, so per-image latency must
+ * drop by roughly the batch factor; the run asserts >= 8x at B >= 16 and
+ * cross-checks every batched image against its single-sample result.
+ */
+void
+run_batch(int target_batch)
+{
+    ORION_CHECK(target_batch >= 2, "--batch needs at least 2");
+    const Stack batched(target_batch);
+    const int B = batched.cn.batch;
+    std::printf("\nbatch: requested %d, compiled %d (capacity %d, lane "
+                "stride %llu, limited by %s)\n",
+                target_batch, B, batched.cn.batch_capacity,
+                static_cast<unsigned long long>(batched.cn.batch_stride),
+                batched.cn.batch_limit_layer.c_str());
+    ORION_CHECK(B >= 2, "program has no batch capacity");
+
+    const Stack single;
+    const int rounds = bench::smoke() ? 2 : 5;
+
+    serve::ServeOptions sopts;
+    sopts.max_inflight = 1;  // one core, one worker: pure work comparison
+    sopts.queue_capacity = 256;
+
+    serve::InferenceServer s1(single.cn, single.ctx, sopts,
+                              single.prepared);
+    serve::ServeClient c1(single.cn, single.ctx, /*seed=*/3001);
+    c1.set_session_id(s1.register_session(c1.key_bundle()));
+
+    serve::InferenceServer sB(batched.cn, batched.ctx, sopts,
+                              batched.prepared);
+    serve::ServeClient cB(batched.cn, batched.ctx, /*seed=*/3002);
+    cB.set_session_id(sB.register_session(cB.key_bundle()));
+
+    std::vector<std::vector<double>> inputs;
+    for (int i = 0; i < B; ++i) {
+        inputs.push_back(
+            bench::random_vector(64, 1.0, 300 + static_cast<u64>(i)));
+    }
+
+    // Warm both paths (first request pays key binding + NTT warmup).
+    std::vector<std::vector<double>> single_outs;
+    {
+        const auto reply =
+            s1.submit(c1.make_request(inputs[0])).get();
+        single_outs.push_back(c1.decrypt_response(reply.response));
+        (void)sB.submit(cB.make_request_batch(inputs)).get();
+    }
+
+    // Single-sample pass: B sequential requests per round.
+    std::vector<double> b1_image_ms;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < B; ++i) {
+            const auto reply =
+                s1.submit(c1.make_request(inputs[static_cast<std::size_t>(
+                              i)]))
+                    .get();
+            if (r == 0 && i > 0) {
+                single_outs.push_back(c1.decrypt_response(reply.response));
+            }
+        }
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        b1_image_ms.push_back(1e3 * wall / static_cast<double>(B));
+    }
+
+    // Batched pass: one request per round carries all B images.
+    std::vector<double> bN_image_ms;
+    std::vector<std::vector<double>> batched_outs;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto reply = sB.submit(cB.make_request_batch(inputs)).get();
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        bN_image_ms.push_back(1e3 * wall / static_cast<double>(B));
+        if (r == 0) {
+            batched_outs = cB.decrypt_response_batch(
+                reply.response, static_cast<int>(inputs.size()));
+        }
+    }
+
+    // Every batched lane must agree with its single-sample run (distinct
+    // keys, so agreement is up to CKKS approximation noise).
+    ORION_CHECK(batched_outs.size() == single_outs.size(),
+                "batched output count mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < batched_outs.size(); ++i) {
+        ORION_CHECK(batched_outs[i].size() == single_outs[i].size(),
+                    "batched output size mismatch");
+        for (std::size_t j = 0; j < batched_outs[i].size(); ++j) {
+            worst = std::max(worst, std::abs(batched_outs[i][j] -
+                                             single_outs[i][j]));
+        }
+    }
+    ORION_CHECK(worst < 5e-2, "batched outputs diverge from single-sample "
+                "outputs (max abs diff "
+                                  << worst << ")");
+
+    const serve::ServerStats bstats = sB.stats();
+    ORION_CHECK(bstats.images ==
+                    static_cast<u64>(rounds + 1) * static_cast<u64>(B),
+                "server image ledger mismatch");
+
+    const double b1_ms = percentile(b1_image_ms, 0.50);
+    const double bN_ms = percentile(bN_image_ms, 0.50);
+    const double speedup = b1_ms / bN_ms;
+    const double images_per_s = 1e3 / bN_ms;
+    std::printf("%-10s %14s %14s %10s %12s\n", "batch", "per-image ms",
+                "images/s", "speedup", "max |diff|");
+    std::printf("%-10d %14.2f %14.2f %10s %12.2e\n", 1, b1_ms,
+                1e3 / b1_ms, "1.0x", 0.0);
+    std::printf("%-10d %14.2f %14.2f %9.1fx %12.2e\n", B, bN_ms,
+                images_per_s, speedup, worst);
+
+    bench::json_metric("batch/b1_per_image_ms", b1_ms);
+    bench::json_metric("batch/b" + std::to_string(B) + "_per_image_ms",
+                       bN_ms);
+    bench::json_metric("batch/compiled_batch", static_cast<double>(B));
+    bench::json_metric("batch/speedup_x", speedup);
+    bench::json_metric("batch/images_per_s", images_per_s);
+    bench::json_metric("batch/max_abs_diff", worst);
+
+    // The acceptance criterion: amortizing one program execution over 16
+    // lanes must buy at least 8x per-image throughput.
+    if (B >= 16) {
+        ORION_CHECK(speedup >= 8.0,
+                    "batched speedup " << speedup << "x is below the 8x "
+                    "floor at batch " << B);
+    }
+}
+
 }  // namespace
 
 int
@@ -451,18 +591,30 @@ main(int argc, char** argv)
     bench::init(argc, argv);
     bool churn = false;
     int nshards = 0;
+    int batch = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--churn") == 0) churn = true;
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             nshards = std::atoi(argv[i + 1]);
         }
+        if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+            batch = std::atoi(argv[i + 1]);
+        }
     }
     bench::print_header(
         nshards > 0
             ? "bench_serve: multi-process sharded serving (--shards)"
-            : (churn ? "bench_serve: session key-cache churn (--churn)"
-                     : "bench_serve: encrypted-inference throughput vs "
-                       "concurrency"));
+            : (batch > 0
+                   ? "bench_serve: slot-batched inference (--batch)"
+                   : (churn
+                          ? "bench_serve: session key-cache churn (--churn)"
+                          : "bench_serve: encrypted-inference throughput vs "
+                            "concurrency")));
+
+    if (batch > 0) {
+        run_batch(batch);
+        return 0;
+    }
 
     if (nshards > 0) {
         // Fork-before-threads: run_shards builds the CKKS stack only

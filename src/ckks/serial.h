@@ -41,7 +41,10 @@ using Bytes = std::vector<u8>;
 //     {a_seed, b digits} and the decoder re-expands the uniform a digits
 //     via expand_kswitch_a, roughly halving key bundle bytes. Decoders
 //     accept v2 records unchanged (explicit a digits, no seed flag).
-inline constexpr u8 kWireVersion = 3;
+// v4: serve Requests carry a batch_count (slot-batched inference: one
+//     program execution covers batch_count samples packed across lanes).
+//     v2/v3 Requests decode with batch_count = 1.
+inline constexpr u8 kWireVersion = 4;
 inline constexpr u8 kMinWireVersion = 2;
 inline constexpr u8 kMagic[4] = {'O', 'R', 'N', '1'};
 

@@ -49,10 +49,21 @@ struct CompilerState {
     std::map<int, std::vector<int>> relu_stages_of;  // ReLU id -> payloads
     std::map<int, int> stage_operand;    // stage synthetic id -> operand key
 
+    int batch = 1;          // effective (capacity-clamped) batch
+    u64 batch_stride = 0;   // slot stride between batch lanes
+
     u64
     cts_of_layout(const lin::TensorLayout& l) const
     {
         return std::max<u64>(1, ceil_div(l.total_slots(), opt->slots));
+    }
+
+    /** Stamps the compiled batch tiling onto a per-sample layout. */
+    lin::TensorLayout
+    batched(const lin::TensorLayout& l) const
+    {
+        if (batch <= 1) return l;
+        return l.with_batch(batch, batch_stride);
     }
 };
 
@@ -335,7 +346,7 @@ build_linear_payload(CompilerState& st, const Layer& l)
     const CompileOptions& opt = *st.opt;
     LinearLayerData data;
     const int in_id = l.inputs[0];
-    const lin::TensorLayout in_layout = value_layout(st, in_id);
+    const lin::TensorLayout in_layout = st.batched(value_layout(st, in_id));
     data.in_layout = in_layout;
 
     lin::BlockedStructure structure;
@@ -345,8 +356,8 @@ build_linear_payload(CompilerState& st, const Layer& l)
         const int out_gap = opt.packing == CompileOptions::Packing::kRaster
                                 ? in_layout.gap
                                 : in_layout.gap * l.conv.stride;
-        data.out_layout = lin::TensorLayout(
-            l.conv.out_channels, l.out_shape.h, l.out_shape.w, out_gap);
+        data.out_layout = st.batched(lin::TensorLayout(
+            l.conv.out_channels, l.out_shape.h, l.out_shape.w, out_gap));
         std::vector<double> mult, bias;
         folded_channel_terms(st, l, l.conv.out_channels, &mult, &bias);
         data.folded_weights = l.weights;
@@ -379,8 +390,8 @@ build_linear_payload(CompilerState& st, const Layer& l)
         const int out_gap = opt.packing == CompileOptions::Packing::kRaster
                                 ? in_layout.gap
                                 : in_layout.gap * spec.stride;
-        data.out_layout = lin::TensorLayout(in_shape.c, l.out_shape.h,
-                                            l.out_shape.w, out_gap);
+        data.out_layout = st.batched(lin::TensorLayout(
+            in_shape.c, l.out_shape.h, l.out_shape.w, out_gap));
         const double nu_ratio =
             st.nu[static_cast<std::size_t>(l.id)] /
             st.nu[static_cast<std::size_t>(in_id)];
@@ -399,7 +410,7 @@ build_linear_payload(CompilerState& st, const Layer& l)
         data.kind = LayerKind::kLinear;
         data.in_features = l.in_features;
         data.out_features = l.out_features;
-        data.out_layout = lin::TensorLayout(1, 1, l.out_features, 1);
+        data.out_layout = st.batched(lin::TensorLayout(1, 1, l.out_features, 1));
         std::vector<double> mult, bias;
         folded_channel_terms(st, l, l.out_features, &mult, &bias);
         data.folded_weights = l.weights;
@@ -1015,7 +1026,8 @@ compile(const nn::Network& net, const CompileOptions& options)
     estimate_ranges(st);
     assign_normalization(st);
 
-    // Layout gaps and payloads, in topological order.
+    // Layout gaps, in topological order (payload construction below needs
+    // every gap fixed before the batch capacity is known).
     st.gap.assign(static_cast<std::size_t>(net.num_layers()), 1);
     st.edge_cts.assign(static_cast<std::size_t>(net.num_layers()), 1);
     st.payload_of.assign(static_cast<std::size_t>(net.num_layers()), -1);
@@ -1032,12 +1044,58 @@ compile(const nn::Network& net, const CompileOptions& options)
             }
         }
         if (l.kind == LayerKind::kLinear) out_gap = 1;
-        st.gap[static_cast<std::size_t>(id)] = out_gap;
+        const bool absorbed =
+            l.kind == LayerKind::kBatchNorm2d &&
+            st.bn_absorbed[static_cast<std::size_t>(id)];
+        st.gap[static_cast<std::size_t>(id)] = absorbed ? in_gap : out_gap;
+    }
+
+    // Batch capacity: the widest layer's per-sample span, rounded up to a
+    // power of two, becomes the lane stride; slots / stride samples fit
+    // side by side. Lanes at a uniform power-of-two stride keep every
+    // batched weight matrix on the same generalized diagonals as B = 1,
+    // so the rotation plans are unchanged. A span wider than the slot
+    // count (multi-ciphertext layers) pins capacity at 1: those programs
+    // run unbatched.
+    ORION_CHECK(options.batch >= 1,
+                "batch must be >= 1, got " << options.batch);
+    u64 max_span = 0;
+    std::string limit_name = "input#0";
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const Layer& l = net.layer(id);
+        if (l.kind == LayerKind::kFlatten) continue;
+        const u64 span =
+            layout_for(l.out_shape, st.gap[static_cast<std::size_t>(id)])
+                .total_slots();
+        if (span > max_span) {
+            max_span = span;
+            limit_name = l.name.empty() ? nn::layer_kind_name(l.kind)
+                                        : l.name;
+            limit_name += "#" + std::to_string(id);
+        }
+    }
+    u64 lane_stride = 1;
+    while (lane_stride < max_span) lane_stride <<= 1;
+    const int capacity =
+        lane_stride > options.slots
+            ? 1
+            : static_cast<int>(options.slots / lane_stride);
+    st.batch = std::min(options.batch, capacity);
+    st.batch_stride = st.batch > 1 ? lane_stride : 0;
+    st.out.batch = st.batch;
+    st.out.batch_stride = st.batch_stride;
+    st.out.batch_capacity = capacity;
+    st.out.batch_limit_layer = limit_name;
+
+    // Payloads, in topological order.
+    for (int id = 0; id < net.num_layers(); ++id) {
+        const Layer& l = net.layer(id);
         if (l.kind == LayerKind::kFlatten) {
             st.edge_cts[static_cast<std::size_t>(id)] =
                 st.edge_cts[static_cast<std::size_t>(l.inputs[0])];
         } else {
-            const lin::TensorLayout layout = layout_for(l.out_shape, out_gap);
+            const lin::TensorLayout layout = st.batched(layout_for(
+                l.out_shape, st.gap[static_cast<std::size_t>(id)]));
             st.edge_cts[static_cast<std::size_t>(id)] =
                 st.cts_of_layout(layout);
         }
@@ -1045,10 +1103,7 @@ compile(const nn::Network& net, const CompileOptions& options)
         const bool absorbed =
             l.kind == LayerKind::kBatchNorm2d &&
             st.bn_absorbed[static_cast<std::size_t>(id)];
-        if (absorbed) {
-            st.gap[static_cast<std::size_t>(id)] = in_gap;
-            continue;
-        }
+        if (absorbed) continue;
         if (l.kind == LayerKind::kConv2d || l.kind == LayerKind::kLinear ||
             l.kind == LayerKind::kAvgPool2d ||
             l.kind == LayerKind::kBatchNorm2d) {
@@ -1105,13 +1160,14 @@ compile(const nn::Network& net, const CompileOptions& options)
 
     // Input/output bookkeeping.
     st.out.input_shape = net.shape_of(net.input_id());
-    st.out.input_layout = layout_for(
-        st.out.input_shape, st.gap[static_cast<std::size_t>(net.input_id())]);
+    st.out.input_layout = st.batched(layout_for(
+        st.out.input_shape,
+        st.gap[static_cast<std::size_t>(net.input_id())]));
     st.out.input_nu = st.nu[static_cast<std::size_t>(net.input_id())];
     st.out.output_nu = st.nu[static_cast<std::size_t>(net.output_id())];
-    st.out.output_layout = layout_for(
+    st.out.output_layout = st.batched(layout_for(
         net.shape_of(net.output_id()),
-        st.gap[static_cast<std::size_t>(net.output_id())]);
+        st.gap[static_cast<std::size_t>(net.output_id())]));
     st.out.output_size = net.shape_of(net.output_id()).size();
 
     st.out.compile_seconds =

@@ -69,6 +69,14 @@ struct CompileOptions {
      * simulation backend but not the CKKS backend.
      */
     bool structural_only = false;
+
+    /**
+     * Samples packed side by side across free slots (tile-tensor
+     * batching). Clamped to the program's per-layer batch capacity
+     * (slots / widest layer span rounded up to a power of two); 1
+     * compiles the exact historical single-sample program.
+     */
+    int batch = 1;
 };
 
 /** One FHE instruction of the compiled program. */
@@ -141,6 +149,16 @@ struct CompiledNetwork {
     double output_nu = 1.0;  ///< decrypted slots are nu * y
     lin::TensorLayout output_layout;
     u64 output_size = 0;
+
+    // Batch tiling (tile tensors): every layer's layouts carry `batch`
+    // lanes at stride `batch_stride` slots. batch_capacity is the most
+    // the slot count admits for this network; batch is the compiled
+    // (clamped) value, and batch_limit_layer names the widest layer —
+    // the one whose span set the capacity.
+    int batch = 1;
+    u64 batch_stride = 0;
+    int batch_capacity = 1;
+    std::string batch_limit_layer;
 
     // Execution configuration carried to the backends.
     CostModel cost_model;

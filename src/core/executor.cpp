@@ -355,20 +355,34 @@ PreparedProgram::PreparedProgram(const CompiledNetwork& cn,
                     std::max<u64>(1, ceil_div(data.rows, cn.slots)) *
                     cn.slots;
                 std::vector<double> slots(padded, 0.0);
+                // The bias is replicated into every batch lane; unused
+                // lanes of an under-filled request carry bias-propagated
+                // values that never leave their lane (the weight matrix
+                // is block-diagonal) and are dropped at unpack.
+                const int nb = std::max(1, data.out_layout.batch);
+                const u64 lane_stride = data.out_layout.batch_stride;
                 if (data.kind == nn::LayerKind::kLinear) {
-                    for (std::size_t i = 0; i < data.folded_bias.size();
-                         ++i) {
-                        slots[i] = data.folded_bias[i];
+                    for (int b = 0; b < nb; ++b) {
+                        for (std::size_t i = 0; i < data.folded_bias.size();
+                             ++i) {
+                            slots[static_cast<u64>(b) * lane_stride + i] =
+                                data.folded_bias[i];
+                        }
                     }
                 } else {
-                    for (int c = 0;
-                         c < static_cast<int>(data.folded_bias.size());
-                         ++c) {
-                        for (int y = 0; y < data.out_layout.height; ++y) {
-                            for (int x = 0; x < data.out_layout.width; ++x) {
-                                slots[data.out_layout.slot_of(c, y, x)] =
-                                    data.folded_bias
-                                        [static_cast<std::size_t>(c)];
+                    for (int b = 0; b < nb; ++b) {
+                        for (int c = 0;
+                             c < static_cast<int>(data.folded_bias.size());
+                             ++c) {
+                            for (int y = 0; y < data.out_layout.height;
+                                 ++y) {
+                                for (int x = 0; x < data.out_layout.width;
+                                     ++x) {
+                                    slots[data.out_layout.slot_of(b, c, y,
+                                                                  x)] =
+                                        data.folded_bias
+                                            [static_cast<std::size_t>(c)];
+                                }
                             }
                         }
                     }
@@ -527,6 +541,46 @@ encrypt_network_input(const CompiledNetwork& cn, const ckks::Context& ctx,
     return cts;
 }
 
+std::vector<ckks::Ciphertext>
+encrypt_network_input_batch(const CompiledNetwork& cn,
+                            const ckks::Context& ctx,
+                            const ckks::Encoder& encoder,
+                            ckks::Encryptor& encryptor,
+                            const std::vector<std::vector<double>>& inputs)
+{
+    ORION_CHECK(!inputs.empty(), "batch must have at least one sample");
+    ORION_CHECK(inputs.size() <= static_cast<std::size_t>(cn.batch),
+                "batch_count " << inputs.size() << " > program capacity "
+                               << cn.batch << " for layer "
+                               << cn.batch_limit_layer);
+    std::vector<std::vector<double>> normalized(inputs.size());
+    for (std::size_t b = 0; b < inputs.size(); ++b) {
+        const std::vector<double>& input = inputs[b];
+        ORION_CHECK(input.size() == cn.input_shape.size(),
+                    "input size mismatch: got "
+                        << input.size() << ", program expects "
+                        << cn.input_shape.size());
+        normalized[b].resize(input.size());
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            normalized[b][i] = cn.input_nu * input[i];
+        }
+    }
+    const Instruction& ins = input_instruction(cn);
+    const u64 padded = ins.cts * cn.slots;
+    const std::vector<double> packed =
+        cn.input_layout.pack_batch(normalized, padded);
+    const double delta = ctx.scale();
+    std::vector<ckks::Ciphertext> cts;
+    cts.reserve(ins.cts);
+    for (u64 c = 0; c < ins.cts; ++c) {
+        const std::span<const double> chunk(packed.data() + c * cn.slots,
+                                            cn.slots);
+        cts.push_back(
+            encryptor.encrypt(encoder.encode(chunk, ins.level, delta)));
+    }
+    return cts;
+}
+
 std::vector<double>
 decrypt_network_output(const CompiledNetwork& cn,
                        const ckks::Encoder& encoder,
@@ -545,6 +599,35 @@ decrypt_network_output(const CompiledNetwork& cn,
     std::vector<double> logical = cn.output_layout.unpack(slots);
     logical.resize(cn.output_size);
     for (double& x : logical) x /= cn.output_nu;
+    return logical;
+}
+
+std::vector<std::vector<double>>
+decrypt_network_output_batch(const CompiledNetwork& cn,
+                             const ckks::Encoder& encoder,
+                             const ckks::Decryptor& decryptor,
+                             const std::vector<ckks::Ciphertext>& outputs,
+                             int batch_count)
+{
+    ORION_CHECK(batch_count >= 1 && batch_count <= cn.batch,
+                "batch_count " << batch_count << " > program capacity "
+                               << cn.batch << " for layer "
+                               << cn.batch_limit_layer);
+    std::vector<double> slots;
+    slots.reserve(outputs.size() * cn.slots);
+    for (const ckks::Ciphertext& ct : outputs) {
+        const std::vector<double> part =
+            encoder.decode(decryptor.decrypt(ct));
+        slots.insert(slots.end(), part.begin(), part.end());
+    }
+    slots.resize(std::max<u64>(cn.output_layout.total_slots(), slots.size()),
+                 0.0);
+    std::vector<std::vector<double>> logical =
+        cn.output_layout.unpack_batch(slots, batch_count);
+    for (std::vector<double>& sample : logical) {
+        sample.resize(cn.output_size);
+        for (double& x : sample) x /= cn.output_nu;
+    }
     return logical;
 }
 
@@ -653,6 +736,16 @@ CkksExecutor::encrypt_input(const std::vector<double>& input)
     return encrypt_network_input(*cn_, *ctx_, encoder_, *encryptor_, input);
 }
 
+std::vector<ckks::Ciphertext>
+CkksExecutor::encrypt_input_batch(
+    const std::vector<std::vector<double>>& inputs)
+{
+    ORION_CHECK(encryptor_.has_value(),
+                "encrypt_input_batch requires a self-keyed executor");
+    return encrypt_network_input_batch(*cn_, *ctx_, encoder_, *encryptor_,
+                                       inputs);
+}
+
 std::vector<double>
 CkksExecutor::decrypt_output(const std::vector<ckks::Ciphertext>& outputs)
     const
@@ -660,6 +753,16 @@ CkksExecutor::decrypt_output(const std::vector<ckks::Ciphertext>& outputs)
     ORION_CHECK(decryptor_.has_value(),
                 "decrypt_output requires a self-keyed executor");
     return decrypt_network_output(*cn_, encoder_, *decryptor_, outputs);
+}
+
+std::vector<std::vector<double>>
+CkksExecutor::decrypt_output_batch(
+    const std::vector<ckks::Ciphertext>& outputs, int batch_count) const
+{
+    ORION_CHECK(decryptor_.has_value(),
+                "decrypt_output_batch requires a self-keyed executor");
+    return decrypt_network_output_batch(*cn_, encoder_, *decryptor_,
+                                        outputs, batch_count);
 }
 
 EncryptedResult

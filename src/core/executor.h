@@ -182,6 +182,16 @@ std::vector<ckks::Ciphertext> encrypt_network_input(
     const std::vector<double>& input);
 
 /**
+ * Packs up to CompiledNetwork::batch samples into their slot lanes and
+ * encrypts them as one ciphertext set (the batched kInput form). The
+ * program executes once for the whole batch.
+ */
+std::vector<ckks::Ciphertext> encrypt_network_input_batch(
+    const CompiledNetwork& cn, const ckks::Context& ctx,
+    const ckks::Encoder& encoder, ckks::Encryptor& encryptor,
+    const std::vector<std::vector<double>>& inputs);
+
+/**
  * Decrypts, unpacks, and de-normalizes program outputs exactly as the
  * kOutput instruction does.
  */
@@ -189,6 +199,12 @@ std::vector<double> decrypt_network_output(
     const CompiledNetwork& cn, const ckks::Encoder& encoder,
     const ckks::Decryptor& decryptor,
     const std::vector<ckks::Ciphertext>& outputs);
+
+/** Batched decrypt: the first batch_count lanes as per-sample outputs. */
+std::vector<std::vector<double>> decrypt_network_output_batch(
+    const CompiledNetwork& cn, const ckks::Encoder& encoder,
+    const ckks::Decryptor& decryptor,
+    const std::vector<ckks::Ciphertext>& outputs, int batch_count);
 
 /*
  * CkksExecutor honors OrionConfig::num_threads: run() installs a
@@ -264,9 +280,15 @@ class CkksExecutor {
     /** Encrypts a logical input (self-keyed mode). */
     std::vector<ckks::Ciphertext> encrypt_input(
         const std::vector<double>& input);
+    /** Encrypts up to CompiledNetwork::batch samples into slot lanes. */
+    std::vector<ckks::Ciphertext> encrypt_input_batch(
+        const std::vector<std::vector<double>>& inputs);
     /** Decrypts encrypted-domain outputs (self-keyed mode). */
     std::vector<double> decrypt_output(
         const std::vector<ckks::Ciphertext>& outputs) const;
+    /** Decrypts the first batch_count lanes as per-sample outputs. */
+    std::vector<std::vector<double>> decrypt_output_batch(
+        const std::vector<ckks::Ciphertext>& outputs, int batch_count) const;
 
     /** The pinned config, or the current global one when not pinned. */
     OrionConfig exec_config() const { return cfg_ ? *cfg_ : config(); }

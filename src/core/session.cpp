@@ -198,6 +198,18 @@ Session::run(const std::vector<double>& input)
     return executor().run(input);
 }
 
+std::vector<std::vector<double>>
+Session::run_batch(const std::vector<std::vector<double>>& inputs)
+{
+    require_compiled("run_batch");
+    require_context("run_batch");
+    const std::vector<ckks::Ciphertext> cts =
+        executor().encrypt_input_batch(inputs);
+    const core::EncryptedResult er = executor().run_encrypted(cts);
+    return executor().decrypt_output_batch(
+        er.outputs, static_cast<int>(inputs.size()));
+}
+
 core::ExecutionResult
 Session::simulate(const std::vector<double>& input)
 {
@@ -217,6 +229,14 @@ Session::encrypt(const std::vector<double>& input)
     return executor().encrypt_input(input);
 }
 
+std::vector<ckks::Ciphertext>
+Session::encrypt(const std::vector<std::vector<double>>& inputs)
+{
+    require_compiled("encrypt");
+    require_context("encrypt");
+    return executor().encrypt_input_batch(inputs);
+}
+
 core::EncryptedResult
 Session::run_encrypted(const std::vector<ckks::Ciphertext>& input)
 {
@@ -231,6 +251,15 @@ Session::decrypt(const std::vector<ckks::Ciphertext>& outputs)
     require_compiled("decrypt");
     require_context("decrypt");
     return executor().decrypt_output(outputs);
+}
+
+std::vector<std::vector<double>>
+Session::decrypt_batch(const std::vector<ckks::Ciphertext>& outputs,
+                       int batch_count)
+{
+    require_compiled("decrypt_batch");
+    require_context("decrypt_batch");
+    return executor().decrypt_output_batch(outputs, batch_count);
 }
 
 std::unique_ptr<serve::InferenceServer>

@@ -106,11 +106,23 @@ class Session {
     /** Full encrypted inference: encrypt + execute + decrypt. */
     core::ExecutionResult run(const std::vector<double>& input);
 
+    /**
+     * Batched encrypted inference: packs up to CompiledNetwork::batch
+     * samples into slot lanes (compile with CompileOptions::batch > 1),
+     * executes the program ONCE, and returns one output per sample.
+     */
+    std::vector<std::vector<double>> run_batch(
+        const std::vector<std::vector<double>>& inputs);
+
     /** Functional simulation (cost model + bootstrap noise). */
     core::ExecutionResult simulate(const std::vector<double>& input);
 
     /** Packs + encrypts an input as the compiled program expects. */
     std::vector<ckks::Ciphertext> encrypt(const std::vector<double>& input);
+
+    /** Packs + encrypts a batch of samples into their slot lanes. */
+    std::vector<ckks::Ciphertext> encrypt(
+        const std::vector<std::vector<double>>& inputs);
 
     /** Encrypted-domain inference: ciphertexts in, ciphertexts out. */
     core::EncryptedResult run_encrypted(
@@ -118,6 +130,10 @@ class Session {
 
     /** Decrypts + unpacks + de-normalizes program outputs. */
     std::vector<double> decrypt(const std::vector<ckks::Ciphertext>& outputs);
+
+    /** Batched decrypt: the first batch_count lanes, one per sample. */
+    std::vector<std::vector<double>> decrypt_batch(
+        const std::vector<ckks::Ciphertext>& outputs, int batch_count);
 
     // ---- serving (the Section 6 deployment model) ----
 

@@ -13,8 +13,10 @@ conv_output_layout(const Conv2dSpec& spec, const TensorLayout& in)
     ORION_CHECK(in.channels == spec.in_channels,
                 "layout/spec channel mismatch: " << in.channels << " vs "
                                                  << spec.in_channels);
-    return TensorLayout(spec.out_channels, spec.out_h(in.height),
-                        spec.out_w(in.width), in.gap * spec.stride);
+    const TensorLayout out(spec.out_channels, spec.out_h(in.height),
+                           spec.out_w(in.width), in.gap * spec.stride);
+    if (in.batch > 1) return out.with_batch(in.batch, in.batch_stride);
+    return out;
 }
 
 BlockedMatrix
@@ -31,6 +33,9 @@ build_conv_matrix(const Conv2dSpec& spec, const std::vector<double>& weights,
                         static_cast<std::size_t>(spec.out_channels),
                 "channel_scale must have one entry per output channel");
 
+    ORION_CHECK(in.batch == out.batch && in.batch_stride == out.batch_stride,
+                "conv input/output batch mismatch");
+
     const int ci_per_group = spec.in_channels / spec.groups;
     const int co_per_group = spec.out_channels / spec.groups;
     const u64 rows = out.total_slots();
@@ -40,33 +45,40 @@ build_conv_matrix(const Conv2dSpec& spec, const std::vector<double>& weights,
 
     // One matrix row per output element (Figure 3a): walk every filter
     // placement and scatter the taps into (row, col) positions under the
-    // multiplexed layouts.
-    for (int o = 0; o < spec.out_channels; ++o) {
-        const int group = o / co_per_group;
-        const double oscale =
-            channel_scale.empty() ? 1.0
-                                  : channel_scale[static_cast<std::size_t>(o)];
-        for (int oy = 0; oy < out.height; ++oy) {
-            for (int ox = 0; ox < out.width; ++ox) {
-                const u64 row = out.slot_of(o, oy, ox);
-                for (int ci = 0; ci < ci_per_group; ++ci) {
-                    const int c = group * ci_per_group + ci;
-                    for (int ky = 0; ky < spec.kernel_h; ++ky) {
-                        const int iy =
-                            oy * spec.stride - spec.pad + ky * spec.dilation;
-                        if (iy < 0 || iy >= in.height) continue;
-                        for (int kx = 0; kx < spec.kernel_w; ++kx) {
-                            const int ix = ox * spec.stride - spec.pad +
-                                           kx * spec.dilation;
-                            if (ix < 0 || ix >= in.width) continue;
-                            const u64 col = in.slot_of(c, iy, ix);
-                            const u64 widx =
-                                ((static_cast<u64>(o) * ci_per_group + ci) *
-                                     spec.kernel_h +
-                                 ky) *
-                                    spec.kernel_w +
-                                kx;
-                            m.add(row, col, oscale * weights[widx]);
+    // multiplexed layouts. Batch lanes shift row and column by the same
+    // b * batch_stride, so they land on the same generalized diagonals
+    // (block-diagonal weights: one BSGS product serves all lanes).
+    const int nb = std::max(1, in.batch);
+    for (int b = 0; b < nb; ++b) {
+        for (int o = 0; o < spec.out_channels; ++o) {
+            const int group = o / co_per_group;
+            const double oscale =
+                channel_scale.empty()
+                    ? 1.0
+                    : channel_scale[static_cast<std::size_t>(o)];
+            for (int oy = 0; oy < out.height; ++oy) {
+                for (int ox = 0; ox < out.width; ++ox) {
+                    const u64 row = out.slot_of(b, o, oy, ox);
+                    for (int ci = 0; ci < ci_per_group; ++ci) {
+                        const int c = group * ci_per_group + ci;
+                        for (int ky = 0; ky < spec.kernel_h; ++ky) {
+                            const int iy = oy * spec.stride - spec.pad +
+                                           ky * spec.dilation;
+                            if (iy < 0 || iy >= in.height) continue;
+                            for (int kx = 0; kx < spec.kernel_w; ++kx) {
+                                const int ix = ox * spec.stride - spec.pad +
+                                               kx * spec.dilation;
+                                if (ix < 0 || ix >= in.width) continue;
+                                const u64 col = in.slot_of(b, c, iy, ix);
+                                const u64 widx =
+                                    ((static_cast<u64>(o) * ci_per_group +
+                                      ci) *
+                                         spec.kernel_h +
+                                     ky) *
+                                        spec.kernel_w +
+                                    kx;
+                                m.add(row, col, oscale * weights[widx]);
+                            }
                         }
                     }
                 }
@@ -104,19 +116,29 @@ build_linear_matrix(int out_features, int in_features,
         }
     }
 
-    BlockedMatrix m(static_cast<u64>(out_features), in.total_slots(),
-                    block_dim);
-    for (int r = 0; r < out_features; ++r) {
-        const double s =
-            out_scale.empty() ? 1.0 : out_scale[static_cast<std::size_t>(r)];
-        for (int cf = 0; cf < in_features; ++cf) {
-            const double w = weights[static_cast<std::size_t>(r) *
-                                         static_cast<std::size_t>(
-                                             in_features) +
-                                     static_cast<std::size_t>(cf)];
-            if (w != 0.0) {
-                m.add(static_cast<u64>(r), col_of[static_cast<std::size_t>(cf)],
-                      s * w);
+    // Output lanes reuse the input's batch stride; lane b's block of rows
+    // starts at b * batch_stride, mirroring the shifted input columns.
+    const int nb = std::max(1, in.batch);
+    const u64 rows = nb > 1 ? static_cast<u64>(nb - 1) * in.batch_stride +
+                                  static_cast<u64>(out_features)
+                            : static_cast<u64>(out_features);
+    BlockedMatrix m(rows, in.total_slots(), block_dim);
+    for (int b = 0; b < nb; ++b) {
+        const u64 lane = static_cast<u64>(b) * in.batch_stride;
+        for (int r = 0; r < out_features; ++r) {
+            const double s = out_scale.empty()
+                                 ? 1.0
+                                 : out_scale[static_cast<std::size_t>(r)];
+            for (int cf = 0; cf < in_features; ++cf) {
+                const double w = weights[static_cast<std::size_t>(r) *
+                                             static_cast<std::size_t>(
+                                                 in_features) +
+                                         static_cast<std::size_t>(cf)];
+                if (w != 0.0) {
+                    m.add(lane + static_cast<u64>(r),
+                          lane + col_of[static_cast<std::size_t>(cf)],
+                          s * w);
+                }
             }
         }
     }
@@ -281,25 +303,30 @@ build_conv_structure(const Conv2dSpec& spec, const TensorLayout& in,
                      const TensorLayout& out, u64 block_dim)
 {
     spec.validate();
+    ORION_CHECK(in.batch == out.batch && in.batch_stride == out.batch_stride,
+                "conv input/output batch mismatch");
     const int ci_per_group = spec.in_channels / spec.groups;
     const int co_per_group = spec.out_channels / spec.groups;
     StructureSink sink(out.total_slots(), in.total_slots(), block_dim);
-    for (int o = 0; o < spec.out_channels; ++o) {
-        const int group = o / co_per_group;
-        for (int oy = 0; oy < out.height; ++oy) {
-            for (int ox = 0; ox < out.width; ++ox) {
-                const u64 row = out.slot_of(o, oy, ox);
-                for (int ci = 0; ci < ci_per_group; ++ci) {
-                    const int c = group * ci_per_group + ci;
-                    for (int ky = 0; ky < spec.kernel_h; ++ky) {
-                        const int iy =
-                            oy * spec.stride - spec.pad + ky * spec.dilation;
-                        if (iy < 0 || iy >= in.height) continue;
-                        for (int kx = 0; kx < spec.kernel_w; ++kx) {
-                            const int ix = ox * spec.stride - spec.pad +
-                                           kx * spec.dilation;
-                            if (ix < 0 || ix >= in.width) continue;
-                            sink.add(row, in.slot_of(c, iy, ix));
+    const int nb = std::max(1, in.batch);
+    for (int b = 0; b < nb; ++b) {
+        for (int o = 0; o < spec.out_channels; ++o) {
+            const int group = o / co_per_group;
+            for (int oy = 0; oy < out.height; ++oy) {
+                for (int ox = 0; ox < out.width; ++ox) {
+                    const u64 row = out.slot_of(b, o, oy, ox);
+                    for (int ci = 0; ci < ci_per_group; ++ci) {
+                        const int c = group * ci_per_group + ci;
+                        for (int ky = 0; ky < spec.kernel_h; ++ky) {
+                            const int iy = oy * spec.stride - spec.pad +
+                                           ky * spec.dilation;
+                            if (iy < 0 || iy >= in.height) continue;
+                            for (int kx = 0; kx < spec.kernel_w; ++kx) {
+                                const int ix = ox * spec.stride - spec.pad +
+                                               kx * spec.dilation;
+                                if (ix < 0 || ix >= in.width) continue;
+                                sink.add(row, in.slot_of(b, c, iy, ix));
+                            }
                         }
                     }
                 }
@@ -313,13 +340,20 @@ BlockedStructure
 build_linear_structure(int out_features, const TensorLayout& in,
                        u64 block_dim)
 {
-    StructureSink sink(static_cast<u64>(out_features), in.total_slots(),
-                       block_dim);
-    for (int r = 0; r < out_features; ++r) {
-        for (int c = 0; c < in.channels; ++c) {
-            for (int y = 0; y < in.height; ++y) {
-                for (int x = 0; x < in.width; ++x) {
-                    sink.add(static_cast<u64>(r), in.slot_of(c, y, x));
+    const int nb = std::max(1, in.batch);
+    const u64 rows = nb > 1 ? static_cast<u64>(nb - 1) * in.batch_stride +
+                                  static_cast<u64>(out_features)
+                            : static_cast<u64>(out_features);
+    StructureSink sink(rows, in.total_slots(), block_dim);
+    for (int b = 0; b < nb; ++b) {
+        const u64 lane = static_cast<u64>(b) * in.batch_stride;
+        for (int r = 0; r < out_features; ++r) {
+            for (int c = 0; c < in.channels; ++c) {
+                for (int y = 0; y < in.height; ++y) {
+                    for (int x = 0; x < in.width; ++x) {
+                        sink.add(lane + static_cast<u64>(r),
+                                 lane + in.slot_of(c, y, x));
+                    }
                 }
             }
         }

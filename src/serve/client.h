@@ -38,8 +38,20 @@ class ServeClient {
      */
     ckks::serial::Bytes make_request(const std::vector<double>& input);
 
+    /**
+     * Packs `inputs.size()` samples into the program's batch lanes and
+     * serializes one batched request (wire v4). The sample count must not
+     * exceed the compiled network's batch capacity.
+     */
+    ckks::serial::Bytes make_request_batch(
+        const std::vector<std::vector<double>>& inputs);
+
     /** Decrypts a serialized Response to the logical network output. */
     std::vector<double> decrypt_response(std::span<const u8> response);
+
+    /** Decrypts the first `batch_count` lanes of a batched Response. */
+    std::vector<std::vector<double>> decrypt_response_batch(
+        std::span<const u8> response, int batch_count);
 
     /** Decodes a Response without decrypting (stats inspection). */
     Response parse_response(std::span<const u8> response) const;

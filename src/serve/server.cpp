@@ -295,6 +295,16 @@ InferenceServer::execute(Pending& p,
         throw RequestError(ErrorKind::kBadSession, oss.str());
     }
 
+    // Over-capacity batches are request errors, not execution errors:
+    // name the limit and the layer whose span set it (the PR 5
+    // describe-the-instruction convention).
+    if (req.batch_count > static_cast<u64>(cn_->batch)) {
+        std::ostringstream oss;
+        oss << "batch_count " << req.batch_count << " > program capacity "
+            << cn_->batch << " for layer " << cn_->batch_limit_layer;
+        throw RequestError(ErrorKind::kExecError, oss.str());
+    }
+
     core::CkksExecutor& exec = *executors_[worker_index];
     // Unbind on every exit path (including throw): the executor outlives
     // the lease, and a later request must never see stale key pointers.
@@ -319,6 +329,7 @@ InferenceServer::execute(Pending& p,
     reply.stats.execute_s = er.wall_seconds;
     reply.stats.rotations = er.rotations;
     reply.stats.bootstraps = er.bootstraps;
+    reply.stats.batch_count = req.batch_count;
     reply.stats.layer_times = std::move(er.layer_times);
 
     Response resp;
@@ -358,12 +369,16 @@ InferenceServer::worker_loop(std::size_t worker_index)
                 std::lock_guard<std::mutex> lk(mu_);
                 inflight_ -= 1;
                 stats_.completed += 1;
+                stats_.images += reply.stats.batch_count;
                 stats_.total_queue_wait_s += reply.stats.queue_wait_s;
                 stats_.total_execute_s += reply.stats.execute_s;
                 stats_.total_rotations += reply.stats.rotations;
                 stats_.total_bootstraps += reply.stats.bootstraps;
             }
             m_completed_.add();
+            m_images_.add(reply.stats.batch_count);
+            m_batch_size_.observe(
+                static_cast<double>(reply.stats.batch_count));
             m_queue_wait_.observe(reply.stats.queue_wait_s);
             m_execute_.observe(reply.stats.execute_s);
             p.promise.set_value(std::move(reply));

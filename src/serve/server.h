@@ -117,6 +117,8 @@ struct RequestStats {
     double execute_s = 0.0;     ///< encrypted program wall time
     u64 rotations = 0;
     u64 bootstraps = 0;
+    /** Samples served by this request (its batch lanes); 1 when unbatched. */
+    u64 batch_count = 1;
     /** kNone on success; failed requests carry theirs in RequestError. */
     ErrorKind error_kind = ErrorKind::kNone;
     /** Table-4-style per-layer wall-clock split of execute_s. */
@@ -137,6 +139,8 @@ struct ServeReply {
 struct ServerStats {
     u64 submitted = 0;
     u64 completed = 0;
+    /** Samples served across completed requests (sum of batch counts). */
+    u64 images = 0;
     u64 failed = 0;    ///< sum of the three failed_* kinds below
     u64 rejected = 0;  ///< try_submit refusals on a full queue
     // Failure attribution: failed == failed_bad_session + failed_decode +
@@ -277,6 +281,9 @@ class InferenceServer {
         metrics_.histogram("serve.queue_wait.seconds");
     telemetry::Histogram& m_execute_ =
         metrics_.histogram("serve.execute.seconds");
+    telemetry::Counter& m_images_ = metrics_.counter("serve.images");
+    telemetry::Histogram& m_batch_size_ =
+        metrics_.histogram("serve.batch_size");
 
     std::vector<std::thread> workers_;
 };

@@ -39,8 +39,11 @@ Bytes
 encode_request(const Request& r)
 {
     ByteWriter w;
+    // The session id must stay the first payload u64: peek/rewrite index
+    // it at a fixed offset behind the frame.
     w.put_u64(r.session_id);
     w.put_u64(r.request_id);
+    w.put_u64(r.batch_count);
     w.put_u64(r.inputs.size());
     for (const ckks::Ciphertext& ct : r.inputs) {
         ckks::serial::write_ciphertext(w, ct);
@@ -55,6 +58,10 @@ decode_request(std::span<const u8> bytes, const ckks::Context& ctx)
     Request req;
     req.session_id = r.read_u64();
     req.request_id = r.read_u64();
+    // batch_count joined the record in wire v4; older requests are
+    // single-sample.
+    req.batch_count = r.version() >= 4 ? r.read_u64() : 1;
+    ORION_CHECK(req.batch_count >= 1, "request batch_count must be >= 1");
     // A ciphertext is at least two one-limb polynomials plus a scale.
     const u64 count = r.read_count(2 * ctx.degree() * sizeof(u64),
                                    "request ciphertexts");

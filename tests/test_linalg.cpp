@@ -279,5 +279,160 @@ TEST(BlockedPlan, SharesBabyStepsAcrossColumn)
     EXPECT_EQ(plan.rotation_count(), 2u);
 }
 
+u64
+next_pow2(u64 v)
+{
+    u64 p = 1;
+    while (p < v) p <<= 1;
+    return p;
+}
+
+TEST(BatchedLayout, PackUnpackRoundTripAdversarialCombos)
+{
+    // Sweep gap (plain and multiplexed grids), batch count, and lane
+    // stride (tight power of two vs padded) against sample spans that do
+    // and do not divide the slot count evenly.
+    struct Combo {
+        int c, h, w, gap, batch;
+        u64 extra_stride;  ///< added on top of next_pow2(base span)
+    };
+    const std::vector<Combo> combos = {
+        {1, 8, 8, 1, 1, 0},   {1, 8, 8, 1, 4, 0},  {3, 5, 5, 1, 3, 0},
+        {4, 4, 4, 2, 2, 0},   {4, 4, 4, 2, 2, 32}, {5, 3, 3, 2, 4, 0},
+        {2, 7, 7, 1, 8, 16},  {16, 2, 2, 4, 2, 0},
+    };
+    for (const Combo& k : combos) {
+        const lin::TensorLayout base(k.c, k.h, k.w, k.gap);
+        const u64 stride = next_pow2(base.base_slots()) + k.extra_stride;
+        const lin::TensorLayout l = base.with_batch(k.batch, stride);
+
+        std::vector<std::vector<double>> samples;
+        for (int b = 0; b < k.batch; ++b) {
+            samples.push_back(random_vector(
+                l.logical_size(), 1.0, 100 + static_cast<u64>(b)));
+        }
+        const std::vector<double> slots = l.pack_batch(samples);
+        ASSERT_EQ(slots.size(), l.total_slots());
+
+        // Full round trip, plus lane 0 via the single-sample unpack.
+        const auto back = l.unpack_batch(slots, k.batch);
+        ASSERT_EQ(back.size(), samples.size());
+        for (int b = 0; b < k.batch; ++b) {
+            EXPECT_EQ(back[static_cast<std::size_t>(b)],
+                      samples[static_cast<std::size_t>(b)])
+                << "lane " << b << " (c=" << k.c << " gap=" << k.gap
+                << " batch=" << k.batch << ")";
+        }
+        EXPECT_EQ(l.unpack(slots), samples[0]);
+
+        // Under-filled pack: remaining lanes must stay zero.
+        if (k.batch > 1) {
+            const std::vector<std::vector<double>> some(samples.begin(),
+                                                        samples.begin() + 1);
+            const std::vector<double> partial = l.pack_batch(some);
+            const auto lanes = l.unpack_batch(partial, k.batch);
+            EXPECT_EQ(lanes[0], samples[0]);
+            for (std::size_t b = 1; b < lanes.size(); ++b) {
+                for (const double v : lanes[b]) EXPECT_EQ(v, 0.0);
+            }
+        }
+    }
+}
+
+TEST(BatchedLayout, UnpackRejectsShortSlotVector)
+{
+    const lin::TensorLayout l =
+        lin::TensorLayout(2, 4, 4, 1).with_batch(4, 64);
+    const std::vector<double> short_slots(l.total_slots() - 1, 0.0);
+    expect_throw_contains<Error>([&] { (void)l.unpack(short_slots); },
+                                 "slot vector too short");
+    expect_throw_contains<Error>(
+        [&] { (void)l.unpack_batch(short_slots, 4); },
+        "slot vector too short");
+}
+
+TEST(BatchedLayout, WithBatchValidatesStride)
+{
+    const lin::TensorLayout l(2, 4, 4, 1);  // span 32
+    expect_throw_contains<Error>([&] { (void)l.with_batch(2, 16); },
+                                 "smaller than sample span");
+    // batch = 1 normalizes the stride away (bit-identity with legacy).
+    const lin::TensorLayout one = l.with_batch(1, 999);
+    EXPECT_EQ(one.batch, 1);
+    EXPECT_EQ(one.batch_stride, 0u);
+    EXPECT_TRUE(one == l);
+}
+
+TEST(BatchedToeplitz, StructureInvariantUnderBatching)
+{
+    // The heart of slot batching: with one power-of-two lane stride and
+    // all lanes inside one block, the batched matrices are block-diagonal
+    // shifts of the single-sample matrix, so the nonzero diagonal sets
+    // (and hence the rotation plan) are IDENTICAL to B = 1.
+    const u64 block_dim = 1024;
+
+    lin::Conv2dSpec spec;
+    spec.in_channels = 2;
+    spec.out_channels = 2;
+    spec.kernel_h = 3;
+    spec.kernel_w = 3;
+    spec.pad = 1;
+    const lin::TensorLayout cin(2, 8, 8, 1);  // span 128
+    const lin::TensorLayout cout = lin::conv_output_layout(spec, cin);
+    const lin::TensorLayout bin = cin.with_batch(4, 128);
+    const lin::TensorLayout bout = lin::conv_output_layout(spec, bin);
+    EXPECT_EQ(bout.batch, 4);
+    EXPECT_EQ(bout.batch_stride, 128u);
+
+    const lin::BlockedStructure s1 =
+        lin::build_conv_structure(spec, cin, cout, block_dim);
+    const lin::BlockedStructure sB =
+        lin::build_conv_structure(spec, bin, bout, block_dim);
+    EXPECT_EQ(sB.blocks, s1.blocks);
+
+    const lin::BlockedStructure l1 =
+        lin::build_linear_structure(10, cin, block_dim);
+    const lin::BlockedStructure lB =
+        lin::build_linear_structure(10, bin, block_dim);
+    EXPECT_EQ(lB.blocks, l1.blocks);
+}
+
+TEST(BatchedToeplitz, BatchedLinearMatchesPerSampleApply)
+{
+    const int out_features = 12;
+    const lin::TensorLayout in(3, 4, 4, 1);  // span 48
+    const u64 stride = 64;
+    const int batch = 4;
+    const lin::TensorLayout bin = in.with_batch(batch, stride);
+    const int in_features = static_cast<int>(in.logical_size());
+    const std::vector<double> weights = random_vector(
+        static_cast<std::size_t>(out_features) * in.logical_size(), 1.0, 7);
+
+    const lin::BlockedMatrix m1 = lin::build_linear_matrix(
+        out_features, in_features, weights, in, 1024);
+    const lin::BlockedMatrix mB = lin::build_linear_matrix(
+        out_features, in_features, weights, bin, 1024);
+
+    std::vector<std::vector<double>> samples;
+    for (int b = 0; b < batch; ++b) {
+        samples.push_back(
+            random_vector(in.logical_size(), 1.0, 50 + static_cast<u64>(b)));
+    }
+    std::vector<double> packed = bin.pack_batch(samples);
+    packed.resize(mB.cols(), 0.0);
+    const std::vector<double> y = mB.apply(packed);
+    for (int b = 0; b < batch; ++b) {
+        std::vector<double> x = in.pack(samples[static_cast<std::size_t>(b)]);
+        x.resize(m1.cols(), 0.0);
+        const std::vector<double> yb = m1.apply(x);
+        for (int r = 0; r < out_features; ++r) {
+            EXPECT_NEAR(y[static_cast<u64>(b) * stride +
+                          static_cast<u64>(r)],
+                        yb[static_cast<std::size_t>(r)], 1e-12)
+                << "lane " << b << " row " << r;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace orion::test

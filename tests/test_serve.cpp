@@ -8,6 +8,7 @@
 #include "src/core/telemetry.h"
 
 #include "src/core/executor.h"
+#include "src/core/thread_pool.h"
 #include "src/nn/models.h"
 #include "src/serve/serve.h"
 #include "tests/test_util.h"
@@ -816,6 +817,16 @@ TEST(Serve, MetricsTextCrossChecksAgainstStats)
                 1e-6 + 0.01 * s.total_execute_s);
     EXPECT_EQ(m.at("orion_serve_queue_wait_seconds_count"),
               static_cast<double>(s.completed));
+    // Image accounting: every completed request here carried one sample,
+    // so the image counter and the batch-size histogram both track the
+    // completion count (sum == images when batching kicks in).
+    EXPECT_EQ(s.images, s.completed);
+    EXPECT_EQ(m.at("orion_serve_images_total"),
+              static_cast<double>(s.images));
+    EXPECT_EQ(m.at("orion_serve_batch_size_count"),
+              static_cast<double>(s.completed));
+    EXPECT_EQ(m.at("orion_serve_batch_size_sum"),
+              static_cast<double>(s.images));
     // The process-wide section rides along: op counters from the live
     // Context (this binary has executed many programs by now).
     EXPECT_GT(m.at("orion_ckks_op_keyswitch_total"), 0.0);
@@ -893,6 +904,221 @@ TEST(ServeBootstrap, BootStageSpansAccountForServedExecuteTime)
     // Bootstrap dominates this program, so the stage spans also land
     // within 10% of the served execute time (the ISSUE's acceptance bar).
     EXPECT_GE(stage_sum, 0.9 * reply.stats.execute_s);
+}
+
+// ---------------------------------------------------------------------
+// Slot-batched inference
+// ---------------------------------------------------------------------
+
+/** The micro MLP compiled with 16 batch lanes (built once; read-only). */
+struct BatchServeEnv {
+    Network net;
+    CompiledNetwork cn;
+    std::shared_ptr<const core::PreparedProgram> prepared;
+
+    BatchServeEnv()
+        : net(nn::make_micro_mlp())
+    {
+        CkksEnv& env = CkksEnv::shared();
+        core::CompileOptions opt;
+        opt.slots = env.ctx.slot_count();
+        opt.l_eff = 4;
+        opt.cost = core::CostModel::for_params(env.ctx.degree(), 3, 3, 3);
+        opt.calibration_samples = 3;
+        opt.batch = 16;
+        cn = core::compile(net, opt);
+        prepared =
+            std::make_shared<const core::PreparedProgram>(cn, env.ctx);
+    }
+
+    static BatchServeEnv&
+    shared()
+    {
+        static BatchServeEnv env;
+        return env;
+    }
+};
+
+TEST(ServeBatch, CompilerInfersCapacityAndPlanIsUnchanged)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    BatchServeEnv& benv = BatchServeEnv::shared();
+    // The micro MLP spans 64 slots per sample, so 1024 toy slots carry
+    // exactly 16 lanes at stride 64.
+    EXPECT_EQ(benv.cn.batch, 16);
+    EXPECT_EQ(benv.cn.batch_capacity, 16);
+    EXPECT_EQ(benv.cn.batch_stride, 64u);
+    EXPECT_FALSE(benv.cn.batch_limit_layer.empty());
+    // Block-diagonal batching: the rotation/pmult schedule is the
+    // single-sample schedule — only the diagonal values changed.
+    EXPECT_EQ(benv.cn.total_rotations, senv.cn.total_rotations);
+    EXPECT_EQ(benv.cn.input_layout.batch, 16);
+    EXPECT_EQ(benv.cn.output_layout.batch, 16);
+}
+
+TEST(ServeBatch, BatchedRequestMatchesPerSampleExecution)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    BatchServeEnv& benv = BatchServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+
+    // Ground truth: each sample through the single-sample program.
+    core::CkksExecutor direct(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+
+    InferenceServer server(benv.cn, env.ctx, opts(1, 4), benv.prepared);
+    ServeClient client(benv.cn, env.ctx, /*seed=*/600);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    // Deliberately under-filled: 5 of 16 lanes carry samples.
+    const int count = 5;
+    std::vector<std::vector<double>> inputs;
+    for (int i = 0; i < count; ++i) {
+        inputs.push_back(random_vector(64, 1.0, 700 + static_cast<u64>(i)));
+    }
+    const serve::ServeReply reply =
+        server.submit(client.make_request_batch(inputs)).get();
+    const std::vector<std::vector<double>> got =
+        client.decrypt_response_batch(reply.response, count);
+
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const std::vector<double> want =
+            direct.run(inputs[static_cast<std::size_t>(i)]).output;
+        ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), want.size());
+        EXPECT_LT(max_abs_diff(got[static_cast<std::size_t>(i)], want),
+                  1e-3)
+            << "lane " << i;
+    }
+
+    // One program execution served all lanes; the ledger counts images.
+    EXPECT_EQ(reply.stats.batch_count, static_cast<u64>(count));
+    EXPECT_EQ(reply.stats.rotations, senv.cn.total_rotations);
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.images, static_cast<u64>(count));
+}
+
+TEST(ServeBatch, OverCapacityBatchRejectedNamingTheLimit)
+{
+    BatchServeEnv& benv = BatchServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    InferenceServer server(benv.cn, env.ctx, opts(1, 4), benv.prepared);
+    ServeClient client(benv.cn, env.ctx, /*seed=*/601);
+    client.set_session_id(server.register_session(client.key_bundle()));
+
+    // The client refuses to pack more lanes than the program carries.
+    std::vector<std::vector<double>> too_many(
+        17, random_vector(64, 1.0, 710));
+    expect_throw_contains<Error>(
+        [&] { (void)client.make_request_batch(too_many); },
+        "batch_count 17 > program capacity 16");
+
+    // A hostile client can still claim any batch_count on the wire; the
+    // server rejects it as an exec error naming the limiting layer.
+    serve::Request forged = serve::decode_request(
+        client.make_request(random_vector(64, 1.0, 711)), env.ctx);
+    forged.batch_count = 32;
+    auto fut = server.submit(serve::encode_request(forged));
+    try {
+        (void)fut.get();
+        FAIL() << "over-capacity batch was not rejected";
+    } catch (const serve::RequestError& e) {
+        EXPECT_EQ(e.kind(), serve::ErrorKind::kExecError);
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("batch_count 32 > program capacity 16 for "
+                           "layer"),
+                  std::string::npos)
+            << "message: " << msg;
+    }
+    const serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.failed_exec, 1u);
+    EXPECT_EQ(s.images, 0u);
+}
+
+TEST(ServeBatch, LegacyV3RequestDecodesAsSingleSample)
+{
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+    ServeClient client(senv.cn, env.ctx, /*seed=*/602);
+    client.set_session_id(77);
+
+    // Re-encode a current request in the v3 layout (no batch_count) —
+    // what a pre-batching client sends.
+    const serve::Request req = serve::decode_request(
+        client.make_request(random_vector(64, 1.0, 720)), env.ctx);
+    ckks::serial::ByteWriter w;
+    w.put_u64(req.session_id);
+    w.put_u64(req.request_id);
+    w.put_u64(req.inputs.size());
+    for (const ckks::Ciphertext& ct : req.inputs) {
+        ckks::serial::write_ciphertext(w, ct);
+    }
+    const ckks::serial::Bytes v3 = ckks::serial::finish_record(
+        ckks::serial::RecordKind::kRequest, std::move(w), /*version=*/3);
+
+    const serve::Request decoded = serve::decode_request(v3, env.ctx);
+    EXPECT_EQ(decoded.batch_count, 1u);
+    EXPECT_EQ(decoded.session_id, req.session_id);
+    EXPECT_EQ(decoded.request_id, req.request_id);
+    EXPECT_EQ(decoded.inputs.size(), req.inputs.size());
+
+    // peek/rewrite still index the session id on both versions: the
+    // batch_count landed AFTER the leading u64.
+    ckks::serial::Bytes v4 = serve::encode_request(req);
+    EXPECT_EQ(serve::peek_request_session(v3), req.session_id);
+    EXPECT_EQ(serve::peek_request_session(v4), req.session_id);
+    serve::rewrite_request_session(v4, 4242);
+    EXPECT_EQ(serve::peek_request_session(v4), 4242u);
+    EXPECT_EQ(serve::decode_request(v4, env.ctx).batch_count,
+              req.batch_count);
+}
+
+TEST(ServeBatch, SingleSampleProgramBitIdenticalAcrossBatchKnob)
+{
+    // The compatibility contract: batch = 1 (the default) must execute
+    // the EXACT pre-batching program — byte-identical output ciphertexts
+    // from identical inputs and keys, at every thread count.
+    ServeEnv& senv = ServeEnv::shared();
+    CkksEnv& env = CkksEnv::shared();
+
+    core::CompileOptions opt;
+    opt.slots = env.ctx.slot_count();
+    opt.l_eff = 4;
+    opt.cost = core::CostModel::for_params(env.ctx.degree(), 3, 3, 3);
+    opt.calibration_samples = 3;
+    opt.batch = 1;  // explicit, vs ServeEnv's implicit default
+    const CompiledNetwork cn1 = core::compile(senv.net, opt);
+    EXPECT_EQ(cn1.batch, 1);
+    EXPECT_EQ(cn1.batch_stride, 0u);
+    EXPECT_TRUE(cn1.input_layout == senv.cn.input_layout);
+
+    // Same seed -> same deterministic keys in both executors.
+    core::CkksExecutor legacy(senv.cn, env.ctx, /*seed=*/7, std::nullopt,
+                              senv.prepared);
+    core::CkksExecutor batched(cn1, env.ctx, /*seed=*/7);
+    const std::vector<double> x = random_vector(64, 1.0, 730);
+    const std::vector<ckks::Ciphertext> in_cts = legacy.encrypt_input(x);
+
+    const auto output_bytes = [&](core::CkksExecutor& exec) {
+        const core::EncryptedResult r = exec.run_encrypted(in_cts);
+        ckks::serial::Bytes all;
+        for (const ckks::Ciphertext& ct : r.outputs) {
+            const ckks::serial::Bytes b = ckks::serial::serialize(ct);
+            all.insert(all.end(), b.begin(), b.end());
+        }
+        return all;
+    };
+
+    const ckks::serial::Bytes want = output_bytes(legacy);
+    ASSERT_FALSE(want.empty());
+    for (const int threads : {1, 2, 4}) {
+        core::ScopedNumThreads scoped(threads);
+        EXPECT_EQ(output_bytes(legacy), want)
+            << "legacy path diverged at " << threads << " threads";
+        EXPECT_EQ(output_bytes(batched), want)
+            << "batch=1 path diverged at " << threads << " threads";
+    }
 }
 
 }  // namespace
